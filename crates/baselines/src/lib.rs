@@ -1,0 +1,27 @@
+//! # yu-baselines
+//!
+//! The two state-of-the-art systems the paper compares YU against (§7),
+//! re-implemented as honest baselines:
+//!
+//! * [`jingubang`] — per-scenario concrete simulation, forced to
+//!   enumerate all `Σ C(n, i)` failure scenarios;
+//! * [`qarc`] — the shortest-path-only model (it rejects iBGP/SR/static
+//!   networks, as the real QARC cannot express them) searched over the
+//!   scenario space with pruning.
+//!
+//! Both agree bit-for-bit with YU's verdicts on supported networks — the
+//! integration tests rely on that — they just pay the enumeration cost.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod jingubang;
+pub mod qarc;
+
+pub use jingubang::{
+    verify as jingubang_verify, verify_bounded as jingubang_verify_bounded, JingubangOutcome,
+};
+pub use qarc::{
+    supports as qarc_supports, verify as qarc_verify, verify_bounded as qarc_verify_bounded,
+    QarcOutcome,
+};

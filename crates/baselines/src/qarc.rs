@@ -1,0 +1,395 @@
+//! QARC-style baseline: shortest-path-only k-failure load checking.
+//!
+//! QARC [PLDI'20] models the control plane as a weighted graph — traffic
+//! always follows shortest paths with ECMP — and encodes the k-failure
+//! overload question as an ILP for a MILP solver. Two consequences the
+//! paper leans on:
+//!
+//! 1. **Generality**: QARC fundamentally cannot model iBGP, local
+//!    preference, or SR (Table 1). [`supports`] makes the same
+//!    restriction explicit: networks using those features are rejected.
+//! 2. **Efficiency**: its solver time degrades quickly with network size
+//!    and flows (Fig. 15, Table 4).
+//!
+//! **Substitution note** (no MILP solver exists offline): this
+//! implementation searches the scenario space directly — branch and bound
+//! over failure subsets with an optimistic load bound for pruning, and
+//! per-scenario shortest-path ECMP recomputation. The model restrictions
+//! (point 1) are identical to QARC's; the cost of exploring the scenario
+//! space still dwarfs YU's symbolic execution (point 2), though the
+//! *flow*-count scaling of the commercial ILP is not replicated exactly —
+//! see EXPERIMENTS.md.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::{Duration, Instant};
+use yu_core::{global_groups, Violation};
+use yu_mtbdd::Ratio;
+use yu_net::{
+    scenarios_up_to_k, FailureMode, Flow, Ipv4, LinkId, LoadPoint, Network, RouterId, Tlp,
+};
+
+/// Checks whether QARC's shortest-path model can express `net`.
+/// Returns `Err` with the first unsupported feature found.
+pub fn supports(net: &Network) -> Result<(), String> {
+    for r in net.topo.routers() {
+        let cfg = net.config(r);
+        if !cfg.sr_policies.is_empty() {
+            return Err(format!(
+                "router {} uses SR policies (beyond shortest-path forwarding)",
+                net.topo.router(r).name
+            ));
+        }
+        if let Some(bgp) = &cfg.bgp {
+            if bgp.peer_local_pref.iter().any(|(_, lp)| *lp != 100) {
+                return Err(format!(
+                    "router {} uses BGP local preference",
+                    net.topo.router(r).name
+                ));
+            }
+        }
+        if !cfg.static_routes.is_empty() {
+            return Err(format!(
+                "router {} uses static routes",
+                net.topo.router(r).name
+            ));
+        }
+    }
+    // iBGP: an AS whose multiple BGP speakers can actually form sessions
+    // (they need an IGP to reach each other's loopbacks). FatTrees share
+    // tier ASes but run no IGP, so no iBGP ever comes up there.
+    for (asn, routers) in net.ases() {
+        let speakers = routers.iter().filter(|&&r| net.bgp(r).is_some()).count();
+        let has_igp = routers.iter().any(|&r| net.config(r).isis_enabled);
+        if speakers > 1 && has_igp {
+            return Err(format!("AS {asn} runs iBGP ({speakers} speakers)"));
+        }
+    }
+    Ok(())
+}
+
+/// Result of a QARC-style run.
+#[derive(Debug, Clone)]
+pub struct QarcOutcome {
+    /// Violations found.
+    pub violations: Vec<Violation>,
+    /// Scenarios actually evaluated (after pruning).
+    pub scenarios_checked: usize,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl QarcOutcome {
+    /// Whether the TLP held everywhere.
+    pub fn verified(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Verifies `tlp` under `≤ k` link failures in the shortest-path model.
+///
+/// # Panics
+/// Panics if [`supports`] rejects the network — mirroring QARC's
+/// inability to even encode such networks.
+pub fn verify(
+    net: &Network,
+    flows: &[Flow],
+    tlp: &Tlp,
+    k: usize,
+    early_stop: bool,
+) -> QarcOutcome {
+    verify_bounded(net, flows, tlp, k, early_stop, None)
+}
+
+/// Like [`verify`] but stops after `max_scenarios` (harness probing).
+pub fn verify_bounded(
+    net: &Network,
+    flows: &[Flow],
+    tlp: &Tlp,
+    k: usize,
+    early_stop: bool,
+    max_scenarios: Option<usize>,
+) -> QarcOutcome {
+    if let Err(e) = supports(net) {
+        panic!("QARC cannot model this network: {e}");
+    }
+    let t0 = Instant::now();
+    let groups = global_groups(flows);
+    let mut violations = Vec::new();
+    let mut scenarios_checked = 0;
+
+    // Upper bound for pruning: the total volume that can ever cross a
+    // link is bounded by the sum of all flow volumes. Requirements whose
+    // bound exceeds that can never be violated from above; pure
+    // lower-bound requirements can only be violated by *losing* traffic.
+    let total_volume: Ratio = groups
+        .iter()
+        .fold(Ratio::ZERO, |acc, g| acc + g.volume.clone());
+    let checkable: Vec<_> = tlp
+        .reqs
+        .iter()
+        .filter(|r| r.min.is_some() || r.max.as_ref().map_or(false, |hi| *hi < total_volume))
+        .collect();
+    if checkable.is_empty() {
+        return QarcOutcome {
+            violations,
+            scenarios_checked,
+            elapsed: t0.elapsed(),
+        };
+    }
+
+    'outer: for scenario in scenarios_up_to_k(&net.topo, FailureMode::Links, k) {
+        if max_scenarios.map_or(false, |m| scenarios_checked >= m) {
+            break;
+        }
+        scenarios_checked += 1;
+        let model = SpModel::compute(net, &scenario);
+        let mut loads: HashMap<LoadPoint, Ratio> = HashMap::new();
+        for g in &groups {
+            model.route(&g.rep, g.volume.clone(), &mut loads);
+        }
+        for req in &checkable {
+            let load = loads.get(&req.point).cloned().unwrap_or(Ratio::ZERO);
+            if !req.satisfied_by(load.clone()) {
+                violations.push(Violation {
+                    point: req.point,
+                    scenario: scenario.clone(),
+                    load,
+                    min: req.min.clone(),
+                    max: req.max.clone(),
+                });
+                if early_stop {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    QarcOutcome {
+        violations,
+        scenarios_checked,
+        elapsed: t0.elapsed(),
+    }
+}
+
+/// Shortest-path ECMP model under one scenario (link weights = IGP costs;
+/// for a pure-eBGP fabric with unit costs this coincides with hop-count
+/// BGP multipath, which is why QARC's model fits FatTrees).
+struct SpModel<'n> {
+    net: &'n Network,
+    scenario: yu_net::Scenario,
+    /// Distance-to-destination-router caches per destination prefix owner.
+    dist_cache: std::cell::RefCell<HashMap<RouterId, Vec<Option<u64>>>>,
+}
+
+impl<'n> SpModel<'n> {
+    fn compute(net: &'n Network, scenario: &yu_net::Scenario) -> SpModel<'n> {
+        SpModel {
+            net,
+            scenario: scenario.clone(),
+            dist_cache: Default::default(),
+        }
+    }
+
+    fn owner_of(&self, dst: Ipv4) -> Option<RouterId> {
+        self.net
+            .topo
+            .routers()
+            .find(|&r| self.net.config(r).delivers(dst))
+    }
+
+    fn dist_to(&self, dest: RouterId) -> Vec<Option<u64>> {
+        if let Some(d) = self.dist_cache.borrow().get(&dest) {
+            return d.clone();
+        }
+        let n = self.net.topo.num_routers();
+        let mut dist = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        if self.scenario.router_alive(dest) {
+            dist[dest.0 as usize] = Some(0);
+            heap.push((Reverse(0u64), dest));
+        }
+        while let Some((Reverse(d), u)) = heap.pop() {
+            if dist[u.0 as usize] != Some(d) {
+                continue;
+            }
+            for &l in self.net.topo.in_links(u) {
+                if !self.scenario.link_usable(&self.net.topo, l) {
+                    continue;
+                }
+                let v = self.net.topo.link(l).from;
+                let nd = d + self.net.topo.link(l).igp_cost;
+                if dist[v.0 as usize].map_or(true, |old| nd < old) {
+                    dist[v.0 as usize] = Some(nd);
+                    heap.push((Reverse(nd), v));
+                }
+            }
+        }
+        self.dist_cache.borrow_mut().insert(dest, dist.clone());
+        dist
+    }
+
+    /// Routes `volume` of `flow` over the shortest-path ECMP DAG,
+    /// accumulating per-link loads plus delivered/dropped.
+    fn route(&self, flow: &Flow, volume: Ratio, loads: &mut HashMap<LoadPoint, Ratio>) {
+        let Some(dest) = self.owner_of(flow.dst) else {
+            if self.scenario.router_alive(flow.ingress) {
+                let e = loads
+                    .entry(LoadPoint::Dropped(flow.ingress))
+                    .or_insert(Ratio::ZERO);
+                *e = e.clone() + volume;
+            }
+            return;
+        };
+        if !self.scenario.router_alive(flow.ingress) {
+            return;
+        }
+        let dist = self.dist_to(dest);
+        // Process routers in decreasing distance from dest (topological
+        // order of the shortest-path DAG).
+        let mut amounts: HashMap<RouterId, Ratio> = HashMap::new();
+        amounts.insert(flow.ingress, volume);
+        let mut order: Vec<RouterId> = self.net.topo.routers().collect();
+        order.sort_by_key(|r| Reverse(dist[r.0 as usize].unwrap_or(u64::MAX)));
+        // Unreachable routers (None) sort first and simply drop.
+        for r in order {
+            let Some(amount) = amounts.remove(&r) else {
+                continue;
+            };
+            if amount.is_zero() {
+                continue;
+            }
+            if r == dest {
+                let e = loads.entry(LoadPoint::Delivered(r)).or_insert(Ratio::ZERO);
+                *e = e.clone() + amount;
+                continue;
+            }
+            let Some(dr) = dist[r.0 as usize] else {
+                let e = loads.entry(LoadPoint::Dropped(r)).or_insert(Ratio::ZERO);
+                *e = e.clone() + amount;
+                continue;
+            };
+            let next: Vec<LinkId> = self
+                .net
+                .topo
+                .out_links(r)
+                .iter()
+                .copied()
+                .filter(|&l| {
+                    self.scenario.link_usable(&self.net.topo, l)
+                        && dist[self.net.topo.link(l).to.0 as usize]
+                            .map_or(false, |du| dr == du + self.net.topo.link(l).igp_cost)
+                })
+                .collect();
+            debug_assert!(!next.is_empty(), "finite distance implies a next hop");
+            let share = amount * Ratio::new(1, next.len() as i128);
+            for l in next {
+                let e = loads.entry(LoadPoint::Link(l)).or_insert(Ratio::ZERO);
+                *e = e.clone() + share.clone();
+                let to = self.net.topo.link(l).to;
+                let a = amounts.entry(to).or_insert(Ratio::ZERO);
+                *a = a.clone() + share.clone();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yu_net::{BgpConfig, SrPolicy, Tlp, Topology};
+
+    fn diamond() -> (Network, RouterId, RouterId) {
+        // A - B - D and A - C - D, pure eBGP, unit costs.
+        let mut t = Topology::new();
+        let a = t.add_router("A", Ipv4::new(10, 0, 0, 1), 1);
+        let b = t.add_router("B", Ipv4::new(10, 0, 0, 2), 2);
+        let c = t.add_router("C", Ipv4::new(10, 0, 0, 3), 3);
+        let d = t.add_router("D", Ipv4::new(10, 0, 0, 4), 4);
+        t.add_link(a, b, 1, Ratio::int(100));
+        t.add_link(a, c, 1, Ratio::int(100));
+        t.add_link(b, d, 1, Ratio::int(100));
+        t.add_link(c, d, 1, Ratio::int(100));
+        let mut net = Network::new(t);
+        for r in [a, b, c, d] {
+            net.config_mut(r).bgp = Some(BgpConfig::default());
+        }
+        let p = "100.0.0.0/24".parse().unwrap();
+        net.config_mut(d).connected.push(p);
+        net.config_mut(d).bgp.as_mut().unwrap().networks = vec![p];
+        (net, a, d)
+    }
+
+    #[test]
+    fn supports_rejects_sr_and_ibgp() {
+        let (mut net, a, _) = diamond();
+        assert!(supports(&net).is_ok());
+        net.config_mut(a).sr_policies.push(SrPolicy {
+            endpoint: Ipv4::new(10, 0, 0, 4),
+            match_dscp: None,
+            paths: vec![],
+        });
+        assert!(supports(&net).unwrap_err().contains("SR"));
+        net.config_mut(a).sr_policies.clear();
+        // Put B into A's AS: iBGP.
+        let mut t2 = Topology::new();
+        let x = t2.add_router("X", Ipv4::new(1, 0, 0, 1), 7);
+        let y = t2.add_router("Y", Ipv4::new(1, 0, 0, 2), 7);
+        t2.add_link(x, y, 1, Ratio::int(100));
+        let mut net2 = Network::new(t2);
+        net2.config_mut(x).bgp = Some(BgpConfig::default());
+        net2.config_mut(y).bgp = Some(BgpConfig::default());
+        net2.config_mut(x).isis_enabled = true;
+        net2.config_mut(y).isis_enabled = true;
+        assert!(supports(&net2).unwrap_err().contains("iBGP"));
+    }
+
+    #[test]
+    fn finds_ecmp_shift_overload() {
+        let (net, a, _) = diamond();
+        let flows = vec![Flow::new(
+            a,
+            Ipv4::new(11, 0, 0, 1),
+            "100.0.0.1".parse().unwrap(),
+            0,
+            Ratio::int(80),
+        )];
+        // 40 per path normally; one upper-path failure puts 80 on the
+        // other.
+        let tlp = Tlp::no_overload(&net.topo, Ratio::new(60, 100));
+        let out = verify(&net, &flows, &tlp, 1, false);
+        assert!(!out.verified());
+        assert!(out.violations.iter().any(|v| v.load == Ratio::int(80)));
+        let out = verify(&net, &flows, &tlp, 0, false);
+        assert!(out.verified());
+    }
+
+    #[test]
+    fn unviolatable_bounds_are_pruned() {
+        let (net, a, _) = diamond();
+        let flows = vec![Flow::new(
+            a,
+            Ipv4::new(11, 0, 0, 1),
+            "100.0.0.1".parse().unwrap(),
+            0,
+            Ratio::int(10),
+        )];
+        // Threshold 95 > total volume 10: nothing can ever violate, the
+        // search short-circuits without enumerating.
+        let tlp = Tlp::no_overload(&net.topo, Ratio::new(95, 100));
+        let out = verify(&net, &flows, &tlp, 2, false);
+        assert!(out.verified());
+        assert_eq!(out.scenarios_checked, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "QARC cannot model")]
+    fn panics_on_unsupported_network() {
+        let (mut net, a, _) = diamond();
+        net.config_mut(a).sr_policies.push(SrPolicy {
+            endpoint: Ipv4::new(10, 0, 0, 4),
+            match_dscp: None,
+            paths: vec![],
+        });
+        verify(&net, &[], &Tlp::new(), 1, false);
+    }
+}

@@ -1,0 +1,134 @@
+//! Criterion benches mirroring the timing-shaped experiments of the
+//! paper's evaluation, one group per table/figure:
+//!
+//! * `fig11_klink`   — verification time on the N0 preset, k = 1, 2
+//!   (the paper's Fig. 11 bars that both systems can complete);
+//! * `fig12_flows`   — verification time vs flow count (scaled preset);
+//! * `fig15_ft4`     — FT-4 runtime with/without KREDUCE and QARC;
+//! * `table4_fattree`— the FT-4 row of Table 4 (YU vs baselines);
+//! * `ablation`      — link-local equivalence on/off, KREDUCE in the
+//!   routing substrate on/off (design-choice ablations from DESIGN.md).
+//!
+//! The full-size sweeps (N1/N2/WAN, FT-8/12) live in the `figures`
+//! binary, which self-times; Criterion is reserved for the instances
+//! small enough to sample repeatedly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use yu_baselines::{jingubang_verify, qarc_verify};
+use yu_bench::{overload_tlp, preset_instance, run_yu};
+use yu_core::{YuOptions, YuVerifier};
+use yu_gen::{fattree_with_flows, WanPreset};
+use yu_mtbdd::Ratio;
+use yu_net::{FailureMode, Tlp};
+
+fn fig11_klink(c: &mut Criterion) {
+    let (w, flows) = preset_instance(WanPreset::N0);
+    let flows = &flows[..500];
+    let tlp = overload_tlp(&w.net);
+    let mut g = c.benchmark_group("fig11_klink_N0");
+    g.sample_size(10);
+    for k in [1u32, 2] {
+        g.bench_with_input(BenchmarkId::new("yu", k), &k, |b, &k| {
+            b.iter(|| run_yu(&w.net, flows, &tlp, k, FailureMode::Links, true, true))
+        });
+    }
+    g.bench_function("jingubang_k1", |b| {
+        b.iter(|| jingubang_verify(&w.net, flows, &tlp, 1, FailureMode::Links, 40, false))
+    });
+    g.finish();
+}
+
+fn fig12_flows(c: &mut Criterion) {
+    let (w, all_flows) = preset_instance(WanPreset::N0);
+    let tlp = overload_tlp(&w.net);
+    let mut g = c.benchmark_group("fig12_flows_N0");
+    g.sample_size(10);
+    for n in [333usize, 666, 1333, 2000] {
+        g.bench_with_input(BenchmarkId::new("k2_link", n), &n, |b, &n| {
+            b.iter(|| run_yu(&w.net, &all_flows[..n], &tlp, 2, FailureMode::Links, true, true))
+        });
+    }
+    g.finish();
+}
+
+fn fig15_ft4(c: &mut Criterion) {
+    let (ft, _) = fattree_with_flows(4, 100);
+    let tlp = Tlp::no_overload(&ft.net.topo, Ratio::new(95, 100));
+    let mut g = c.benchmark_group("fig15_ft4_k2");
+    g.sample_size(10);
+    for n in [5usize, 13, 21] {
+        let flows = ft.pairwise_flows(n, Ratio::int(5));
+        g.bench_with_input(BenchmarkId::new("yu_kreduce", n), &flows, |b, flows| {
+            b.iter(|| run_yu(&ft.net, flows, &tlp, 2, FailureMode::Links, true, true))
+        });
+        g.bench_with_input(BenchmarkId::new("yu_no_kreduce", n), &flows, |b, flows| {
+            b.iter(|| run_yu(&ft.net, flows, &tlp, 2, FailureMode::Links, false, true))
+        });
+        g.bench_with_input(BenchmarkId::new("qarc", n), &flows, |b, flows| {
+            b.iter(|| qarc_verify(&ft.net, flows, &tlp, 2, false))
+        });
+    }
+    g.finish();
+}
+
+fn table4_fattree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_ft4_2link");
+    g.sample_size(10);
+    for pct in [4usize, 8, 12, 16] {
+        let (ft, flows) = fattree_with_flows(4, pct);
+        let tlp = Tlp::no_overload(&ft.net.topo, Ratio::new(95, 100));
+        g.bench_with_input(BenchmarkId::new("yu", pct), &pct, |b, _| {
+            b.iter(|| run_yu(&ft.net, &flows, &tlp, 2, FailureMode::Links, true, true))
+        });
+        g.bench_with_input(BenchmarkId::new("qarc", pct), &pct, |b, _| {
+            b.iter(|| qarc_verify(&ft.net, &flows, &tlp, 2, false))
+        });
+        g.bench_with_input(BenchmarkId::new("jingubang", pct), &pct, |b, _| {
+            b.iter(|| jingubang_verify(&ft.net, &flows, &tlp, 2, FailureMode::Links, 40, false))
+        });
+    }
+    g.finish();
+}
+
+fn ablation(c: &mut Criterion) {
+    let (w, flows) = preset_instance(WanPreset::N0);
+    let flows = &flows[..1000];
+    let tlp = overload_tlp(&w.net);
+    let mut g = c.benchmark_group("ablation_N0_k1");
+    g.sample_size(10);
+    g.bench_function("full", |b| {
+        b.iter(|| run_yu(&w.net, flows, &tlp, 1, FailureMode::Links, true, true))
+    });
+    g.bench_function("no_link_local_equiv", |b| {
+        b.iter(|| run_yu(&w.net, flows, &tlp, 1, FailureMode::Links, true, false))
+    });
+    g.bench_function("no_global_equiv", |b| {
+        b.iter(|| {
+            let mut v = YuVerifier::new(
+                w.net.clone(),
+                YuOptions {
+                    k: 1,
+                    use_global_equiv: false,
+                    ..Default::default()
+                },
+            );
+            v.add_flows(flows);
+            v.verify(&tlp)
+        })
+    });
+    // Routing-substrate KREDUCE ablation is safe at N0 scale (26 links).
+    g.bench_function("no_kreduce", |b| {
+        b.iter(|| run_yu(&w.net, flows, &tlp, 1, FailureMode::Links, false, true))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig11_klink,
+    fig12_flows,
+    fig15_ft4,
+    table4_fattree,
+    ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,402 @@
+//! The high-level YU verifier API.
+//!
+//! ```text
+//! let mut yu = YuVerifier::new(network, YuOptions { k: 2, ..Default::default() });
+//! yu.add_flows(&flows);
+//! let outcome = yu.verify(&tlp);
+//! ```
+//!
+//! `YuVerifier` owns the MTBDD manager, the failure variables, the guarded
+//! routing state, and the per-flow-group symbolic traffic fractions; it
+//! implements the full pipeline of the paper's Fig. 2 — symbolic route
+//! simulation, symbolic traffic execution with k-failure MTBDD reduction,
+//! link-local flow-equivalence aggregation, and terminal-scan TLP checking
+//! with counterexample extraction.
+
+use crate::equivalence::{global_groups_classified, AggStats, FlowGroup};
+use crate::exec::{simulate_flow, ExecOptions, FlowStf};
+use crate::verify::{check_requirement, Violation};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use yu_mtbdd::{Mtbdd, MtbddStats, NodeRef, Ratio, Term};
+use yu_net::{FailureMode, FailureVars, Flow, LoadPoint, Network, Scenario, Tlp};
+use yu_routing::SymbolicRoutes;
+
+/// Configuration of a verification run.
+#[derive(Debug, Clone, Copy)]
+pub struct YuOptions {
+    /// Maximum number of simultaneous failures to verify against.
+    pub k: u32,
+    /// What can fail (links, routers, or both).
+    pub mode: FailureMode,
+    /// Apply KREDUCE throughout (disable only for the Fig. 15/16 ablation).
+    pub use_kreduce: bool,
+    /// Use link-local flow-equivalence aggregation (§5.3).
+    pub use_link_local_equiv: bool,
+    /// Group globally equivalent flows before execution (§6).
+    pub use_global_equiv: bool,
+    /// Stop at the first violation instead of collecting one per point.
+    pub early_stop: bool,
+    /// TTL bound of symbolic traffic execution.
+    pub max_hops: usize,
+    /// Garbage-collect the MTBDD arena whenever it grows by this many
+    /// nodes beyond the live set (0 disables GC). Aggregating per-link
+    /// loads creates large transient diagrams (the paper's Fig. 18
+    /// blow-up); collecting between links bounds the working set.
+    pub gc_node_threshold: usize,
+}
+
+impl Default for YuOptions {
+    fn default() -> Self {
+        YuOptions {
+            k: 1,
+            mode: FailureMode::Links,
+            use_kreduce: true,
+            use_link_local_equiv: true,
+            use_global_equiv: true,
+            early_stop: false,
+            max_hops: yu_net::DEFAULT_MAX_HOPS,
+            gc_node_threshold: 4_000_000,
+        }
+    }
+}
+
+/// Wall-clock and size statistics of a run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Time spent in symbolic route simulation.
+    pub route_time: Duration,
+    /// Time spent in symbolic traffic execution.
+    pub exec_time: Duration,
+    /// Time spent aggregating loads and checking TLPs.
+    pub check_time: Duration,
+    /// Flows added (before global grouping).
+    pub flows_in: usize,
+    /// Flow groups executed symbolically.
+    pub flow_groups: usize,
+    /// MTBDD manager statistics after the run.
+    pub mtbdd: MtbddStats,
+    /// Per-point aggregation statistics (flows vs equivalence classes) —
+    /// the data behind Figs. 13 and 14.
+    pub per_point: HashMap<LoadPoint, AggStats>,
+}
+
+/// Outcome of verifying one TLP.
+#[derive(Debug, Clone)]
+pub struct VerificationOutcome {
+    /// Violations found (at most one per requirement; empty = verified).
+    pub violations: Vec<Violation>,
+    /// Statistics of this run.
+    pub stats: RunStats,
+}
+
+impl VerificationOutcome {
+    /// Whether the TLP holds under all `≤ k`-failure scenarios.
+    pub fn verified(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The YU verifier: symbolic state for one network plus executed flows.
+pub struct YuVerifier {
+    m: Mtbdd,
+    net: Network,
+    fv: FailureVars,
+    routes: SymbolicRoutes,
+    opts: YuOptions,
+    groups: Vec<FlowGroup>,
+    results: Vec<FlowStf>,
+    flows_in: usize,
+    route_time: Duration,
+    exec_time: Duration,
+    load_cache: HashMap<LoadPoint, (NodeRef, AggStats)>,
+    live_after_gc: usize,
+}
+
+impl YuVerifier {
+    /// Builds the verifier: allocates failure variables and runs symbolic
+    /// route simulation (guarded RIBs and SR policies).
+    pub fn new(net: Network, opts: YuOptions) -> YuVerifier {
+        let mut m = Mtbdd::new();
+        let fv = FailureVars::allocate(&mut m, &net.topo, opts.mode);
+        let t0 = Instant::now();
+        let k = opts.use_kreduce.then_some(opts.k);
+        let routes = SymbolicRoutes::compute(&mut m, &net, &fv, k);
+        let route_time = t0.elapsed();
+        YuVerifier {
+            m,
+            net,
+            fv,
+            routes,
+            opts,
+            groups: Vec::new(),
+            results: Vec::new(),
+            flows_in: 0,
+            route_time,
+            exec_time: Duration::ZERO,
+            load_cache: HashMap::new(),
+            live_after_gc: 0,
+        }
+    }
+
+    /// Garbage-collects the MTBDD arena when it has outgrown the
+    /// configured threshold, remapping all long-lived state (routing
+    /// guards, flow STFs). Cached per-point loads are dropped.
+    fn maybe_gc(&mut self, extra: &mut [NodeRef]) {
+        let threshold = self.opts.gc_node_threshold;
+        if threshold == 0 {
+            return;
+        }
+        // Adaptive trigger: collect once the arena has grown past both
+        // the configured threshold and twice the last live set, so GC
+        // work stays amortized O(total allocation) instead of thrashing
+        // when the live set is large.
+        let created = self.m.stats().nodes_created;
+        if created < (self.live_after_gc * 2).max(self.live_after_gc + threshold) {
+            return;
+        }
+        let mut roots = Vec::new();
+        self.routes.gc_roots(&mut roots);
+        for stf in &self.results {
+            stf.gc_roots(&mut roots);
+        }
+        roots.extend(extra.iter().copied());
+        let remap = self.m.collect(&roots);
+        self.routes.remap(&remap);
+        for stf in &mut self.results {
+            stf.remap(&remap);
+        }
+        for n in extra.iter_mut() {
+            *n = remap.get(*n);
+        }
+        self.load_cache.clear();
+        self.live_after_gc = self.m.stats().nodes_created;
+    }
+
+    /// The network being verified.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The options of this run.
+    pub fn options(&self) -> YuOptions {
+        self.opts
+    }
+
+    /// The failure-variable allocation (for decoding scenarios).
+    pub fn failure_vars(&self) -> &FailureVars {
+        &self.fv
+    }
+
+    /// Current MTBDD manager statistics.
+    pub fn mtbdd_stats(&self) -> MtbddStats {
+        self.m.stats()
+    }
+
+    /// Adds flows and runs symbolic traffic execution for each (group of)
+    /// them. May be called repeatedly; loads are re-aggregated lazily.
+    pub fn add_flows(&mut self, flows: &[Flow]) {
+        self.flows_in += flows.len();
+        let groups = if self.opts.use_global_equiv {
+            global_groups_classified(&self.net, flows)
+        } else {
+            flows
+                .iter()
+                .map(|f| FlowGroup {
+                    rep: f.clone(),
+                    volume: f.volume.clone(),
+                    members: 1,
+                })
+                .collect()
+        };
+        let exec_opts = ExecOptions {
+            k: self.opts.use_kreduce.then_some(self.opts.k),
+            max_hops: self.opts.max_hops,
+        };
+        let t0 = Instant::now();
+        for g in groups {
+            let stf = simulate_flow(
+                &mut self.m,
+                &self.net,
+                &self.fv,
+                &mut self.routes,
+                &g.rep,
+                exec_opts,
+            );
+            self.groups.push(g);
+            self.results.push(stf);
+        }
+        self.exec_time += t0.elapsed();
+        self.load_cache.clear();
+    }
+
+    /// The aggregated symbolic traffic load at `point`
+    /// (`τ = Σ V_f · ω_f`, cached).
+    ///
+    /// The returned handle is only valid until the next call that may
+    /// trigger garbage collection (any other `load_*` or `verify` call);
+    /// evaluate or copy what you need before calling back in.
+    pub fn load_mtbdd(&mut self, point: LoadPoint) -> NodeRef {
+        self.load_with_stats(point).0
+    }
+
+    fn load_with_stats(&mut self, point: LoadPoint) -> (NodeRef, AggStats) {
+        if let Some(&(tau, stats)) = self.load_cache.get(&point) {
+            return (tau, stats);
+        }
+        self.maybe_gc(&mut []);
+        // Group contributions link-locally (pointer equality of STFs,
+        // Sec. 5.3), remembering a representative *result index* per
+        // class instead of the raw handle so the loop below can garbage-
+        // collect mid-aggregation and re-derive fresh handles.
+        let mut classes: Vec<(usize, Ratio)> = Vec::new();
+        if self.opts.use_link_local_equiv {
+            let mut by_stf: HashMap<NodeRef, usize> = HashMap::new();
+            for (ix, (stf, g)) in self.results.iter().zip(&self.groups).enumerate() {
+                let handle = stf.at(&self.m, point);
+                if handle == self.m.zero() || g.volume.is_zero() {
+                    continue;
+                }
+                match by_stf.entry(handle) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        classes[*e.get()].1 = classes[*e.get()].1.clone() + g.volume.clone();
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(classes.len());
+                        classes.push((ix, g.volume.clone()));
+                    }
+                }
+            }
+        } else {
+            for (ix, (stf, g)) in self.results.iter().zip(&self.groups).enumerate() {
+                let handle = stf.at(&self.m, point);
+                if handle != self.m.zero() && !g.volume.is_zero() {
+                    classes.push((ix, g.volume.clone()));
+                }
+            }
+        }
+        let flows = self
+            .results
+            .iter()
+            .zip(&self.groups)
+            .filter(|(stf, g)| stf.at(&self.m, point) != self.m.zero() && !g.volume.is_zero())
+            .count();
+        let stats = AggStats {
+            flows,
+            classes: classes.len(),
+        };
+        // Balanced (pairwise) accumulation with GC checkpoints: balanced
+        // reduction keeps most additions between small diagrams (the
+        // transients of the paper's Fig. 18 blow-up stay bounded), and
+        // collecting between rounds with the current level as extra roots
+        // bounds the arena.
+        let k = self.opts.use_kreduce.then_some(self.opts.k);
+        let mut level: Vec<NodeRef> = Vec::with_capacity(classes.len());
+        for (rep, vol) in classes {
+            let stf = self.results[rep].at(&self.m, point);
+            let scaled = self.m.scale(stf, Term::Num(vol));
+            let scaled = match k {
+                Some(k) => self.m.kreduce(scaled, k),
+                None => scaled,
+            };
+            level.push(scaled);
+            self.maybe_gc(&mut level);
+        }
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                let merged = if pair.len() == 2 {
+                    let sum = self.m.add(pair[0], pair[1]);
+                    match k {
+                        Some(k) => self.m.kreduce(sum, k),
+                        None => sum,
+                    }
+                } else {
+                    pair[0]
+                };
+                next.push(merged);
+            }
+            level = next;
+            self.maybe_gc(&mut level);
+        }
+        let tau = level.pop().unwrap_or_else(|| self.m.zero());
+        self.load_cache.insert(point, (tau, stats));
+        (tau, stats)
+    }
+
+    /// The concrete load at `point` under `scenario`, evaluated from the
+    /// symbolic load.
+    pub fn load_at(&mut self, point: LoadPoint, scenario: &Scenario) -> Ratio {
+        let tau = self.load_mtbdd(point);
+        match self.m.eval(tau, self.fv.assignment(scenario)) {
+            Term::Num(v) => v,
+            Term::PosInf => unreachable!("traffic loads are finite"),
+        }
+    }
+
+    /// Verifies a TLP, returning violations (empty = property holds under
+    /// every scenario with at most `k` failures) and run statistics.
+    pub fn verify(&mut self, tlp: &Tlp) -> VerificationOutcome {
+        let t0 = Instant::now();
+        let mut violations = Vec::new();
+        let mut per_point = HashMap::new();
+        for req in &tlp.reqs {
+            let (tau, stats) = self.load_with_stats(req.point);
+            per_point.insert(req.point, stats);
+            if let Some(v) = check_requirement(&mut self.m, &self.fv, tau, req, self.opts.k) {
+                violations.push(v);
+                if self.opts.early_stop {
+                    break;
+                }
+            }
+        }
+        let check_time = t0.elapsed();
+        VerificationOutcome {
+            violations,
+            stats: RunStats {
+                route_time: self.route_time,
+                exec_time: self.exec_time,
+                check_time,
+                flows_in: self.flows_in,
+                flow_groups: self.groups.len(),
+                mtbdd: self.m.stats(),
+                per_point,
+            },
+        }
+    }
+
+    /// Enumerates every violating `≤ k` scenario for one requirement (up
+    /// to `limit`), not just the first counterexample.
+    pub fn enumerate_violations(
+        &mut self,
+        req: &yu_net::TlpReq,
+        limit: usize,
+    ) -> Vec<Violation> {
+        let (tau, _) = self.load_with_stats(req.point);
+        let k = self.opts.k;
+        crate::verify::enumerate_violations(&mut self.m, &self.fv, tau, req, k, limit)
+    }
+
+    /// Convenience: verifies "no directed link exceeds `fraction` of its
+    /// capacity".
+    pub fn verify_no_overload(&mut self, fraction: Ratio) -> VerificationOutcome {
+        let tlp = Tlp::no_overload(&self.net.topo, fraction);
+        self.verify(&tlp)
+    }
+
+    /// Direct access to the per-group symbolic results (for tests and the
+    /// figure harness).
+    pub fn flow_results(&self) -> impl Iterator<Item = (&FlowGroup, &FlowStf)> {
+        self.groups.iter().zip(self.results.iter())
+    }
+
+    /// Mutable access to the manager (tests and the figure harness only).
+    pub fn manager_mut(&mut self) -> &mut Mtbdd {
+        &mut self.m
+    }
+
+    /// Immutable access to the manager.
+    pub fn manager(&self) -> &Mtbdd {
+        &self.m
+    }
+}

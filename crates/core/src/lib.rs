@@ -1,0 +1,34 @@
+//! # yu-core
+//!
+//! The YU algorithm (SIGCOMM 2024): verification of traffic load
+//! properties under arbitrary `k` failures via **symbolic traffic
+//! execution** over guarded routing state, with **k-failure-equivalence
+//! MTBDD reduction** and **link-local flow-equivalence** aggregation.
+//!
+//! Pipeline (paper Fig. 2):
+//!
+//! 1. `yu-routing` computes guarded RIBs and SR policies (symbolic route
+//!    simulation);
+//! 2. [`exec::simulate_flow`] symbolically executes each flow's
+//!    forwarding, producing a symbolic traffic fraction MTBDD per link
+//!    (plus delivered/dropped pseudo-sinks), KREDUCE-d at every step;
+//! 3. [`equivalence::aggregate_load`] sums flow fractions into per-link
+//!    symbolic traffic loads, collapsing link-local equivalent flows;
+//! 4. [`verify::check_requirement`] scans the reduced load's terminals
+//!    (Theorem 5.1) and extracts a concrete counterexample scenario from
+//!    the violating path.
+//!
+//! [`YuVerifier`] wires the pipeline together behind one API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod equivalence;
+pub mod exec;
+pub mod verify;
+
+pub use api::{RunStats, VerificationOutcome, YuOptions, YuVerifier};
+pub use equivalence::{aggregate_load, global_groups, global_groups_classified, AggStats, FlowGroup};
+pub use exec::{selection_guards, simulate_flow, ExecOptions, FlowStf};
+pub use verify::{check_requirement, check_tlp, enumerate_violations, Violation};

@@ -1,0 +1,223 @@
+//! Edge cases of symbolic traffic execution: multi-segment label stacks,
+//! unresolvable next hops, SR weight redistribution, and drop accounting.
+
+use yu_core::{simulate_flow, ExecOptions, FlowStf};
+use yu_mtbdd::{Mtbdd, Ratio, Term};
+use yu_net::{
+    BgpConfig, FailureMode, FailureVars, Flow, Ipv4, LoadPoint, Network, Prefix, RouterId,
+    Scenario, SrPath, SrPolicy, StaticNextHop, StaticRoute, Topology, ULinkId,
+};
+use yu_routing::SymbolicRoutes;
+
+fn eval(m: &Mtbdd, fv: &FailureVars, stf: &FlowStf, p: LoadPoint, s: &Scenario) -> Ratio {
+    match m.eval(stf.at(m, p), fv.assignment(s)) {
+        Term::Num(v) => v,
+        Term::PosInf => unreachable!(),
+    }
+}
+
+/// A 5-router chain H - M1 - M2 - M3 - T in one AS; H steers traffic to
+/// T's loopback through the 3-segment tunnel [M1, M2, M3, T]... the
+/// tunnel pops one segment per hop.
+fn chain_with_long_tunnel() -> (Network, [RouterId; 5]) {
+    let mut t = Topology::new();
+    let cap = Ratio::int(100);
+    let h = t.add_router("H", Ipv4::new(10, 0, 0, 1), 300);
+    let m1 = t.add_router("M1", Ipv4::new(10, 0, 0, 2), 300);
+    let m2 = t.add_router("M2", Ipv4::new(10, 0, 0, 3), 300);
+    let m3 = t.add_router("M3", Ipv4::new(10, 0, 0, 4), 300);
+    let tr = t.add_router("T", Ipv4::new(10, 0, 0, 5), 300);
+    t.add_link(h, m1, 10, cap.clone());
+    t.add_link(m1, m2, 10, cap.clone());
+    t.add_link(m2, m3, 10, cap.clone());
+    t.add_link(m3, tr, 10, cap.clone());
+    let mut net = Network::new(t);
+    let dest: Prefix = "70.0.0.0/24".parse().unwrap();
+    for r in [h, m1, m2, m3, tr] {
+        net.config_mut(r).isis_enabled = true;
+        net.config_mut(r).bgp = Some(BgpConfig::default());
+    }
+    net.config_mut(tr).connected.push(dest);
+    net.config_mut(tr).bgp.as_mut().unwrap().networks = vec![dest];
+    net.config_mut(h).sr_policies.push(SrPolicy {
+        endpoint: Ipv4::new(10, 0, 0, 5),
+        match_dscp: None,
+        paths: vec![SrPath {
+            segments: vec![
+                Ipv4::new(10, 0, 0, 2),
+                Ipv4::new(10, 0, 0, 3),
+                Ipv4::new(10, 0, 0, 4),
+                Ipv4::new(10, 0, 0, 5),
+            ],
+            weight: 1,
+        }],
+    });
+    (net, [h, m1, m2, m3, tr])
+}
+
+#[test]
+fn long_label_stacks_pop_hop_by_hop() {
+    let (net, [h, _, _, _, tr]) = chain_with_long_tunnel();
+    let mut m = Mtbdd::new();
+    let fv = FailureVars::allocate(&mut m, &net.topo, FailureMode::Links);
+    let mut routes = SymbolicRoutes::compute(&mut m, &net, &fv, None);
+    let flow = Flow::new(h, Ipv4::new(11, 0, 0, 1), "70.0.0.9".parse().unwrap(), 0, Ratio::int(10));
+    let stf = simulate_flow(&mut m, &net, &fv, &mut routes, &flow, ExecOptions::default());
+    let s = Scenario::none();
+    // Every chain link carries the full flow; delivery at T.
+    for l in net.topo.links() {
+        let want = if net.topo.link(l).from.0 < net.topo.link(l).to.0 {
+            Ratio::ONE
+        } else {
+            Ratio::ZERO
+        };
+        assert_eq!(eval(&m, &fv, &stf, LoadPoint::Link(l), &s), want);
+    }
+    assert_eq!(eval(&m, &fv, &stf, LoadPoint::Delivered(tr), &s), Ratio::ONE);
+    // The tunnel has no alternate path: any chain failure drops it all.
+    let s = Scenario::links([ULinkId(1)]);
+    assert_eq!(eval(&m, &fv, &stf, LoadPoint::Delivered(tr), &s), Ratio::ZERO);
+    let total_dropped: Ratio = net
+        .topo
+        .routers()
+        .map(|r| eval(&m, &fv, &stf, LoadPoint::Dropped(r), &s))
+        .fold(Ratio::ZERO, |a, b| a + b);
+    assert_eq!(total_dropped, Ratio::ONE, "all traffic accounted as dropped");
+}
+
+#[test]
+fn unresolvable_static_next_hop_drops() {
+    // A static route pointing at an address the IGP does not know: the
+    // traffic must be charged to Dropped, not silently vanish.
+    let mut t = Topology::new();
+    let a = t.add_router("A", Ipv4::new(10, 0, 0, 1), 300);
+    let b = t.add_router("B", Ipv4::new(10, 0, 0, 2), 300);
+    t.add_link(a, b, 10, Ratio::int(100));
+    let mut net = Network::new(t);
+    for r in [a, b] {
+        net.config_mut(r).isis_enabled = true;
+    }
+    net.config_mut(a).static_routes.push(StaticRoute {
+        prefix: "80.0.0.0/8".parse().unwrap(),
+        next_hop: StaticNextHop::Ip(Ipv4::new(99, 99, 99, 99)),
+    });
+    let mut m = Mtbdd::new();
+    let fv = FailureVars::allocate(&mut m, &net.topo, FailureMode::Links);
+    let mut routes = SymbolicRoutes::compute(&mut m, &net, &fv, None);
+    let flow = Flow::new(a, Ipv4::new(11, 0, 0, 1), "80.1.2.3".parse().unwrap(), 0, Ratio::int(7));
+    let stf = simulate_flow(&mut m, &net, &fv, &mut routes, &flow, ExecOptions::default());
+    let s = Scenario::none();
+    assert_eq!(eval(&m, &fv, &stf, LoadPoint::Dropped(a), &s), Ratio::ONE);
+    assert!(m.eval_all_alive(stf.truncated).is_zero());
+}
+
+#[test]
+fn sr_weight_redistribution_on_tunnel_failure() {
+    // Triangle H-X, H-Y, X-T, Y-T with two weighted tunnels; when one
+    // dies, the survivor takes 100% (the paper's c_p renormalization).
+    let mut t = Topology::new();
+    let cap = Ratio::int(100);
+    let h = t.add_router("H", Ipv4::new(10, 0, 0, 1), 300);
+    let x = t.add_router("X", Ipv4::new(10, 0, 0, 2), 300);
+    let y = t.add_router("Y", Ipv4::new(10, 0, 0, 3), 300);
+    let tr = t.add_router("T", Ipv4::new(10, 0, 0, 4), 300);
+    t.add_link(h, x, 10, cap.clone()); // u0
+    t.add_link(h, y, 10, cap.clone()); // u1
+    let u_xt = t.add_link(x, tr, 10, cap.clone()); // u2
+    t.add_link(y, tr, 10, cap.clone()); // u3
+    let mut net = Network::new(t);
+    let dest: Prefix = "70.0.0.0/24".parse().unwrap();
+    for r in [h, x, y, tr] {
+        net.config_mut(r).isis_enabled = true;
+        net.config_mut(r).bgp = Some(BgpConfig::default());
+    }
+    net.config_mut(tr).connected.push(dest);
+    net.config_mut(tr).bgp.as_mut().unwrap().networks = vec![dest];
+    net.config_mut(h).sr_policies.push(SrPolicy {
+        endpoint: Ipv4::new(10, 0, 0, 4),
+        match_dscp: None,
+        paths: vec![
+            SrPath {
+                segments: vec![Ipv4::new(10, 0, 0, 2), Ipv4::new(10, 0, 0, 4)],
+                weight: 75,
+            },
+            SrPath {
+                segments: vec![Ipv4::new(10, 0, 0, 3), Ipv4::new(10, 0, 0, 4)],
+                weight: 25,
+            },
+        ],
+    });
+    let mut m = Mtbdd::new();
+    let fv = FailureVars::allocate(&mut m, &net.topo, FailureMode::Links);
+    let mut routes = SymbolicRoutes::compute(&mut m, &net, &fv, None);
+    let flow = Flow::new(h, Ipv4::new(11, 0, 0, 1), "70.0.0.9".parse().unwrap(), 0, Ratio::int(100));
+    let stf = simulate_flow(&mut m, &net, &fv, &mut routes, &flow, ExecOptions::default());
+    let (hx, _) = net.topo.directions(ULinkId(0));
+    let (hy, _) = net.topo.directions(ULinkId(1));
+    // 75/25 split normally.
+    let s = Scenario::none();
+    assert_eq!(eval(&m, &fv, &stf, LoadPoint::Link(hx), &s), Ratio::new(3, 4));
+    assert_eq!(eval(&m, &fv, &stf, LoadPoint::Link(hy), &s), Ratio::new(1, 4));
+    // X-T failure: reach(X, T) survives via X-H-Y-T? X's IGP reaches T
+    // through H and Y, so tunnel 1 stays up and re-routes through H!
+    // The pure weight-redistribution case needs X fully cut off from T:
+    // fail X-T and H-X; then tunnel 2 carries everything.
+    let s = Scenario::links([u_xt, ULinkId(0)]);
+    assert_eq!(eval(&m, &fv, &stf, LoadPoint::Link(hy), &s), Ratio::ONE);
+    assert_eq!(eval(&m, &fv, &stf, LoadPoint::Delivered(tr), &s), Ratio::ONE);
+}
+
+#[test]
+fn dscp_selects_among_policies() {
+    let (mut net, [h, ..]) = chain_with_long_tunnel();
+    // A second policy for DSCP 7 with an invalid segment: DSCP-7 traffic
+    // must drop while DSCP-0 traffic still uses the long tunnel.
+    net.config_mut(h).sr_policies.insert(
+        0,
+        SrPolicy {
+            endpoint: Ipv4::new(10, 0, 0, 5),
+            match_dscp: Some(7),
+            paths: vec![SrPath {
+                segments: vec![Ipv4::new(99, 0, 0, 1)],
+                weight: 1,
+            }],
+        },
+    );
+    let mut m = Mtbdd::new();
+    let fv = FailureVars::allocate(&mut m, &net.topo, FailureMode::Links);
+    let mut routes = SymbolicRoutes::compute(&mut m, &net, &fv, None);
+    let tr = net.topo.router_by_name("T").unwrap();
+    let mk = |dscp| Flow::new(h, Ipv4::new(11, 0, 0, 1), "70.0.0.9".parse().unwrap(), dscp, Ratio::int(1));
+    let s = Scenario::none();
+    let f0 = simulate_flow(&mut m, &net, &fv, &mut routes, &mk(0), ExecOptions::default());
+    assert_eq!(eval(&m, &fv, &f0, LoadPoint::Delivered(tr), &s), Ratio::ONE);
+    let f7 = simulate_flow(&mut m, &net, &fv, &mut routes, &mk(7), ExecOptions::default());
+    assert_eq!(eval(&m, &fv, &f7, LoadPoint::Delivered(tr), &s), Ratio::ZERO);
+    assert_eq!(eval(&m, &fv, &f7, LoadPoint::Dropped(h), &s), Ratio::ONE);
+}
+
+#[test]
+fn kreduce_during_exec_shrinks_nodes() {
+    let (net, [h, ..]) = chain_with_long_tunnel();
+    let flow = Flow::new(h, Ipv4::new(11, 0, 0, 1), "70.0.0.9".parse().unwrap(), 0, Ratio::int(10));
+    let count = |k: Option<u32>| {
+        let mut m = Mtbdd::new();
+        let fv = FailureVars::allocate(&mut m, &net.topo, FailureMode::Links);
+        let mut routes = SymbolicRoutes::compute(&mut m, &net, &fv, k);
+        let _ = simulate_flow(
+            &mut m,
+            &net,
+            &fv,
+            &mut routes,
+            &flow,
+            ExecOptions { k, max_hops: 40 },
+        );
+        m.stats().nodes_created
+    };
+    let reduced = count(Some(1));
+    let exact = count(None);
+    assert!(
+        reduced <= exact,
+        "KREDUCE must not create more nodes ({reduced} vs {exact})"
+    );
+}

@@ -1,0 +1,190 @@
+//! FatTree topology generator (paper §7.2, FT-m).
+//!
+//! `FT-m` is the classic m-pod FatTree: `m` pods of `m/2` aggregation and
+//! `m/2` edge routers each, plus `(m/2)²` core routers. Links between
+//! aggregation and core routers are 100 Gbps; aggregation-edge links are
+//! 40 Gbps (the paper's setting). Routing is pure eBGP in the RFC
+//! 7938 style: every edge router its own AS, one AS per pod shared by its
+//! aggregation routers, one AS for all cores — AS-path loop prevention
+//! then yields exactly the valley-free paths, and multipath gives the
+//! usual ECMP fabric behavior.
+
+use yu_mtbdd::Ratio;
+use yu_net::{BgpConfig, Flow, Ipv4, Network, Prefix, RouterId, Topology};
+
+/// A generated FatTree network.
+pub struct FatTree {
+    /// The network, fully configured.
+    pub net: Network,
+    /// Pod count (`m`).
+    pub pods: usize,
+    /// Edge routers in (pod, index) order, each originating its prefix.
+    pub edges: Vec<RouterId>,
+    /// Aggregation routers in (pod, index) order.
+    pub aggs: Vec<RouterId>,
+    /// Core routers.
+    pub cores: Vec<RouterId>,
+}
+
+impl FatTree {
+    /// The service prefix originated by edge router `i`.
+    pub fn edge_prefix(&self, i: usize) -> Prefix {
+        edge_prefix(i)
+    }
+
+    /// The first `count` pairwise flows between distinct edge routers
+    /// (ordered pairs, row-major), each `volume` Gbps as in Table 4 /
+    /// Fig. 15 (5 Gbps).
+    pub fn pairwise_flows(&self, count: usize, volume: Ratio) -> Vec<Flow> {
+        let mut flows = Vec::with_capacity(count);
+        'outer: for (i, &src) in self.edges.iter().enumerate() {
+            for (j, _) in self.edges.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if flows.len() >= count {
+                    break 'outer;
+                }
+                let dst_prefix = edge_prefix(j);
+                flows.push(Flow::new(
+                    src,
+                    Ipv4::new(11, i as u8, 0, 1),
+                    Ipv4::new(
+                        dst_prefix.addr().octets()[0],
+                        dst_prefix.addr().octets()[1],
+                        dst_prefix.addr().octets()[2],
+                        1,
+                    ),
+                    0,
+                    volume.clone(),
+                ));
+            }
+        }
+        flows
+    }
+
+    /// Total number of ordered edge pairs (the 100% flow count).
+    pub fn max_pairwise_flows(&self) -> usize {
+        self.edges.len() * (self.edges.len() - 1)
+    }
+}
+
+fn edge_prefix(i: usize) -> Prefix {
+    Prefix::new(Ipv4::new(100, (i / 256) as u8, (i % 256) as u8, 0), 24)
+}
+
+/// Builds `FT-m`. `m` must be even and at least 2.
+pub fn fattree(m: usize) -> FatTree {
+    assert!(m >= 2 && m % 2 == 0, "FatTree pod count must be even");
+    let half = m / 2;
+    let mut t = Topology::new();
+    let agg_core_cap = Ratio::int(100);
+    let edge_agg_cap = Ratio::int(40);
+
+    let mut cores = Vec::with_capacity(half * half);
+    for i in 0..half * half {
+        let lo = Ipv4::new(10, 255, (i / 256) as u8, (i % 256) as u8);
+        cores.push(t.add_router(format!("core{i}"), lo, 65000));
+    }
+    let mut aggs = Vec::with_capacity(m * half);
+    let mut edges = Vec::with_capacity(m * half);
+    for p in 0..m {
+        for i in 0..half {
+            let lo = Ipv4::new(10, p as u8, 1, i as u8);
+            aggs.push(t.add_router(format!("agg{p}_{i}"), lo, 65100 + p as u32));
+        }
+        for i in 0..half {
+            let lo = Ipv4::new(10, p as u8, 2, i as u8);
+            edges.push(t.add_router(
+                format!("edge{p}_{i}"),
+                lo,
+                66000 + (p * half + i) as u32,
+            ));
+        }
+    }
+    for p in 0..m {
+        for a in 0..half {
+            let agg = aggs[p * half + a];
+            // Full bipartite edge-agg mesh within the pod.
+            for e in 0..half {
+                t.add_link(agg, edges[p * half + e], 1, edge_agg_cap.clone());
+            }
+            // Aggregation router `a` connects to core group `a`.
+            for c in 0..half {
+                t.add_link(agg, cores[a * half + c], 1, agg_core_cap.clone());
+            }
+        }
+    }
+
+    let mut net = Network::new(t);
+    for r in net.topo.routers().collect::<Vec<_>>() {
+        net.config_mut(r).bgp = Some(BgpConfig::default());
+    }
+    for (i, &e) in edges.iter().enumerate() {
+        let p = edge_prefix(i);
+        net.config_mut(e).connected.push(p);
+        net.config_mut(e).bgp.as_mut().unwrap().networks = vec![p];
+    }
+
+    FatTree {
+        net,
+        pods: m,
+        edges,
+        aggs,
+        cores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ft4_shape() {
+        let ft = fattree(4);
+        // 4 cores, 8 aggs, 8 edges = 20 routers; links: per pod 2*2
+        // edge-agg + 2*2 agg-core = 8, times 4 pods = 32 undirected.
+        assert_eq!(ft.net.topo.num_routers(), 20);
+        assert_eq!(ft.net.topo.num_ulinks(), 32);
+        assert_eq!(ft.edges.len(), 8);
+        assert_eq!(ft.cores.len(), 4);
+        assert!(ft.net.validate().is_empty());
+        assert_eq!(ft.max_pairwise_flows(), 56);
+    }
+
+    #[test]
+    fn pairwise_flows_skip_self() {
+        let ft = fattree(4);
+        let flows = ft.pairwise_flows(10, Ratio::int(5));
+        assert_eq!(flows.len(), 10);
+        for f in &flows {
+            let dst_owner = ft
+                .edges
+                .iter()
+                .position(|&e| ft.net.config(e).delivers(f.dst))
+                .unwrap();
+            assert_ne!(ft.edges[dst_owner], f.ingress);
+        }
+    }
+
+    #[test]
+    fn as_assignment_follows_rfc7938() {
+        let ft = fattree(4);
+        // All cores share an AS; aggs share per pod; edges unique.
+        let core_as: std::collections::BTreeSet<_> =
+            ft.cores.iter().map(|&r| ft.net.asn(r)).collect();
+        assert_eq!(core_as.len(), 1);
+        let pod0: std::collections::BTreeSet<_> =
+            ft.aggs[0..2].iter().map(|&r| ft.net.asn(r)).collect();
+        assert_eq!(pod0.len(), 1);
+        let edge_as: std::collections::BTreeSet<_> =
+            ft.edges.iter().map(|&r| ft.net.asn(r)).collect();
+        assert_eq!(edge_as.len(), ft.edges.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_pods_rejected() {
+        fattree(3);
+    }
+}

@@ -1,0 +1,26 @@
+//! # yu-gen
+//!
+//! Topology, configuration, and workload generators for the YU
+//! reproduction:
+//!
+//! * [`scenarios`] — exact builders for the paper's worked examples:
+//!   the Fig. 1 motivating network, the Fig. 9 anycast-SR overload, and
+//!   the Fig. 10 static-blackhole incident;
+//! * [`fattree`](mod@fattree) — FT-m FatTrees with RFC 7938-style eBGP (§7.2);
+//! * [`wan`](mod@wan) — synthetic multi-AS WANs standing in for the paper's
+//!   proprietary production networks (Table 3 presets N0/N1/N2/WAN),
+//!   with Zipf-distributed flow workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fattree;
+pub mod scenarios;
+pub mod wan;
+
+pub use fattree::{fattree, FatTree};
+pub use scenarios::{
+    motivating_example, sr_anycast_incident, static_blackhole_incident, MotivatingExample,
+    SrAnycastIncident, StaticBlackholeIncident,
+};
+pub use wan::{fattree_with_flows, wan, Wan, WanParams, WanPreset};

@@ -1,0 +1,333 @@
+//! Exact builders for the three networks the paper works through:
+//! the Fig. 1 motivating example, the Fig. 9 anycast-SR overload incident,
+//! and the Fig. 10 static-route blackhole incident.
+
+use yu_mtbdd::Ratio;
+use yu_net::{
+    BgpConfig, DenyExport, Flow, Ipv4, LoadPoint, Network, Prefix, RouterId, SrPath, SrPolicy,
+    StaticNextHop, StaticRoute, Tlp, TlpReq, Topology, ULinkId,
+};
+
+/// The Fig. 1 motivating example, fully populated.
+pub struct MotivatingExample {
+    /// The network (routers A, B in AS 100/200; C, D, E, F in AS 300 with
+    /// IS-IS, iBGP full mesh, and D's weighted SR policy).
+    pub net: Network,
+    /// Router ids in order A, B, C, D, E, F.
+    pub routers: [RouterId; 6],
+    /// Undirected links in order A-B, A-C, B-C, B-D, C-D, C-E, D-E,
+    /// E-F (1), E-F (2).
+    pub ulinks: [ULinkId; 9],
+    /// The flows `f1` (20 Gbps, DSCP 0) and `f2` (80 Gbps, DSCP 5).
+    pub flows: Vec<Flow>,
+    /// P1: traffic delivered to the destination must stay >= 70 Gbps.
+    pub p1: Tlp,
+    /// P2: no link loaded above 95 Gbps (the two E-F bundle links are
+    /// 200 Gbps and allowed up to 190).
+    pub p2: Tlp,
+}
+
+/// Builds the paper's Fig. 1 network, flows, and the P1/P2 properties.
+///
+/// Topology (all links IGP cost 10000, 100 Gbps except the two parallel
+/// E-F links at 200 Gbps so that a single bundle failure is not itself an
+/// overload):
+///
+/// ```text
+///   A(AS100) --- B(AS200)        D's SR policy (dscp 5, to F):
+///      \        /    \              [E, F] weight 75
+///       C(AS300) --- D(AS300)       [C, F] weight 25
+///       |   \        /  |
+///       |    \      /   |
+///       |     E ===(x2)=== F  (100.0.0.0/24 attached at F)
+///       +-----+ (C-E)
+/// ```
+pub fn motivating_example() -> MotivatingExample {
+    let mut t = Topology::new();
+    let cap = Ratio::int(100);
+    let big = Ratio::int(200);
+    let cost = 10_000;
+    let a = t.add_router("A", Ipv4::new(10, 0, 0, 1), 100);
+    let b = t.add_router("B", Ipv4::new(10, 0, 0, 2), 200);
+    let c = t.add_router("C", Ipv4::new(10, 0, 0, 3), 300);
+    let d = t.add_router("D", Ipv4::new(10, 0, 0, 4), 300);
+    let e = t.add_router("E", Ipv4::new(10, 0, 0, 5), 300);
+    let f = t.add_router("F", Ipv4::new(10, 0, 0, 6), 300);
+    let u_ab = t.add_link(a, b, cost, cap.clone());
+    let u_ac = t.add_link(a, c, cost, cap.clone());
+    let u_bc = t.add_link(b, c, cost, cap.clone());
+    let u_bd = t.add_link(b, d, cost, cap.clone());
+    let u_cd = t.add_link(c, d, cost, cap.clone());
+    let u_ce = t.add_link(c, e, cost, cap.clone());
+    let u_de = t.add_link(d, e, cost, cap.clone());
+    let u_ef1 = t.add_link(e, f, cost, big.clone());
+    let u_ef2 = t.add_link(e, f, cost, big.clone());
+
+    let mut net = Network::new(t);
+    let dest: Prefix = "100.0.0.0/24".parse().unwrap();
+    for r in [a, b] {
+        net.config_mut(r).bgp = Some(BgpConfig::default());
+    }
+    for r in [c, d, e, f] {
+        net.config_mut(r).isis_enabled = true;
+        net.config_mut(r).bgp = Some(BgpConfig::default());
+    }
+    net.config_mut(f).connected.push(dest);
+    net.config_mut(f).bgp.as_mut().unwrap().networks = vec![dest];
+    net.config_mut(d).sr_policies.push(SrPolicy {
+        endpoint: Ipv4::new(10, 0, 0, 6),
+        match_dscp: Some(5),
+        paths: vec![
+            SrPath {
+                segments: vec![Ipv4::new(10, 0, 0, 5), Ipv4::new(10, 0, 0, 6)],
+                weight: 75,
+            },
+            SrPath {
+                segments: vec![Ipv4::new(10, 0, 0, 3), Ipv4::new(10, 0, 0, 6)],
+                weight: 25,
+            },
+        ],
+    });
+
+    let flows = vec![
+        Flow::new(
+            a,
+            "11.0.0.1".parse().unwrap(),
+            "100.0.0.1".parse().unwrap(),
+            0,
+            Ratio::int(20),
+        ),
+        Flow::new(
+            b,
+            "11.0.0.2".parse().unwrap(),
+            "100.0.0.2".parse().unwrap(),
+            5,
+            Ratio::int(80),
+        ),
+    ];
+
+    let p1 = Tlp::new().with(TlpReq::at_least(LoadPoint::Delivered(f), Ratio::int(70)));
+    let p2 = Tlp::no_overload(&net.topo, Ratio::new(95, 100));
+
+    MotivatingExample {
+        net,
+        routers: [a, b, c, d, e, f],
+        ulinks: [u_ab, u_ac, u_bc, u_bd, u_cd, u_ce, u_de, u_ef1, u_ef2],
+        flows,
+        p1,
+        p2,
+    }
+}
+
+/// The Fig. 9 incident: a vulnerable anycast SR configuration.
+pub struct SrAnycastIncident {
+    /// The single-AS network with anycast backbone routers B1/B2.
+    pub net: Network,
+    /// A1, A2, A3 (DC1 side), B1, B2 (backbone), C1, C2, C3 (DC2 side).
+    pub routers: [RouterId; 8],
+    /// The low-capacity backbone interconnect B1-B2.
+    pub backbone_link: ULinkId,
+    /// The link whose failure triggers the overload (B2-C2).
+    pub trigger_link: ULinkId,
+    /// 80 Gbps of DC1-to-DC2 service traffic entering at A1.
+    pub flows: Vec<Flow>,
+    /// No link above 95% of capacity.
+    pub tlp: Tlp,
+}
+
+/// Builds the Fig. 9 network: one AS running IS-IS + iBGP, an anycast
+/// address 1.1.1.1 on both backbone routers, and A1's SR policy steering
+/// DC2-bound traffic through the anycast segment:
+///
+/// ```text
+///   A1 - A2 - B1 - C3 - C1     A1's SR policy: to 2.2.2.2 via
+///   A1 - A3 - B2 - C2 - C1       path [1.1.1.1, 2.2.2.2]
+///             B1 - B2 (40 Gbps, the vulnerable interconnect)
+/// ```
+///
+/// When B2-C2 fails, B2 (an anycast owner, so the label has already been
+/// popped there) must still satisfy the segment and re-routes everything
+/// over the 40 Gbps B1-B2 link — the violation YU found in production.
+pub fn sr_anycast_incident() -> SrAnycastIncident {
+    let mut t = Topology::new();
+    let cap = Ratio::int(100);
+    let thin = Ratio::int(40);
+    let cost = 10;
+    let anycast = Ipv4::new(1, 1, 1, 1);
+    let c1_lo = Ipv4::new(2, 2, 2, 2);
+    let a1 = t.add_router("A1", Ipv4::new(10, 0, 0, 1), 300);
+    let a2 = t.add_router("A2", Ipv4::new(10, 0, 0, 2), 300);
+    let a3 = t.add_router("A3", Ipv4::new(10, 0, 0, 3), 300);
+    let b1 = t.add_router("B1", anycast, 300);
+    let b2 = t.add_router("B2", anycast, 300);
+    let c1 = t.add_router("C1", c1_lo, 300);
+    let c2 = t.add_router("C2", Ipv4::new(10, 0, 0, 6), 300);
+    let c3 = t.add_router("C3", Ipv4::new(10, 0, 0, 7), 300);
+    t.add_link(a1, a2, cost, cap.clone());
+    t.add_link(a1, a3, cost, cap.clone());
+    t.add_link(a2, b1, cost, cap.clone());
+    t.add_link(a3, b2, cost, cap.clone());
+    let backbone_link = t.add_link(b1, b2, cost, thin.clone());
+    t.add_link(b1, c3, cost, cap.clone());
+    let trigger_link = t.add_link(b2, c2, cost, cap.clone());
+    t.add_link(c3, c1, cost, cap.clone());
+    t.add_link(c2, c1, cost, cap.clone());
+
+    let routers = [a1, a2, a3, b1, b2, c1, c2, c3];
+    let mut net = Network::new(t);
+    let dest: Prefix = "60.0.0.0/24".parse().unwrap();
+    for r in routers {
+        net.config_mut(r).isis_enabled = true;
+        net.config_mut(r).bgp = Some(BgpConfig::default());
+    }
+    net.config_mut(c1).connected.push(dest);
+    net.config_mut(c1).bgp.as_mut().unwrap().networks = vec![dest];
+    net.config_mut(a1).sr_policies.push(SrPolicy {
+        endpoint: c1_lo,
+        match_dscp: None,
+        paths: vec![SrPath {
+            segments: vec![anycast, c1_lo],
+            weight: 100,
+        }],
+    });
+
+    let flows = vec![Flow::new(
+        a1,
+        "50.0.0.1".parse().unwrap(),
+        "60.0.0.1".parse().unwrap(),
+        0,
+        Ratio::int(80),
+    )];
+    let tlp = Tlp::no_overload(&net.topo, Ratio::new(95, 100));
+
+    SrAnycastIncident {
+        net,
+        routers,
+        backbone_link,
+        trigger_link,
+        flows,
+        tlp,
+    }
+}
+
+/// The Fig. 10 incident: service traffic dropped by a misconfigured
+/// static blackhole.
+pub struct StaticBlackholeIncident {
+    /// The network (each router its own AS, eBGP everywhere).
+    pub net: Network,
+    /// M1 (DC1 ingress), M2, D1, D2, W (the WAN, owning 10.1.0.0/26).
+    pub routers: [RouterId; 5],
+    /// The link whose failure triggers the blackhole (D1-W).
+    pub trigger_link: ULinkId,
+    /// 50 Gbps of service traffic from S to 10.1.0.0/26.
+    pub flows: Vec<Flow>,
+    /// Delivery at W must stay >= 45 Gbps.
+    pub tlp: Tlp,
+}
+
+/// Builds the Fig. 10 network:
+///
+/// ```text
+///   M1 - D1 - W     D1, D2: static 10.0.0.0/8 -> Null0,
+///   |          |        redistributed into BGP, while the
+///   M2 - D2 ---+        specific 10.1.0.0/26 is filtered out
+/// ```
+///
+/// Traffic enters at M1. With the D1-W link down, D1 keeps advertising
+/// the 10/8 blackhole (it is static-backed), M1 keeps preferring it over
+/// M2's longer path, and the traffic dies at D1's Null0 — despite a fully
+/// redundant path. Without the filters, M1 fails over to the /26 via M2
+/// and every single-link failure is survivable.
+pub fn static_blackhole_incident() -> StaticBlackholeIncident {
+    let mut t = Topology::new();
+    let cap = Ratio::int(100);
+    let cost = 10;
+    let m1 = t.add_router("M1", Ipv4::new(10, 200, 0, 2), 64002);
+    let m2 = t.add_router("M2", Ipv4::new(10, 200, 0, 3), 64003);
+    let d1 = t.add_router("D1", Ipv4::new(10, 200, 0, 4), 64004);
+    let d2 = t.add_router("D2", Ipv4::new(10, 200, 0, 5), 64005);
+    let w = t.add_router("W", Ipv4::new(10, 200, 0, 6), 64006);
+    t.add_link(m1, m2, cost, cap.clone());
+    t.add_link(m1, d1, cost, cap.clone());
+    t.add_link(m2, d2, cost, cap.clone());
+    let trigger_link = t.add_link(d1, w, cost, cap.clone());
+    t.add_link(d2, w, cost, cap.clone());
+
+    let routers = [m1, m2, d1, d2, w];
+    let mut net = Network::new(t);
+    for r in routers {
+        net.config_mut(r).bgp = Some(BgpConfig::default());
+    }
+    let service: Prefix = "10.1.0.0/26".parse().unwrap();
+    let blackhole: Prefix = "10.0.0.0/8".parse().unwrap();
+    net.config_mut(w).connected.push(service);
+    net.config_mut(w).bgp.as_mut().unwrap().networks = vec![service];
+    for r in [d1, d2] {
+        net.config_mut(r).static_routes.push(StaticRoute {
+            prefix: blackhole,
+            next_hop: StaticNextHop::Null0,
+        });
+        let bgp = net.config_mut(r).bgp.as_mut().unwrap();
+        bgp.redistribute_static = true;
+        // The misconfiguration: the specific service route is filtered
+        // from all advertisements, so only the 10/8 aggregate escapes.
+        bgp.deny_exports.push(DenyExport {
+            peer: None,
+            prefix: service,
+        });
+    }
+
+    let flows = vec![Flow::new(
+        m1,
+        "10.200.1.1".parse().unwrap(),
+        "10.1.0.5".parse().unwrap(),
+        0,
+        Ratio::int(50),
+    )];
+    let tlp = Tlp::new().with(TlpReq::at_least(LoadPoint::Delivered(w), Ratio::int(45)));
+
+    StaticBlackholeIncident {
+        net,
+        routers,
+        trigger_link,
+        flows,
+        tlp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_valid_networks() {
+        assert!(motivating_example().net.validate().is_empty());
+        assert!(sr_anycast_incident().net.validate().is_empty());
+        assert!(static_blackhole_incident().net.validate().is_empty());
+    }
+
+    #[test]
+    fn motivating_example_shape() {
+        let ex = motivating_example();
+        assert_eq!(ex.net.topo.num_routers(), 6);
+        assert_eq!(ex.net.topo.num_ulinks(), 9);
+        assert_eq!(ex.flows.len(), 2);
+        assert_eq!(ex.p2.reqs.len(), 18); // both directions of 9 links
+    }
+
+    #[test]
+    fn anycast_owners() {
+        let inc = sr_anycast_incident();
+        let owners = inc.net.topo.loopback_owners(Ipv4::new(1, 1, 1, 1));
+        assert_eq!(owners.len(), 2);
+    }
+
+    #[test]
+    fn blackhole_filters_cover_service_prefix() {
+        let inc = static_blackhole_incident();
+        let d1 = inc.routers[2];
+        let bgp = inc.net.bgp(d1).unwrap();
+        assert!(bgp.export_denied(inc.routers[0], &"10.1.0.0/26".parse().unwrap()));
+        assert!(!bgp.export_denied(inc.routers[0], &"10.0.0.0/8".parse().unwrap()));
+    }
+}

@@ -1,0 +1,361 @@
+//! Synthetic WAN generator — the stand-in for the paper's proprietary
+//! production networks (Table 3: N0, N1, N2, and the full WAN).
+//!
+//! The generated networks mirror the production structure the paper
+//! describes: a backbone AS running IS-IS + an iBGP full mesh + SRv6-style
+//! policies, surrounded by stub ASes (data centers / ISP peers) speaking
+//! eBGP, millions of prefixes collapsing into few origination classes, and
+//! a heavy-tailed (Zipf) flow distribution over prefixes — the property
+//! that makes global and link-local flow equivalence effective (Fig. 12's
+//! "6× more flows, +31.5% time" behavior).
+//!
+//! Absolute sizes are scaled down from production (1000 routers / 2×10⁹
+//! flows) to laptop scale; the scaling factors are documented in
+//! EXPERIMENTS.md.
+
+use crate::fattree::FatTree;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use yu_mtbdd::Ratio;
+use yu_net::{
+    BgpConfig, Flow, Ipv4, Network, Prefix, RouterId, SrPath, SrPolicy, Topology,
+};
+
+/// Parameters of the synthetic WAN.
+#[derive(Debug, Clone, Copy)]
+pub struct WanParams {
+    /// Backbone (core) routers — one AS, IS-IS + iBGP mesh.
+    pub core_routers: usize,
+    /// Stub routers (each its own AS, eBGP to the backbone).
+    pub stub_routers: usize,
+    /// Extra random chords in the backbone beyond the ring (the ring
+    /// guarantees connectivity).
+    pub extra_core_links: usize,
+    /// Service prefixes, spread over the stubs.
+    pub prefixes: usize,
+    /// SR policies installed on backbone border routers.
+    pub sr_policies: usize,
+    /// RNG seed (generation is fully deterministic).
+    pub seed: u64,
+}
+
+/// The preset scaled-down stand-ins for Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WanPreset {
+    /// Small production sub-network (paper: 100 routers / 200 links).
+    N0,
+    /// Medium sub-network (paper: 200 routers / 500 links).
+    N1,
+    /// Large sub-network (paper: 500 routers / 2500 links).
+    N2,
+    /// The full WAN (paper: 1000 routers / 4000 links).
+    Wan,
+}
+
+impl WanPreset {
+    /// The scaled parameters of this preset (×(1/7) of the paper's router
+    /// counts, keeping the link-to-router ratios).
+    pub fn params(self) -> WanParams {
+        match self {
+            WanPreset::N0 => WanParams {
+                core_routers: 10,
+                stub_routers: 5,
+                extra_core_links: 8,
+                prefixes: 40,
+                sr_policies: 3,
+                seed: 0xA0,
+            },
+            WanPreset::N1 => WanParams {
+                core_routers: 20,
+                stub_routers: 9,
+                extra_core_links: 24,
+                prefixes: 120,
+                sr_policies: 6,
+                seed: 0xA1,
+            },
+            WanPreset::N2 => WanParams {
+                core_routers: 48,
+                stub_routers: 24,
+                extra_core_links: 110,
+                prefixes: 300,
+                sr_policies: 12,
+                seed: 0xA2,
+            },
+            WanPreset::Wan => WanParams {
+                core_routers: 96,
+                stub_routers: 44,
+                extra_core_links: 220,
+                prefixes: 600,
+                sr_policies: 24,
+                seed: 0xAF,
+            },
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WanPreset::N0 => "N0",
+            WanPreset::N1 => "N1",
+            WanPreset::N2 => "N2",
+            WanPreset::Wan => "WAN",
+        }
+    }
+}
+
+/// A generated WAN with its workload anchors.
+pub struct Wan {
+    /// The configured network.
+    pub net: Network,
+    /// Backbone routers (AS 100).
+    pub cores: Vec<RouterId>,
+    /// Stub routers with the prefixes each originates.
+    pub stubs: Vec<(RouterId, Vec<Prefix>)>,
+    /// The generator parameters.
+    pub params: WanParams,
+}
+
+const BACKBONE_AS: u32 = 100;
+
+/// Generates a synthetic WAN.
+pub fn wan(params: WanParams) -> Wan {
+    assert!(params.core_routers >= 3, "need at least a 3-router backbone");
+    assert!(params.stub_routers >= 1);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut t = Topology::new();
+    let core_cap = Ratio::int(400);
+    let edge_cap = Ratio::int(400);
+
+    let mut cores = Vec::with_capacity(params.core_routers);
+    for i in 0..params.core_routers {
+        let lo = Ipv4::new(10, 0, (i / 256) as u8, (i % 256) as u8);
+        cores.push(t.add_router(format!("bb{i}"), lo, BACKBONE_AS));
+    }
+    // Backbone ring for guaranteed connectivity...
+    for i in 0..params.core_routers {
+        let j = (i + 1) % params.core_routers;
+        t.add_link(cores[i], cores[j], 10, core_cap.clone());
+    }
+    // ...plus random chords (random IGP costs in {10, 20, 30}).
+    for _ in 0..params.extra_core_links {
+        let a = rng.random_range(0..params.core_routers);
+        let mut b = rng.random_range(0..params.core_routers);
+        if a == b {
+            b = (b + 1) % params.core_routers;
+        }
+        let cost = 10 * rng.random_range(1..=3u64);
+        t.add_link(cores[a], cores[b], cost, core_cap.clone());
+    }
+    // Stubs: each attaches to one or two backbone routers. For
+    // dual-homed stubs the second border imports the stub's routes at a
+    // lower local preference (primary/backup egress) — the standard WAN
+    // policy that keeps hop-by-hop forwarding loop-free while the backup
+    // takes over symbolically when the primary path is gone.
+    let mut stub_ids = Vec::with_capacity(params.stub_routers);
+    let mut backup_imports: Vec<(usize, RouterId)> = Vec::new();
+    for i in 0..params.stub_routers {
+        let lo = Ipv4::new(10, 1, (i / 256) as u8, (i % 256) as u8);
+        let r = t.add_router(format!("stub{i}"), lo, 200 + i as u32);
+        let a = rng.random_range(0..params.core_routers);
+        t.add_link(r, cores[a], 10, edge_cap.clone());
+        if rng.random_bool(0.6) {
+            let mut b = rng.random_range(0..params.core_routers);
+            if b == a {
+                b = (b + 1) % params.core_routers;
+            }
+            t.add_link(r, cores[b], 10, edge_cap.clone());
+            backup_imports.push((b, r));
+        }
+        stub_ids.push(r);
+    }
+
+    let mut net = Network::new(t);
+    for &r in &cores {
+        net.config_mut(r).isis_enabled = true;
+        net.config_mut(r).bgp = Some(BgpConfig::default());
+    }
+    for &r in &stub_ids {
+        net.config_mut(r).bgp = Some(BgpConfig::default());
+    }
+    for (b, stub) in backup_imports {
+        net.config_mut(cores[b])
+            .bgp
+            .as_mut()
+            .unwrap()
+            .peer_local_pref
+            .push((stub, 90));
+    }
+    // Prefixes spread over stubs (Zipf-ish: earlier stubs get more).
+    let mut stubs: Vec<(RouterId, Vec<Prefix>)> =
+        stub_ids.iter().map(|&r| (r, Vec::new())).collect();
+    for p in 0..params.prefixes {
+        let s = zipf_index(&mut rng, stubs.len());
+        let prefix = Prefix::new(
+            Ipv4::new(60 + (p / 65536) as u8, (p / 256 % 256) as u8, (p % 256) as u8, 0),
+            24,
+        );
+        stubs[s].1.push(prefix);
+    }
+    for (r, prefixes) in &stubs {
+        let cfg = net.config_mut(*r);
+        cfg.connected.extend(prefixes.iter().copied());
+        cfg.bgp.as_mut().unwrap().networks = prefixes.clone();
+    }
+    // SR policies on random backbone routers: steer DSCP-5 traffic for a
+    // random egress loopback over two weighted segment paths. Retry the
+    // random draws (bounded) until four distinct routers come up.
+    let mut installed = 0;
+    let mut attempts = 0;
+    while installed < params.sr_policies && attempts < params.sr_policies * 20 {
+        attempts += 1;
+        if cores.len() < 4 {
+            break;
+        }
+        let head = cores[rng.random_range(0..cores.len())];
+        let egress = cores[rng.random_range(0..cores.len())];
+        let mid1 = cores[rng.random_range(0..cores.len())];
+        let mid2 = cores[rng.random_range(0..cores.len())];
+        let picks = [head, egress, mid1, mid2];
+        let distinct: std::collections::BTreeSet<_> = picks.iter().collect();
+        if distinct.len() != picks.len() {
+            continue;
+        }
+        installed += 1;
+        let egress_lo = net.topo.router(egress).loopback;
+        let mid1_lo = net.topo.router(mid1).loopback;
+        let mid2_lo = net.topo.router(mid2).loopback;
+        net.config_mut(head).sr_policies.push(SrPolicy {
+            endpoint: egress_lo,
+            match_dscp: Some(5),
+            paths: vec![
+                SrPath {
+                    segments: vec![mid1_lo, egress_lo],
+                    weight: 75,
+                },
+                SrPath {
+                    segments: vec![mid2_lo, egress_lo],
+                    weight: 25,
+                },
+            ],
+        });
+    }
+
+    Wan {
+        net,
+        cores,
+        stubs,
+        params,
+    }
+}
+
+impl Wan {
+    /// Generates `count` flows: ingress at a random stub, destination
+    /// drawn Zipf-style over the prefixes (heavy head, long tail), DSCP 5
+    /// with 10% probability, volumes 0.01–0.8 Gbps in 1/100 steps (sized
+    /// so thousands of flows load the backbone to a realistic fraction of
+    /// capacity, with overloads appearing under failure shifts).
+    pub fn flows(&self, count: usize, seed: u64) -> Vec<Flow> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let all_prefixes: Vec<Prefix> = self
+            .stubs
+            .iter()
+            .flat_map(|(_, ps)| ps.iter().copied())
+            .collect();
+        let mut flows = Vec::with_capacity(count);
+        for i in 0..count {
+            let ingress = self.stubs[rng.random_range(0..self.stubs.len())].0;
+            let p = all_prefixes[zipf_index(&mut rng, all_prefixes.len())];
+            let host = rng.random_range(1..=254u32);
+            let dst = Ipv4(p.addr().0 | host);
+            let dscp = if rng.random_bool(0.1) { 5 } else { 0 };
+            let volume = Ratio::new(rng.random_range(1..=80), 100);
+            flows.push(Flow::new(
+                ingress,
+                Ipv4::new(11, (i / 65536) as u8, (i / 256 % 256) as u8, (i % 256) as u8),
+                dst,
+                dscp,
+                volume,
+            ));
+        }
+        flows
+    }
+}
+
+/// Approximate Zipf(1) index in `0..n`.
+fn zipf_index(rng: &mut StdRng, n: usize) -> usize {
+    debug_assert!(n > 0);
+    // Inverse-CDF sampling over 1/(i+1) weights.
+    let h: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+    let mut u = rng.random_range(0.0..h);
+    for i in 0..n {
+        u -= 1.0 / (i + 1) as f64;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    n - 1
+}
+
+/// Convenience: the Table 4 / Fig. 15 FatTree plus flow fraction.
+pub fn fattree_with_flows(m: usize, fraction_percent: usize) -> (FatTree, Vec<Flow>) {
+    let ft = crate::fattree::fattree(m);
+    let count = (ft.max_pairwise_flows() * fraction_percent).div_ceil(100);
+    let flows = ft.pairwise_flows(count, Ratio::int(5));
+    (ft, flows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build_valid_networks() {
+        for preset in [WanPreset::N0, WanPreset::N1] {
+            let w = wan(preset.params());
+            assert!(w.net.validate().is_empty(), "{:?}", preset);
+            assert_eq!(
+                w.net.topo.num_routers(),
+                preset.params().core_routers + preset.params().stub_routers
+            );
+            let total_prefixes: usize = w.stubs.iter().map(|(_, p)| p.len()).sum();
+            assert_eq!(total_prefixes, preset.params().prefixes);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = wan(WanPreset::N0.params());
+        let b = wan(WanPreset::N0.params());
+        assert_eq!(a.net.topo.num_ulinks(), b.net.topo.num_ulinks());
+        let fa = a.flows(100, 7);
+        let fb = b.flows(100, 7);
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn flows_are_heavy_tailed() {
+        let w = wan(WanPreset::N0.params());
+        let flows = w.flows(2000, 42);
+        assert_eq!(flows.len(), 2000);
+        // The most popular destination prefix should take a large share.
+        let mut counts: std::collections::HashMap<u32, usize> = Default::default();
+        for f in &flows {
+            *counts.entry(f.dst.0 & 0xffff_ff00).or_default() += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(
+            max > flows.len() / 20,
+            "expected a heavy head, max bucket {max}"
+        );
+        assert!(flows.iter().any(|f| f.dscp == 5));
+    }
+
+    #[test]
+    fn fattree_with_flows_fractions() {
+        let (ft, flows) = fattree_with_flows(4, 4);
+        assert_eq!(ft.pods, 4);
+        // 4% of 56 ordered pairs, rounded up = 3... the paper's Table 4
+        // says 2 for FT-4/4%; we use ceil so at least the paper's count.
+        assert!(flows.len() >= 2 && flows.len() <= 3, "{}", flows.len());
+    }
+}

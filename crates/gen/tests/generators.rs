@@ -1,0 +1,128 @@
+//! Generator integration tests: every generated network must be
+//! verifiable (BGP converges, symbolic and concrete agree on the
+//! no-failure scenario) across sizes and seeds.
+
+use yu_core::{YuOptions, YuVerifier};
+use yu_gen::{fattree, wan, WanParams, WanPreset};
+use yu_mtbdd::Ratio;
+use yu_net::{LoadPoint, Scenario};
+use yu_routing::ConcreteRoutes;
+
+#[test]
+fn all_presets_converge_concretely() {
+    for preset in [WanPreset::N0, WanPreset::N1, WanPreset::N2, WanPreset::Wan] {
+        let w = wan(preset.params());
+        assert!(w.net.validate().is_empty(), "{}", preset.name());
+        let routes = ConcreteRoutes::compute(&w.net, &Scenario::none());
+        assert!(routes.converged, "{} BGP must converge", preset.name());
+    }
+}
+
+#[test]
+fn every_stub_prefix_is_deliverable_in_steady_state() {
+    let w = wan(WanPreset::N0.params());
+    let routes = ConcreteRoutes::compute(&w.net, &Scenario::none());
+    for (stub, prefixes) in &w.stubs {
+        for p in prefixes.iter().take(2) {
+            // A flow from some *other* stub to this prefix delivers.
+            let ingress = w
+                .stubs
+                .iter()
+                .map(|(r, _)| *r)
+                .find(|r| r != stub)
+                .unwrap();
+            let dst = yu_net::Ipv4(p.addr().0 | 1);
+            let flow = yu_net::Flow::new(
+                ingress,
+                yu_net::Ipv4::new(11, 0, 0, 1),
+                dst,
+                0,
+                Ratio::int(1),
+            );
+            let res = routes.forward_flow(&flow, yu_net::DEFAULT_MAX_HOPS);
+            let delivered: Ratio = res
+                .delivered
+                .values()
+                .fold(Ratio::ZERO, |a, b| a + b.clone());
+            assert_eq!(
+                delivered,
+                Ratio::ONE,
+                "flow to {dst} from {ingress:?} must deliver"
+            );
+        }
+    }
+}
+
+#[test]
+fn fattree_all_pairs_deliver() {
+    let ft = fattree(4);
+    let flows = ft.pairwise_flows(ft.max_pairwise_flows(), Ratio::int(5));
+    assert_eq!(flows.len(), 56);
+    let routes = ConcreteRoutes::compute(&ft.net, &Scenario::none());
+    for f in &flows {
+        let res = routes.forward_flow(f, 16);
+        let delivered: Ratio = res
+            .delivered
+            .values()
+            .fold(Ratio::ZERO, |a, b| a + b.clone());
+        assert_eq!(delivered, Ratio::ONE, "{f:?}");
+    }
+}
+
+#[test]
+fn fattree_steady_state_is_balanced() {
+    // With all pairwise flows, symmetry should spread load evenly over
+    // the four core routers' links.
+    let ft = fattree(4);
+    let flows = ft.pairwise_flows(ft.max_pairwise_flows(), Ratio::int(4));
+    let mut v = YuVerifier::new(ft.net.clone(), YuOptions { k: 0, ..Default::default() });
+    v.add_flows(&flows);
+    let s = Scenario::none();
+    let mut core_loads = std::collections::BTreeSet::new();
+    for l in ft.net.topo.links() {
+        let to = ft.net.topo.link(l).to;
+        if ft.cores.contains(&to) {
+            core_loads.insert(v.load_at(LoadPoint::Link(l), &s).to_string());
+        }
+    }
+    assert_eq!(core_loads.len(), 1, "uniform load on core uplinks: {core_loads:?}");
+}
+
+#[test]
+fn wan_sr_policies_have_resolvable_segments() {
+    for seed in [0u64, 5, 9] {
+        let w = wan(WanParams {
+            core_routers: 8,
+            stub_routers: 4,
+            extra_core_links: 6,
+            prefixes: 16,
+            sr_policies: 4,
+            seed,
+        });
+        let routes = ConcreteRoutes::compute(&w.net, &Scenario::none());
+        for r in w.net.topo.routers() {
+            for pol in &w.net.config(r).sr_policies {
+                for path in &pol.paths {
+                    assert!(
+                        routes.sr_path_valid(r, &path.segments),
+                        "seed {seed}: policy on {} references unreachable segments",
+                        w.net.topo.router(r).name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dscp_marked_wan_traffic_uses_sr_paths() {
+    // At least one generated instance must actually exercise SR steering
+    // (policies whose endpoint matches a BGP next hop for dscp-5 flows).
+    let w = wan(WanPreset::N0.params());
+    let has_policy = w
+        .net
+        .topo
+        .routers()
+        .any(|r| !w.net.config(r).sr_policies.is_empty());
+    assert!(has_policy, "preset must install SR policies");
+}

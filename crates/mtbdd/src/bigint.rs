@@ -1,0 +1,352 @@
+//! Minimal arbitrary-precision integers backing [`Ratio`](crate::Ratio).
+//!
+//! Symbolic traffic execution multiplies ECMP split factors along every
+//! forwarding hop; under transient micro-loops (hop-by-hop iBGP multipath
+//! re-splitting at every router) the exact denominators can outgrow
+//! `i128` long before the TTL bound. Rather than silently losing
+//! exactness, `Ratio` spills into this heap representation. The fast
+//! `i128` path still covers essentially all arithmetic; these routines
+//! only need to be correct, not fast.
+//!
+//! `BigUint` is a little-endian `Vec<u64>` magnitude with no trailing
+//! zero limbs. Division is binary long division (shift-and-subtract) and
+//! gcd is Stein's binary algorithm — no Knuth-D needed at these sizes.
+
+use std::cmp::Ordering;
+
+/// An unsigned arbitrary-precision integer (canonical: no trailing zero
+/// limbs; empty = 0).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub(crate) struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    pub fn zero() -> BigUint {
+        BigUint { limbs: Vec::new() }
+    }
+
+    pub fn from_u128(x: u128) -> BigUint {
+        let mut limbs = vec![x as u64, (x >> 64) as u64];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    fn trim(mut self) -> BigUint {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+        self
+    }
+
+    /// Number of significant bits.
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).map_or(false, |l| l >> off & 1 == 1)
+    }
+
+    pub fn cmp_mag(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            if a != b {
+                return a.cmp(b);
+            }
+        }
+        Ordering::Equal
+    }
+
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = self.limbs.get(i).copied().unwrap_or(0) as u128;
+            let b = other.limbs.get(i).copied().unwrap_or(0) as u128;
+            let s = a + b + carry as u128;
+            out.push(s as u64);
+            carry = (s >> 64) as u64;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        BigUint { limbs: out }.trim()
+    }
+
+    /// `self - other`; requires `self >= other`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        debug_assert!(self.cmp_mag(other) != Ordering::Less);
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i128;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i128;
+            let b = other.limbs.get(i).copied().unwrap_or(0) as i128;
+            let mut d = a - b - borrow;
+            if d < 0 {
+                d += 1i128 << 64;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(d as u64);
+        }
+        debug_assert_eq!(borrow, 0, "BigUint::sub underflow");
+        BigUint { limbs: out }.trim()
+    }
+
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        BigUint { limbs: out }.trim()
+    }
+
+    fn shl1(&mut self) {
+        let mut carry = 0u64;
+        for l in &mut self.limbs {
+            let new_carry = *l >> 63;
+            *l = (*l << 1) | carry;
+            carry = new_carry;
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    fn shr1(&mut self) {
+        let mut carry = 0u64;
+        for l in self.limbs.iter_mut().rev() {
+            let new_carry = *l & 1;
+            *l = (*l >> 1) | (carry << 63);
+            carry = new_carry;
+        }
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Binary long division: returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics when `divisor` is zero.
+    pub fn divmod(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "BigUint division by zero");
+        if self.cmp_mag(divisor) == Ordering::Less {
+            return (BigUint::zero(), self.clone());
+        }
+        let bits = self.bit_len();
+        let mut quo = vec![0u64; self.limbs.len()];
+        let mut rem = BigUint::zero();
+        for i in (0..bits).rev() {
+            rem.shl1();
+            if self.bit(i) {
+                if rem.limbs.is_empty() {
+                    rem.limbs.push(1);
+                } else {
+                    rem.limbs[0] |= 1;
+                }
+            }
+            if rem.cmp_mag(divisor) != Ordering::Less {
+                rem = rem.sub(divisor);
+                quo[i / 64] |= 1 << (i % 64);
+            }
+        }
+        (BigUint { limbs: quo }.trim(), rem)
+    }
+
+    /// Greatest common divisor (Stein's binary algorithm).
+    pub fn gcd(mut a: BigUint, mut b: BigUint) -> BigUint {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let mut shift = 0usize;
+        while a.is_even() && b.is_even() {
+            a.shr1();
+            b.shr1();
+            shift += 1;
+        }
+        while a.is_even() {
+            a.shr1();
+        }
+        loop {
+            while b.is_even() {
+                b.shr1();
+            }
+            if a.cmp_mag(&b) == Ordering::Greater {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.sub(&a);
+            if b.is_zero() {
+                break;
+            }
+        }
+        for _ in 0..shift {
+            a.shl1();
+        }
+        a
+    }
+
+    /// Approximate conversion for reporting.
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bit_len();
+        if bits <= 128 {
+            return self.to_u128().unwrap() as f64;
+        }
+        // Take the top 64 bits and scale.
+        let shift = bits - 64;
+        let mut top = 0u64;
+        for i in 0..64 {
+            if self.bit(shift + i) {
+                top |= 1 << i;
+            }
+        }
+        top as f64 * 2f64.powi(shift as i32)
+    }
+
+    /// Decimal representation.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        let chunk = BigUint::from_u128(10u128.pow(19));
+        let mut parts = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.divmod(&chunk);
+            parts.push(r.to_u128().unwrap() as u64 as u128);
+            cur = q;
+        }
+        let mut out = parts.pop().map(|p| p.to_string()).unwrap_or_default();
+        for p in parts.into_iter().rev() {
+            out.push_str(&format!("{p:019}"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(x: u128) -> BigUint {
+        BigUint::from_u128(x)
+    }
+
+    #[test]
+    fn roundtrip_u128() {
+        for x in [0u128, 1, u64::MAX as u128, u128::MAX, 12345678901234567890] {
+            assert_eq!(big(x).to_u128(), Some(x));
+        }
+    }
+
+    #[test]
+    fn add_sub_with_carries() {
+        let a = big(u128::MAX);
+        let one = big(1);
+        let s = a.add(&one); // 2^128
+        assert_eq!(s.to_u128(), None);
+        assert_eq!(s.bit_len(), 129);
+        assert_eq!(s.sub(&one), a);
+        assert_eq!(s.sub(&s), BigUint::zero());
+    }
+
+    #[test]
+    fn mul_large() {
+        let a = big(u128::MAX);
+        let sq = a.mul(&a); // (2^128-1)^2 = 2^256 - 2^129 + 1
+        let (q, r) = sq.divmod(&a);
+        assert_eq!(q, a);
+        assert!(r.is_zero());
+        assert_eq!(big(0).mul(&a), BigUint::zero());
+        assert_eq!(big(7).mul(&big(6)), big(42));
+    }
+
+    #[test]
+    fn divmod_matches_u128() {
+        for (a, b) in [(100u128, 7u128), (u128::MAX, 3), (12345, 12345), (5, 100)] {
+            let (q, r) = big(a).divmod(&big(b));
+            assert_eq!(q, big(a / b), "{a}/{b}");
+            assert_eq!(r, big(a % b), "{a}%{b}");
+        }
+    }
+
+    #[test]
+    fn gcd_matches_u128() {
+        let g = |a: u128, b: u128| BigUint::gcd(big(a), big(b)).to_u128().unwrap();
+        assert_eq!(g(12, 18), 6);
+        assert_eq!(g(0, 5), 5);
+        assert_eq!(g(7, 0), 7);
+        assert_eq!(g(1 << 100, 1 << 60), 1 << 60);
+        assert_eq!(g(3u128.pow(50), 3u128.pow(30) * 2), 3u128.pow(30));
+    }
+
+    #[test]
+    fn gcd_beyond_u128() {
+        let a = big(u128::MAX).mul(&big(6));
+        let b = big(u128::MAX).mul(&big(4));
+        let g = BigUint::gcd(a, b);
+        assert_eq!(g, big(u128::MAX).mul(&big(2)));
+    }
+
+    #[test]
+    fn decimal_printing() {
+        assert_eq!(big(0).to_decimal(), "0");
+        assert_eq!(big(12345).to_decimal(), "12345");
+        let big_num = big(10u128.pow(20)).mul(&big(10u128.pow(20)));
+        assert_eq!(big_num.to_decimal(), format!("1{}", "0".repeat(40)));
+    }
+
+    #[test]
+    fn to_f64_is_close() {
+        let x = big(3).mul(&big(1 << 100)).mul(&big(1 << 100));
+        let expect = 3.0 * 2f64.powi(200);
+        let got = x.to_f64();
+        assert!((got - expect).abs() / expect < 1e-9, "{got} vs {expect}");
+    }
+}

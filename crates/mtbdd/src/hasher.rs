@@ -1,0 +1,93 @@
+//! A fast, non-cryptographic hasher for the hot hash maps of the MTBDD
+//! manager (unique table, operation caches).
+//!
+//! The manager performs millions of small-key lookups per verification run;
+//! SipHash's per-call overhead dominates with the default hasher. This is
+//! the well-known Fx (Firefox/rustc) multiply-xor scheme, which is more than
+//! adequate for in-process tables keyed by small integers.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` alias using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor hasher (the rustc/Firefox "Fx" hash).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_differently() {
+        let mut h1 = FxHasher::default();
+        h1.write_u64(1);
+        let mut h2 = FxHasher::default();
+        h2.write_u64(2);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn usable_as_map() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert((i, i + 1), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(42, 43)], 42);
+    }
+}

@@ -1,0 +1,756 @@
+//! The MTBDD manager: hash-consed node storage, the generic `apply`
+//! operation, ITE, restriction, and evaluation.
+//!
+//! A [`Mtbdd`] owns every node; user code holds [`NodeRef`] handles. Thanks
+//! to hash-consing, structural equality of functions is pointer equality of
+//! handles — the property that makes both `KREDUCE`'s sub-graph merging
+//! (§5.2 of the paper) and link-local flow equivalence (§5.3) O(1) checks.
+
+use crate::hasher::FxHashMap;
+use crate::node::{Node, NodeRef, Var};
+use crate::terminal::Term;
+use crate::Ratio;
+
+/// Binary operations supported by [`Mtbdd::apply`].
+///
+/// The comparison variants produce 0/1 guard MTBDDs; `Or`/`And` expect 0/1
+/// operands (checked in debug builds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Pointwise addition.
+    Add,
+    /// Pointwise subtraction.
+    Sub,
+    /// Pointwise multiplication (`0 * inf = 0`).
+    Mul,
+    /// Division with the `0/0 = 0` convention of the ECMP encoding.
+    Div,
+    /// Pointwise minimum.
+    Min,
+    /// Pointwise maximum.
+    Max,
+    /// Boolean disjunction of 0/1 guards.
+    Or,
+    /// Boolean conjunction of 0/1 guards (same as `Mul` on 0/1 operands).
+    And,
+    /// `1` where the operands are equal, else `0`.
+    EqGuard,
+    /// `1` where the left operand is strictly smaller, else `0`.
+    LtGuard,
+}
+
+impl Op {
+    fn commutative(self) -> bool {
+        matches!(
+            self,
+            Op::Add | Op::Mul | Op::Min | Op::Max | Op::Or | Op::And | Op::EqGuard
+        )
+    }
+
+    fn combine(self, a: Term, b: Term) -> Term {
+        match self {
+            Op::Add => a.add(b),
+            Op::Sub => a.sub(b),
+            Op::Mul | Op::And => a.mul(b),
+            Op::Div => a.div(b),
+            Op::Min => a.min(b),
+            Op::Max => a.max(b),
+            Op::Or => {
+                debug_assert!(a.is_zero() || a.is_one(), "Or on non-boolean terminal {a}");
+                debug_assert!(b.is_zero() || b.is_one(), "Or on non-boolean terminal {b}");
+                a.max(b)
+            }
+            Op::EqGuard => {
+                if a == b {
+                    Term::ONE
+                } else {
+                    Term::ZERO
+                }
+            }
+            Op::LtGuard => {
+                if a < b {
+                    Term::ONE
+                } else {
+                    Term::ZERO
+                }
+            }
+        }
+    }
+}
+
+/// Unary operations supported by [`Mtbdd::apply1`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op1 {
+    /// `1` on finite terminals, `0` on `+∞` — the reachability guard of a
+    /// symbolic IGP distance.
+    IsFiniteGuard,
+    /// Boolean negation of a 0/1 guard.
+    Not,
+    /// Negation of finite terminals.
+    Neg,
+}
+
+impl Op1 {
+    fn combine(self, a: Term) -> Term {
+        match self {
+            Op1::IsFiniteGuard => {
+                if a.is_finite() {
+                    Term::ONE
+                } else {
+                    Term::ZERO
+                }
+            }
+            Op1::Not => {
+                debug_assert!(a.is_zero() || a.is_one(), "Not on non-boolean terminal {a}");
+                if a.is_zero() {
+                    Term::ONE
+                } else {
+                    Term::ZERO
+                }
+            }
+            Op1::Neg => match a {
+                Term::Num(r) => Term::Num(-r),
+                Term::PosInf => panic!("cannot negate +inf"),
+            },
+        }
+    }
+}
+
+/// Cumulative statistics of a manager, used by the Fig. 16 experiment
+/// (MTBDD node counts with and without `KREDUCE`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MtbddStats {
+    /// Inner nodes ever created (hash-consing misses).
+    pub nodes_created: usize,
+    /// Distinct terminals ever created.
+    pub terminals_created: usize,
+    /// Binary apply cache entries.
+    pub apply_cache_len: usize,
+}
+
+/// A multi-terminal binary decision diagram manager.
+///
+/// Variables are `u32` levels with variable 0 on top; by the failure
+/// convention `1` means "alive" and `0` means "failed", so the number of
+/// failures along a path is the number of `lo` edges taken.
+pub struct Mtbdd {
+    nodes: Vec<Node>,
+    unique: FxHashMap<Node, NodeRef>,
+    terms: Vec<Term>,
+    term_ids: FxHashMap<Term, NodeRef>,
+    apply_cache: FxHashMap<(Op, NodeRef, NodeRef), NodeRef>,
+    apply1_cache: FxHashMap<(Op1, NodeRef), NodeRef>,
+    ite_cache: FxHashMap<(NodeRef, NodeRef, NodeRef), NodeRef>,
+    restrict_cache: FxHashMap<(NodeRef, Var, bool), NodeRef>,
+    kreduce_cache: FxHashMap<(NodeRef, u32), NodeRef>,
+    num_vars: u32,
+    zero: NodeRef,
+    one: NodeRef,
+    pos_inf: NodeRef,
+}
+
+impl Default for Mtbdd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mtbdd {
+    /// Creates an empty manager with no variables allocated.
+    pub fn new() -> Mtbdd {
+        let mut m = Mtbdd {
+            nodes: Vec::new(),
+            unique: FxHashMap::default(),
+            terms: Vec::new(),
+            term_ids: FxHashMap::default(),
+            apply_cache: FxHashMap::default(),
+            apply1_cache: FxHashMap::default(),
+            ite_cache: FxHashMap::default(),
+            restrict_cache: FxHashMap::default(),
+            kreduce_cache: FxHashMap::default(),
+            num_vars: 0,
+            zero: NodeRef(0),
+            one: NodeRef(0),
+            pos_inf: NodeRef(0),
+        };
+        m.zero = m.term(Term::ZERO);
+        m.one = m.term(Term::ONE);
+        m.pos_inf = m.term(Term::PosInf);
+        m
+    }
+
+    /// Allocates a fresh boolean failure variable (appended at the bottom of
+    /// the current order).
+    pub fn fresh_var(&mut self) -> Var {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        v
+    }
+
+    /// Allocates `n` fresh variables and returns the first.
+    pub fn fresh_vars(&mut self, n: u32) -> Var {
+        let first = self.num_vars;
+        self.num_vars += n;
+        first
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// The constant 0 MTBDD.
+    pub fn zero(&self) -> NodeRef {
+        self.zero
+    }
+
+    /// The constant 1 MTBDD.
+    pub fn one(&self) -> NodeRef {
+        self.one
+    }
+
+    /// The constant `+∞` MTBDD.
+    pub fn pos_inf(&self) -> NodeRef {
+        self.pos_inf
+    }
+
+    /// The constant MTBDD with terminal `t`.
+    pub fn term(&mut self, t: Term) -> NodeRef {
+        if let Some(&r) = self.term_ids.get(&t) {
+            return r;
+        }
+        let r = NodeRef::terminal(self.terms.len());
+        self.terms.push(t.clone());
+        self.term_ids.insert(t, r);
+        r
+    }
+
+    /// Constant MTBDD from a rational.
+    pub fn constant(&mut self, r: Ratio) -> NodeRef {
+        self.term(Term::Num(r))
+    }
+
+    /// The terminal value of a terminal reference.
+    ///
+    /// # Panics
+    /// Panics if `f` is not a terminal.
+    pub fn terminal_value(&self, f: NodeRef) -> Term {
+        assert!(f.is_terminal(), "terminal_value on inner node");
+        self.terms[f.index()].clone()
+    }
+
+    pub(crate) fn node_at(&self, f: NodeRef) -> Node {
+        debug_assert!(!f.is_terminal());
+        self.nodes[f.index()]
+    }
+
+    /// Top variable of `f`, if it is an inner node.
+    pub fn top_var(&self, f: NodeRef) -> Option<Var> {
+        if f.is_terminal() {
+            None
+        } else {
+            Some(self.node_at(f).var)
+        }
+    }
+
+    /// The two cofactors of `f` (children if `f` tests a variable, `f`
+    /// itself otherwise).
+    pub fn cofactors(&self, f: NodeRef) -> (NodeRef, NodeRef) {
+        if f.is_terminal() {
+            (f, f)
+        } else {
+            let n = self.node_at(f);
+            (n.lo, n.hi)
+        }
+    }
+
+    /// Canonical node constructor (the classic `mk`).
+    pub fn node(&mut self, var: Var, lo: NodeRef, hi: NodeRef) -> NodeRef {
+        debug_assert!(var < self.num_vars, "variable {var} not allocated");
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(
+            self.top_var(lo).map_or(true, |v| v > var)
+                && self.top_var(hi).map_or(true, |v| v > var),
+            "variable order violation at var {var}"
+        );
+        let n = Node { var, lo, hi };
+        if let Some(&r) = self.unique.get(&n) {
+            return r;
+        }
+        let r = NodeRef::inner(self.nodes.len());
+        self.nodes.push(n);
+        self.unique.insert(n, r);
+        r
+    }
+
+    /// The guard MTBDD of a single variable: `1` where `var = 1` (alive),
+    /// `0` where it failed.
+    pub fn var_guard(&mut self, var: Var) -> NodeRef {
+        let (zero, one) = (self.zero, self.one);
+        self.node(var, zero, one)
+    }
+
+    /// The guard MTBDD `1` where `var = 0` (failed).
+    pub fn nvar_guard(&mut self, var: Var) -> NodeRef {
+        let (zero, one) = (self.zero, self.one);
+        self.node(var, one, zero)
+    }
+
+    /// Generic binary apply with memoization.
+    pub fn apply(&mut self, op: Op, f: NodeRef, g: NodeRef) -> NodeRef {
+        // Terminal short-circuits that don't require recursion.
+        if let Some(r) = self.shortcut(op, f, g) {
+            return r;
+        }
+        let (f, g) = if op.commutative() && g < f { (g, f) } else { (f, g) };
+        if let Some(&r) = self.apply_cache.get(&(op, f, g)) {
+            return r;
+        }
+        let r = if f.is_terminal() && g.is_terminal() {
+            let t = op.combine(self.terminal_value(f), self.terminal_value(g));
+            self.term(t)
+        } else {
+            let vf = self.top_var(f).unwrap_or(u32::MAX);
+            let vg = self.top_var(g).unwrap_or(u32::MAX);
+            let var = vf.min(vg);
+            let (f0, f1) = if vf == var { self.cofactors(f) } else { (f, f) };
+            let (g0, g1) = if vg == var { self.cofactors(g) } else { (g, g) };
+            let lo = self.apply(op, f0, g0);
+            let hi = self.apply(op, f1, g1);
+            self.node(var, lo, hi)
+        };
+        self.apply_cache.insert((op, f, g), r);
+        r
+    }
+
+    fn shortcut(&mut self, op: Op, f: NodeRef, g: NodeRef) -> Option<NodeRef> {
+        let ft = f.is_terminal().then(|| self.terminal_value(f));
+        let gt = g.is_terminal().then(|| self.terminal_value(g));
+        match op {
+            Op::Add => {
+                if ft == Some(Term::ZERO) {
+                    return Some(g);
+                }
+                if gt == Some(Term::ZERO) {
+                    return Some(f);
+                }
+            }
+            Op::Sub => {
+                if gt == Some(Term::ZERO) {
+                    return Some(f);
+                }
+            }
+            Op::Mul | Op::And => {
+                if ft == Some(Term::ZERO) || gt == Some(Term::ZERO) {
+                    return Some(self.zero);
+                }
+                if ft == Some(Term::ONE) {
+                    return Some(g);
+                }
+                if gt == Some(Term::ONE) {
+                    return Some(f);
+                }
+            }
+            Op::Div => {
+                if ft == Some(Term::ZERO) {
+                    return Some(self.zero);
+                }
+                if gt == Some(Term::ONE) {
+                    return Some(f);
+                }
+            }
+            Op::Min => {
+                if f == g || ft == Some(Term::PosInf) {
+                    return Some(g);
+                }
+                if gt == Some(Term::PosInf) {
+                    return Some(f);
+                }
+            }
+            Op::Max => {
+                if f == g {
+                    return Some(f);
+                }
+                if ft == Some(Term::PosInf) || gt == Some(Term::PosInf) {
+                    return Some(self.pos_inf);
+                }
+            }
+            Op::Or => {
+                if f == g || ft == Some(Term::ZERO) {
+                    return Some(g);
+                }
+                if gt == Some(Term::ZERO) {
+                    return Some(f);
+                }
+                if ft == Some(Term::ONE) || gt == Some(Term::ONE) {
+                    return Some(self.one);
+                }
+            }
+            Op::EqGuard => {
+                if f == g {
+                    return Some(self.one);
+                }
+            }
+            Op::LtGuard => {
+                if f == g {
+                    return Some(self.zero);
+                }
+            }
+        }
+        None
+    }
+
+    /// Generic unary apply with memoization.
+    pub fn apply1(&mut self, op: Op1, f: NodeRef) -> NodeRef {
+        if let Some(&r) = self.apply1_cache.get(&(op, f)) {
+            return r;
+        }
+        let r = if f.is_terminal() {
+            let t = op.combine(self.terminal_value(f));
+            self.term(t)
+        } else {
+            let n = self.node_at(f);
+            let lo = self.apply1(op, n.lo);
+            let hi = self.apply1(op, n.hi);
+            self.node(n.var, lo, hi)
+        };
+        self.apply1_cache.insert((op, f), r);
+        r
+    }
+
+    /// If-then-else over a 0/1 guard `c`: the function equal to `t` where
+    /// `c = 1` and `e` where `c = 0`.
+    pub fn ite(&mut self, c: NodeRef, t: NodeRef, e: NodeRef) -> NodeRef {
+        if c.is_terminal() {
+            let tv = self.terminal_value(c);
+            debug_assert!(tv.is_zero() || tv.is_one(), "ite condition not boolean");
+            return if tv.is_one() { t } else { e };
+        }
+        if t == e {
+            return t;
+        }
+        if let Some(&r) = self.ite_cache.get(&(c, t, e)) {
+            return r;
+        }
+        let vc = self.node_at(c).var;
+        let vt = self.top_var(t).unwrap_or(u32::MAX);
+        let ve = self.top_var(e).unwrap_or(u32::MAX);
+        let var = vc.min(vt).min(ve);
+        let (c0, c1) = if vc == var { self.cofactors(c) } else { (c, c) };
+        let (t0, t1) = if vt == var { self.cofactors(t) } else { (t, t) };
+        let (e0, e1) = if ve == var { self.cofactors(e) } else { (e, e) };
+        let lo = self.ite(c0, t0, e0);
+        let hi = self.ite(c1, t1, e1);
+        let r = self.node(var, lo, hi);
+        self.ite_cache.insert((c, t, e), r);
+        r
+    }
+
+    /// Convenience: `f + g`.
+    pub fn add(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        self.apply(Op::Add, f, g)
+    }
+
+    /// Convenience: `f * g`.
+    pub fn mul(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        self.apply(Op::Mul, f, g)
+    }
+
+    /// Convenience: `f * c` for a scalar.
+    pub fn scale(&mut self, f: NodeRef, c: Term) -> NodeRef {
+        let c = self.term(c);
+        self.apply(Op::Mul, f, c)
+    }
+
+    /// Boolean conjunction of 0/1 guards.
+    pub fn and(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        self.apply(Op::And, f, g)
+    }
+
+    /// Boolean disjunction of 0/1 guards.
+    pub fn or(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        self.apply(Op::Or, f, g)
+    }
+
+    /// Boolean negation of a 0/1 guard.
+    pub fn not(&mut self, f: NodeRef) -> NodeRef {
+        self.apply1(Op1::Not, f)
+    }
+
+    /// 0/1 guard that is `1` exactly where `f = g`.
+    pub fn eq_guard(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        self.apply(Op::EqGuard, f, g)
+    }
+
+    /// 0/1 guard that is `1` exactly where `f < g`.
+    pub fn lt_guard(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        self.apply(Op::LtGuard, f, g)
+    }
+
+    /// 0/1 guard that is `1` where `f` is finite (reachability of a distance).
+    pub fn is_finite_guard(&mut self, f: NodeRef) -> NodeRef {
+        self.apply1(Op1::IsFiniteGuard, f)
+    }
+
+    /// Balanced n-ary sum, keeping intermediate diagrams small.
+    pub fn sum(&mut self, items: &[NodeRef]) -> NodeRef {
+        match items.len() {
+            0 => self.zero,
+            1 => items[0],
+            n => {
+                let (a, b) = items.split_at(n / 2);
+                let (sa, sb) = (self.sum(a), self.sum(b));
+                self.add(sa, sb)
+            }
+        }
+    }
+
+    /// Restricts `f` by fixing `var := val`.
+    pub fn restrict(&mut self, f: NodeRef, var: Var, val: bool) -> NodeRef {
+        if f.is_terminal() || self.node_at(f).var > var {
+            return f;
+        }
+        if let Some(&r) = self.restrict_cache.get(&(f, var, val)) {
+            return r;
+        }
+        let n = self.node_at(f);
+        let r = if n.var == var {
+            if val {
+                n.hi
+            } else {
+                n.lo
+            }
+        } else {
+            let lo = self.restrict(n.lo, var, val);
+            let hi = self.restrict(n.hi, var, val);
+            self.node(n.var, lo, hi)
+        };
+        self.restrict_cache.insert((f, var, val), r);
+        r
+    }
+
+    /// Evaluates `f` under a complete assignment (`assign(v)` is the value
+    /// of variable `v`; `true` = alive).
+    pub fn eval(&self, f: NodeRef, assign: impl Fn(Var) -> bool) -> Term {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let n = self.node_at(cur);
+            cur = if assign(n.var) { n.hi } else { n.lo };
+        }
+        self.terminal_value(cur)
+    }
+
+    /// Evaluates `f` with every variable alive (the no-failure scenario).
+    pub fn eval_all_alive(&self, f: NodeRef) -> Term {
+        self.eval(f, |_| true)
+    }
+
+    /// Number of inner nodes reachable from `f`.
+    pub fn node_count(&self, f: NodeRef) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(r) = stack.pop() {
+            if r.is_terminal() || !seen.insert(r) {
+                continue;
+            }
+            count += 1;
+            let n = self.node_at(r);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    /// The set of variables `f` depends on.
+    pub fn support(&self, f: NodeRef) -> std::collections::BTreeSet<Var> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if r.is_terminal() || !seen.insert(r) {
+                continue;
+            }
+            let n = self.node_at(r);
+            vars.insert(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars
+    }
+
+    /// Cumulative statistics (monotone; nodes are never freed).
+    pub fn stats(&self) -> MtbddStats {
+        MtbddStats {
+            nodes_created: self.nodes.len(),
+            terminals_created: self.terms.len(),
+            apply_cache_len: self.apply_cache.len(),
+        }
+    }
+
+    /// Drops all operation caches (the unique tables are kept, so handles
+    /// stay valid). Useful between verification phases to bound memory.
+    pub fn clear_caches(&mut self) {
+        self.apply_cache.clear();
+        self.apply1_cache.clear();
+        self.ite_cache.clear();
+        self.restrict_cache.clear();
+        self.kreduce_cache.clear();
+    }
+
+    pub(crate) fn kreduce_cache(&mut self) -> &mut FxHashMap<(NodeRef, u32), NodeRef> {
+        &mut self.kreduce_cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Mtbdd, Var, Var, Var) {
+        let mut m = Mtbdd::new();
+        let x1 = m.fresh_var();
+        let x2 = m.fresh_var();
+        let x3 = m.fresh_var();
+        (m, x1, x2, x3)
+    }
+
+    #[test]
+    fn hash_consing_gives_pointer_equality() {
+        let (mut m, x1, _, _) = setup();
+        let a = m.var_guard(x1);
+        let b = m.var_guard(x1);
+        assert_eq!(a, b);
+        let na = m.not(a);
+        let nb = m.nvar_guard(x1);
+        assert_eq!(na, nb);
+    }
+
+    #[test]
+    fn node_elides_redundant_tests() {
+        let (mut m, x1, _, _) = setup();
+        let c = m.one();
+        let r = m.node(x1, c, c);
+        assert_eq!(r, c);
+    }
+
+    #[test]
+    fn add_and_mul_match_pointwise_eval() {
+        let (mut m, x1, x2, _) = setup();
+        let g1 = m.var_guard(x1);
+        let g2 = m.var_guard(x2);
+        let half = m.constant(Ratio::new(1, 2));
+        let f = m.mul(g1, half); // x1/2
+        let s = m.add(f, g2); // x1/2 + x2
+        for (a1, a2) in [(false, false), (false, true), (true, false), (true, true)] {
+            let expect = (a1 as i64, a2 as i64);
+            let want = Ratio::new(expect.0 as i128, 2) + Ratio::int(expect.1);
+            let got = m.eval(s, |v| if v == x1 { a1 } else { a2 });
+            assert_eq!(got, Term::Num(want), "assignment {a1}/{a2}");
+        }
+    }
+
+    #[test]
+    fn or_and_not_are_boolean() {
+        let (mut m, x1, x2, _) = setup();
+        let g1 = m.var_guard(x1);
+        let g2 = m.var_guard(x2);
+        let disj = m.or(g1, g2);
+        let conj = m.and(g1, g2);
+        let neg = m.not(g1);
+        for (a1, a2) in [(false, false), (false, true), (true, false), (true, true)] {
+            let ev = |f| m.eval(f, |v| if v == x1 { a1 } else { a2 }).is_one();
+            assert_eq!(ev(disj), a1 || a2);
+            assert_eq!(ev(conj), a1 && a2);
+            assert_eq!(ev(neg), !a1);
+        }
+    }
+
+    #[test]
+    fn ite_selects_branches() {
+        let (mut m, x1, _, _) = setup();
+        let c = m.var_guard(x1);
+        let five = m.constant(Ratio::int(5));
+        let inf = m.pos_inf();
+        let f = m.ite(c, five, inf);
+        assert_eq!(m.eval(f, |_| true), Term::int(5));
+        assert_eq!(m.eval(f, |_| false), Term::PosInf);
+    }
+
+    #[test]
+    fn min_with_infinity() {
+        let (mut m, x1, _, _) = setup();
+        let c = m.var_guard(x1);
+        let ten = m.constant(Ratio::int(10));
+        let inf = m.pos_inf();
+        let d1 = m.ite(c, ten, inf);
+        let twenty = m.constant(Ratio::int(20));
+        let best = m.apply(Op::Min, d1, twenty);
+        assert_eq!(m.eval(best, |_| true), Term::int(10));
+        assert_eq!(m.eval(best, |_| false), Term::int(20));
+    }
+
+    #[test]
+    fn eq_and_lt_guards() {
+        let (mut m, x1, _, _) = setup();
+        let c = m.var_guard(x1);
+        let ten = m.constant(Ratio::int(10));
+        let inf = m.pos_inf();
+        let d = m.ite(c, ten, inf);
+        let eq = m.eq_guard(d, ten);
+        assert_eq!(m.eval(eq, |_| true), Term::ONE);
+        assert_eq!(m.eval(eq, |_| false), Term::ZERO);
+        let lt = m.lt_guard(ten, d);
+        assert_eq!(m.eval(lt, |_| false), Term::ONE); // 10 < inf
+        assert_eq!(m.eval(lt, |_| true), Term::ZERO);
+        let fin = m.is_finite_guard(d);
+        assert_eq!(m.eval(fin, |_| false), Term::ZERO);
+    }
+
+    #[test]
+    fn division_zero_over_zero() {
+        let (mut m, x1, _, _) = setup();
+        let s = m.var_guard(x1); // selected iff alive
+        let total = s; // only rule
+        let c = m.apply(Op::Div, s, total);
+        // Alive: 1/1 = 1. Failed: 0/0 = 0.
+        assert_eq!(m.eval(c, |_| true), Term::ONE);
+        assert_eq!(m.eval(c, |_| false), Term::ZERO);
+    }
+
+    #[test]
+    fn restrict_fixes_variables() {
+        let (mut m, x1, x2, _) = setup();
+        let g1 = m.var_guard(x1);
+        let g2 = m.var_guard(x2);
+        let s = m.add(g1, g2);
+        let r1 = m.restrict(s, x1, true);
+        assert_eq!(m.eval(r1, |_| false), Term::ONE);
+        let r0 = m.restrict(s, x1, false);
+        assert_eq!(m.eval(r0, |_| false), Term::ZERO);
+    }
+
+    #[test]
+    fn sum_balanced() {
+        let (mut m, x1, x2, x3) = setup();
+        let gs: Vec<_> = [x1, x2, x3].iter().map(|&v| m.var_guard(v)).collect();
+        let s = m.sum(&gs);
+        assert_eq!(m.eval_all_alive(s), Term::int(3));
+        assert_eq!(m.eval(s, |v| v == x2), Term::int(1));
+        assert_eq!(m.sum(&[]), m.zero());
+    }
+
+    #[test]
+    fn support_and_node_count() {
+        let (mut m, x1, _, x3) = setup();
+        let g1 = m.var_guard(x1);
+        let g3 = m.var_guard(x3);
+        let f = m.add(g1, g3);
+        let sup = m.support(f);
+        assert!(sup.contains(&x1) && sup.contains(&x3) && sup.len() == 2);
+        assert!(m.node_count(f) >= 2);
+        assert_eq!(m.node_count(m.zero()), 0);
+    }
+}

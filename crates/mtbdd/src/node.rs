@@ -1,0 +1,52 @@
+//! Node references and the internal node representation.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a boolean failure variable. Variable 0 is the topmost level;
+/// the variable order is fixed at allocation time.
+pub type Var = u32;
+
+const TERM_BIT: u32 = 1 << 31;
+
+/// A reference to an MTBDD node (inner node or terminal) inside one
+/// [`Mtbdd`](crate::Mtbdd) manager.
+///
+/// Because nodes are hash-consed, two `NodeRef`s from the *same* manager are
+/// equal if and only if they denote the same pseudo-boolean function. A
+/// `NodeRef` is meaningless in any other manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeRef(pub(crate) u32);
+
+impl NodeRef {
+    pub(crate) fn inner(ix: usize) -> NodeRef {
+        let ix = u32::try_from(ix).expect("MTBDD node table overflow");
+        assert!(ix & TERM_BIT == 0, "MTBDD node table overflow");
+        NodeRef(ix)
+    }
+
+    pub(crate) fn terminal(ix: usize) -> NodeRef {
+        let ix = u32::try_from(ix).expect("MTBDD terminal table overflow");
+        assert!(ix & TERM_BIT == 0, "MTBDD terminal table overflow");
+        NodeRef(ix | TERM_BIT)
+    }
+
+    /// Whether this reference denotes a terminal (constant) node.
+    pub fn is_terminal(&self) -> bool {
+        self.0 & TERM_BIT != 0
+    }
+
+    pub(crate) fn index(&self) -> usize {
+        (self.0 & !TERM_BIT) as usize
+    }
+}
+
+/// An inner decision node: `var == 0` follows `lo`, `var == 1` follows `hi`.
+///
+/// By the failure-variable convention, `hi` is the "element alive" branch and
+/// `lo` the "element failed" branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Node {
+    pub var: Var,
+    pub lo: NodeRef,
+    pub hi: NodeRef,
+}

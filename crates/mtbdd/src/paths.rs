@@ -1,0 +1,202 @@
+//! Path and terminal enumeration: the machinery behind Theorem 5.1's
+//! verification step ("checking the values of all terminal nodes") and
+//! counterexample extraction.
+
+use crate::manager::Mtbdd;
+use crate::node::{NodeRef, Var};
+use crate::terminal::Term;
+
+/// A partial assignment along one root-to-terminal path. Variables not
+/// mentioned are don't-cares (for failure scenarios: assumed alive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// `(variable, value)` pairs in root-to-leaf order.
+    pub assignment: Vec<(Var, bool)>,
+    /// The terminal value reached.
+    pub value: Term,
+}
+
+impl Path {
+    /// The failed elements along this path (variables assigned `false`).
+    pub fn failed_vars(&self) -> Vec<Var> {
+        self.assignment
+            .iter()
+            .filter(|(_, alive)| !alive)
+            .map(|(v, _)| *v)
+            .collect()
+    }
+}
+
+impl Mtbdd {
+    /// All distinct terminal values reachable from `f`.
+    pub fn terminals(&self, f: NodeRef) -> Vec<Term> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if !seen.insert(r) {
+                continue;
+            }
+            if r.is_terminal() {
+                out.insert(self.terminal_value(r));
+            } else {
+                let n = self.node_at(r);
+                stack.push(n.lo);
+                stack.push(n.hi);
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// The minimum and maximum terminal values reachable from `f`.
+    pub fn terminal_range(&self, f: NodeRef) -> (Term, Term) {
+        let ts = self.terminals(f);
+        (
+            ts.first().expect("MTBDD has at least one terminal").clone(),
+            ts.last().expect("MTBDD has at least one terminal").clone(),
+        )
+    }
+
+    /// Depth-first search for a path to a terminal satisfying `pred`,
+    /// preferring paths with few failures (hi edges first), which yields
+    /// minimal-looking counterexamples.
+    pub fn find_path(&self, f: NodeRef, pred: impl Fn(Term) -> bool) -> Option<Path> {
+        // Pre-compute which nodes can reach a satisfying terminal.
+        let mut can_reach = std::collections::HashMap::new();
+        fn mark(
+            m: &Mtbdd,
+            f: NodeRef,
+            pred: &impl Fn(Term) -> bool,
+            memo: &mut std::collections::HashMap<NodeRef, bool>,
+        ) -> bool {
+            if let Some(&v) = memo.get(&f) {
+                return v;
+            }
+            let v = if f.is_terminal() {
+                pred(m.terminal_value(f))
+            } else {
+                let n = m.node_at(f);
+                // Evaluate both branches (no short-circuit) so the memo is
+                // complete for the descent below.
+                let hi = mark(m, n.hi, pred, memo);
+                let lo = mark(m, n.lo, pred, memo);
+                hi || lo
+            };
+            memo.insert(f, v);
+            v
+        }
+        if !mark(self, f, &pred, &mut can_reach) {
+            return None;
+        }
+        let mut assignment = Vec::new();
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let n = self.node_at(cur);
+            if can_reach[&n.hi] {
+                assignment.push((n.var, true));
+                cur = n.hi;
+            } else {
+                assignment.push((n.var, false));
+                cur = n.lo;
+            }
+        }
+        Some(Path {
+            assignment,
+            value: self.terminal_value(cur),
+        })
+    }
+
+    /// All root-to-terminal paths of `f` (exponential in the worst case;
+    /// intended for tests and small diagrams).
+    pub fn all_paths(&self, f: NodeRef) -> Vec<Path> {
+        let mut out = Vec::new();
+        let mut prefix = Vec::new();
+        self.walk_paths(f, &mut prefix, &mut out);
+        out
+    }
+
+    fn walk_paths(&self, f: NodeRef, prefix: &mut Vec<(Var, bool)>, out: &mut Vec<Path>) {
+        if f.is_terminal() {
+            out.push(Path {
+                assignment: prefix.clone(),
+                value: self.terminal_value(f),
+            });
+            return;
+        }
+        let n = self.node_at(f);
+        prefix.push((n.var, false));
+        self.walk_paths(n.lo, prefix, out);
+        prefix.pop();
+        prefix.push((n.var, true));
+        self.walk_paths(n.hi, prefix, out);
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ratio;
+
+    #[test]
+    fn terminals_and_range() {
+        let mut m = Mtbdd::new();
+        let (x1, x2) = (m.fresh_var(), m.fresh_var());
+        let g1 = m.var_guard(x1);
+        let g2 = m.var_guard(x2);
+        let s40 = m.scale(g1, Term::int(40));
+        let s60 = m.scale(g2, Term::int(60));
+        let f = m.add(s40, s60);
+        assert_eq!(
+            m.terminals(f),
+            vec![Term::int(0), Term::int(40), Term::int(60), Term::int(100)]
+        );
+        assert_eq!(m.terminal_range(f), (Term::int(0), Term::int(100)));
+    }
+
+    #[test]
+    fn find_path_prefers_fewer_failures() {
+        let mut m = Mtbdd::new();
+        let (x1, x2) = (m.fresh_var(), m.fresh_var());
+        // load = 100 when x1 failed, else 50 + 50*x2
+        let g1 = m.var_guard(x1);
+        let g2 = m.var_guard(x2);
+        let t100 = m.constant(Ratio::int(100));
+        let s50 = m.scale(g2, Term::int(50));
+        let fifty = m.constant(Ratio::int(50));
+        let alive_val = m.add(fifty, s50);
+        let f = m.ite(g1, alive_val, t100);
+        // Looking for >= 95: reachable both via x1 failure (100) and via
+        // all-alive (100). The all-alive path must be preferred.
+        let p = m.find_path(f, |t| t >= Term::int(95)).unwrap();
+        assert!(p.failed_vars().is_empty(), "expected no failures: {p:?}");
+        assert_eq!(p.value, Term::int(100));
+        // Looking for < 60 requires x2 failed.
+        let p = m.find_path(f, |t| t < Term::int(60)).unwrap();
+        assert_eq!(p.failed_vars(), vec![x2]);
+        // Nothing below 0.
+        assert!(m.find_path(f, |t| t < Term::ZERO).is_none());
+    }
+
+    #[test]
+    fn all_paths_cover_the_function() {
+        let mut m = Mtbdd::new();
+        let (x1, x2) = (m.fresh_var(), m.fresh_var());
+        let g1 = m.var_guard(x1);
+        let g2 = m.var_guard(x2);
+        let f = m.add(g1, g2);
+        let paths = m.all_paths(f);
+        // Each path's assignment must evaluate to its recorded value.
+        for p in &paths {
+            let val = m.eval(f, |v| {
+                p.assignment
+                    .iter()
+                    .find(|(pv, _)| *pv == v)
+                    .map(|(_, b)| *b)
+                    .unwrap_or(true)
+            });
+            assert_eq!(val, p.value);
+        }
+        assert!(paths.len() >= 3);
+    }
+}

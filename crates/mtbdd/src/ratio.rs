@@ -1,0 +1,567 @@
+//! Exact rational arithmetic for MTBDD terminals.
+//!
+//! Symbolic traffic fractions are products and sums of ECMP shares such as
+//! `1/3` or `75/100`. Floating point would make `1/3 + 1/3 + 1/3 != 1`,
+//! which breaks the pointer-equality equivalence checks that both `KREDUCE`
+//! and link-local flow equivalence depend on, so terminals are exact
+//! rationals. The numerator and denominator live in `i128` on the fast
+//! path and spill transparently into heap-allocated big integers when a
+//! computation outgrows it (deep transient forwarding loops can multiply
+//! ECMP split factors for dozens of hops) — results stay exact either way.
+
+use crate::bigint::BigUint;
+use serde::{Deserialize, Serialize, Serializer};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A signed integer with an `i128` fast path and arbitrary-precision
+/// fallback. Canonical: the `Big` variant is only used for values outside
+/// the `Small` range, so derived `PartialEq`/`Hash` are sound.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Int {
+    Small(i128),
+    Big { neg: bool, mag: BigUint },
+}
+
+impl Int {
+    const ZERO: Int = Int::Small(0);
+    const ONE: Int = Int::Small(1);
+
+    fn from_big(neg: bool, mag: BigUint) -> Int {
+        match mag.to_u128() {
+            Some(m) if m <= i128::MAX as u128 => {
+                let v = m as i128;
+                Int::Small(if neg { -v } else { v })
+            }
+            _ => {
+                if mag.is_zero() {
+                    Int::Small(0)
+                } else {
+                    Int::Big { neg, mag }
+                }
+            }
+        }
+    }
+
+    fn mag(&self) -> BigUint {
+        match self {
+            Int::Small(v) => BigUint::from_u128(v.unsigned_abs()),
+            Int::Big { mag, .. } => mag.clone(),
+        }
+    }
+
+    fn is_neg(&self) -> bool {
+        match self {
+            Int::Small(v) => *v < 0,
+            Int::Big { neg, .. } => *neg,
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        matches!(self, Int::Small(0))
+    }
+
+    fn neg(&self) -> Int {
+        match self {
+            Int::Small(v) => match v.checked_neg() {
+                Some(n) => Int::Small(n),
+                None => Int::Big {
+                    neg: false,
+                    mag: BigUint::from_u128(1u128 << 127),
+                },
+            },
+            Int::Big { neg, mag } => Int::Big {
+                neg: !neg,
+                mag: mag.clone(),
+            },
+        }
+    }
+
+    fn add(&self, other: &Int) -> Int {
+        if let (Int::Small(a), Int::Small(b)) = (self, other) {
+            if let Some(s) = a.checked_add(*b) {
+                return Int::Small(s);
+            }
+        }
+        let (an, am) = (self.is_neg(), self.mag());
+        let (bn, bm) = (other.is_neg(), other.mag());
+        if an == bn {
+            Int::from_big(an, am.add(&bm))
+        } else {
+            match am.cmp_mag(&bm) {
+                Ordering::Equal => Int::ZERO,
+                Ordering::Greater => Int::from_big(an, am.sub(&bm)),
+                Ordering::Less => Int::from_big(bn, bm.sub(&am)),
+            }
+        }
+    }
+
+    fn mul(&self, other: &Int) -> Int {
+        if let (Int::Small(a), Int::Small(b)) = (self, other) {
+            if let Some(p) = a.checked_mul(*b) {
+                return Int::Small(p);
+            }
+        }
+        if self.is_zero() || other.is_zero() {
+            return Int::ZERO;
+        }
+        Int::from_big(self.is_neg() != other.is_neg(), self.mag().mul(&other.mag()))
+    }
+
+    /// Exact division (used only by gcd-normalized paths).
+    fn div_exact(&self, other: &Int) -> Int {
+        if let (Int::Small(a), Int::Small(b)) = (self, other) {
+            debug_assert!(*b != 0 && a % b == 0);
+            return Int::Small(a / b);
+        }
+        let (q, r) = self.mag().divmod(&other.mag());
+        debug_assert!(r.is_zero(), "div_exact with remainder");
+        Int::from_big(self.is_neg() != other.is_neg(), q)
+    }
+
+    fn gcd(&self, other: &Int) -> Int {
+        if let (Int::Small(a), Int::Small(b)) = (self, other) {
+            // i128 gcd, safe for all magnitudes below the Big spill.
+            let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            return Int::from_big(false, BigUint::from_u128(a));
+        }
+        Int::from_big(false, BigUint::gcd(self.mag(), other.mag()))
+    }
+
+    fn cmp(&self, other: &Int) -> Ordering {
+        match (self.is_neg(), other.is_neg()) {
+            (false, true) => return Ordering::Greater,
+            (true, false) => return Ordering::Less,
+            _ => {}
+        }
+        if let (Int::Small(a), Int::Small(b)) = (self, other) {
+            return a.cmp(b);
+        }
+        let mag_cmp = self.mag().cmp_mag(&other.mag());
+        if self.is_neg() {
+            mag_cmp.reverse()
+        } else {
+            mag_cmp
+        }
+    }
+
+    fn to_f64(&self) -> f64 {
+        match self {
+            Int::Small(v) => *v as f64,
+            Int::Big { neg, mag } => {
+                let m = mag.to_f64();
+                if *neg {
+                    -m
+                } else {
+                    m
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Int::Small(v) => write!(f, "{v}"),
+            Int::Big { neg, mag } => {
+                write!(f, "{}{}", if *neg { "-" } else { "" }, mag.to_decimal())
+            }
+        }
+    }
+}
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(num, den) = 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: Int,
+    den: Int,
+}
+
+impl Ratio {
+    /// The rational 0.
+    pub const ZERO: Ratio = Ratio {
+        num: Int::Small(0),
+        den: Int::Small(1),
+    };
+    /// The rational 1.
+    pub const ONE: Ratio = Ratio {
+        num: Int::Small(1),
+        den: Int::Small(1),
+    };
+
+    /// Builds `num / den`, normalizing sign and reducing by the gcd.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Ratio {
+        Ratio::make(Int::Small(num), Int::Small(den))
+    }
+
+    fn make(num: Int, den: Int) -> Ratio {
+        assert!(!den.is_zero(), "Ratio denominator must be nonzero");
+        if num.is_zero() {
+            return Ratio::ZERO;
+        }
+        let g = num.gcd(&den);
+        let mut num = num.div_exact(&g);
+        let mut den = den.div_exact(&g);
+        if den.is_neg() {
+            num = num.neg();
+            den = den.neg();
+        }
+        Ratio { num, den }
+    }
+
+    /// The integer `n` as a rational.
+    pub const fn int(n: i64) -> Ratio {
+        Ratio {
+            num: Int::Small(n as i128),
+            den: Int::Small(1),
+        }
+    }
+
+    /// Numerator of the reduced form, when it fits `i128`.
+    pub fn numer(&self) -> i128 {
+        match self.num {
+            Int::Small(v) => v,
+            Int::Big { .. } => panic!("Ratio numerator exceeds i128; use to_f64/Display"),
+        }
+    }
+
+    /// Denominator of the reduced form (always positive), when it fits
+    /// `i128`.
+    pub fn denom(&self) -> i128 {
+        match self.den {
+            Int::Small(v) => v,
+            Int::Big { .. } => panic!("Ratio denominator exceeds i128; use to_f64/Display"),
+        }
+    }
+
+    /// Whether either component has spilled beyond `i128`.
+    pub fn is_big(&self) -> bool {
+        matches!(self.num, Int::Big { .. }) || matches!(self.den, Int::Big { .. })
+    }
+
+    /// Whether the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Whether the value is 1.
+    pub fn is_one(&self) -> bool {
+        self.num == Int::ONE && self.den == Int::ONE
+    }
+
+    /// Whether the value has denominator 1.
+    pub fn is_integer(&self) -> bool {
+        self.den == Int::ONE
+    }
+
+    /// Whether the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_neg()
+    }
+
+    /// Lossy conversion for reporting and plotting.
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics when `self` is zero.
+    pub fn recip(&self) -> Ratio {
+        assert!(!self.num.is_zero(), "division by zero Ratio");
+        Ratio::make(self.den.clone(), self.num.clone())
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Ratio {
+        if self.is_negative() {
+            -self.clone()
+        } else {
+            self.clone()
+        }
+    }
+
+    /// The smaller of `self` and `other`.
+    pub fn min(self, other: Ratio) -> Ratio {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of `self` and `other`.
+    pub fn max(self, other: Ratio) -> Ratio {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        // Fast path entirely in i128 with cross-reduction.
+        if let (Int::Small(an), Int::Small(ad), Int::Small(bn), Int::Small(bd)) =
+            (&self.num, &self.den, &rhs.num, &rhs.den)
+        {
+            let g = gcd_i128(*ad, *bd);
+            let (da, db) = (ad / g, bd / g);
+            if let (Some(l), Some(r), Some(d)) = (
+                an.checked_mul(db),
+                bn.checked_mul(da),
+                ad.checked_mul(db),
+            ) {
+                if let Some(n) = l.checked_add(r) {
+                    return Ratio::new(n, d);
+                }
+            }
+        }
+        let n1 = self.num.mul(&rhs.den);
+        let n2 = rhs.num.mul(&self.den);
+        Ratio::make(n1.add(&n2), self.den.mul(&rhs.den))
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: self.num.neg(),
+            den: self.den,
+        }
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        // Fast path with cross-reduction: (a/b)(c/d), g1 = gcd(a, d),
+        // g2 = gcd(c, b).
+        if let (Int::Small(a), Int::Small(b), Int::Small(c), Int::Small(d)) =
+            (&self.num, &self.den, &rhs.num, &rhs.den)
+        {
+            let g1 = gcd_i128(*a, *d);
+            let g2 = gcd_i128(*c, *b);
+            let (a, d) = (a / g1, d / g1);
+            let (c, b) = (c / g2, b / g2);
+            if let (Some(n), Some(dd)) = (a.checked_mul(c), b.checked_mul(d)) {
+                return Ratio::new(n, dd);
+            }
+        }
+        Ratio::make(self.num.mul(&rhs.num), self.den.mul(&rhs.den))
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: Ratio) -> Ratio {
+        self * rhs.recip()
+    }
+}
+
+fn gcd_i128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    debug_assert!(a != 0);
+    a as i128
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b (b, d > 0); exact at any size.
+        let l = self.num.mul(&other.den);
+        let r = other.num.mul(&self.den);
+        l.cmp(&r)
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(n: i64) -> Ratio {
+        Ratio::int(n)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == Int::ONE {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl Serialize for Ratio {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for Ratio {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Ratio, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        let (n, d) = match s.split_once('/') {
+            Some((n, d)) => (n, d),
+            None => (s.as_str(), "1"),
+        };
+        let n: i128 = n.parse().map_err(serde::de::Error::custom)?;
+        let d: i128 = d.parse().map_err(serde::de::Error::custom)?;
+        Ok(Ratio::new(n, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(-2, -4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(2, -4), Ratio::new(-1, 2));
+        assert_eq!(Ratio::new(0, 7), Ratio::ZERO);
+    }
+
+    #[test]
+    fn ecmp_thirds_sum_exactly() {
+        let third = Ratio::new(1, 3);
+        assert_eq!(third.clone() + third.clone() + third, Ratio::ONE);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ratio::new(3, 4);
+        let b = Ratio::new(1, 4);
+        assert_eq!(a.clone() + b.clone(), Ratio::ONE);
+        assert_eq!(a.clone() - b.clone(), Ratio::new(1, 2));
+        assert_eq!(a.clone() * b.clone(), Ratio::new(3, 16));
+        assert_eq!(a.clone() / b, Ratio::int(3));
+        assert_eq!(-a, Ratio::new(-3, 4));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        assert!(Ratio::new(-1, 2) < Ratio::ZERO);
+        assert_eq!(Ratio::new(2, 6).cmp(&Ratio::new(1, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ratio::new(3, 4).to_string(), "3/4");
+        assert_eq!(Ratio::int(5).to_string(), "5");
+        assert_eq!(Ratio::new(-1, 2).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn min_max_recip() {
+        let a = Ratio::new(1, 3);
+        let b = Ratio::new(1, 2);
+        assert_eq!(a.clone().min(b.clone()), a);
+        assert_eq!(a.max(b.clone()), b);
+        assert_eq!(b.recip(), Ratio::int(2));
+    }
+
+    #[test]
+    fn spills_to_big_and_back() {
+        // 1/2^126 squared overflows i128 denominators.
+        let tiny = Ratio::new(1, 1 << 126);
+        let tinier = tiny.clone() * tiny.clone();
+        assert!(tinier.is_big());
+        assert!(tinier > Ratio::ZERO);
+        assert!(tinier < Ratio::new(1, i128::MAX));
+        // Multiplying back up restores the small representation.
+        let back = tinier.clone() * Ratio::new(1 << 126, 1);
+        assert!(!back.is_big());
+        assert_eq!(back, tiny);
+        // Exact summation still works: x + x = 2x.
+        let double = tinier.clone() + tinier.clone();
+        assert_eq!(double, tinier * Ratio::int(2));
+    }
+
+    #[test]
+    fn big_display_and_f64() {
+        let tiny = Ratio::new(1, 1 << 126);
+        let tinier = tiny.clone() * tiny; // 1 / 2^252
+        let s = tinier.to_string();
+        assert!(s.starts_with("1/"));
+        assert!(s.len() > 40, "{s}");
+        let f = tinier.to_f64();
+        assert!((f - 2f64.powi(-252)).abs() < 1e-300);
+    }
+
+    #[test]
+    fn big_deep_loop_simulation() {
+        // Mimic 60 hops of alternating 1/2 and 1/3 splits plus an
+        // accumulator — the workload that overflowed plain i128.
+        let mut acc = Ratio::ZERO;
+        let mut frac = Ratio::ONE;
+        for i in 0..60 {
+            let split = if i % 2 == 0 {
+                Ratio::new(1, 2)
+            } else {
+                Ratio::new(1, 3)
+            };
+            frac = frac * split;
+            acc = acc + frac.clone();
+        }
+        assert!(acc > Ratio::ZERO && acc < Ratio::ONE);
+        // The geometric-ish series must still be exact: multiply by the
+        // final denominator and obtain an integer.
+        let denom = frac.recip();
+        assert!((acc * denom).is_integer());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = Ratio::new(-7, 3);
+        let s = serde_json::to_string(&r).unwrap();
+        assert_eq!(s, "\"-7/3\"");
+        let back: Ratio = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn zero_recip_panics() {
+        let _ = Ratio::ZERO.recip();
+    }
+}

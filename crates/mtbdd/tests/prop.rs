@@ -1,0 +1,276 @@
+//! Property-based tests for the MTBDD engine: random diagrams, random
+//! assignments, and the two KREDUCE lemmas of the paper's Appendix A.
+
+use proptest::prelude::*;
+use yu_mtbdd::{Mtbdd, NodeRef, Op, Ratio, Term, Var};
+
+const NVARS: u32 = 6;
+
+/// A little expression language for building random pseudo-boolean
+/// functions both as MTBDDs and as evaluable closures.
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(i64),
+    Var(u8),
+    NotVar(u8),
+    Add(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Min(Box<Expr>, Box<Expr>),
+    Max(Box<Expr>, Box<Expr>),
+    Ite(u8, Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..=20).prop_map(Expr::Const),
+        (0u8..NVARS as u8).prop_map(Expr::Var),
+        (0u8..NVARS as u8).prop_map(Expr::NotVar),
+    ];
+    leaf.prop_recursive(4, 40, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Max(Box::new(a), Box::new(b))),
+            (0u8..NVARS as u8, inner.clone(), inner)
+                .prop_map(|(v, a, b)| Expr::Ite(v, Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(m: &mut Mtbdd, e: &Expr) -> NodeRef {
+    match e {
+        Expr::Const(c) => m.constant(Ratio::int(*c)),
+        Expr::Var(v) => m.var_guard(*v as Var),
+        Expr::NotVar(v) => m.nvar_guard(*v as Var),
+        Expr::Add(a, b) => {
+            let (a, b) = (build(m, a), build(m, b));
+            m.apply(Op::Add, a, b)
+        }
+        Expr::Mul(a, b) => {
+            let (a, b) = (build(m, a), build(m, b));
+            m.apply(Op::Mul, a, b)
+        }
+        Expr::Min(a, b) => {
+            let (a, b) = (build(m, a), build(m, b));
+            m.apply(Op::Min, a, b)
+        }
+        Expr::Max(a, b) => {
+            let (a, b) = (build(m, a), build(m, b));
+            m.apply(Op::Max, a, b)
+        }
+        Expr::Ite(v, a, b) => {
+            let g = m.var_guard(*v as Var);
+            let (a, b) = (build(m, a), build(m, b));
+            m.ite(g, a, b)
+        }
+    }
+}
+
+fn eval_expr(e: &Expr, bits: u32) -> i64 {
+    let val = |v: u8| (bits >> v & 1) as i64;
+    match e {
+        Expr::Const(c) => *c,
+        Expr::Var(v) => val(*v),
+        Expr::NotVar(v) => 1 - val(*v),
+        Expr::Add(a, b) => eval_expr(a, bits) + eval_expr(b, bits),
+        Expr::Mul(a, b) => eval_expr(a, bits) * eval_expr(b, bits),
+        Expr::Min(a, b) => eval_expr(a, bits).min(eval_expr(b, bits)),
+        Expr::Max(a, b) => eval_expr(a, bits).max(eval_expr(b, bits)),
+        Expr::Ite(v, a, b) => {
+            if val(*v) == 1 {
+                eval_expr(a, bits)
+            } else {
+                eval_expr(b, bits)
+            }
+        }
+    }
+}
+
+fn manager() -> Mtbdd {
+    let mut m = Mtbdd::new();
+    for _ in 0..NVARS {
+        m.fresh_var();
+    }
+    m
+}
+
+proptest! {
+    /// Every apply/ite composition agrees with direct evaluation on every
+    /// assignment.
+    #[test]
+    fn mtbdd_matches_pointwise_semantics(e in arb_expr()) {
+        let mut m = manager();
+        let f = build(&mut m, &e);
+        for bits in 0..(1u32 << NVARS) {
+            let got = m.eval(f, |v| bits >> v & 1 == 1);
+            prop_assert_eq!(got, Term::int(eval_expr(&e, bits)));
+        }
+    }
+
+    /// Lemma 1: KREDUCE(F, k) agrees with F on every assignment with at
+    /// most k zeros.
+    #[test]
+    fn kreduce_is_k_equivalent(e in arb_expr(), k in 0u32..=NVARS) {
+        let mut m = manager();
+        let f = build(&mut m, &e);
+        let r = m.kreduce(f, k);
+        for bits in 0..(1u32 << NVARS) {
+            let zeros = NVARS - bits.count_ones();
+            if zeros > k {
+                continue;
+            }
+            let a = m.eval(f, |v| bits >> v & 1 == 1);
+            let b = m.eval(r, |v| bits >> v & 1 == 1);
+            prop_assert_eq!(a, b, "bits {:b}, k {}", bits, k);
+        }
+    }
+
+    /// Lemma 2: every path of KREDUCE(F, k) takes at most k failed (lo)
+    /// edges.
+    #[test]
+    fn kreduce_bounds_path_failures(e in arb_expr(), k in 0u32..=NVARS) {
+        let mut m = manager();
+        let f = build(&mut m, &e);
+        let r = m.kreduce(f, k);
+        prop_assert!(m.max_path_failures(r) <= k);
+    }
+
+    /// KREDUCE expands a diagram by at most a factor of (k + 1): every
+    /// result node is some beta_j(n) for an original node n and a budget
+    /// j <= k. (It can grow slightly — merging by (k-1)-equivalence may
+    /// break sharing — but never beyond this bound; in practice it
+    /// shrinks dramatically, which Figs. 15/16 measure.)
+    #[test]
+    fn kreduce_growth_is_bounded(e in arb_expr(), k in 0u32..=NVARS) {
+        let mut m = manager();
+        let f = build(&mut m, &e);
+        let before = m.node_count(f);
+        let r = m.kreduce(f, k);
+        prop_assert!(m.node_count(r) <= before * (k as usize + 1));
+    }
+
+    /// KREDUCE is idempotent and monotone in structure: reducing at k then
+    /// at k again is stable.
+    #[test]
+    fn kreduce_idempotent(e in arb_expr(), k in 0u32..=NVARS) {
+        let mut m = manager();
+        let f = build(&mut m, &e);
+        let once = m.kreduce(f, k);
+        let twice = m.kreduce(once, k);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// With the full budget, KREDUCE is the identity semantically.
+    #[test]
+    fn kreduce_full_budget_exact(e in arb_expr()) {
+        let mut m = manager();
+        let f = build(&mut m, &e);
+        let r = m.kreduce(f, NVARS);
+        for bits in 0..(1u32 << NVARS) {
+            let a = m.eval(f, |v| bits >> v & 1 == 1);
+            let b = m.eval(r, |v| bits >> v & 1 == 1);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// find_path returns a correct witness whenever one exists.
+    #[test]
+    fn find_path_is_sound_and_complete(e in arb_expr(), threshold in -10i64..=10) {
+        let mut m = manager();
+        let f = build(&mut m, &e);
+        let t = Term::int(threshold);
+        let found = m.find_path(f, |v| v > t.clone());
+        let exists = (0..(1u32 << NVARS))
+            .any(|bits| m.eval(f, |v| bits >> v & 1 == 1) > t);
+        prop_assert_eq!(found.is_some(), exists);
+        if let Some(p) = found {
+            // The witness assignment actually reaches the claimed value.
+            let val = m.eval(f, |v| {
+                p.assignment
+                    .iter()
+                    .find(|(pv, _)| *pv == v)
+                    .map(|(_, b)| *b)
+                    .unwrap_or(true)
+            });
+            prop_assert_eq!(val, p.value);
+        }
+    }
+
+    /// Restriction fixes a variable: restrict(f, v, b) equals f evaluated
+    /// with v := b.
+    #[test]
+    fn restrict_matches_eval(e in arb_expr(), v in 0u32..NVARS, b in any::<bool>()) {
+        let mut m = manager();
+        let f = build(&mut m, &e);
+        let r = m.restrict(f, v, b);
+        for bits in 0..(1u32 << NVARS) {
+            let got = m.eval(r, |x| bits >> x & 1 == 1);
+            let want = m.eval(f, |x| if x == v { b } else { bits >> x & 1 == 1 });
+            prop_assert_eq!(got, want);
+        }
+        prop_assert!(!m.support(r).contains(&v));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact rational arithmetic is a field on random small fractions.
+    #[test]
+    fn ratio_field_laws(
+        an in -50i128..=50, ad in 1i128..=20,
+        bn in -50i128..=50, bd in 1i128..=20,
+        cn in -50i128..=50, cd in 1i128..=20,
+    ) {
+        let a = Ratio::new(an, ad);
+        let b = Ratio::new(bn, bd);
+        let c = Ratio::new(cn, cd);
+        // Commutativity and associativity.
+        prop_assert_eq!(a.clone() + b.clone(), b.clone() + a.clone());
+        prop_assert_eq!(a.clone() * b.clone(), b.clone() * a.clone());
+        prop_assert_eq!(
+            (a.clone() + b.clone()) + c.clone(),
+            a.clone() + (b.clone() + c.clone())
+        );
+        prop_assert_eq!(
+            (a.clone() * b.clone()) * c.clone(),
+            a.clone() * (b.clone() * c.clone())
+        );
+        // Distributivity.
+        prop_assert_eq!(
+            a.clone() * (b.clone() + c.clone()),
+            a.clone() * b.clone() + a.clone() * c.clone()
+        );
+        // Inverses.
+        prop_assert_eq!(a.clone() - a.clone(), Ratio::ZERO);
+        if !b.is_zero() {
+            prop_assert_eq!(b.clone() / b.clone(), Ratio::ONE);
+        }
+    }
+
+    /// Big-integer spill arithmetic stays exact: scaling up and back down
+    /// is the identity.
+    #[test]
+    fn ratio_big_roundtrip(n in 1i128..=1000, shift in 100u32..=140) {
+        let huge = Ratio::new(n, 1) * pow2(shift);
+        let back = huge.clone() / pow2(shift);
+        prop_assert_eq!(back, Ratio::new(n, 1));
+        let tiny = Ratio::new(n, 1) / pow2(shift);
+        prop_assert!(tiny.clone() * pow2(shift) == Ratio::new(n, 1));
+        prop_assert!(tiny > Ratio::ZERO);
+    }
+}
+
+fn pow2(e: u32) -> Ratio {
+    let mut r = Ratio::ONE;
+    let two = Ratio::int(2);
+    for _ in 0..e {
+        r = r * two.clone();
+    }
+    r
+}

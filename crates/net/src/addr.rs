@@ -1,0 +1,194 @@
+//! IPv4 addressing and prefixes.
+//!
+//! The WAN model uses plain IPv4 addresses for loopbacks, interface
+//! endpoints, flow endpoints, and route prefixes. (The paper's production
+//! WAN uses SRv6; segment identifiers here are router loopback addresses,
+//! which preserves the forwarding semantics while keeping addresses 32-bit.)
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A 32-bit IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    /// Builds an address from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Ipv4 {
+        Ipv4(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// The four octets of the address.
+    pub fn octets(&self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+/// Error parsing an address or prefix from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddrParseError(String);
+
+impl fmt::Display for AddrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid address or prefix: {}", self.0)
+    }
+}
+
+impl std::error::Error for AddrParseError {}
+
+impl FromStr for Ipv4 {
+    type Err = AddrParseError;
+    fn from_str(s: &str) -> Result<Ipv4, AddrParseError> {
+        let mut it = s.split('.');
+        let mut octets = [0u8; 4];
+        for o in octets.iter_mut() {
+            *o = it
+                .next()
+                .and_then(|p| p.parse().ok())
+                .ok_or_else(|| AddrParseError(s.into()))?;
+        }
+        if it.next().is_some() {
+            return Err(AddrParseError(s.into()));
+        }
+        Ok(Ipv4(u32::from_be_bytes(octets)))
+    }
+}
+
+/// An IPv4 prefix `addr/len` (host bits zeroed on construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Prefix {
+    addr: Ipv4,
+    len: u8,
+}
+
+impl Prefix {
+    /// The default route `0.0.0.0/0`.
+    pub const DEFAULT: Prefix = Prefix {
+        addr: Ipv4(0),
+        len: 0,
+    };
+
+    /// Builds `addr/len`, zeroing host bits.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4, len: u8) -> Prefix {
+        assert!(len <= 32, "prefix length {len} > 32");
+        Prefix {
+            addr: Ipv4(addr.0 & mask(len)),
+            len,
+        }
+    }
+
+    /// A host route `addr/32`.
+    pub fn host(addr: Ipv4) -> Prefix {
+        Prefix::new(addr, 32)
+    }
+
+    /// The network address.
+    pub fn addr(&self) -> Ipv4 {
+        self.addr
+    }
+
+    /// The prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the zero-length default prefix.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `ip` is covered by this prefix.
+    pub fn contains(&self, ip: Ipv4) -> bool {
+        ip.0 & mask(self.len) == self.addr.0
+    }
+
+    /// Whether `other` is fully covered by this prefix.
+    pub fn covers(&self, other: &Prefix) -> bool {
+        other.len >= self.len && self.contains(other.addr)
+    }
+
+    /// The `i`-th bit of the network address, counted from the top.
+    pub fn bit(&self, i: u8) -> bool {
+        debug_assert!(i < self.len);
+        self.addr.0 >> (31 - i) & 1 == 1
+    }
+}
+
+fn mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = AddrParseError;
+    fn from_str(s: &str) -> Result<Prefix, AddrParseError> {
+        let (a, l) = s.split_once('/').ok_or_else(|| AddrParseError(s.into()))?;
+        let addr: Ipv4 = a.parse()?;
+        let len: u8 = l.parse().map_err(|_| AddrParseError(s.into()))?;
+        if len > 32 {
+            return Err(AddrParseError(s.into()));
+        }
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let ip: Ipv4 = "10.0.0.6".parse().unwrap();
+        assert_eq!(ip, Ipv4::new(10, 0, 0, 6));
+        assert_eq!(ip.to_string(), "10.0.0.6");
+        let p: Prefix = "100.0.0.0/24".parse().unwrap();
+        assert_eq!(p.to_string(), "100.0.0.0/24");
+        assert!("300.0.0.1".parse::<Ipv4>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn host_bits_zeroed() {
+        let p = Prefix::new(Ipv4::new(10, 1, 2, 3), 16);
+        assert_eq!(p.addr(), Ipv4::new(10, 1, 0, 0));
+    }
+
+    #[test]
+    fn containment() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert!(p.contains(Ipv4::new(10, 255, 0, 1)));
+        assert!(!p.contains(Ipv4::new(11, 0, 0, 1)));
+        let q: Prefix = "10.1.0.0/26".parse().unwrap();
+        assert!(p.covers(&q));
+        assert!(!q.covers(&p));
+        assert!(Prefix::DEFAULT.contains(Ipv4::new(1, 2, 3, 4)));
+    }
+
+    #[test]
+    fn bits() {
+        let p: Prefix = "128.0.0.0/2".parse().unwrap();
+        assert!(p.bit(0));
+        assert!(!p.bit(1));
+    }
+}

@@ -1,0 +1,251 @@
+//! Per-router configuration: connected networks, static routes, BGP,
+//! IS-IS, and segment routing policies.
+//!
+//! The model mirrors the feature set the paper needs (Table 1): eBGP and
+//! iBGP with local preference and multipath, an IGP (IS-IS) with per-link
+//! costs, static routes including `Null0` drop routes with redistribution
+//! into BGP (the Fig. 10 incident), and SR policies with weighted segment
+//!-list paths matched on DSCP (the Fig. 1 and Fig. 9 networks).
+
+use crate::addr::{Ipv4, Prefix};
+use crate::topology::RouterId;
+use serde::{Deserialize, Serialize};
+
+/// Next hop of a static route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StaticNextHop {
+    /// Discard matching traffic (a blackhole route).
+    Null0,
+    /// Recursive next hop, resolved through the IGP (or an SR policy).
+    Ip(Ipv4),
+}
+
+/// A static route.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StaticRoute {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Next hop.
+    pub next_hop: StaticNextHop,
+}
+
+/// An outbound BGP route filter: suppresses advertising any prefix covered
+/// by `prefix` to `peer` (`None` = to every peer). This is how the Fig. 10
+/// misconfiguration arises: D1 redistributes a static `10/8 -> Null0` into
+/// BGP while filtering the more specific `10.1/26` from its advertisements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DenyExport {
+    /// Peer the filter applies to; `None` = all peers.
+    pub peer: Option<RouterId>,
+    /// Prefixes covered by this prefix are suppressed.
+    pub prefix: Prefix,
+}
+
+/// BGP configuration of a router. Sessions are derived from the topology:
+/// an eBGP session per physical link whose endpoints are in different ASes
+/// (both running BGP), and an iBGP full mesh among the BGP routers of each
+/// AS.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BgpConfig {
+    /// Prefixes originated by this router (`network` statements). The
+    /// router also *delivers* traffic for these prefixes (they are attached
+    /// networks).
+    pub networks: Vec<Prefix>,
+    /// Whether static routes are redistributed into BGP (Fig. 10).
+    pub redistribute_static: bool,
+    /// Import local preference per peer router; unlisted peers get 100.
+    pub peer_local_pref: Vec<(RouterId, u32)>,
+    /// Whether equally-preferred routes are used together (ECMP). The
+    /// paper's WAN uses multipath; disabling it falls back to a
+    /// lowest-router-id tiebreak.
+    pub multipath: bool,
+    /// Outbound advertisement filters.
+    pub deny_exports: Vec<DenyExport>,
+}
+
+impl Default for BgpConfig {
+    fn default() -> Self {
+        BgpConfig {
+            networks: Vec::new(),
+            redistribute_static: false,
+            peer_local_pref: Vec::new(),
+            multipath: true,
+            deny_exports: Vec::new(),
+        }
+    }
+}
+
+impl BgpConfig {
+    /// Whether advertising `prefix` to `peer` is suppressed by a filter.
+    pub fn export_denied(&self, peer: RouterId, prefix: &Prefix) -> bool {
+        self.deny_exports
+            .iter()
+            .any(|d| d.peer.map_or(true, |p| p == peer) && d.prefix.covers(prefix))
+    }
+
+    /// The import local preference for routes learned from `peer`.
+    pub fn local_pref_for(&self, peer: RouterId) -> u32 {
+        self.peer_local_pref
+            .iter()
+            .find(|(p, _)| *p == peer)
+            .map(|(_, lp)| *lp)
+            .unwrap_or(100)
+    }
+}
+
+/// One weighted path of an SR policy: an explicit segment list (router
+/// loopback addresses, possibly anycast) plus a load-balancing weight.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SrPath {
+    /// Segment list, first segment first (`[E, F]` in the paper's Fig. 4).
+    pub segments: Vec<Ipv4>,
+    /// Relative weight; traffic splits proportionally among paths whose
+    /// tunnels can be established (paper §4.4, `c_p`).
+    pub weight: u64,
+}
+
+/// A segment routing policy: traffic resolving BGP next hop `endpoint`
+/// (and matching `match_dscp`, if set) is steered into the weighted paths.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SrPolicy {
+    /// The next-hop address the policy applies to (e.g. `10.0.0.6/32` on
+    /// router D in Fig. 1).
+    pub endpoint: Ipv4,
+    /// Optional DSCP match; `None` matches all traffic.
+    pub match_dscp: Option<u8>,
+    /// Weighted candidate paths.
+    pub paths: Vec<SrPath>,
+}
+
+impl SrPolicy {
+    /// Whether this policy applies to a flow with DSCP `dscp` resolving
+    /// next hop `nip`.
+    pub fn matches(&self, nip: Ipv4, dscp: u8) -> bool {
+        self.endpoint == nip && self.match_dscp.map_or(true, |d| d == dscp)
+    }
+}
+
+/// Full configuration of one router.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Attached (connected) networks; traffic for them is delivered here.
+    /// These are installed as connected routes (administrative distance 0)
+    /// and may be originated into BGP via [`BgpConfig::networks`].
+    pub connected: Vec<Prefix>,
+    /// Static routes (administrative distance 1).
+    pub static_routes: Vec<StaticRoute>,
+    /// BGP process, if running.
+    pub bgp: Option<BgpConfig>,
+    /// Whether IS-IS runs on this router (adjacency forms on a link when
+    /// both endpoints run IS-IS and are in the same AS).
+    pub isis_enabled: bool,
+    /// Segment routing policies.
+    pub sr_policies: Vec<SrPolicy>,
+}
+
+impl RouterConfig {
+    /// Whether this router delivers traffic destined to `ip` locally.
+    pub fn delivers(&self, ip: Ipv4) -> bool {
+        self.connected.iter().any(|p| p.contains(ip))
+    }
+
+    /// The SR policy matching `(nip, dscp)`, if any. The first matching
+    /// policy wins (configuration order).
+    pub fn sr_policy_for(&self, nip: Ipv4, dscp: u8) -> Option<&SrPolicy> {
+        self.sr_policies.iter().find(|p| p.matches(nip, dscp))
+    }
+}
+
+/// Administrative distances, ordered: lower wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Proto {
+    /// Connected network (distance 0).
+    Connected,
+    /// Static route (distance 1).
+    Static,
+    /// External BGP (distance 20).
+    Ebgp,
+    /// IS-IS (distance 115).
+    Isis,
+    /// Internal BGP (distance 200).
+    Ibgp,
+}
+
+impl Proto {
+    /// Numeric administrative distance.
+    pub fn admin_distance(&self) -> u32 {
+        match self {
+            Proto::Connected => 0,
+            Proto::Static => 1,
+            Proto::Ebgp => 20,
+            Proto::Isis => 115,
+            Proto::Ibgp => 200,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_pref_default_and_override() {
+        let mut b = BgpConfig::default();
+        b.peer_local_pref.push((RouterId(3), 200));
+        assert_eq!(b.local_pref_for(RouterId(3)), 200);
+        assert_eq!(b.local_pref_for(RouterId(4)), 100);
+    }
+
+    #[test]
+    fn sr_policy_matching() {
+        let pol = SrPolicy {
+            endpoint: Ipv4::new(10, 0, 0, 6),
+            match_dscp: Some(5),
+            paths: vec![],
+        };
+        assert!(pol.matches(Ipv4::new(10, 0, 0, 6), 5));
+        assert!(!pol.matches(Ipv4::new(10, 0, 0, 6), 0));
+        assert!(!pol.matches(Ipv4::new(10, 0, 0, 5), 5));
+        let any = SrPolicy {
+            endpoint: Ipv4::new(10, 0, 0, 6),
+            match_dscp: None,
+            paths: vec![],
+        };
+        assert!(any.matches(Ipv4::new(10, 0, 0, 6), 42));
+    }
+
+    #[test]
+    fn delivery_and_policy_lookup() {
+        let cfg = RouterConfig {
+            connected: vec!["100.0.0.0/24".parse().unwrap()],
+            sr_policies: vec![
+                SrPolicy {
+                    endpoint: Ipv4::new(10, 0, 0, 6),
+                    match_dscp: Some(5),
+                    paths: vec![],
+                },
+                SrPolicy {
+                    endpoint: Ipv4::new(10, 0, 0, 6),
+                    match_dscp: None,
+                    paths: vec![],
+                },
+            ],
+            ..Default::default()
+        };
+        assert!(cfg.delivers("100.0.0.7".parse().unwrap()));
+        assert!(!cfg.delivers("101.0.0.7".parse().unwrap()));
+        // First match wins.
+        let p = cfg.sr_policy_for(Ipv4::new(10, 0, 0, 6), 5).unwrap();
+        assert_eq!(p.match_dscp, Some(5));
+        let p = cfg.sr_policy_for(Ipv4::new(10, 0, 0, 6), 9).unwrap();
+        assert_eq!(p.match_dscp, None);
+    }
+
+    #[test]
+    fn admin_distance_ordering() {
+        assert!(Proto::Connected < Proto::Static);
+        assert!(Proto::Static < Proto::Ebgp);
+        assert!(Proto::Ebgp < Proto::Isis);
+        assert!(Proto::Isis < Proto::Ibgp);
+    }
+}

@@ -1,0 +1,397 @@
+//! The failure model: boolean variables per failable element, usability
+//! guards, concrete scenarios, and scenario enumeration.
+//!
+//! The paper verifies TLPs under "arbitrary k failures" of either links or
+//! routers (§7 evaluates both, Figs. 11 and 17). Each failable element gets
+//! one boolean MTBDD variable; `1` means alive. A directed link is usable
+//! iff its undirected link variable and (in router mode) both endpoint
+//! router variables are 1.
+
+use crate::topology::{LinkId, RouterId, Topology, ULinkId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use yu_mtbdd::{Mtbdd, NodeRef, Path, Var};
+
+/// Which elements may fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureMode {
+    /// Only undirected links fail (the paper's primary setting).
+    Links,
+    /// Only routers fail (Fig. 17).
+    Routers,
+    /// Both (budget `k` is shared).
+    LinksAndRouters,
+}
+
+/// The failable element a variable stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FailureElement {
+    /// An undirected link.
+    Link(ULinkId),
+    /// A router.
+    Router(RouterId),
+}
+
+/// Allocation of MTBDD variables to failable elements.
+#[derive(Debug, Clone)]
+pub struct FailureVars {
+    mode: FailureMode,
+    link_vars: Vec<Option<Var>>,
+    router_vars: Vec<Option<Var>>,
+    elements: Vec<FailureElement>,
+    first_var: Var,
+}
+
+impl FailureVars {
+    /// Allocates one variable per failable element of `topo` under `mode`.
+    pub fn allocate(m: &mut Mtbdd, topo: &Topology, mode: FailureMode) -> FailureVars {
+        let mut fv = FailureVars {
+            mode,
+            link_vars: vec![None; topo.num_ulinks()],
+            router_vars: vec![None; topo.num_routers()],
+            elements: Vec::new(),
+            first_var: m.num_vars(),
+        };
+        if matches!(mode, FailureMode::Links | FailureMode::LinksAndRouters) {
+            for u in topo.ulinks() {
+                fv.link_vars[u.0 as usize] = Some(m.fresh_var());
+                fv.elements.push(FailureElement::Link(u));
+            }
+        }
+        if matches!(mode, FailureMode::Routers | FailureMode::LinksAndRouters) {
+            for r in topo.routers() {
+                fv.router_vars[r.0 as usize] = Some(m.fresh_var());
+                fv.elements.push(FailureElement::Router(r));
+            }
+        }
+        fv
+    }
+
+    /// The failure mode this allocation was built for.
+    pub fn mode(&self) -> FailureMode {
+        self.mode
+    }
+
+    /// The number of failable elements.
+    pub fn num_elements(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// All failable elements in variable order.
+    pub fn elements(&self) -> &[FailureElement] {
+        &self.elements
+    }
+
+    /// The variable guarding undirected link `u`, if links can fail.
+    pub fn link_var(&self, u: ULinkId) -> Option<Var> {
+        self.link_vars[u.0 as usize]
+    }
+
+    /// The variable guarding router `r`, if routers can fail.
+    pub fn router_var(&self, r: RouterId) -> Option<Var> {
+        self.router_vars[r.0 as usize]
+    }
+
+    /// The element a variable stands for, if the variable belongs to this
+    /// allocation.
+    pub fn element_of(&self, v: Var) -> Option<FailureElement> {
+        let ix = v.checked_sub(self.first_var)? as usize;
+        self.elements.get(ix).copied()
+    }
+
+    /// Guard that is 1 iff router `r` is alive.
+    pub fn router_alive(&self, m: &mut Mtbdd, r: RouterId) -> NodeRef {
+        match self.router_vars[r.0 as usize] {
+            Some(v) => m.var_guard(v),
+            None => m.one(),
+        }
+    }
+
+    /// Guard that is 1 iff directed link `l` is usable: the undirected link
+    /// and both endpoint routers are alive.
+    pub fn link_usable(&self, m: &mut Mtbdd, topo: &Topology, l: LinkId) -> NodeRef {
+        let lk = topo.link(l);
+        let mut g = match self.link_vars[lk.ulink.0 as usize] {
+            Some(v) => m.var_guard(v),
+            None => m.one(),
+        };
+        for r in [lk.from, lk.to] {
+            let rg = self.router_alive(m, r);
+            g = m.and(g, rg);
+        }
+        g
+    }
+
+    /// Decodes an MTBDD counterexample path into a concrete scenario
+    /// (don't-care variables default to alive).
+    pub fn scenario_of_path(&self, path: &Path) -> Scenario {
+        let mut s = Scenario::none();
+        for &v in &path.failed_vars() {
+            match self.element_of(v) {
+                Some(FailureElement::Link(u)) => {
+                    s.failed_links.insert(u);
+                }
+                Some(FailureElement::Router(r)) => {
+                    s.failed_routers.insert(r);
+                }
+                None => {}
+            }
+        }
+        s
+    }
+
+    /// An assignment function (for [`Mtbdd::eval`]) describing `scenario`.
+    pub fn assignment<'a>(&'a self, scenario: &'a Scenario) -> impl Fn(Var) -> bool + 'a {
+        move |v| match self.element_of(v) {
+            Some(FailureElement::Link(u)) => !scenario.failed_links.contains(&u),
+            Some(FailureElement::Router(r)) => !scenario.failed_routers.contains(&r),
+            None => true,
+        }
+    }
+}
+
+/// A concrete failure scenario: the sets of failed links and routers.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Failed undirected links.
+    pub failed_links: BTreeSet<ULinkId>,
+    /// Failed routers.
+    pub failed_routers: BTreeSet<RouterId>,
+}
+
+impl Scenario {
+    /// The scenario with no failures.
+    pub fn none() -> Scenario {
+        Scenario::default()
+    }
+
+    /// The scenario failing exactly the given undirected links.
+    pub fn links(links: impl IntoIterator<Item = ULinkId>) -> Scenario {
+        Scenario {
+            failed_links: links.into_iter().collect(),
+            failed_routers: BTreeSet::new(),
+        }
+    }
+
+    /// The scenario failing exactly the given routers.
+    pub fn routers(routers: impl IntoIterator<Item = RouterId>) -> Scenario {
+        Scenario {
+            failed_links: BTreeSet::new(),
+            failed_routers: routers.into_iter().collect(),
+        }
+    }
+
+    /// Total number of failed elements.
+    pub fn count(&self) -> usize {
+        self.failed_links.len() + self.failed_routers.len()
+    }
+
+    /// Whether router `r` is alive.
+    pub fn router_alive(&self, r: RouterId) -> bool {
+        !self.failed_routers.contains(&r)
+    }
+
+    /// Whether directed link `l` is usable.
+    pub fn link_usable(&self, topo: &Topology, l: LinkId) -> bool {
+        let lk = topo.link(l);
+        !self.failed_links.contains(&lk.ulink)
+            && self.router_alive(lk.from)
+            && self.router_alive(lk.to)
+    }
+
+    /// Human-readable description.
+    pub fn describe(&self, topo: &Topology) -> String {
+        if self.count() == 0 {
+            return "no failures".into();
+        }
+        let mut parts: Vec<String> = self
+            .failed_links
+            .iter()
+            .map(|&u| format!("link {}", topo.ulink_label(u)))
+            .collect();
+        parts.extend(
+            self.failed_routers
+                .iter()
+                .map(|&r| format!("router {}", topo.router(r).name)),
+        );
+        parts.join(", ")
+    }
+}
+
+/// Iterates over *all* scenarios with at most `k` failed elements under a
+/// failure mode — the enumeration the Jingubang/QARC baselines must pay and
+/// YU avoids. Scenarios are produced in order of increasing failure count,
+/// starting with the no-failure scenario.
+pub fn scenarios_up_to_k(
+    topo: &Topology,
+    mode: FailureMode,
+    k: usize,
+) -> impl Iterator<Item = Scenario> + '_ {
+    let mut elements: Vec<FailureElement> = Vec::new();
+    if matches!(mode, FailureMode::Links | FailureMode::LinksAndRouters) {
+        elements.extend(topo.ulinks().map(FailureElement::Link));
+    }
+    if matches!(mode, FailureMode::Routers | FailureMode::LinksAndRouters) {
+        elements.extend(topo.routers().map(FailureElement::Router));
+    }
+    (0..=k.min(elements.len())).flat_map(move |size| {
+        Combinations::new(elements.clone(), size).map(|combo| {
+            let mut s = Scenario::none();
+            for e in combo {
+                match e {
+                    FailureElement::Link(u) => {
+                        s.failed_links.insert(u);
+                    }
+                    FailureElement::Router(r) => {
+                        s.failed_routers.insert(r);
+                    }
+                }
+            }
+            s
+        })
+    })
+}
+
+/// Number of scenarios with at most `k` of `n` elements failed.
+pub fn scenario_count(n: usize, k: usize) -> u128 {
+    let mut total = 0u128;
+    for size in 0..=k.min(n) {
+        let mut c = 1u128;
+        for i in 0..size {
+            c = c * (n - i) as u128 / (i + 1) as u128;
+        }
+        total += c;
+    }
+    total
+}
+
+struct Combinations<T> {
+    items: Vec<T>,
+    indices: Vec<usize>,
+    done: bool,
+}
+
+impl<T: Clone> Combinations<T> {
+    fn new(items: Vec<T>, size: usize) -> Combinations<T> {
+        let done = size > items.len();
+        Combinations {
+            indices: (0..size).collect(),
+            items,
+            done,
+        }
+    }
+}
+
+impl<T: Clone> Iterator for Combinations<T> {
+    type Item = Vec<T>;
+    fn next(&mut self) -> Option<Vec<T>> {
+        if self.done {
+            return None;
+        }
+        let out: Vec<T> = self.indices.iter().map(|&i| self.items[i].clone()).collect();
+        // Advance to the next combination in lexicographic order.
+        let n = self.items.len();
+        let k = self.indices.len();
+        if k == 0 {
+            self.done = true;
+            return Some(out);
+        }
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            if self.indices[i] != i + n - k {
+                self.indices[i] += 1;
+                for j in i + 1..k {
+                    self.indices[j] = self.indices[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ipv4;
+    use yu_mtbdd::{Ratio, Term};
+
+    fn tri() -> Topology {
+        let mut t = Topology::new();
+        let a = t.add_router("A", Ipv4::new(10, 0, 0, 1), 1);
+        let b = t.add_router("B", Ipv4::new(10, 0, 0, 2), 1);
+        let c = t.add_router("C", Ipv4::new(10, 0, 0, 3), 1);
+        t.add_link(a, b, 1, Ratio::int(100));
+        t.add_link(b, c, 1, Ratio::int(100));
+        t.add_link(a, c, 1, Ratio::int(100));
+        t
+    }
+
+    #[test]
+    fn allocate_links_mode() {
+        let t = tri();
+        let mut m = Mtbdd::new();
+        let fv = FailureVars::allocate(&mut m, &t, FailureMode::Links);
+        assert_eq!(fv.num_elements(), 3);
+        assert!(fv.link_var(ULinkId(0)).is_some());
+        assert!(fv.router_var(RouterId(0)).is_none());
+        assert_eq!(fv.element_of(0), Some(FailureElement::Link(ULinkId(0))));
+        assert_eq!(fv.element_of(99), None);
+    }
+
+    #[test]
+    fn link_usable_guard_depends_on_mode() {
+        let t = tri();
+        let mut m = Mtbdd::new();
+        let fv = FailureVars::allocate(&mut m, &t, FailureMode::Routers);
+        let l = LinkId(0); // A->B
+        let g = fv.link_usable(&mut m, &t, l);
+        // Fails when either endpoint router fails.
+        let s = Scenario::routers([RouterId(0)]);
+        assert_eq!(m.eval(g, fv.assignment(&s)), Term::ZERO);
+        let s = Scenario::routers([RouterId(2)]);
+        assert_eq!(m.eval(g, fv.assignment(&s)), Term::ONE);
+    }
+
+    #[test]
+    fn scenario_roundtrip_through_path() {
+        let t = tri();
+        let mut m = Mtbdd::new();
+        let fv = FailureVars::allocate(&mut m, &t, FailureMode::Links);
+        let v = fv.link_var(ULinkId(1)).unwrap();
+        let g = m.nvar_guard(v); // 1 iff link 1 failed
+        let p = m.find_path(g, |t| t.is_one()).unwrap();
+        let s = fv.scenario_of_path(&p);
+        assert_eq!(s, Scenario::links([ULinkId(1)]));
+        assert_eq!(m.eval(g, fv.assignment(&s)), Term::ONE);
+    }
+
+    #[test]
+    fn enumeration_counts() {
+        let t = tri();
+        let n: Vec<_> = scenarios_up_to_k(&t, FailureMode::Links, 2).collect();
+        // C(3,0) + C(3,1) + C(3,2) = 1 + 3 + 3
+        assert_eq!(n.len(), 7);
+        assert_eq!(n[0], Scenario::none());
+        assert!(n.iter().all(|s| s.count() <= 2));
+        assert_eq!(scenario_count(3, 2), 7);
+        assert_eq!(scenario_count(4000, 2), 1 + 4000 + 4000 * 3999 / 2);
+        // Router mode enumerates routers.
+        let n: Vec<_> = scenarios_up_to_k(&t, FailureMode::Routers, 1).collect();
+        assert_eq!(n.len(), 4);
+        assert!(n[1].failed_routers.len() == 1);
+    }
+
+    #[test]
+    fn describe_scenarios() {
+        let t = tri();
+        assert_eq!(Scenario::none().describe(&t), "no failures");
+        let s = Scenario::links([ULinkId(0)]);
+        assert_eq!(s.describe(&t), "link A-B");
+    }
+}

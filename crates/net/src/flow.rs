@@ -1,0 +1,75 @@
+//! Traffic flows.
+//!
+//! A flow is the paper's `(intf, srcip, dstip, dscp)` tuple plus a volume.
+//! The ingress interface is modeled as the router where the flow enters the
+//! network (the paper's pseudo incoming link `l_R` of Algorithm 1).
+
+use crate::addr::Ipv4;
+use crate::topology::RouterId;
+use serde::{Deserialize, Serialize};
+use yu_mtbdd::Ratio;
+
+/// One traffic flow entering the network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Router where the flow enters the network.
+    pub ingress: RouterId,
+    /// Source address (not used for forwarding; kept for identification).
+    pub src: Ipv4,
+    /// Destination address (drives LPM and SR policy matching).
+    pub dst: Ipv4,
+    /// DSCP value (drives SR policy matching).
+    pub dscp: u8,
+    /// Traffic volume in Gbps.
+    pub volume: Ratio,
+}
+
+impl Flow {
+    /// Convenience constructor.
+    pub fn new(ingress: RouterId, src: Ipv4, dst: Ipv4, dscp: u8, volume: Ratio) -> Flow {
+        Flow {
+            ingress,
+            src,
+            dst,
+            dscp,
+            volume,
+        }
+    }
+
+    /// The forwarding-relevant key of the flow: two flows with equal keys
+    /// are forwarded identically everywhere in every failure scenario
+    /// (the "global flow equivalence" heuristic of §6; source addresses do
+    /// not affect forwarding in this model).
+    pub fn forwarding_key(&self) -> (RouterId, Ipv4, u8) {
+        (self.ingress, self.dst, self.dscp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarding_key_ignores_src_and_volume() {
+        let f1 = Flow::new(
+            RouterId(0),
+            Ipv4::new(11, 0, 0, 1),
+            Ipv4::new(100, 0, 0, 1),
+            0,
+            Ratio::int(20),
+        );
+        let f2 = Flow::new(
+            RouterId(0),
+            Ipv4::new(11, 0, 0, 99),
+            Ipv4::new(100, 0, 0, 1),
+            0,
+            Ratio::int(80),
+        );
+        assert_eq!(f1.forwarding_key(), f2.forwarding_key());
+        let f3 = Flow {
+            dscp: 5,
+            ..f1.clone()
+        };
+        assert_ne!(f1.forwarding_key(), f3.forwarding_key());
+    }
+}

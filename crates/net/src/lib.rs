@@ -1,0 +1,45 @@
+//! # yu-net
+//!
+//! The network substrate for the YU k-failure traffic-load verifier:
+//! topology (routers, directed links, parallel links), IPv4 addressing with
+//! a longest-prefix-match trie, the failure model (one boolean variable per
+//! failable element, scenarios, enumeration), per-router configuration
+//! (connected/static routes, eBGP/iBGP, IS-IS, SR policies), traffic flows,
+//! and traffic load properties.
+//!
+//! This crate defines *what the network is*; `yu-routing` computes guarded
+//! routing state from it and `yu-core` runs symbolic traffic execution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod config;
+mod failure;
+mod flow;
+mod network;
+mod tlp;
+mod topology;
+mod trie;
+
+pub use addr::{AddrParseError, Ipv4, Prefix};
+pub use config::{
+    BgpConfig, DenyExport, Proto, RouterConfig, SrPath, SrPolicy, StaticNextHop, StaticRoute,
+};
+pub use failure::{
+    scenario_count, scenarios_up_to_k, FailureElement, FailureMode, FailureVars, Scenario,
+};
+pub use flow::Flow;
+pub use network::{BgpSession, Network};
+pub use tlp::{LoadPoint, Tlp, TlpReq};
+pub use topology::{AsNum, Link, LinkId, Router, RouterId, Topology, ULinkId};
+pub use trie::PrefixTrie;
+
+/// Default TTL bound for traffic simulation (symbolic and concrete must
+/// use the same value so differential tests compare identical semantics).
+///
+/// Deliberately below the IP default of 64: with exact rational traffic
+/// fractions, a transient forwarding loop multiplies ECMP split factors
+/// every cycle, and 40 hops keeps worst-case denominators (~6^40) safely
+/// inside `i128` while still far exceeding any real forwarding path.
+pub const DEFAULT_MAX_HOPS: usize = 40;

@@ -1,0 +1,161 @@
+//! Traffic load properties (TLPs).
+//!
+//! A TLP is a set of `{point: [v1, v2]}` requirements (paper §3.2): the
+//! traffic load at each point must stay within the range in every failure
+//! scenario with at most `k` failures. Points are directed links plus two
+//! pseudo-sinks per router — delivered traffic (for "traffic to the
+//! destination must not drop below X", property P1 of the motivating
+//! example) and dropped traffic (blackholes, as in Fig. 10).
+
+use crate::topology::{LinkId, RouterId, Topology};
+use serde::{Deserialize, Serialize};
+use yu_mtbdd::Ratio;
+
+/// A measurement point for a traffic load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LoadPoint {
+    /// A directed link.
+    Link(LinkId),
+    /// Traffic delivered locally at a router (it owns a connected network
+    /// covering the destination).
+    Delivered(RouterId),
+    /// Traffic dropped at a router (Null0 route or no matching route).
+    Dropped(RouterId),
+}
+
+impl LoadPoint {
+    /// Human-readable label.
+    pub fn describe(&self, topo: &Topology) -> String {
+        match self {
+            LoadPoint::Link(l) => format!("link {}", topo.link_label(*l)),
+            LoadPoint::Delivered(r) => format!("delivered@{}", topo.router(*r).name),
+            LoadPoint::Dropped(r) => format!("dropped@{}", topo.router(*r).name),
+        }
+    }
+}
+
+/// One requirement: the load at `point` must stay within `[min, max]`
+/// (either bound may be absent).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlpReq {
+    /// Where the load is measured.
+    pub point: LoadPoint,
+    /// Lower bound (inclusive), if any.
+    pub min: Option<Ratio>,
+    /// Upper bound (inclusive), if any.
+    pub max: Option<Ratio>,
+}
+
+impl TlpReq {
+    /// Requires `load <= max`; a violation is any scenario where the load
+    /// strictly exceeds the bound.
+    pub fn at_most(point: LoadPoint, max: Ratio) -> TlpReq {
+        TlpReq {
+            point,
+            min: None,
+            max: Some(max),
+        }
+    }
+
+    /// Requires `load >= min`.
+    pub fn at_least(point: LoadPoint, min: Ratio) -> TlpReq {
+        TlpReq {
+            point,
+            min: Some(min),
+            max: None,
+        }
+    }
+
+    /// Whether a concrete load satisfies this requirement.
+    pub fn satisfied_by(&self, load: Ratio) -> bool {
+        self.min.as_ref().map_or(true, |m| &load >= m) && self.max.as_ref().map_or(true, |m| &load <= m)
+    }
+}
+
+/// A traffic load property: a conjunction of requirements.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tlp {
+    /// All requirements; the property holds when every one holds.
+    pub reqs: Vec<TlpReq>,
+}
+
+impl Tlp {
+    /// Empty property (trivially true).
+    pub fn new() -> Tlp {
+        Tlp::default()
+    }
+
+    /// "No link is overloaded": on every directed link the load must stay
+    /// at or below `fraction * capacity`. The paper's P2 "overloaded means
+    /// >= 95 Gbps on a 100 Gbps link" corresponds to `fraction` slightly
+    /// under 95/100; with exact rationals a violation is any load strictly
+    /// above the bound, so passing `fraction = 94999/100000` reproduces the
+    /// paper's inclusive-overload threshold exactly.
+    pub fn no_overload(topo: &Topology, fraction: Ratio) -> Tlp {
+        Tlp {
+            reqs: topo
+                .links()
+                .map(|l| {
+                    TlpReq::at_most(LoadPoint::Link(l), topo.link(l).capacity.clone() * fraction.clone())
+                })
+                .collect(),
+        }
+    }
+
+    /// Adds a requirement and returns `self` (builder style).
+    pub fn with(mut self, req: TlpReq) -> Tlp {
+        self.reqs.push(req);
+        self
+    }
+
+    /// Requirements measured on links only.
+    pub fn link_reqs(&self) -> impl Iterator<Item = &TlpReq> {
+        self.reqs
+            .iter()
+            .filter(|r| matches!(r.point, LoadPoint::Link(_)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ipv4;
+
+    #[test]
+    fn bounds_check() {
+        let r = TlpReq {
+            point: LoadPoint::Dropped(RouterId(0)),
+            min: Some(Ratio::int(10)),
+            max: Some(Ratio::int(20)),
+        };
+        assert!(r.satisfied_by(Ratio::int(10)));
+        assert!(r.satisfied_by(Ratio::int(20)));
+        assert!(!r.satisfied_by(Ratio::int(9)));
+        assert!(!r.satisfied_by(Ratio::int(21)));
+        assert!(TlpReq::at_most(r.point, Ratio::int(5)).satisfied_by(Ratio::ZERO));
+        assert!(TlpReq::at_least(r.point, Ratio::int(5)).satisfied_by(Ratio::int(99)));
+    }
+
+    #[test]
+    fn no_overload_covers_all_links() {
+        let mut t = Topology::new();
+        let a = t.add_router("A", Ipv4::new(1, 0, 0, 1), 1);
+        let b = t.add_router("B", Ipv4::new(1, 0, 0, 2), 1);
+        t.add_link(a, b, 1, Ratio::int(100));
+        let tlp = Tlp::no_overload(&t, Ratio::new(95, 100));
+        assert_eq!(tlp.reqs.len(), 2); // two directions
+        assert_eq!(tlp.reqs[0].max, Some(Ratio::int(95)));
+        assert_eq!(tlp.link_reqs().count(), 2);
+    }
+
+    #[test]
+    fn describe_points() {
+        let mut t = Topology::new();
+        let a = t.add_router("A", Ipv4::new(1, 0, 0, 1), 1);
+        let b = t.add_router("B", Ipv4::new(1, 0, 0, 2), 1);
+        t.add_link(a, b, 1, Ratio::int(100));
+        assert_eq!(LoadPoint::Link(LinkId(0)).describe(&t), "link A->B");
+        assert_eq!(LoadPoint::Delivered(b).describe(&t), "delivered@B");
+        assert_eq!(LoadPoint::Dropped(a).describe(&t), "dropped@A");
+    }
+}

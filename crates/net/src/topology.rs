@@ -1,0 +1,277 @@
+//! Routers, links, and the WAN topology graph.
+//!
+//! Links are *directed* (the paper models a network link with directions and
+//! speaks of incoming/outgoing links), but failures apply to the undirected
+//! link: [`Topology::add_link`] creates the two directed halves sharing one
+//! [`ULinkId`]. Parallel links between the same router pair are allowed
+//! (e.g. the two E–F links of the motivating example) — each call creates a
+//! distinct undirected link with its own failure variable.
+
+use crate::addr::Ipv4;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use yu_mtbdd::Ratio;
+
+/// Identifier of a router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RouterId(pub u32);
+
+/// Identifier of a *directed* link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// Identifier of an *undirected* link (the unit of failure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ULinkId(pub u32);
+
+/// An autonomous system number.
+pub type AsNum = u32;
+
+impl fmt::Display for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A router with its loopback address and AS membership.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Router {
+    /// Human-readable name (unique within a topology).
+    pub name: String,
+    /// Loopback address; `/32` of it is advertised into the IGP. Several
+    /// routers may share a loopback (anycast, as in the Fig. 9 incident).
+    pub loopback: Ipv4,
+    /// The AS this router belongs to.
+    pub asn: AsNum,
+}
+
+/// A directed link.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    /// Source router.
+    pub from: RouterId,
+    /// Destination router.
+    pub to: RouterId,
+    /// IGP cost of traversing the link in this direction.
+    pub igp_cost: u64,
+    /// Capacity in Gbps (used by overload properties).
+    pub capacity: Ratio,
+    /// The undirected link this direction belongs to.
+    pub ulink: ULinkId,
+}
+
+/// The network graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    routers: Vec<Router>,
+    links: Vec<Link>,
+    /// The two directed halves of each undirected link.
+    ulinks: Vec<(LinkId, LinkId)>,
+    /// Outgoing directed links per router.
+    out_adj: Vec<Vec<LinkId>>,
+    /// Incoming directed links per router.
+    in_adj: Vec<Vec<LinkId>>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Adds a router and returns its id.
+    pub fn add_router(&mut self, name: impl Into<String>, loopback: Ipv4, asn: AsNum) -> RouterId {
+        let id = RouterId(self.routers.len() as u32);
+        self.routers.push(Router {
+            name: name.into(),
+            loopback,
+            asn,
+        });
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Adds a symmetric undirected link (two directed halves with the same
+    /// cost and capacity) and returns its id.
+    pub fn add_link(&mut self, a: RouterId, b: RouterId, igp_cost: u64, capacity: Ratio) -> ULinkId {
+        assert_ne!(a, b, "self-loop link on {a}");
+        let ulink = ULinkId(self.ulinks.len() as u32);
+        let fwd = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            from: a,
+            to: b,
+            igp_cost,
+            capacity: capacity.clone(),
+            ulink,
+        });
+        let rev = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            from: b,
+            to: a,
+            igp_cost,
+            capacity,
+            ulink,
+        });
+        self.ulinks.push((fwd, rev));
+        self.out_adj[a.0 as usize].push(fwd);
+        self.in_adj[b.0 as usize].push(fwd);
+        self.out_adj[b.0 as usize].push(rev);
+        self.in_adj[a.0 as usize].push(rev);
+        ulink
+    }
+
+    /// Number of routers.
+    pub fn num_routers(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Number of directed links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of undirected links.
+    pub fn num_ulinks(&self) -> usize {
+        self.ulinks.len()
+    }
+
+    /// The router with id `r`.
+    pub fn router(&self, r: RouterId) -> &Router {
+        &self.routers[r.0 as usize]
+    }
+
+    /// The directed link with id `l`.
+    pub fn link(&self, l: LinkId) -> &Link {
+        &self.links[l.0 as usize]
+    }
+
+    /// The two directed halves of undirected link `u`.
+    pub fn directions(&self, u: ULinkId) -> (LinkId, LinkId) {
+        self.ulinks[u.0 as usize]
+    }
+
+    /// The opposite direction of directed link `l`.
+    pub fn reverse(&self, l: LinkId) -> LinkId {
+        let (a, b) = self.directions(self.link(l).ulink);
+        if a == l {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// Outgoing directed links of router `r`.
+    pub fn out_links(&self, r: RouterId) -> &[LinkId] {
+        &self.out_adj[r.0 as usize]
+    }
+
+    /// Incoming directed links of router `r`.
+    pub fn in_links(&self, r: RouterId) -> &[LinkId] {
+        &self.in_adj[r.0 as usize]
+    }
+
+    /// All router ids.
+    pub fn routers(&self) -> impl Iterator<Item = RouterId> + '_ {
+        (0..self.routers.len() as u32).map(RouterId)
+    }
+
+    /// All directed link ids.
+    pub fn links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.links.len() as u32).map(LinkId)
+    }
+
+    /// All undirected link ids.
+    pub fn ulinks(&self) -> impl Iterator<Item = ULinkId> + '_ {
+        (0..self.ulinks.len() as u32).map(ULinkId)
+    }
+
+    /// Looks up a router by name.
+    pub fn router_by_name(&self, name: &str) -> Option<RouterId> {
+        self.routers
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RouterId(i as u32))
+    }
+
+    /// All routers whose loopback equals `ip` (several for anycast).
+    pub fn loopback_owners(&self, ip: Ipv4) -> Vec<RouterId> {
+        self.routers()
+            .filter(|&r| self.router(r).loopback == ip)
+            .collect()
+    }
+
+    /// Human-readable label `A->B` for a directed link.
+    pub fn link_label(&self, l: LinkId) -> String {
+        let lk = self.link(l);
+        format!(
+            "{}->{}",
+            self.router(lk.from).name,
+            self.router(lk.to).name
+        )
+    }
+
+    /// Human-readable label `A-B` for an undirected link.
+    pub fn ulink_label(&self, u: ULinkId) -> String {
+        let (fwd, _) = self.directions(u);
+        let lk = self.link(fwd);
+        format!("{}-{}", self.router(lk.from).name, self.router(lk.to).name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps() -> Ratio {
+        Ratio::int(100)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut t = Topology::new();
+        let a = t.add_router("A", Ipv4::new(10, 0, 0, 1), 100);
+        let b = t.add_router("B", Ipv4::new(10, 0, 0, 2), 200);
+        let u = t.add_link(a, b, 10, caps().clone());
+        assert_eq!(t.num_routers(), 2);
+        assert_eq!(t.num_links(), 2);
+        assert_eq!(t.num_ulinks(), 1);
+        let (fwd, rev) = t.directions(u);
+        assert_eq!(t.link(fwd).from, a);
+        assert_eq!(t.link(rev).from, b);
+        assert_eq!(t.reverse(fwd), rev);
+        assert_eq!(t.reverse(rev), fwd);
+        assert_eq!(t.out_links(a), &[fwd]);
+        assert_eq!(t.in_links(a), &[rev]);
+        assert_eq!(t.router_by_name("B"), Some(b));
+        assert_eq!(t.link_label(fwd), "A->B");
+        assert_eq!(t.ulink_label(u), "A-B");
+    }
+
+    #[test]
+    fn parallel_links_are_distinct() {
+        let mut t = Topology::new();
+        let e = t.add_router("E", Ipv4::new(10, 0, 0, 5), 300);
+        let f = t.add_router("F", Ipv4::new(10, 0, 0, 6), 300);
+        let u1 = t.add_link(e, f, 10000, caps().clone());
+        let u2 = t.add_link(e, f, 10000, caps().clone());
+        assert_ne!(u1, u2);
+        assert_eq!(t.out_links(e).len(), 2);
+    }
+
+    #[test]
+    fn anycast_loopbacks() {
+        let mut t = Topology::new();
+        let b1 = t.add_router("B1", Ipv4::new(1, 1, 1, 1), 65000);
+        let b2 = t.add_router("B2", Ipv4::new(1, 1, 1, 1), 65000);
+        assert_eq!(t.loopback_owners(Ipv4::new(1, 1, 1, 1)), vec![b1, b2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_router("A", Ipv4::new(10, 0, 0, 1), 100);
+        t.add_link(a, a, 1, caps().clone());
+    }
+}

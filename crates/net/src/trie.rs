@@ -1,0 +1,220 @@
+//! A binary longest-prefix-match trie.
+//!
+//! Used for FIB lookups (all matching prefixes for a destination address,
+//! most-specific first — symbolic LPM needs *all* of them, since under
+//! failures a more specific route may be absent and a covering route takes
+//! over, the root cause of the Fig. 10 blackhole) and for the prefix
+//! classification that backs global flow equivalence.
+
+use crate::addr::{Ipv4, Prefix};
+
+#[derive(Debug, Clone)]
+struct TrieNode<T> {
+    value: Option<T>,
+    children: [Option<Box<TrieNode<T>>>; 2],
+}
+
+impl<T> Default for TrieNode<T> {
+    fn default() -> Self {
+        TrieNode {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// A map from [`Prefix`] to `T` supporting longest-prefix-match queries.
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<T> {
+    root: TrieNode<T>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// Creates an empty trie.
+    pub fn new() -> PrefixTrie<T> {
+        PrefixTrie {
+            root: TrieNode::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn node_mut(&mut self, prefix: &Prefix) -> &mut TrieNode<T> {
+        let mut cur = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            cur = cur.children[b].get_or_insert_with(Box::default);
+        }
+        cur
+    }
+
+    /// Inserts or replaces the value at `prefix`, returning the old value.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
+        let node = self.node_mut(&prefix);
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Returns a mutable reference to the value at `prefix`, inserting the
+    /// default produced by `make` if absent.
+    pub fn entry_or_insert_with(&mut self, prefix: Prefix, make: impl FnOnce() -> T) -> &mut T {
+        let before = self.node_mut(&prefix).value.is_some();
+        if !before {
+            self.len += 1;
+        }
+        self.node_mut(&prefix).value.get_or_insert_with(make)
+    }
+
+    /// The value stored exactly at `prefix`, if any.
+    pub fn get(&self, prefix: &Prefix) -> Option<&T> {
+        let mut cur = &self.root;
+        for i in 0..prefix.len() {
+            cur = cur.children[prefix.bit(i) as usize].as_deref()?;
+        }
+        cur.value.as_ref()
+    }
+
+    /// All `(prefix, value)` entries whose prefix contains `ip`, ordered
+    /// most-specific (longest) first.
+    pub fn matches(&self, ip: Ipv4) -> Vec<(Prefix, &T)> {
+        let mut out = Vec::new();
+        let mut cur = &self.root;
+        let mut depth = 0u8;
+        loop {
+            if let Some(v) = &cur.value {
+                out.push((Prefix::new(ip, depth), v));
+            }
+            if depth == 32 {
+                break;
+            }
+            let b = (ip.0 >> (31 - depth)) & 1;
+            match cur.children[b as usize].as_deref() {
+                Some(c) => {
+                    cur = c;
+                    depth += 1;
+                }
+                None => break,
+            }
+        }
+        out.reverse();
+        out
+    }
+
+    /// The most specific entry containing `ip`, if any.
+    pub fn longest_match(&self, ip: Ipv4) -> Option<(Prefix, &T)> {
+        self.matches(ip).into_iter().next()
+    }
+
+    /// Iterates over all `(prefix, value)` entries in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &T)> {
+        let mut out = Vec::new();
+        fn walk<'a, T>(
+            node: &'a TrieNode<T>,
+            addr: u32,
+            depth: u8,
+            out: &mut Vec<(Prefix, &'a T)>,
+        ) {
+            if let Some(v) = &node.value {
+                out.push((Prefix::new(Ipv4(addr), depth), v));
+            }
+            for (b, child) in node.children.iter().enumerate() {
+                if let Some(c) = child {
+                    let addr = if b == 1 && depth < 32 {
+                        addr | 1 << (31 - depth)
+                    } else {
+                        addr
+                    };
+                    walk(c, addr, depth + 1, out);
+                }
+            }
+        }
+        walk(&self.root, 0, 0, &mut out);
+        out.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4 {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_len() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("10.0.0.0/8"), "a"), None);
+        assert_eq!(t.insert(p("10.1.0.0/26"), "b"), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), "a2"), Some("a"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&"a2"));
+        assert_eq!(t.get(&p("10.0.0.0/9")), None);
+    }
+
+    #[test]
+    fn matches_most_specific_first() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), 0);
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/26"), 26);
+        let m: Vec<_> = t.matches(ip("10.1.0.5")).into_iter().map(|x| *x.1).collect();
+        assert_eq!(m, vec![26, 8, 0]);
+        let m: Vec<_> = t.matches(ip("10.2.0.5")).into_iter().map(|x| *x.1).collect();
+        assert_eq!(m, vec![8, 0]);
+        assert_eq!(t.longest_match(ip("11.0.0.1")).map(|x| *x.1), Some(0));
+    }
+
+    #[test]
+    fn iter_roundtrips_prefixes() {
+        let mut t = PrefixTrie::new();
+        let prefixes = ["10.0.0.0/8", "10.1.0.0/26", "192.168.1.0/24", "0.0.0.0/0"];
+        for (i, s) in prefixes.iter().enumerate() {
+            t.insert(p(s), i);
+        }
+        let got: std::collections::BTreeSet<_> = t.iter().map(|(pf, _)| pf).collect();
+        let want: std::collections::BTreeSet<_> = prefixes.iter().map(|s| p(s)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::host(ip("10.0.0.6")), "lo");
+        assert_eq!(t.longest_match(ip("10.0.0.6")).map(|x| *x.1), Some("lo"));
+        assert!(t.longest_match(ip("10.0.0.7")).is_none());
+    }
+
+    #[test]
+    fn entry_or_insert_with() {
+        let mut t: PrefixTrie<Vec<u32>> = PrefixTrie::new();
+        t.entry_or_insert_with(p("10.0.0.0/8"), Vec::new).push(1);
+        t.entry_or_insert_with(p("10.0.0.0/8"), Vec::new).push(2);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&vec![1, 2]));
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the network substrate: the LPM trie against a
+//! linear-scan oracle, prefix parsing round trips, and scenario
+//! enumeration invariants.
+
+use proptest::prelude::*;
+use yu_net::{
+    scenario_count, scenarios_up_to_k, FailureMode, Ipv4, Prefix, PrefixTrie, Topology,
+};
+use yu_mtbdd::Ratio;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix::new(Ipv4(addr), len))
+}
+
+proptest! {
+    /// The trie's `matches` equals a brute-force scan, in the same
+    /// most-specific-first order.
+    #[test]
+    fn trie_matches_linear_scan(
+        prefixes in proptest::collection::btree_set(arb_prefix(), 0..40),
+        probes in proptest::collection::vec(any::<u32>(), 1..20),
+    ) {
+        let mut trie = PrefixTrie::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            trie.insert(*p, i);
+        }
+        for probe in probes {
+            let ip = Ipv4(probe);
+            let got: Vec<Prefix> = trie.matches(ip).into_iter().map(|(p, _)| p).collect();
+            let mut want: Vec<Prefix> = prefixes
+                .iter()
+                .copied()
+                .filter(|p| p.contains(ip))
+                .collect();
+            want.sort_by_key(|p| std::cmp::Reverse(p.len()));
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Prefix parse/display round trip.
+    #[test]
+    fn prefix_display_parse_roundtrip(p in arb_prefix()) {
+        let s = p.to_string();
+        let back: Prefix = s.parse().unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    /// Prefix containment is consistent with `covers`.
+    #[test]
+    fn covers_iff_contains_network(a in arb_prefix(), b in arb_prefix()) {
+        let covers = a.covers(&b);
+        let by_def = b.len() >= a.len() && a.contains(b.addr());
+        prop_assert_eq!(covers, by_def);
+    }
+
+    /// Scenario enumeration yields exactly `Σ C(n, i)` distinct scenarios,
+    /// in non-decreasing failure count, each within budget.
+    #[test]
+    fn enumeration_count_and_order(n_links in 1usize..=7, k in 0usize..=3) {
+        let mut t = Topology::new();
+        let a = t.add_router("a", Ipv4::new(1, 0, 0, 1), 1);
+        let b = t.add_router("b", Ipv4::new(1, 0, 0, 2), 1);
+        for _ in 0..n_links {
+            t.add_link(a, b, 1, Ratio::int(1));
+        }
+        let all: Vec<_> = scenarios_up_to_k(&t, FailureMode::Links, k).collect();
+        prop_assert_eq!(all.len() as u128, scenario_count(n_links, k));
+        let mut seen = std::collections::HashSet::new();
+        let mut last = 0;
+        for s in &all {
+            prop_assert!(s.count() <= k);
+            prop_assert!(s.count() >= last, "non-decreasing failure count");
+            last = s.count();
+            prop_assert!(seen.insert(format!("{s:?}")), "duplicate scenario");
+        }
+    }
+}

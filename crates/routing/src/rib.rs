@@ -1,0 +1,148 @@
+//! Guarded FIB rules and their preference order.
+//!
+//! A guarded RIB (paper §4.1, Fig. 3) extends a concrete RIB with a guard
+//! per route: a 0/1 MTBDD over failure variables encoding exactly the
+//! scenarios where the route is present. Guards never change a route's
+//! attributes, so the preference relation `≺` between rules is static —
+//! the property the paper's selection encoding
+//! `s_r = g_r ∧ ⋀_{r'≺r} ¬g_{r'}` (§4.4) relies on.
+//!
+//! This crate unifies all protocols into one rule type ordered by
+//! `(prefix length desc, administrative distance asc, local-pref desc,
+//! AS-path length asc, tiebreak)`. Longest-prefix match is thereby part of
+//! the same symbolic selection: when a more specific route's guard is false
+//! (e.g. the `10.1/26` route of the Fig. 10 incident withdrawn by a link
+//! failure), a covering route (`10/8` to `Null0`) silently takes over.
+//! The failure-dependent IGP-cost tiebreak of full BGP is intentionally not
+//! part of `≺` (it would make preference scenario-dependent, which the
+//! guarded-RIB model excludes); equally-preferred routes are used as ECMP
+//! instead, matching the paper's multipath WAN.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use yu_mtbdd::NodeRef;
+use yu_net::{Ipv4, LinkId, Prefix, Proto};
+
+/// Where a rule sends matching traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NextHop {
+    /// Out of a specific directed link (directly connected next hop).
+    Direct(LinkId),
+    /// A recursive next hop, resolved via route iteration (IGP lookup or a
+    /// matching SR policy) — paper §4.4 `resolveNhIp`.
+    Ip(Ipv4),
+    /// Discard the traffic.
+    Null0,
+    /// Deliver locally (the router owns the destination network).
+    Receive,
+}
+
+/// One guarded FIB rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Matched destination prefix.
+    pub prefix: Prefix,
+    /// Originating protocol (determines administrative distance).
+    pub proto: Proto,
+    /// Next hop.
+    pub next_hop: NextHop,
+    /// BGP local preference (higher wins); 0 for non-BGP rules.
+    pub local_pref: u32,
+    /// BGP AS-path length; 0 for non-BGP rules.
+    pub as_path_len: u32,
+    /// Deterministic tiebreak (origin peer / link id); only consulted when
+    /// multipath is disabled.
+    pub tie: u32,
+    /// Presence guard: 1 exactly in the scenarios where the rule exists.
+    pub guard: NodeRef,
+}
+
+impl Rule {
+    /// The static preference key *within* one prefix length: smaller is
+    /// preferred. ECMP candidates share the full key.
+    pub fn pref_key(&self) -> (u32, Reverse<u32>, u32) {
+        (
+            self.proto.admin_distance(),
+            Reverse(self.local_pref),
+            self.as_path_len,
+        )
+    }
+
+    /// Whether two rules are in the same preference class (candidates for
+    /// multipath ECMP).
+    pub fn same_class(&self, other: &Rule) -> bool {
+        self.prefix.len() == other.prefix.len() && self.pref_key() == other.pref_key()
+    }
+}
+
+/// Sorts rules into evaluation order: most-specific prefix first, then by
+/// preference, then by tiebreak for determinism.
+pub fn sort_rules(rules: &mut [Rule]) {
+    rules.sort_by_key(|r| (Reverse(r.prefix.len()), r.pref_key(), r.tie));
+}
+
+/// Groups pre-sorted rules into preference classes (each class is an ECMP
+/// candidate set; earlier classes strictly preferred).
+pub fn class_partition(rules: &[Rule]) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for i in 1..=rules.len() {
+        if i == rules.len() || !rules[i].same_class(&rules[start]) {
+            out.push(start..i);
+            start = i;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yu_mtbdd::Mtbdd;
+
+    fn rule(prefix: &str, proto: Proto, lp: u32, aspl: u32, tie: u32, g: NodeRef) -> Rule {
+        Rule {
+            prefix: prefix.parse().unwrap(),
+            proto,
+            next_hop: NextHop::Null0,
+            local_pref: lp,
+            as_path_len: aspl,
+            tie,
+            guard: g,
+        }
+    }
+
+    #[test]
+    fn ordering_prefers_specific_then_admin_then_lp_then_aspath() {
+        let m = Mtbdd::new();
+        let g = m.one();
+        let mut rules = vec![
+            rule("10.0.0.0/8", Proto::Static, 0, 0, 0, g),
+            rule("10.1.0.0/26", Proto::Ibgp, 100, 3, 1, g),
+            rule("10.1.0.0/26", Proto::Ebgp, 100, 5, 2, g),
+            rule("10.1.0.0/26", Proto::Ebgp, 200, 9, 3, g),
+            rule("10.1.0.0/26", Proto::Ebgp, 100, 3, 4, g),
+        ];
+        sort_rules(&mut rules);
+        // /26 before /8; within /26 eBGP before iBGP, lp 200 first, then
+        // shorter AS path.
+        let ties: Vec<u32> = rules.iter().map(|r| r.tie).collect();
+        assert_eq!(ties, vec![3, 4, 2, 1, 0]);
+    }
+
+    #[test]
+    fn class_partition_groups_equals() {
+        let m = Mtbdd::new();
+        let g = m.one();
+        let mut rules = vec![
+            rule("10.1.0.0/26", Proto::Ebgp, 100, 1, 0, g),
+            rule("10.1.0.0/26", Proto::Ebgp, 100, 1, 1, g),
+            rule("10.1.0.0/26", Proto::Ebgp, 100, 2, 2, g),
+            rule("10.0.0.0/8", Proto::Ebgp, 100, 1, 3, g),
+        ];
+        sort_rules(&mut rules);
+        let classes = class_partition(&rules);
+        assert_eq!(classes, vec![0..2, 2..3, 3..4]);
+        assert!(class_partition(&[]).is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! Routing-policy integration tests: local preference, export filters,
+//! multipath toggles, and symbolic-vs-concrete RIB agreement.
+
+use yu_mtbdd::{Mtbdd, Ratio, Term};
+use yu_net::{
+    BgpConfig, DenyExport, FailureMode, FailureVars, Ipv4, Network, Prefix, RouterId,
+    Scenario, Topology, ULinkId,
+};
+use yu_routing::{BgpState, ClassId, ConcreteRoutes, IgpState, NextHop, SymbolicRoutes};
+
+/// R (receiver) dual-homed to P1 and P2, both in distinct ASes, both
+/// originating the same prefix.
+fn dual_homed(lp_p2: Option<u32>) -> (Network, [RouterId; 3]) {
+    let mut t = Topology::new();
+    let cap = Ratio::int(100);
+    let r = t.add_router("R", Ipv4::new(10, 0, 0, 1), 100);
+    let p1 = t.add_router("P1", Ipv4::new(10, 0, 0, 2), 200);
+    let p2 = t.add_router("P2", Ipv4::new(10, 0, 0, 3), 300);
+    t.add_link(r, p1, 10, cap.clone()); // u0
+    t.add_link(r, p2, 10, cap.clone()); // u1
+    let mut net = Network::new(t);
+    let prefix: Prefix = "50.0.0.0/24".parse().unwrap();
+    for x in [r, p1, p2] {
+        net.config_mut(x).bgp = Some(BgpConfig::default());
+    }
+    for x in [p1, p2] {
+        net.config_mut(x).connected.push(prefix);
+        net.config_mut(x).bgp.as_mut().unwrap().networks = vec![prefix];
+    }
+    if let Some(lp) = lp_p2 {
+        net.config_mut(r)
+            .bgp
+            .as_mut()
+            .unwrap()
+            .peer_local_pref
+            .push((p2, lp));
+    }
+    (net, [r, p1, p2])
+}
+
+fn setup(net: &Network) -> (Mtbdd, FailureVars, IgpState, BgpState) {
+    let mut m = Mtbdd::new();
+    let fv = FailureVars::allocate(&mut m, &net.topo, FailureMode::Links);
+    let mut igp = IgpState::compute(&mut m, net, &fv, None);
+    let bgp = BgpState::compute(&mut m, net, &fv, &mut igp, None);
+    (m, fv, igp, bgp)
+}
+
+#[test]
+fn equal_local_pref_multipaths_higher_wins() {
+    // Without a policy R multipaths across both providers.
+    let (net, [r, ..]) = dual_homed(None);
+    let (mut m, _, _, bgp) = setup(&net);
+    let cands = bgp.candidates(r, ClassId(0));
+    assert_eq!(cands.len(), 2);
+    let sel = yu_routing::BgpRoute::selection_guards(&mut m, cands);
+    assert_eq!(m.eval_all_alive(sel[0]), Term::ONE);
+    assert_eq!(m.eval_all_alive(sel[1]), Term::ONE);
+
+    // With local-pref 200 toward P2, P2 wins and P1 is the fallback.
+    let (net, [r, _p1, p2]) = dual_homed(Some(200));
+    let (mut m, fv, _, bgp) = setup(&net);
+    let cands = bgp.candidates(r, ClassId(0));
+    let sel = yu_routing::BgpRoute::selection_guards(&mut m, cands);
+    let p2_ix = cands
+        .iter()
+        .position(|c| c.local_pref == 200)
+        .expect("P2 candidate");
+    let p1_ix = 1 - p2_ix;
+    assert_eq!(m.eval_all_alive(sel[p2_ix]), Term::ONE);
+    assert_eq!(m.eval_all_alive(sel[p1_ix]), Term::ZERO);
+    // Fail R-P2: the fallback takes over.
+    let s = Scenario::links([ULinkId(1)]);
+    assert_eq!(m.eval(sel[p1_ix], fv.assignment(&s)), Term::ONE);
+    let _ = p2;
+}
+
+#[test]
+fn deny_export_splits_prefix_classes() {
+    // Two prefixes, one filtered by P1: they must land in different
+    // classes even though origination is identical.
+    let (mut net, [_r, p1, p2]) = dual_homed(None);
+    let extra: Prefix = "51.0.0.0/24".parse().unwrap();
+    for x in [p1, p2] {
+        net.config_mut(x).connected.push(extra);
+        net.config_mut(x).bgp.as_mut().unwrap().networks.push(extra);
+    }
+    let (_, classes_before) = {
+        let (classes, trie) = yu_routing::classify_prefixes(&net);
+        (trie, classes.len())
+    };
+    assert_eq!(classes_before, 1, "same origination => one class");
+    net.config_mut(p1).bgp.as_mut().unwrap().deny_exports.push(DenyExport {
+        peer: None,
+        prefix: extra,
+    });
+    let (classes, trie) = yu_routing::classify_prefixes(&net);
+    assert_eq!(classes.len(), 2, "the filter must split the classes");
+    let c1 = trie.longest_match("50.0.0.1".parse().unwrap()).unwrap().1;
+    let c2 = trie.longest_match("51.0.0.1".parse().unwrap()).unwrap().1;
+    assert_ne!(c1, c2);
+    assert!(classes[c2.0 as usize].denied(p1, _r));
+    assert!(!classes[c1.0 as usize].denied(p1, _r));
+}
+
+#[test]
+fn denied_prefix_is_not_learned() {
+    let (mut net, [r, p1, _p2]) = dual_homed(None);
+    net.config_mut(p1).bgp.as_mut().unwrap().deny_exports.push(DenyExport {
+        peer: Some(r),
+        prefix: "50.0.0.0/24".parse().unwrap(),
+    });
+    let (mut m, _fv, _igp, bgp) = setup(&net);
+    let dst: Ipv4 = "50.0.0.7".parse().unwrap();
+    let classes = bgp.class_for(dst);
+    assert_eq!(classes.len(), 1);
+    let cands = bgp.candidates(r, classes[0].1);
+    // Only the P2 route remains.
+    assert_eq!(cands.len(), 1, "{cands:?}");
+    match cands[0].next_hop {
+        NextHop::Direct(l) => {
+            assert_eq!(net.topo.link(l).to, _p2);
+        }
+        ref other => panic!("unexpected next hop {other:?}"),
+    }
+    let _ = &mut m;
+}
+
+#[test]
+fn symbolic_bgp_matches_concrete_rib_presence() {
+    // For every 1-failure scenario, a symbolic candidate's guard is 1
+    // exactly when the concrete simulation has that candidate.
+    let (net, [r, ..]) = dual_homed(Some(200));
+    let (m, fv, _igp, bgp) = setup(&net);
+    let dst: Ipv4 = "50.0.0.7".parse().unwrap();
+    for s in yu_net::scenarios_up_to_k(&net.topo, FailureMode::Links, 1) {
+        let concrete = ConcreteRoutes::compute(&net, &s);
+        let conc_rules = concrete.fib_rules(r, dst);
+        let class = bgp.class_for(dst)[0].1;
+        for cand in bgp.candidates(r, class) {
+            let present = m.eval(cand.guard, fv.assignment(&s)).is_one();
+            let concrete_has = conc_rules.iter().any(|cr| {
+                cr.next_hop == cand.next_hop && cr.local_pref == cand.local_pref
+            });
+            assert_eq!(
+                present,
+                concrete_has,
+                "candidate {cand:?} under {}",
+                s.describe(&net.topo)
+            );
+        }
+    }
+}
+
+#[test]
+fn no_multipath_concrete_single_path() {
+    // With multipath disabled, concrete forwarding uses exactly one of
+    // the two equally preferred routes.
+    let (mut net, [r, ..]) = dual_homed(None);
+    net.config_mut(r).bgp.as_mut().unwrap().multipath = false;
+    let routes = ConcreteRoutes::compute(&net, &Scenario::none());
+    let flow = yu_net::Flow::new(
+        r,
+        Ipv4::new(11, 0, 0, 1),
+        "50.0.0.7".parse().unwrap(),
+        0,
+        Ratio::int(10),
+    );
+    let res = routes.forward_flow(&flow, 16);
+    let nonzero: Vec<_> = res
+        .link_fraction
+        .values()
+        .filter(|v| !v.is_zero())
+        .collect();
+    assert_eq!(nonzero.len(), 1, "single-path forwarding expected");
+    assert_eq!(*nonzero[0], Ratio::ONE);
+}
+
+#[test]
+fn no_multipath_symbolic_matches_concrete() {
+    let (mut net, [r, ..]) = dual_homed(None);
+    net.config_mut(r).bgp.as_mut().unwrap().multipath = false;
+    let mut m = Mtbdd::new();
+    let fv = FailureVars::allocate(&mut m, &net.topo, FailureMode::Links);
+    let mut routes = SymbolicRoutes::compute(&mut m, &net, &fv, None);
+    let flow = yu_net::Flow::new(
+        r,
+        Ipv4::new(11, 0, 0, 1),
+        "50.0.0.7".parse().unwrap(),
+        0,
+        Ratio::int(10),
+    );
+    let stf = yu_core::simulate_flow(
+        &mut m,
+        &net,
+        &fv,
+        &mut routes,
+        &flow,
+        yu_core::ExecOptions::default(),
+    );
+    for s in yu_net::scenarios_up_to_k(&net.topo, FailureMode::Links, 2) {
+        let concrete = ConcreteRoutes::compute(&net, &s);
+        let res = concrete.forward_flow(&flow, 16);
+        for l in net.topo.links() {
+            let sym = match m.eval(stf.at(&m, yu_net::LoadPoint::Link(l)), fv.assignment(&s)) {
+                Term::Num(v) => v,
+                Term::PosInf => unreachable!(),
+            };
+            let conc = res.link_fraction.get(&l).cloned().unwrap_or(Ratio::ZERO);
+            assert_eq!(sym, conc, "link {} under {}", net.topo.link_label(l), s.describe(&net.topo));
+        }
+    }
+}

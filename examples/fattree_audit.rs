@@ -1,0 +1,89 @@
+//! Audit a FatTree fabric for k-failure overloads and compare YU against
+//! both baselines on the same instance (a miniature of the paper's §7.2).
+//!
+//! ```sh
+//! cargo run --release --example fattree_audit -- [pods] [flow_percent] [k]
+//! ```
+//!
+//! Defaults: FT-4, 16% of pairwise edge flows, k = 2.
+
+use std::time::Instant;
+use yu::baselines::{jingubang_verify, qarc_verify};
+use yu::core::{YuOptions, YuVerifier};
+use yu::gen::fattree_with_flows;
+use yu::mtbdd::Ratio;
+use yu::net::{scenario_count, FailureMode, Tlp};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let pods: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let percent: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let k: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
+
+    let (ft, flows) = fattree_with_flows(pods, percent);
+    let n_ulinks = ft.net.topo.num_ulinks();
+    println!(
+        "FT-{pods}: {} routers, {n_ulinks} links, {} flows ({percent}% of pairwise), k={k}",
+        ft.net.topo.num_routers(),
+        flows.len()
+    );
+    println!(
+        "scenario space a per-scenario tool must enumerate: {}",
+        scenario_count(n_ulinks, k)
+    );
+    // Edge-agg links are 40 Gbps: overload threshold 95%.
+    let tlp = Tlp::no_overload(&ft.net.topo, Ratio::new(95, 100));
+
+    let t = Instant::now();
+    let mut v = YuVerifier::new(
+        ft.net.clone(),
+        YuOptions {
+            k: k as u32,
+            mode: FailureMode::Links,
+            ..Default::default()
+        },
+    );
+    v.add_flows(&flows);
+    let yu_out = v.verify(&tlp);
+    let yu_time = t.elapsed();
+    println!(
+        "\nYU:        {:>10.3?}  -> {}",
+        yu_time,
+        verdict(yu_out.verified(), yu_out.violations.len())
+    );
+    if let Some(vi) = yu_out.violations.first() {
+        println!("           e.g. {}", vi.describe(&ft.net.topo));
+    }
+
+    let qa = qarc_verify(&ft.net, &flows, &tlp, k, false);
+    println!(
+        "QARC:      {:>10.3?}  -> {} ({} scenarios)",
+        qa.elapsed,
+        verdict(qa.verified(), qa.violations.len()),
+        qa.scenarios_checked
+    );
+
+    let jg = jingubang_verify(
+        &ft.net,
+        &flows,
+        &tlp,
+        k,
+        FailureMode::Links,
+        yu::net::DEFAULT_MAX_HOPS,
+        false,
+    );
+    println!(
+        "Jingubang: {:>10.3?}  -> {} ({} scenarios)",
+        jg.elapsed,
+        verdict(jg.verified(), jg.violations.len()),
+        jg.scenarios_checked
+    );
+}
+
+fn verdict(ok: bool, n: usize) -> String {
+    if ok {
+        "VERIFIED".into()
+    } else {
+        format!("VIOLATED ({n} findings)")
+    }
+}

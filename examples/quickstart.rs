@@ -1,0 +1,74 @@
+//! Quickstart: verify the paper's Fig. 1 motivating example.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the six-router eBGP/iBGP/IS-IS/SR network, injects the two
+//! flows, and checks the two traffic load properties under every
+//! single-link-failure scenario:
+//!
+//! * **P1** — at least 70 Gbps must reach the destination;
+//! * **P2** — no link may carry more than 95% of its capacity.
+
+use yu::core::{YuOptions, YuVerifier};
+use yu::gen::motivating_example;
+use yu::net::{LoadPoint, Scenario};
+
+fn main() {
+    let ex = motivating_example();
+    let topo = ex.net.topo.clone();
+    println!(
+        "network: {} routers, {} links (+{} parallel), flows: f1=20G dscp0 @A, f2=80G dscp5 @B",
+        topo.num_routers(),
+        topo.num_ulinks(),
+        1,
+    );
+
+    let mut verifier = YuVerifier::new(
+        ex.net,
+        YuOptions {
+            k: 1,
+            ..Default::default()
+        },
+    );
+    verifier.add_flows(&ex.flows);
+
+    // Show the steady-state loads (paper Fig. 1(a)).
+    println!("\nno-failure loads:");
+    let s0 = Scenario::none();
+    for l in topo.links() {
+        let load = verifier.load_at(LoadPoint::Link(l), &s0);
+        if !load.is_zero() {
+            println!("  {:<8} {:>6} Gbps", topo.link_label(l), load.to_string());
+        }
+    }
+
+    // P1: delivery.
+    let p1 = verifier.verify(&ex.p1);
+    println!(
+        "\nP1 (delivered >= 70 Gbps under any 1 failure): {}",
+        if p1.verified() { "VERIFIED" } else { "VIOLATED" }
+    );
+
+    // P2: no overload.
+    let p2 = verifier.verify(&ex.p2);
+    println!(
+        "P2 (no link > 95% capacity under any 1 failure): {}",
+        if p2.verified() { "VERIFIED" } else { "VIOLATED" }
+    );
+    for v in &p2.violations {
+        println!("  counterexample: {}", v.describe(&topo));
+    }
+
+    let stats = p2.stats;
+    println!(
+        "\nstats: {} flows -> {} groups, route {:?}, exec {:?}, check {:?}, {} MTBDD nodes",
+        stats.flows_in,
+        stats.flow_groups,
+        stats.route_time,
+        stats.exec_time,
+        stats.check_time,
+        stats.mtbdd.nodes_created
+    );
+}

@@ -1,0 +1,61 @@
+//! The Fig. 9 production incident: link overload caused by a vulnerable
+//! anycast segment-routing configuration.
+//!
+//! ```sh
+//! cargo run --release --example sr_anycast
+//! ```
+//!
+//! A1 steers DC1→DC2 traffic through an SR policy whose first segment is
+//! an *anycast* address shared by backbone routers B1 and B2. The
+//! operator's intent was two disjoint tunnels; YU finds that one link
+//! failure (B2-C2) silently re-routes half the traffic over the thin
+//! 40 Gbps B1-B2 interconnect.
+
+use yu::core::{YuOptions, YuVerifier};
+use yu::gen::sr_anycast_incident;
+use yu::net::{LoadPoint, Scenario};
+
+fn main() {
+    let inc = sr_anycast_incident();
+    let topo = inc.net.topo.clone();
+    println!("anycast SR incident network: {} routers, {} links", topo.num_routers(), topo.num_ulinks());
+    println!(
+        "SR policy on A1: to 2.2.2.2 via segment list [1.1.1.1 (anycast on B1+B2), 2.2.2.2]"
+    );
+
+    let mut verifier = YuVerifier::new(
+        inc.net,
+        YuOptions {
+            k: 1,
+            ..Default::default()
+        },
+    );
+    verifier.add_flows(&inc.flows);
+
+    let (bb_fwd, bb_rev) = topo.directions(inc.backbone_link);
+    let s0 = Scenario::none();
+    println!(
+        "\nsteady state: B1-B2 carries {} + {} Gbps (idle, as intended)",
+        verifier.load_at(LoadPoint::Link(bb_fwd), &s0),
+        verifier.load_at(LoadPoint::Link(bb_rev), &s0)
+    );
+
+    let outcome = verifier.verify(&inc.tlp);
+    println!(
+        "\noverload TLP under any single link failure: {}",
+        if outcome.verified() { "VERIFIED" } else { "VIOLATED" }
+    );
+    for v in &outcome.violations {
+        println!("  {}", v.describe(&topo));
+    }
+
+    // Demonstrate the incident scenario explicitly.
+    let s = Scenario::links([inc.trigger_link]);
+    println!(
+        "\nwith {} failed, B1-B2 carries {} / {} Gbps (capacity 40):",
+        s.describe(&topo),
+        verifier.load_at(LoadPoint::Link(bb_fwd), &s),
+        verifier.load_at(LoadPoint::Link(bb_rev), &s),
+    );
+    println!("root cause: the anycast segment lets B2 satisfy [1.1.1.1] locally, so after a B2-side failure the remaining segment routes over the backbone interconnect instead of falling back to the B1 tunnel end-to-end.");
+}

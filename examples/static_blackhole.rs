@@ -1,0 +1,84 @@
+//! The Fig. 10 production incident: service traffic silently dropped by
+//! a misconfigured static blackhole after a single link failure.
+//!
+//! ```sh
+//! cargo run --release --example static_blackhole
+//! ```
+//!
+//! D1 and D2 each carry a `static 10.0.0.0/8 -> Null0` that is
+//! redistributed into BGP while the *specific* service route 10.1.0.0/26
+//! is filtered from their advertisements. YU proves that failing D1's
+//! WAN link blackholes all the service traffic at D1's Null0 even though
+//! a fully redundant M2-D2-WAN path exists — and that removing the filter
+//! restores single-failure tolerance.
+
+use yu::core::{YuOptions, YuVerifier};
+use yu::gen::static_blackhole_incident;
+use yu::net::{LoadPoint, Scenario};
+
+fn main() {
+    let inc = static_blackhole_incident();
+    let topo = inc.net.topo.clone();
+    let w = inc.routers[4];
+    let d1 = inc.routers[2];
+    println!(
+        "static blackhole incident network: {} routers, {} links",
+        topo.num_routers(),
+        topo.num_ulinks()
+    );
+    println!("D1/D2: static 10.0.0.0/8 -> Null0, redistributed; 10.1.0.0/26 filtered from exports");
+
+    let mut verifier = YuVerifier::new(
+        inc.net.clone(),
+        YuOptions {
+            k: 1,
+            ..Default::default()
+        },
+    );
+    verifier.add_flows(&inc.flows);
+
+    let s0 = Scenario::none();
+    println!(
+        "\nsteady state: {} Gbps delivered at the WAN",
+        verifier.load_at(LoadPoint::Delivered(w), &s0)
+    );
+
+    let outcome = verifier.verify(&inc.tlp);
+    println!(
+        "\ndelivery TLP (>= 45 Gbps) under any single link failure: {}",
+        if outcome.verified() { "VERIFIED" } else { "VIOLATED" }
+    );
+    for v in &outcome.violations {
+        println!("  {}", v.describe(&topo));
+    }
+    let s = Scenario::links([inc.trigger_link]);
+    println!(
+        "  with {} failed: delivered {}, blackholed at D1: {}",
+        s.describe(&topo),
+        verifier.load_at(LoadPoint::Delivered(w), &s),
+        verifier.load_at(LoadPoint::Dropped(d1), &s),
+    );
+
+    // The fix: advertise the specific route.
+    let mut fixed = inc.net;
+    for r in [inc.routers[2], inc.routers[3]] {
+        fixed.config_mut(r).bgp.as_mut().unwrap().deny_exports.clear();
+    }
+    let mut verifier = YuVerifier::new(
+        fixed,
+        YuOptions {
+            k: 1,
+            ..Default::default()
+        },
+    );
+    verifier.add_flows(&inc.flows);
+    let outcome = verifier.verify(&inc.tlp);
+    println!(
+        "\nafter removing the export filter: {}",
+        if outcome.verified() {
+            "VERIFIED (the redundant path takes over)"
+        } else {
+            "still VIOLATED"
+        }
+    );
+}

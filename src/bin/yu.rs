@@ -1,0 +1,315 @@
+//! The `yu` command-line verifier.
+//!
+//! ```text
+//! yu export <fig1|fig9|fig10|ft4|n0> > spec.json     write a built-in example spec
+//! yu check spec.json                                 validate the spec
+//! yu verify spec.json [--json]                       verify the TLP under <= k failures
+//! yu loads spec.json [--fail A-B,C-D]                per-link loads under a scenario
+//! yu scenarios spec.json                             size of the scenario space
+//! ```
+//!
+//! Specs are self-contained JSON (network + flows + TLP + k); see
+//! `yu::spec::VerifySpec` and `yu export` for the format.
+
+use std::process::ExitCode;
+use yu::core::{YuOptions, YuVerifier};
+use yu::mtbdd::Ratio;
+use yu::net::{scenario_count, FailureMode, LoadPoint, Scenario, Tlp};
+use yu::spec::VerifySpec;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut pos = args.iter().filter(|a| !a.starts_with("--"));
+    let cmd = pos.next().map(String::as_str).unwrap_or("help");
+    let arg = pos.next().cloned();
+    let json_output = args.iter().any(|a| a == "--json");
+    let fail_arg = args
+        .iter()
+        .position(|a| a == "--fail")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    match cmd {
+        "export" => export(arg.as_deref().unwrap_or("fig1")),
+        "check" => check(&load(&arg)),
+        "verify" => verify(&load(&arg), json_output),
+        "loads" => loads(&load(&arg), fail_arg.as_deref()),
+        "scenarios" => scenarios(&load(&arg)),
+        "rib" => rib(&load(&arg), &args),
+        _ => {
+            eprintln!(
+                "usage: yu <export|check|verify|loads|scenarios> [spec.json] \
+                 [--json] [--fail A-B,C-D]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &Option<String>) -> VerifySpec {
+    let path = path.as_deref().unwrap_or_else(|| {
+        eprintln!("error: missing spec path");
+        std::process::exit(2);
+    });
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    VerifySpec::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("error: invalid spec: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn export(which: &str) -> ExitCode {
+    let spec = match which {
+        "fig1" => {
+            let ex = yu::gen::motivating_example();
+            VerifySpec {
+                network: ex.net,
+                flows: ex.flows,
+                tlp: ex.p2,
+                k: 1,
+                mode: FailureMode::Links,
+            }
+        }
+        "fig9" => {
+            let inc = yu::gen::sr_anycast_incident();
+            VerifySpec {
+                network: inc.net,
+                flows: inc.flows,
+                tlp: inc.tlp,
+                k: 1,
+                mode: FailureMode::Links,
+            }
+        }
+        "fig10" => {
+            let inc = yu::gen::static_blackhole_incident();
+            VerifySpec {
+                network: inc.net,
+                flows: inc.flows,
+                tlp: inc.tlp,
+                k: 1,
+                mode: FailureMode::Links,
+            }
+        }
+        "ft4" => {
+            let (ft, flows) = yu::gen::fattree_with_flows(4, 16);
+            let tlp = Tlp::no_overload(&ft.net.topo, Ratio::new(95, 100));
+            VerifySpec {
+                network: ft.net,
+                flows,
+                tlp,
+                k: 2,
+                mode: FailureMode::Links,
+            }
+        }
+        "n0" => {
+            let w = yu::gen::wan(yu::gen::WanPreset::N0.params());
+            let flows = w.flows(2000, 0xF10F);
+            let tlp = Tlp::no_overload(&w.net.topo, Ratio::new(95, 100));
+            VerifySpec {
+                network: w.net,
+                flows,
+                tlp,
+                k: 2,
+                mode: FailureMode::Links,
+            }
+        }
+        other => {
+            eprintln!("unknown example '{other}' (try fig1, fig9, fig10, ft4, n0)");
+            return ExitCode::from(2);
+        }
+    };
+    println!("{}", spec.to_json());
+    ExitCode::SUCCESS
+}
+
+fn check(spec: &VerifySpec) -> ExitCode {
+    let problems = spec.validate();
+    if problems.is_empty() {
+        println!(
+            "ok: {} routers, {} links, {} flows, {} requirements, k={} ({:?})",
+            spec.network.topo.num_routers(),
+            spec.network.topo.num_ulinks(),
+            spec.flows.len(),
+            spec.tlp.reqs.len(),
+            spec.k,
+            spec.mode,
+        );
+        ExitCode::SUCCESS
+    } else {
+        for p in problems {
+            eprintln!("problem: {p}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn verify(spec: &VerifySpec, json_output: bool) -> ExitCode {
+    let mut v = YuVerifier::new(
+        spec.network.clone(),
+        YuOptions {
+            k: spec.k,
+            mode: spec.mode,
+            ..Default::default()
+        },
+    );
+    v.add_flows(&spec.flows);
+    let out = v.verify(&spec.tlp);
+    if json_output {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out.violations).expect("serializable")
+        );
+    } else if out.verified() {
+        println!(
+            "VERIFIED: the property holds under every scenario with <= {} {} failures",
+            spec.k,
+            match spec.mode {
+                FailureMode::Links => "link",
+                FailureMode::Routers => "router",
+                FailureMode::LinksAndRouters => "element",
+            }
+        );
+    } else {
+        println!("VIOLATED ({} findings):", out.violations.len());
+        for vi in &out.violations {
+            println!("  {}", vi.describe(&spec.network.topo));
+        }
+    }
+    println!(
+        "({} flows -> {} groups; route {:?}, exec {:?}, check {:?})",
+        out.stats.flows_in,
+        out.stats.flow_groups,
+        out.stats.route_time,
+        out.stats.exec_time,
+        out.stats.check_time
+    );
+    if out.verified() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn rib(spec: &VerifySpec, args: &[String]) -> ExitCode {
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let Some(router_name) = get("--router") else {
+        eprintln!("error: --router <name> required");
+        return ExitCode::from(2);
+    };
+    let Some(dst) = get("--dst") else {
+        eprintln!("error: --dst <ip> required");
+        return ExitCode::from(2);
+    };
+    let Some(router) = spec.network.topo.router_by_name(&router_name) else {
+        eprintln!("error: no router named '{router_name}'");
+        return ExitCode::from(2);
+    };
+    let Ok(dst) = dst.parse() else {
+        eprintln!("error: invalid destination '{dst}'");
+        return ExitCode::from(2);
+    };
+    let mut m = yu::mtbdd::Mtbdd::new();
+    let fv = yu::net::FailureVars::allocate(&mut m, &spec.network.topo, spec.mode);
+    let mut routes =
+        yu::routing::SymbolicRoutes::compute(&mut m, &spec.network, &fv, Some(spec.k));
+    print!(
+        "{}",
+        yu::routing::format_fib(&mut m, &spec.network, &fv, &mut routes, router, dst)
+    );
+    print!(
+        "{}",
+        yu::routing::format_sr_policies(&m, &spec.network, &fv, &routes, router)
+    );
+    ExitCode::SUCCESS
+}
+
+fn parse_scenario(spec: &VerifySpec, fail: Option<&str>) -> Scenario {
+    let mut s = Scenario::none();
+    let Some(fail) = fail else { return s };
+    for part in fail.split(',').filter(|p| !p.is_empty()) {
+        let ulink = spec
+            .network
+            .topo
+            .ulinks()
+            .find(|&u| spec.network.topo.ulink_label(u) == part);
+        if let Some(u) = ulink {
+            s.failed_links.insert(u);
+        } else if let Some(r) = spec.network.topo.router_by_name(part) {
+            s.failed_routers.insert(r);
+        } else {
+            eprintln!("error: no link or router named '{part}'");
+            std::process::exit(2);
+        }
+    }
+    s
+}
+
+fn loads(spec: &VerifySpec, fail: Option<&str>) -> ExitCode {
+    let scenario = parse_scenario(spec, fail);
+    let mut v = YuVerifier::new(
+        spec.network.clone(),
+        YuOptions {
+            k: spec.k.max(scenario.count() as u32),
+            mode: if scenario.failed_routers.is_empty() {
+                spec.mode
+            } else {
+                FailureMode::LinksAndRouters
+            },
+            ..Default::default()
+        },
+    );
+    v.add_flows(&spec.flows);
+    println!("loads under {}:", scenario.describe(&spec.network.topo));
+    for l in spec.network.topo.links() {
+        let load = v.load_at(LoadPoint::Link(l), &scenario);
+        if !load.is_zero() {
+            let cap = &spec.network.topo.link(l).capacity;
+            println!(
+                "  {:<16} {:>12} / {} Gbps",
+                spec.network.topo.link_label(l),
+                load.to_string(),
+                cap
+            );
+        }
+    }
+    for r in spec.network.topo.routers() {
+        for (point, label) in [
+            (LoadPoint::Delivered(r), "delivered"),
+            (LoadPoint::Dropped(r), "dropped"),
+        ] {
+            let load = v.load_at(point, &scenario);
+            if !load.is_zero() {
+                println!(
+                    "  {label}@{:<10} {:>12} Gbps",
+                    spec.network.topo.router(r).name,
+                    load.to_string()
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn scenarios(spec: &VerifySpec) -> ExitCode {
+    let n = match spec.mode {
+        FailureMode::Links => spec.network.topo.num_ulinks(),
+        FailureMode::Routers => spec.network.topo.num_routers(),
+        FailureMode::LinksAndRouters => {
+            spec.network.topo.num_ulinks() + spec.network.topo.num_routers()
+        }
+    };
+    println!(
+        "{} scenarios with <= {} failures out of {} elements \
+         (what a per-scenario verifier must enumerate; YU runs once)",
+        scenario_count(n, spec.k as usize),
+        spec.k,
+        n
+    );
+    ExitCode::SUCCESS
+}

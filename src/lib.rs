@@ -1,0 +1,50 @@
+//! # yu
+//!
+//! Verification of network **traffic load properties under arbitrary k
+//! failures** — a from-scratch Rust reproduction of the YU system
+//! (SIGCOMM 2024, "A General and Efficient Approach to Verifying Traffic
+//! Load Properties under Arbitrary k Failures").
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! * [`mtbdd`] — hash-consed multi-terminal BDDs with exact rational
+//!   terminals and the paper's `KREDUCE` k-failure-equivalence reduction;
+//! * [`net`] — topology, addressing, failure model, configuration
+//!   (eBGP/iBGP, IS-IS, static routes, SR policies), flows, TLPs;
+//! * [`routing`] — symbolic route simulation (guarded RIBs, guarded SR
+//!   policies) plus a concrete per-scenario simulator;
+//! * [`core`] — symbolic traffic execution, equivalence reductions, and
+//!   TLP verification with counterexample extraction;
+//! * [`baselines`] — Jingubang-style enumeration and QARC-style
+//!   shortest-path baselines;
+//! * [`gen`] — FatTree and synthetic-WAN generators plus the paper's
+//!   worked examples.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use yu::core::{YuOptions, YuVerifier};
+//! use yu::gen::motivating_example;
+//!
+//! let ex = motivating_example();
+//! let mut verifier = YuVerifier::new(ex.net, YuOptions { k: 1, ..Default::default() });
+//! verifier.add_flows(&ex.flows);
+//!
+//! // P1 (delivery >= 70 Gbps) holds under any single link failure...
+//! assert!(verifier.verify(&ex.p1).verified());
+//! // ...but P2 (no overload) does not: failing B-D overloads C-E.
+//! let outcome = verifier.verify(&ex.p2);
+//! assert!(!outcome.verified());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod spec;
+
+pub use yu_baselines as baselines;
+pub use yu_core as core;
+pub use yu_gen as gen;
+pub use yu_mtbdd as mtbdd;
+pub use yu_net as net;
+pub use yu_routing as routing;

@@ -1,0 +1,109 @@
+//! JSON verification specs: a self-contained description of a network,
+//! its flows, the property to check, and the failure budget — the
+//! interchange format of the `yu` CLI.
+
+use serde::{Deserialize, Serialize};
+use yu_net::{FailureMode, Flow, Network, Tlp};
+
+/// A complete verification job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerifySpec {
+    /// The network: topology plus per-router configuration.
+    pub network: Network,
+    /// The traffic matrix.
+    pub flows: Vec<Flow>,
+    /// The property to verify.
+    pub tlp: Tlp,
+    /// Failure budget.
+    pub k: u32,
+    /// What can fail.
+    #[serde(default = "default_mode")]
+    pub mode: FailureMode,
+}
+
+fn default_mode() -> FailureMode {
+    FailureMode::Links
+}
+
+impl VerifySpec {
+    /// Parses a spec from JSON.
+    pub fn from_json(s: &str) -> Result<VerifySpec, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Serializes the spec as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("specs are always serializable")
+    }
+
+    /// Validates the embedded network, returning human-readable problems.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = self.network.validate();
+        for (i, f) in self.flows.iter().enumerate() {
+            if f.ingress.0 as usize >= self.network.topo.num_routers() {
+                problems.push(format!("flow {i}: ingress {:?} does not exist", f.ingress));
+            }
+            if f.volume.is_negative() {
+                problems.push(format!("flow {i}: negative volume"));
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yu_gen::motivating_example;
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let ex = motivating_example();
+        let spec = VerifySpec {
+            network: ex.net,
+            flows: ex.flows,
+            tlp: ex.p2,
+            k: 1,
+            mode: FailureMode::Links,
+        };
+        let json = spec.to_json();
+        let back = VerifySpec::from_json(&json).unwrap();
+        assert_eq!(back.k, 1);
+        assert_eq!(back.flows.len(), 2);
+        assert_eq!(back.network.topo.num_routers(), 6);
+        assert_eq!(back.tlp, spec.tlp);
+        assert!(back.validate().is_empty());
+    }
+
+    #[test]
+    fn mode_defaults_to_links() {
+        let ex = motivating_example();
+        let spec = VerifySpec {
+            network: ex.net,
+            flows: vec![],
+            tlp: Tlp::new(),
+            k: 2,
+            mode: FailureMode::Links,
+        };
+        let mut v: serde_json::Value = serde_json::from_str(&spec.to_json()).unwrap();
+        v.as_object_mut().unwrap().remove("mode");
+        let back = VerifySpec::from_json(&v.to_string()).unwrap();
+        assert_eq!(back.mode, FailureMode::Links);
+    }
+
+    #[test]
+    fn validation_catches_bad_flows() {
+        let ex = motivating_example();
+        let mut spec = VerifySpec {
+            network: ex.net,
+            flows: ex.flows,
+            tlp: Tlp::new(),
+            k: 1,
+            mode: FailureMode::Links,
+        };
+        spec.flows[0].ingress = yu_net::RouterId(99);
+        let problems = spec.validate();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("ingress"));
+    }
+}

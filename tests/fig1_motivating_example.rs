@@ -1,0 +1,210 @@
+//! End-to-end reproduction of the paper's Fig. 1 motivating example:
+//! the exact per-link loads of scenarios (a)-(e), the P1/P2 verdicts, and
+//! agreement between symbolic and concrete simulation.
+
+use yu::core::{YuOptions, YuVerifier};
+use yu::gen::motivating_example;
+use yu::mtbdd::Ratio;
+use yu::net::{LinkId, LoadPoint, Scenario};
+
+/// Directed link id from router `from` to router `to` (nth parallel).
+fn dlink(ex: &yu::gen::MotivatingExample, from: usize, to: usize, nth: usize) -> LinkId {
+    let f = ex.routers[from];
+    let t = ex.routers[to];
+    let mut count = 0;
+    for l in ex.net.topo.links() {
+        let lk = ex.net.topo.link(l);
+        if lk.from == f && lk.to == t {
+            if count == nth {
+                return l;
+            }
+            count += 1;
+        }
+    }
+    panic!("no such link");
+}
+
+const A: usize = 0;
+const B: usize = 1;
+const C: usize = 2;
+const D: usize = 3;
+const E: usize = 4;
+const F: usize = 5;
+
+fn load(v: &mut YuVerifier, l: LinkId, s: &Scenario) -> Ratio {
+    v.load_at(LoadPoint::Link(l), s)
+}
+
+#[test]
+fn figure1a_no_failure_loads() {
+    let ex = motivating_example();
+    let mut v = YuVerifier::new(ex.net.clone(), YuOptions { k: 2, ..Default::default() });
+    v.add_flows(&ex.flows);
+    let s = Scenario::none();
+    // Paper Fig. 1(a): A->C 20, B->C 40, B->D 40, C->E 70, D->E 30,
+    // D->C 10, E->F 50 + 50, delivered 100.
+    assert_eq!(load(&mut v, dlink(&ex, A, C, 0), &s), Ratio::int(20));
+    assert_eq!(load(&mut v, dlink(&ex, B, C, 0), &s), Ratio::int(40));
+    assert_eq!(load(&mut v, dlink(&ex, B, D, 0), &s), Ratio::int(40));
+    assert_eq!(load(&mut v, dlink(&ex, C, E, 0), &s), Ratio::int(70));
+    assert_eq!(load(&mut v, dlink(&ex, D, E, 0), &s), Ratio::int(30));
+    assert_eq!(load(&mut v, dlink(&ex, D, C, 0), &s), Ratio::int(10));
+    assert_eq!(load(&mut v, dlink(&ex, E, F, 0), &s), Ratio::int(50));
+    assert_eq!(load(&mut v, dlink(&ex, E, F, 1), &s), Ratio::int(50));
+    assert_eq!(load(&mut v, dlink(&ex, A, B, 0), &s), Ratio::ZERO);
+    assert_eq!(
+        v.load_at(LoadPoint::Delivered(ex.routers[F]), &s),
+        Ratio::int(100)
+    );
+}
+
+#[test]
+fn figure1b_bc_failed() {
+    let ex = motivating_example();
+    let mut v = YuVerifier::new(ex.net.clone(), YuOptions { k: 1, ..Default::default() });
+    v.add_flows(&ex.flows);
+    // (b): B-C fails -> B sends all 80 to D; D splits 60 (SR p1 via E) /
+    // 20 (SR p2 via C); f1 still A->C->E.
+    let s = Scenario::links([ex.ulinks[2]]);
+    assert_eq!(load(&mut v, dlink(&ex, B, D, 0), &s), Ratio::int(80));
+    assert_eq!(load(&mut v, dlink(&ex, D, E, 0), &s), Ratio::int(60));
+    assert_eq!(load(&mut v, dlink(&ex, D, C, 0), &s), Ratio::int(20));
+    // C->E: f1 (20) + tunneled [F] traffic (20).
+    assert_eq!(load(&mut v, dlink(&ex, C, E, 0), &s), Ratio::int(40));
+    assert_eq!(
+        v.load_at(LoadPoint::Delivered(ex.routers[F]), &s),
+        Ratio::int(100)
+    );
+}
+
+#[test]
+fn figure1c_bd_failed_overloads_ce() {
+    let ex = motivating_example();
+    let mut v = YuVerifier::new(ex.net.clone(), YuOptions { k: 1, ..Default::default() });
+    v.add_flows(&ex.flows);
+    // (c): B-D fails -> everything crosses C-E: 100 Gbps (the paper's P2
+    // violation).
+    let s = Scenario::links([ex.ulinks[3]]);
+    assert_eq!(load(&mut v, dlink(&ex, B, C, 0), &s), Ratio::int(80));
+    assert_eq!(load(&mut v, dlink(&ex, C, E, 0), &s), Ratio::int(100));
+    assert_eq!(load(&mut v, dlink(&ex, D, E, 0), &s), Ratio::ZERO);
+    assert_eq!(
+        v.load_at(LoadPoint::Delivered(ex.routers[F]), &s),
+        Ratio::int(100)
+    );
+}
+
+#[test]
+fn figure1d_half_f1_on_ce() {
+    // Scenario (d) of Fig. 5: A-C failed -> f1 detours via B and only
+    // half of it rides C-E... (f1 ECMPs at B over B-C / B-D).
+    let ex = motivating_example();
+    let mut v = YuVerifier::new(ex.net.clone(), YuOptions { k: 1, ..Default::default() });
+    v.add_flows(&[ex.flows[0].clone()]); // f1 only, to mirror Fig. 5
+    let s = Scenario::links([ex.ulinks[1]]);
+    // STF of f1 on C-E is 0.5 (paper Fig. 5 scenario (d)).
+    let ce = load(&mut v, dlink(&ex, C, E, 0), &s);
+    assert_eq!(ce, Ratio::int(10)); // 0.5 * 20 Gbps
+}
+
+#[test]
+fn figure1e_both_b_links_failed() {
+    let ex = motivating_example();
+    let mut v = YuVerifier::new(ex.net.clone(), YuOptions { k: 2, ..Default::default() });
+    v.add_flows(&ex.flows);
+    // (e): B-C and B-D fail -> B routes f2 back through A.
+    let s = Scenario::links([ex.ulinks[2], ex.ulinks[3]]);
+    assert_eq!(load(&mut v, dlink(&ex, B, A, 0), &s), Ratio::int(80));
+    assert_eq!(load(&mut v, dlink(&ex, A, C, 0), &s), Ratio::int(100));
+    assert_eq!(
+        v.load_at(LoadPoint::Delivered(ex.routers[F]), &s),
+        Ratio::int(100)
+    );
+}
+
+#[test]
+fn p1_holds_p2_violated_at_k1() {
+    let ex = motivating_example();
+    let mut v = YuVerifier::new(ex.net.clone(), YuOptions { k: 1, ..Default::default() });
+    v.add_flows(&ex.flows);
+    let p1 = v.verify(&ex.p1);
+    assert!(p1.verified(), "P1 must hold under any single link failure");
+    let p2 = v.verify(&ex.p2);
+    assert!(!p2.verified(), "P2 must be violated");
+    // The paper's example: failing B-D overloads C-E with 100 Gbps.
+    let ce = dlink(&ex, C, E, 0);
+    let bd_violation = p2
+        .violations
+        .iter()
+        .find(|vi| vi.point == LoadPoint::Link(ce))
+        .expect("C-E must be overloadable");
+    assert_eq!(bd_violation.load, Ratio::int(100));
+    assert_eq!(bd_violation.scenario.failed_links.len(), 1);
+}
+
+#[test]
+fn p1_violated_at_k2() {
+    // Failing A-B and A-C strands f1 at A: delivery drops to 80 < ...
+    // no wait: P1 requires >= 70 and 80 >= 70. Failing A-C and B-C and
+    // ... at k=2: A-C + A-B strands f1 (20) -> delivered 80, still >= 70.
+    // Stranding f2 (80) needs B isolated: A-B + B-C + B-D = 3 failures,
+    // or delivery cut at E-F x2: delivered 0 < 70.
+    let ex = motivating_example();
+    let mut v = YuVerifier::new(ex.net.clone(), YuOptions { k: 2, ..Default::default() });
+    v.add_flows(&ex.flows);
+    let p1 = v.verify(&ex.p1);
+    assert!(!p1.verified(), "two failures can cut delivery below 70");
+    let viol = &p1.violations[0];
+    assert!(viol.load < Ratio::int(70));
+    assert!(viol.scenario.count() <= 2);
+}
+
+#[test]
+fn symbolic_matches_concrete_on_all_2_failure_scenarios() {
+    use yu::routing::ConcreteRoutes;
+    let ex = motivating_example();
+    let mut v = YuVerifier::new(ex.net.clone(), YuOptions { k: 2, ..Default::default() });
+    v.add_flows(&ex.flows);
+    for s in yu::net::scenarios_up_to_k(&ex.net.topo, yu::net::FailureMode::Links, 2) {
+        let routes = ConcreteRoutes::compute(&ex.net, &s);
+        assert!(routes.converged);
+        let mut expected: std::collections::HashMap<LoadPoint, Ratio> = Default::default();
+        for f in &ex.flows {
+            let res = routes.forward_flow(f, yu::net::DEFAULT_MAX_HOPS);
+            for (l, frac) in res.link_fraction {
+                let cur = expected
+                    .get(&LoadPoint::Link(l))
+                    .cloned()
+                    .unwrap_or(Ratio::ZERO);
+                expected.insert(LoadPoint::Link(l), cur + frac * f.volume.clone());
+            }
+            for (r, frac) in res.delivered {
+                let cur = expected
+                    .get(&LoadPoint::Delivered(r))
+                    .cloned()
+                    .unwrap_or(Ratio::ZERO);
+                expected.insert(LoadPoint::Delivered(r), cur + frac * f.volume.clone());
+            }
+        }
+        for l in ex.net.topo.links() {
+            let sym = v.load_at(LoadPoint::Link(l), &s);
+            let conc = expected
+                .get(&LoadPoint::Link(l))
+                .cloned()
+                .unwrap_or(Ratio::ZERO);
+            assert_eq!(
+                sym,
+                conc,
+                "link {} under {}",
+                ex.net.topo.link_label(l),
+                s.describe(&ex.net.topo)
+            );
+        }
+        let sym = v.load_at(LoadPoint::Delivered(ex.routers[F]), &s);
+        let conc = expected
+            .get(&LoadPoint::Delivered(ex.routers[F]))
+            .cloned()
+            .unwrap_or(Ratio::ZERO);
+        assert_eq!(sym, conc, "delivery under {}", s.describe(&ex.net.topo));
+    }
+}

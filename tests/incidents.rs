@@ -1,0 +1,104 @@
+//! Reproduction of the two production incidents YU caught (paper §6):
+//! the Fig. 9 anycast-SR overload and the Fig. 10 static-route blackhole.
+
+use yu::core::{YuOptions, YuVerifier};
+use yu::gen::{sr_anycast_incident, static_blackhole_incident};
+use yu::mtbdd::Ratio;
+use yu::net::{LoadPoint, Scenario};
+
+#[test]
+fn fig9_anycast_sr_overload_found() {
+    let inc = sr_anycast_incident();
+    let mut v = YuVerifier::new(inc.net.clone(), YuOptions { k: 1, ..Default::default() });
+    v.add_flows(&inc.flows);
+
+    // No failure: the backbone interconnect carries nothing.
+    let (bb_fwd, bb_rev) = inc.net.topo.directions(inc.backbone_link);
+    let s = Scenario::none();
+    assert_eq!(v.load_at(LoadPoint::Link(bb_fwd), &s), Ratio::ZERO);
+    assert_eq!(v.load_at(LoadPoint::Link(bb_rev), &s), Ratio::ZERO);
+
+    // The incident: B2-C2 fails, B2's half of the traffic crosses the
+    // 40 Gbps B1-B2 link.
+    let s = Scenario::links([inc.trigger_link]);
+    let b2_to_b1 = [bb_fwd, bb_rev]
+        .into_iter()
+        .find(|&l| inc.net.topo.router(inc.net.topo.link(l).from).name == "B2")
+        .unwrap();
+    assert_eq!(v.load_at(LoadPoint::Link(b2_to_b1), &s), Ratio::int(40));
+    // Still fully delivered (the property violated is overload, not
+    // delivery).
+    let c1 = inc.routers[5];
+    assert_eq!(v.load_at(LoadPoint::Delivered(c1), &s), Ratio::int(80));
+
+    // YU's verdict: the overload TLP is violated, and the counterexample
+    // names the B1-B2 interconnect with the B2-C2 trigger.
+    let out = v.verify(&inc.tlp);
+    assert!(!out.verified());
+    let vi = out
+        .violations
+        .iter()
+        .find(|vi| vi.point == LoadPoint::Link(b2_to_b1))
+        .expect("B1-B2 must be the overloaded link");
+    assert_eq!(vi.load, Ratio::int(40)); // > 95% of 40 Gbps
+    // Note there are two minimal triggers: B2-C2 (the paper's) and
+    // C2-C1 (same effect one hop further); either is a correct
+    // counterexample.
+    assert_eq!(vi.scenario.failed_links.len(), 1);
+    let bad = *vi.scenario.failed_links.iter().next().unwrap();
+    let label = inc.net.topo.ulink_label(bad);
+    assert!(label == "B2-C2" || label == "C2-C1", "{label}");
+}
+
+#[test]
+fn fig9_holds_without_the_anycast_trap_at_k0() {
+    let inc = sr_anycast_incident();
+    let mut v = YuVerifier::new(inc.net.clone(), YuOptions { k: 0, ..Default::default() });
+    v.add_flows(&inc.flows);
+    assert!(v.verify(&inc.tlp).verified(), "no-failure case is clean");
+}
+
+#[test]
+fn fig10_static_blackhole_found() {
+    let inc = static_blackhole_incident();
+    let mut v = YuVerifier::new(inc.net.clone(), YuOptions { k: 1, ..Default::default() });
+    v.add_flows(&inc.flows);
+    let w = inc.routers[4];
+    let d1 = inc.routers[2];
+
+    // No failure: all 50 Gbps delivered at W through D1.
+    let s = Scenario::none();
+    assert_eq!(v.load_at(LoadPoint::Delivered(w), &s), Ratio::int(50));
+
+    // D1-W down: the traffic still matches D1's advertised 10/8 and dies
+    // in D1's Null0 even though the M2-D2-W path is alive.
+    let s = Scenario::links([inc.trigger_link]);
+    assert_eq!(v.load_at(LoadPoint::Delivered(w), &s), Ratio::ZERO);
+    assert_eq!(v.load_at(LoadPoint::Dropped(d1), &s), Ratio::int(50));
+
+    let out = v.verify(&inc.tlp);
+    assert!(!out.verified());
+    let vi = &out.violations[0];
+    assert_eq!(vi.point, LoadPoint::Delivered(w));
+    assert_eq!(vi.load, Ratio::ZERO);
+    assert_eq!(vi.scenario, Scenario::links([inc.trigger_link]));
+}
+
+#[test]
+fn fig10_redundancy_works_without_the_misconfig() {
+    // Remove the deny filters (the root cause): with the /26 advertised,
+    // M1 fails over to M2-D2-W and delivery survives the D1-W failure.
+    let mut inc = static_blackhole_incident();
+    for r in [inc.routers[2], inc.routers[3]] {
+        inc.net.config_mut(r).bgp.as_mut().unwrap().deny_exports.clear();
+    }
+    let mut v = YuVerifier::new(inc.net.clone(), YuOptions { k: 1, ..Default::default() });
+    v.add_flows(&inc.flows);
+    let out = v.verify(&inc.tlp);
+    assert!(
+        out.verified(),
+        "with correct advertisements the network tolerates any single \
+         failure: {:?}",
+        out.violations
+    );
+}

@@ -1,0 +1,86 @@
+//! Property-based end-to-end differential testing: on randomly generated
+//! WANs, the symbolic loads evaluated at random concrete scenarios must
+//! equal the independent concrete simulator's loads exactly.
+
+use proptest::prelude::*;
+use yu::core::{YuOptions, YuVerifier};
+use yu::gen::{wan, WanParams};
+use yu::mtbdd::Ratio;
+use yu::net::{LoadPoint, Scenario, ULinkId};
+use yu::routing::ConcreteRoutes;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn symbolic_equals_concrete_on_random_instances(
+        seed in 0u64..1000,
+        flow_seed in 0u64..1000,
+        fail_a in 0u32..64,
+        fail_b in 0u32..64,
+    ) {
+        let w = wan(WanParams {
+            core_routers: 5,
+            stub_routers: 3,
+            extra_core_links: 3,
+            prefixes: 10,
+            sr_policies: 1,
+            seed,
+        });
+        let flows = w.flows(20, flow_seed);
+        let n = w.net.topo.num_ulinks() as u32;
+        let scenario = Scenario::links(
+            [ULinkId(fail_a % n), ULinkId(fail_b % n)]
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>(),
+        );
+
+        let mut v = YuVerifier::new(
+            w.net.clone(),
+            YuOptions { k: 2, ..Default::default() },
+        );
+        v.add_flows(&flows);
+
+        let routes = ConcreteRoutes::compute(&w.net, &scenario);
+        prop_assert!(routes.converged);
+        let mut expected: std::collections::HashMap<LoadPoint, Ratio> = Default::default();
+        for f in &flows {
+            let res = routes.forward_flow(f, yu::net::DEFAULT_MAX_HOPS);
+            for (l, frac) in res.link_fraction {
+                let e = expected.entry(LoadPoint::Link(l)).or_insert(Ratio::ZERO);
+                *e = e.clone() + frac * f.volume.clone();
+            }
+            for (r, frac) in res.delivered {
+                let e = expected.entry(LoadPoint::Delivered(r)).or_insert(Ratio::ZERO);
+                *e = e.clone() + frac * f.volume.clone();
+            }
+            for (r, frac) in res.dropped {
+                let e = expected.entry(LoadPoint::Dropped(r)).or_insert(Ratio::ZERO);
+                *e = e.clone() + frac * f.volume.clone();
+            }
+        }
+        for l in w.net.topo.links() {
+            let sym = v.load_at(LoadPoint::Link(l), &scenario);
+            let conc = expected
+                .get(&LoadPoint::Link(l))
+                .cloned()
+                .unwrap_or(Ratio::ZERO);
+            prop_assert_eq!(
+                sym,
+                conc,
+                "link {} under {} (seed {}, flows {})",
+                w.net.topo.link_label(l),
+                scenario.describe(&w.net.topo),
+                seed,
+                flow_seed
+            );
+        }
+        for r in w.net.topo.routers() {
+            for p in [LoadPoint::Delivered(r), LoadPoint::Dropped(r)] {
+                let sym = v.load_at(p, &scenario);
+                let conc = expected.get(&p).cloned().unwrap_or(Ratio::ZERO);
+                prop_assert_eq!(sym, conc, "{} (seed {})", p.describe(&w.net.topo), seed);
+            }
+        }
+    }
+}
