@@ -1,0 +1,84 @@
+//! The diagnostics data model shared by `yu lint`, `yu check`, and
+//! library callers.
+
+use serde::Serialize;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Severity {
+    /// The spec is broken: verification would be meaningless or crash.
+    Error,
+    /// Suspicious but not fatal; verification can proceed.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => f.write_str("error"),
+            Severity::Warning => f.write_str("warning"),
+        }
+    }
+}
+
+/// A single finding produced by the preflight linter.
+///
+/// `code` is a stable `YU0xx` identifier (append-only: codes are never
+/// renumbered or reused; see DESIGN.md for the table).
+#[derive(Debug, Clone, Serialize)]
+pub struct Diagnostic {
+    /// Stable diagnostic code, e.g. `"YU001"`.
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable location, e.g. a router name or `flow[3]`.
+    pub location: String,
+    /// What is wrong and why it matters.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(
+        code: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(
+        code: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+
+    /// True when this diagnostic is an error.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}: {}: {}",
+            self.severity, self.code, self.location, self.message
+        )
+    }
+}

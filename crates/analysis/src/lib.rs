@@ -1,0 +1,10 @@
+//! Preflight static analysis for YU: lint a [`yu_net::Network`] and
+//! verification spec before any symbolic computation runs.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diagnostic;
+mod lint;
+
+pub use diagnostic::{Diagnostic, Severity};
+pub use lint::{lint_network, lint_spec};

@@ -1,0 +1,305 @@
+//! One test per diagnostic code: each `YU0xx` must fire on a minimal
+//! broken input and stay quiet on a well-formed one.
+
+use yu_analysis::{lint_network, lint_spec, Diagnostic, Severity};
+use yu_mtbdd::Ratio;
+use yu_net::{
+    BgpConfig, FailureMode, Flow, Ipv4, LinkId, LoadPoint, Network, RouterId, SrPath, SrPolicy,
+    StaticNextHop, StaticRoute, Tlp, TlpReq, Topology,
+};
+
+/// Two routers A, B in one AS connected by a 100 Gbps link.
+fn net2() -> (Network, RouterId, RouterId) {
+    let mut t = Topology::new();
+    let a = t.add_router("A", Ipv4::new(10, 0, 0, 1), 100);
+    let b = t.add_router("B", Ipv4::new(10, 0, 0, 2), 100);
+    t.add_link(a, b, 10, Ratio::int(100));
+    (Network::new(t), a, b)
+}
+
+fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+fn assert_fires(diags: &[Diagnostic], code: &str, severity: Severity) {
+    let hit = diags.iter().find(|d| d.code == code).unwrap_or_else(|| {
+        panic!("expected {code} to fire, got: {:?}", codes(diags));
+    });
+    assert_eq!(hit.severity, severity, "{code} severity");
+}
+
+#[test]
+fn clean_network_has_no_diagnostics() {
+    let (net, _, _) = net2();
+    assert!(lint_network(&net).is_empty(), "{:?}", lint_network(&net));
+}
+
+#[test]
+fn yu001_config_count_mismatch() {
+    let (net, _, _) = net2();
+    let broken = Network {
+        topo: net.topo,
+        configs: Vec::new(),
+    };
+    let diags = lint_network(&broken);
+    assert_fires(&diags, "YU001", Severity::Error);
+}
+
+#[test]
+fn yu002_duplicate_router_name() {
+    let mut t = Topology::new();
+    t.add_router("A", Ipv4::new(10, 0, 0, 1), 100);
+    t.add_router("A", Ipv4::new(10, 0, 0, 2), 100);
+    let diags = lint_network(&Network::new(t));
+    assert_fires(&diags, "YU002", Severity::Error);
+}
+
+#[test]
+fn yu003_non_positive_capacity() {
+    let mut t = Topology::new();
+    let a = t.add_router("A", Ipv4::new(10, 0, 0, 1), 100);
+    let b = t.add_router("B", Ipv4::new(10, 0, 0, 2), 100);
+    t.add_link(a, b, 10, Ratio::ZERO);
+    let diags = lint_network(&Network::new(t));
+    assert_fires(&diags, "YU003", Severity::Error);
+}
+
+#[test]
+fn yu004_sr_policy_without_paths() {
+    let (mut net, a, _) = net2();
+    net.config_mut(a).sr_policies.push(SrPolicy {
+        endpoint: Ipv4::new(10, 0, 0, 2),
+        match_dscp: None,
+        paths: vec![],
+    });
+    assert_fires(&lint_network(&net), "YU004", Severity::Error);
+}
+
+#[test]
+fn yu005_sr_path_without_segments() {
+    let (mut net, a, _) = net2();
+    net.config_mut(a).sr_policies.push(SrPolicy {
+        endpoint: Ipv4::new(10, 0, 0, 2),
+        match_dscp: None,
+        paths: vec![SrPath {
+            segments: vec![],
+            weight: 1,
+        }],
+    });
+    assert_fires(&lint_network(&net), "YU005", Severity::Error);
+}
+
+#[test]
+fn yu006_sr_segment_unknown_loopback() {
+    let (mut net, a, _) = net2();
+    net.config_mut(a).sr_policies.push(SrPolicy {
+        endpoint: Ipv4::new(10, 0, 0, 2),
+        match_dscp: None,
+        paths: vec![SrPath {
+            segments: vec![Ipv4::new(9, 9, 9, 9)],
+            weight: 1,
+        }],
+    });
+    assert_fires(&lint_network(&net), "YU006", Severity::Error);
+}
+
+#[test]
+fn yu007_sr_segment_crosses_as_boundary() {
+    let mut t = Topology::new();
+    let a = t.add_router("A", Ipv4::new(10, 0, 0, 1), 100);
+    let b = t.add_router("B", Ipv4::new(10, 0, 0, 2), 200); // different AS
+    t.add_link(a, b, 10, Ratio::int(100));
+    let mut net = Network::new(t);
+    net.config_mut(a).sr_policies.push(SrPolicy {
+        endpoint: Ipv4::new(10, 0, 0, 2),
+        match_dscp: None,
+        paths: vec![SrPath {
+            segments: vec![Ipv4::new(10, 0, 0, 2)],
+            weight: 1,
+        }],
+    });
+    assert_fires(&lint_network(&net), "YU007", Severity::Error);
+}
+
+#[test]
+fn yu007_quiet_when_segments_share_the_as() {
+    let (mut net, a, _) = net2();
+    net.config_mut(a).sr_policies.push(SrPolicy {
+        endpoint: Ipv4::new(10, 0, 0, 2),
+        match_dscp: None,
+        paths: vec![SrPath {
+            segments: vec![Ipv4::new(10, 0, 0, 2)],
+            weight: 1,
+        }],
+    });
+    assert!(lint_network(&net).is_empty());
+}
+
+#[test]
+fn yu008_bgp_network_without_backing_route() {
+    let (mut net, a, _) = net2();
+    net.config_mut(a).bgp = Some(BgpConfig {
+        networks: vec!["100.0.0.0/24".parse().unwrap()],
+        ..Default::default()
+    });
+    assert_fires(&lint_network(&net), "YU008", Severity::Error);
+    // A connected route silences it.
+    net.config_mut(a)
+        .connected
+        .push("100.0.0.0/24".parse().unwrap());
+    assert!(!codes(&lint_network(&net)).contains(&"YU008"));
+}
+
+#[test]
+fn yu009_bgp_peer_reference_to_missing_router() {
+    let (mut net, a, _) = net2();
+    net.config_mut(a).bgp = Some(BgpConfig {
+        peer_local_pref: vec![(RouterId(99), 200)],
+        ..Default::default()
+    });
+    assert_fires(&lint_network(&net), "YU009", Severity::Error);
+}
+
+#[test]
+fn yu010_bgp_peer_reference_without_session() {
+    let (mut net, a, b) = net2();
+    // B is in the same AS but runs no BGP: no session derives.
+    net.config_mut(a).bgp = Some(BgpConfig {
+        peer_local_pref: vec![(b, 200)],
+        ..Default::default()
+    });
+    assert_fires(&lint_network(&net), "YU010", Severity::Warning);
+}
+
+#[test]
+fn yu011_static_next_hop_unresolvable() {
+    let (mut net, a, _) = net2();
+    net.config_mut(a).static_routes.push(StaticRoute {
+        prefix: "50.0.0.0/8".parse().unwrap(),
+        next_hop: StaticNextHop::Ip(Ipv4::new(9, 9, 9, 9)),
+    });
+    assert_fires(&lint_network(&net), "YU011", Severity::Error);
+    // Null0 routes drop by design: no diagnostic.
+    net.config_mut(a).static_routes[0].next_hop = StaticNextHop::Null0;
+    assert!(lint_network(&net).is_empty());
+}
+
+#[test]
+fn yu011_quiet_when_next_hop_is_a_loopback() {
+    let (mut net, a, _) = net2();
+    net.config_mut(a).static_routes.push(StaticRoute {
+        prefix: "50.0.0.0/8".parse().unwrap(),
+        next_hop: StaticNextHop::Ip(Ipv4::new(10, 0, 0, 2)), // B's loopback
+    });
+    assert!(lint_network(&net).is_empty());
+}
+
+#[test]
+fn yu012_anycast_loopback_warns() {
+    let mut t = Topology::new();
+    t.add_router("B1", Ipv4::new(1, 1, 1, 1), 100);
+    t.add_router("B2", Ipv4::new(1, 1, 1, 1), 100);
+    assert_fires(&lint_network(&Network::new(t)), "YU012", Severity::Warning);
+}
+
+#[test]
+fn yu013_prefix_attached_to_multiple_routers() {
+    let (mut net, a, b) = net2();
+    net.config_mut(a)
+        .connected
+        .push("100.0.0.0/24".parse().unwrap());
+    net.config_mut(b)
+        .connected
+        .push("100.0.0.0/24".parse().unwrap());
+    assert_fires(&lint_network(&net), "YU013", Severity::Warning);
+}
+
+fn flow(ingress: RouterId, volume: Ratio) -> Flow {
+    Flow::new(
+        ingress,
+        Ipv4::new(11, 0, 0, 1),
+        Ipv4::new(100, 0, 0, 1),
+        0,
+        volume,
+    )
+}
+
+#[test]
+fn yu014_flow_ingress_missing() {
+    let (net, _, _) = net2();
+    let flows = [flow(RouterId(99), Ratio::int(10))];
+    let diags = lint_spec(&net, &flows, &Tlp::new(), 1, FailureMode::Links);
+    assert_fires(&diags, "YU014", Severity::Error);
+}
+
+#[test]
+fn yu015_negative_volume() {
+    let (net, a, _) = net2();
+    let flows = [flow(a, Ratio::int(-5))];
+    let diags = lint_spec(&net, &flows, &Tlp::new(), 1, FailureMode::Links);
+    assert_fires(&diags, "YU015", Severity::Error);
+}
+
+#[test]
+fn yu016_zero_volume() {
+    let (net, a, _) = net2();
+    let flows = [flow(a, Ratio::ZERO)];
+    let diags = lint_spec(&net, &flows, &Tlp::new(), 1, FailureMode::Links);
+    assert_fires(&diags, "YU016", Severity::Warning);
+}
+
+#[test]
+fn yu017_tlp_point_out_of_range() {
+    let (net, _, _) = net2();
+    let tlp = Tlp::new().with(TlpReq::at_most(
+        LoadPoint::Link(LinkId(999)),
+        Ratio::int(10),
+    ));
+    let diags = lint_spec(&net, &[], &tlp, 1, FailureMode::Links);
+    assert_fires(&diags, "YU017", Severity::Error);
+}
+
+#[test]
+fn yu018_min_bound_exceeds_total_volume() {
+    let (net, a, b) = net2();
+    let flows = [flow(a, Ratio::int(10))];
+    let tlp = Tlp::new().with(TlpReq::at_least(LoadPoint::Delivered(b), Ratio::int(50)));
+    let diags = lint_spec(&net, &flows, &tlp, 1, FailureMode::Links);
+    assert_fires(&diags, "YU018", Severity::Warning);
+    // A satisfiable bound is quiet.
+    let tlp = Tlp::new().with(TlpReq::at_least(LoadPoint::Delivered(b), Ratio::int(10)));
+    assert!(!codes(&lint_spec(&net, &flows, &tlp, 1, FailureMode::Links)).contains(&"YU018"));
+}
+
+#[test]
+fn yu019_max_bound_exceeds_link_capacity() {
+    let (net, _, _) = net2();
+    let tlp = Tlp::new().with(TlpReq::at_most(
+        LoadPoint::Link(LinkId(0)),
+        Ratio::int(500), // capacity is 100
+    ));
+    let diags = lint_spec(&net, &[], &tlp, 1, FailureMode::Links);
+    assert_fires(&diags, "YU019", Severity::Warning);
+}
+
+#[test]
+fn yu020_failure_budget_covers_everything() {
+    let (net, _, _) = net2();
+    // One undirected link, k = 1: every element may fail.
+    let diags = lint_spec(&net, &[], &Tlp::new(), 1, FailureMode::Links);
+    assert_fires(&diags, "YU020", Severity::Warning);
+    let diags = lint_spec(&net, &[], &Tlp::new(), 0, FailureMode::Links);
+    assert!(!codes(&diags).contains(&"YU020"));
+}
+
+#[test]
+fn clean_spec_is_quiet_end_to_end() {
+    let (mut net, a, b) = net2();
+    net.config_mut(b)
+        .connected
+        .push("100.0.0.0/24".parse().unwrap());
+    let flows = [flow(a, Ratio::int(10))];
+    let tlp = Tlp::new().with(TlpReq::at_most(LoadPoint::Link(LinkId(0)), Ratio::int(95)));
+    let diags = lint_spec(&net, &flows, &tlp, 0, FailureMode::Links);
+    assert!(diags.is_empty(), "{diags:?}");
+}

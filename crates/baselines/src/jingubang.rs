@@ -68,7 +68,7 @@ pub fn verify_bounded(
     let mut violations = Vec::new();
     let mut scenarios_checked = 0;
     'outer: for scenario in scenarios_up_to_k(&net.topo, mode, k) {
-        if max_scenarios.map_or(false, |m| scenarios_checked >= m) {
+        if max_scenarios.is_some_and(|m| scenarios_checked >= m) {
             break;
         }
         scenarios_checked += 1;

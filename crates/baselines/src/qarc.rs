@@ -91,13 +91,7 @@ impl QarcOutcome {
 /// # Panics
 /// Panics if [`supports`] rejects the network — mirroring QARC's
 /// inability to even encode such networks.
-pub fn verify(
-    net: &Network,
-    flows: &[Flow],
-    tlp: &Tlp,
-    k: usize,
-    early_stop: bool,
-) -> QarcOutcome {
+pub fn verify(net: &Network, flows: &[Flow], tlp: &Tlp, k: usize, early_stop: bool) -> QarcOutcome {
     verify_bounded(net, flows, tlp, k, early_stop, None)
 }
 
@@ -128,7 +122,7 @@ pub fn verify_bounded(
     let checkable: Vec<_> = tlp
         .reqs
         .iter()
-        .filter(|r| r.min.is_some() || r.max.as_ref().map_or(false, |hi| *hi < total_volume))
+        .filter(|r| r.min.is_some() || r.max.as_ref().is_some_and(|hi| *hi < total_volume))
         .collect();
     if checkable.is_empty() {
         return QarcOutcome {
@@ -139,7 +133,7 @@ pub fn verify_bounded(
     }
 
     'outer: for scenario in scenarios_up_to_k(&net.topo, FailureMode::Links, k) {
-        if max_scenarios.map_or(false, |m| scenarios_checked >= m) {
+        if max_scenarios.is_some_and(|m| scenarios_checked >= m) {
             break;
         }
         scenarios_checked += 1;
@@ -218,7 +212,7 @@ impl<'n> SpModel<'n> {
                 }
                 let v = self.net.topo.link(l).from;
                 let nd = d + self.net.topo.link(l).igp_cost;
-                if dist[v.0 as usize].map_or(true, |old| nd < old) {
+                if dist[v.0 as usize].is_none_or(|old| nd < old) {
                     dist[v.0 as usize] = Some(nd);
                     heap.push((Reverse(nd), v));
                 }
@@ -277,7 +271,7 @@ impl<'n> SpModel<'n> {
                 .filter(|&l| {
                     self.scenario.link_usable(&self.net.topo, l)
                         && dist[self.net.topo.link(l).to.0 as usize]
-                            .map_or(false, |du| dr == du + self.net.topo.link(l).igp_cost)
+                            .is_some_and(|du| dr == du + self.net.topo.link(l).igp_cost)
                 })
                 .collect();
             debug_assert!(!next.is_empty(), "finite distance implies a next hop");

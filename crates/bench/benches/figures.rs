@@ -45,7 +45,17 @@ fn fig12_flows(c: &mut Criterion) {
     g.sample_size(10);
     for n in [333usize, 666, 1333, 2000] {
         g.bench_with_input(BenchmarkId::new("k2_link", n), &n, |b, &n| {
-            b.iter(|| run_yu(&w.net, &all_flows[..n], &tlp, 2, FailureMode::Links, true, true))
+            b.iter(|| {
+                run_yu(
+                    &w.net,
+                    &all_flows[..n],
+                    &tlp,
+                    2,
+                    FailureMode::Links,
+                    true,
+                    true,
+                )
+            })
         });
     }
     g.finish();

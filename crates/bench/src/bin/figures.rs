@@ -73,7 +73,13 @@ fn fig1() {
     header("Fig. 1 (motivating example: loads and P1/P2 verdicts)");
     let ex = motivating_example();
     let topo = ex.net.topo.clone();
-    let mut v = YuVerifier::new(ex.net, YuOptions { k: 1, ..Default::default() });
+    let mut v = YuVerifier::new(
+        ex.net,
+        YuOptions {
+            k: 1,
+            ..Default::default()
+        },
+    );
     v.add_flows(&ex.flows);
     let s0 = Scenario::none();
     println!("scenario (a), no failures:");
@@ -111,9 +117,7 @@ fn table3() {
         .enumerate()
     {
         let (w, flows) = preset_instance(preset);
-        let (pn, pr, pl, pp, pf) = (
-            paper[i].0, paper[i].1, paper[i].2, paper[i].3, paper[i].4,
-        );
+        let (pn, pr, pl, pp, pf) = (paper[i].0, paper[i].1, paper[i].2, paper[i].3, paper[i].4);
         let _ = pn;
         println!(
             "{:<6} {:>4} ({:>4}) {:>4} ({:>4}) {:>4} ({:>4}) {:>6} ({:>4})",
@@ -180,7 +184,11 @@ fn fig11_17(opts: &Opts, mode: FailureMode) {
 /// router failures.
 fn fig12(opts: &Opts) {
     header("Fig. 12 (WAN verification time vs flow count)");
-    let preset = if opts.quick { WanPreset::N0 } else { WanPreset::Wan };
+    let preset = if opts.quick {
+        WanPreset::N0
+    } else {
+        WanPreset::Wan
+    };
     let (w, all_flows) = preset_instance(preset);
     let tlp = overload_tlp(&w.net);
     let total = all_flows.len();
@@ -211,7 +219,11 @@ fn fig12(opts: &Opts) {
 /// counts, with and without link-local equivalence (k = 1).
 fn fig13_14(opts: &Opts) {
     header("Figs. 13/14 (link-local equivalence: per-link check time and flow counts)");
-    let preset = if opts.quick { WanPreset::N0 } else { WanPreset::Wan };
+    let preset = if opts.quick {
+        WanPreset::N0
+    } else {
+        WanPreset::Wan
+    };
     let (w, flows) = preset_instance(preset);
     let mut v = YuVerifier::new(
         w.net.clone(),
@@ -258,9 +270,18 @@ fn fig13_14(opts: &Opts) {
     }
     let (_, p90_w, max_w) = cdf_summary(with_eq.clone());
     let (_, p90_wo, max_wo) = cdf_summary(without_eq.clone());
-    println!("Fig. 13 per-link TLP check time over {} links:", sample.len());
-    println!("  with equivalence:    p90 {:.4}s  max {:.4}s", p90_w, max_w);
-    println!("  without equivalence: p90 {:.4}s  max {:.4}s", p90_wo, max_wo);
+    println!(
+        "Fig. 13 per-link TLP check time over {} links:",
+        sample.len()
+    );
+    println!(
+        "  with equivalence:    p90 {:.4}s  max {:.4}s",
+        p90_w, max_w
+    );
+    println!(
+        "  without equivalence: p90 {:.4}s  max {:.4}s",
+        p90_wo, max_wo
+    );
     println!(
         "  paper: 12.51s -> 0.79s at p90 (16x); measured speedup at p90: {:.1}x",
         p90_wo / p90_w.max(1e-9)
@@ -268,8 +289,14 @@ fn fig13_14(opts: &Opts) {
     let (_, p90_f, max_f) = cdf_summary(flows_raw);
     let (_, p90_c, max_c) = cdf_summary(flows_classes);
     println!("Fig. 14 per-link distinct flows over the same links:");
-    println!("  flows (no equivalence):   p90 {:.0}  max {:.0}", p90_f, max_f);
-    println!("  classes (with equivalence): p90 {:.0}  max {:.0}", p90_c, max_c);
+    println!(
+        "  flows (no equivalence):   p90 {:.0}  max {:.0}",
+        p90_f, max_f
+    );
+    println!(
+        "  classes (with equivalence): p90 {:.0}  max {:.0}",
+        p90_c, max_c
+    );
     println!(
         "  paper: ~1.7e4 -> ~500 at p90 (33x); measured reduction at p90: {:.1}x",
         p90_f / p90_c.max(1.0)
@@ -294,7 +321,11 @@ fn fig15_16(opts: &Opts) {
         "{:<7} {:>12} {:>14} {:>12} {:>12} {:>14}",
         "flows", "YU (s)", "YU w/o KR (s)", "QARC (s)", "nodes", "nodes w/o KR"
     );
-    let counts: &[usize] = if opts.quick { &[1, 9] } else { &[1, 5, 9, 13, 17, 21] };
+    let counts: &[usize] = if opts.quick {
+        &[1, 9]
+    } else {
+        &[1, 5, 9, 13, 17, 21]
+    };
     for &n in counts {
         let flows = ft.pairwise_flows(n, Ratio::int(5));
         let with_kr = run_yu(&ft.net, &flows, &tlp, 2, FailureMode::Links, true, true);
@@ -332,7 +363,10 @@ fn fig18() {
     let sum = m.add(tx, ty);
     println!("|T_x| = {} nodes", m.node_count(tx));
     println!("|T_y| = {} nodes", m.node_count(ty));
-    println!("|T_x + T_y| = {} nodes (the blow-up motivating Sec. 5.3)", m.node_count(sum));
+    println!(
+        "|T_x + T_y| = {} nodes (the blow-up motivating Sec. 5.3)",
+        m.node_count(sum)
+    );
 }
 
 /// Table 4: FT-4/8/12 x flow fractions, YU vs QARC vs Jingubang (2-link
@@ -413,13 +447,7 @@ fn measure_jingubang(
 }
 
 /// Times the QARC baseline, extrapolating when over budget.
-fn measure_qarc(
-    net: &Network,
-    flows: &[Flow],
-    tlp: &Tlp,
-    k: usize,
-    budget: Duration,
-) -> String {
+fn measure_qarc(net: &Network, flows: &[Flow], tlp: &Tlp, k: usize, budget: Duration) -> String {
     let total = scenario_count(net.topo.num_ulinks(), k);
     let probe_n = 64u128.min(total) as usize;
     let t0 = Instant::now();

@@ -123,7 +123,7 @@ impl YuVerifier {
         let k = opts.use_kreduce.then_some(opts.k);
         let routes = SymbolicRoutes::compute(&mut m, &net, &fv, k);
         let route_time = t0.elapsed();
-        YuVerifier {
+        let yu = YuVerifier {
             m,
             net,
             fv,
@@ -136,6 +136,31 @@ impl YuVerifier {
             exec_time: Duration::ZERO,
             load_cache: HashMap::new(),
             live_after_gc: 0,
+        };
+        yu.audit_checkpoint("after symbolic route simulation");
+        yu
+    }
+
+    /// Audits the MTBDD manager against every live root this verifier
+    /// holds (routing guards, flow STFs, cached per-point loads). Cheap
+    /// enough for tests; see [`yu_mtbdd::AuditReport`].
+    pub fn audit(&self) -> yu_mtbdd::AuditReport {
+        let mut roots = Vec::new();
+        self.routes.gc_roots(&mut roots);
+        for stf in &self.results {
+            stf.gc_roots(&mut roots);
+        }
+        for &(tau, _) in self.load_cache.values() {
+            roots.push(tau);
+        }
+        self.m.audit(&roots)
+    }
+
+    /// Runs [`Self::audit`] and panics on violations when auditing is
+    /// enabled (`YU_AUDIT=1` or a `debug_assertions` build).
+    fn audit_checkpoint(&self, context: &str) {
+        if yu_mtbdd::audit_enabled() {
+            self.audit().assert_ok(context);
         }
     }
 
@@ -228,6 +253,7 @@ impl YuVerifier {
         }
         self.exec_time += t0.elapsed();
         self.load_cache.clear();
+        self.audit_checkpoint("after symbolic traffic execution");
     }
 
     /// The aggregated symbolic traffic load at `point`
@@ -351,6 +377,7 @@ impl YuVerifier {
             }
         }
         let check_time = t0.elapsed();
+        self.audit_checkpoint("after TLP check");
         VerificationOutcome {
             violations,
             stats: RunStats {
@@ -367,11 +394,7 @@ impl YuVerifier {
 
     /// Enumerates every violating `≤ k` scenario for one requirement (up
     /// to `limit`), not just the first counterexample.
-    pub fn enumerate_violations(
-        &mut self,
-        req: &yu_net::TlpReq,
-        limit: usize,
-    ) -> Vec<Violation> {
+    pub fn enumerate_violations(&mut self, req: &yu_net::TlpReq, limit: usize) -> Vec<Violation> {
         let (tau, _) = self.load_with_stats(req.point);
         let k = self.opts.k;
         crate::verify::enumerate_violations(&mut self.m, &self.fv, tau, req, k, limit)

@@ -29,8 +29,8 @@
 
 use std::collections::HashMap;
 use yu_mtbdd::{Mtbdd, NodeRef, Op};
-use yu_net::{FailureVars, Flow, Ipv4, LoadPoint, Network, RouterId};
 use yu_net::Proto;
+use yu_net::{FailureVars, Flow, Ipv4, LoadPoint, Network, RouterId};
 use yu_routing::{class_partition, NextHop, Rule, SymbolicRoutes};
 
 /// Options for symbolic traffic execution.
@@ -153,7 +153,11 @@ impl<'a> Exec<'a> {
         if amount == self.m.zero() {
             return;
         }
-        let cur = self.loads.get(&point).copied().unwrap_or_else(|| self.m.zero());
+        let cur = self
+            .loads
+            .get(&point)
+            .copied()
+            .unwrap_or_else(|| self.m.zero());
         let sum = self.m.add(cur, amount);
         let sum = self.reduce(sum);
         self.loads.insert(point, sum);
@@ -240,11 +244,7 @@ impl<'a> Exec<'a> {
         let rules = self
             .routes
             .fib_rules(self.m, self.net, self.fv, router, self.flow.dst);
-        let multipath = self
-            .net
-            .bgp(router)
-            .map(|b| b.multipath)
-            .unwrap_or(true);
+        let multipath = self.net.bgp(router).map(|b| b.multipath).unwrap_or(true);
         let sel = selection_guards(self.m, &rules, multipath);
         let total = self.m.sum(&sel);
         let mut consumed = self.m.zero();
@@ -348,7 +348,10 @@ impl<'a> Exec<'a> {
         self.accumulate(LoadPoint::Link(l), q);
         let to = self.net.topo.link(l).to;
         let sid = self.stacks.intern(stack);
-        let cur = next.get(&(to, sid)).copied().unwrap_or_else(|| self.m.zero());
+        let cur = next
+            .get(&(to, sid))
+            .copied()
+            .unwrap_or_else(|| self.m.zero());
         let sum = self.m.add(cur, q);
         let sum = self.reduce(sum);
         next.insert((to, sid), sum);
@@ -423,8 +426,21 @@ mod tests {
     fn ecmp_over_parallel_links_and_failover() {
         let (net, [a, _b, c]) = bundle_net();
         let (mut m, fv, mut routes) = setup(&net);
-        let flow = Flow::new(a, Ipv4::new(11, 0, 0, 1), "100.0.0.9".parse().unwrap(), 0, Ratio::int(80));
-        let stf = simulate_flow(&mut m, &net, &fv, &mut routes, &flow, ExecOptions::default());
+        let flow = Flow::new(
+            a,
+            Ipv4::new(11, 0, 0, 1),
+            "100.0.0.9".parse().unwrap(),
+            0,
+            Ratio::int(80),
+        );
+        let stf = simulate_flow(
+            &mut m,
+            &net,
+            &fv,
+            &mut routes,
+            &flow,
+            ExecOptions::default(),
+        );
 
         // Delivered fully at C with no failures.
         let d = stf.at(&m, LoadPoint::Delivered(c));
@@ -460,8 +476,21 @@ mod tests {
     fn kreduce_execution_matches_exact_on_small_scenarios() {
         let (net, [a, _, c]) = bundle_net();
         let (mut m, fv, mut routes) = setup(&net);
-        let flow = Flow::new(a, Ipv4::new(11, 0, 0, 1), "100.0.0.9".parse().unwrap(), 0, Ratio::int(80));
-        let exact = simulate_flow(&mut m, &net, &fv, &mut routes, &flow, ExecOptions::default());
+        let flow = Flow::new(
+            a,
+            Ipv4::new(11, 0, 0, 1),
+            "100.0.0.9".parse().unwrap(),
+            0,
+            Ratio::int(80),
+        );
+        let exact = simulate_flow(
+            &mut m,
+            &net,
+            &fv,
+            &mut routes,
+            &flow,
+            ExecOptions::default(),
+        );
         let mut routes2 = SymbolicRoutes::compute(&mut m, &net, &fv, Some(1));
         let reduced = simulate_flow(
             &mut m,
@@ -497,7 +526,11 @@ mod tests {
             prefix: "10.0.0.0/8".parse().unwrap(),
             proto,
             next_hop: NextHop::Null0,
-            local_pref: if matches!(proto, Proto::Ebgp | Proto::Ibgp) { 100 } else { 0 },
+            local_pref: if matches!(proto, Proto::Ebgp | Proto::Ibgp) {
+                100
+            } else {
+                0
+            },
             as_path_len: 0,
             tie,
             guard,

@@ -29,6 +29,8 @@ pub mod exec;
 pub mod verify;
 
 pub use api::{RunStats, VerificationOutcome, YuOptions, YuVerifier};
-pub use equivalence::{aggregate_load, global_groups, global_groups_classified, AggStats, FlowGroup};
+pub use equivalence::{
+    aggregate_load, global_groups, global_groups_classified, AggStats, FlowGroup,
+};
 pub use exec::{selection_guards, simulate_flow, ExecOptions, FlowStf};
 pub use verify::{check_requirement, check_tlp, enumerate_violations, Violation};

@@ -63,7 +63,7 @@ pub fn check_requirement(
     let max = req.max.clone();
     let violates = move |t: Term| match t {
         Term::Num(v) => {
-            min.as_ref().map_or(false, |lo| &v < lo) || max.as_ref().map_or(false, |hi| &v > hi)
+            min.as_ref().is_some_and(|lo| &v < lo) || max.as_ref().is_some_and(|hi| &v > hi)
         }
         Term::PosInf => true,
     };

@@ -61,8 +61,21 @@ fn long_label_stacks_pop_hop_by_hop() {
     let mut m = Mtbdd::new();
     let fv = FailureVars::allocate(&mut m, &net.topo, FailureMode::Links);
     let mut routes = SymbolicRoutes::compute(&mut m, &net, &fv, None);
-    let flow = Flow::new(h, Ipv4::new(11, 0, 0, 1), "70.0.0.9".parse().unwrap(), 0, Ratio::int(10));
-    let stf = simulate_flow(&mut m, &net, &fv, &mut routes, &flow, ExecOptions::default());
+    let flow = Flow::new(
+        h,
+        Ipv4::new(11, 0, 0, 1),
+        "70.0.0.9".parse().unwrap(),
+        0,
+        Ratio::int(10),
+    );
+    let stf = simulate_flow(
+        &mut m,
+        &net,
+        &fv,
+        &mut routes,
+        &flow,
+        ExecOptions::default(),
+    );
     let s = Scenario::none();
     // Every chain link carries the full flow; delivery at T.
     for l in net.topo.links() {
@@ -73,16 +86,26 @@ fn long_label_stacks_pop_hop_by_hop() {
         };
         assert_eq!(eval(&m, &fv, &stf, LoadPoint::Link(l), &s), want);
     }
-    assert_eq!(eval(&m, &fv, &stf, LoadPoint::Delivered(tr), &s), Ratio::ONE);
+    assert_eq!(
+        eval(&m, &fv, &stf, LoadPoint::Delivered(tr), &s),
+        Ratio::ONE
+    );
     // The tunnel has no alternate path: any chain failure drops it all.
     let s = Scenario::links([ULinkId(1)]);
-    assert_eq!(eval(&m, &fv, &stf, LoadPoint::Delivered(tr), &s), Ratio::ZERO);
+    assert_eq!(
+        eval(&m, &fv, &stf, LoadPoint::Delivered(tr), &s),
+        Ratio::ZERO
+    );
     let total_dropped: Ratio = net
         .topo
         .routers()
         .map(|r| eval(&m, &fv, &stf, LoadPoint::Dropped(r), &s))
         .fold(Ratio::ZERO, |a, b| a + b);
-    assert_eq!(total_dropped, Ratio::ONE, "all traffic accounted as dropped");
+    assert_eq!(
+        total_dropped,
+        Ratio::ONE,
+        "all traffic accounted as dropped"
+    );
 }
 
 #[test]
@@ -104,8 +127,21 @@ fn unresolvable_static_next_hop_drops() {
     let mut m = Mtbdd::new();
     let fv = FailureVars::allocate(&mut m, &net.topo, FailureMode::Links);
     let mut routes = SymbolicRoutes::compute(&mut m, &net, &fv, None);
-    let flow = Flow::new(a, Ipv4::new(11, 0, 0, 1), "80.1.2.3".parse().unwrap(), 0, Ratio::int(7));
-    let stf = simulate_flow(&mut m, &net, &fv, &mut routes, &flow, ExecOptions::default());
+    let flow = Flow::new(
+        a,
+        Ipv4::new(11, 0, 0, 1),
+        "80.1.2.3".parse().unwrap(),
+        0,
+        Ratio::int(7),
+    );
+    let stf = simulate_flow(
+        &mut m,
+        &net,
+        &fv,
+        &mut routes,
+        &flow,
+        ExecOptions::default(),
+    );
     let s = Scenario::none();
     assert_eq!(eval(&m, &fv, &stf, LoadPoint::Dropped(a), &s), Ratio::ONE);
     assert!(m.eval_all_alive(stf.truncated).is_zero());
@@ -150,21 +186,43 @@ fn sr_weight_redistribution_on_tunnel_failure() {
     let mut m = Mtbdd::new();
     let fv = FailureVars::allocate(&mut m, &net.topo, FailureMode::Links);
     let mut routes = SymbolicRoutes::compute(&mut m, &net, &fv, None);
-    let flow = Flow::new(h, Ipv4::new(11, 0, 0, 1), "70.0.0.9".parse().unwrap(), 0, Ratio::int(100));
-    let stf = simulate_flow(&mut m, &net, &fv, &mut routes, &flow, ExecOptions::default());
+    let flow = Flow::new(
+        h,
+        Ipv4::new(11, 0, 0, 1),
+        "70.0.0.9".parse().unwrap(),
+        0,
+        Ratio::int(100),
+    );
+    let stf = simulate_flow(
+        &mut m,
+        &net,
+        &fv,
+        &mut routes,
+        &flow,
+        ExecOptions::default(),
+    );
     let (hx, _) = net.topo.directions(ULinkId(0));
     let (hy, _) = net.topo.directions(ULinkId(1));
     // 75/25 split normally.
     let s = Scenario::none();
-    assert_eq!(eval(&m, &fv, &stf, LoadPoint::Link(hx), &s), Ratio::new(3, 4));
-    assert_eq!(eval(&m, &fv, &stf, LoadPoint::Link(hy), &s), Ratio::new(1, 4));
+    assert_eq!(
+        eval(&m, &fv, &stf, LoadPoint::Link(hx), &s),
+        Ratio::new(3, 4)
+    );
+    assert_eq!(
+        eval(&m, &fv, &stf, LoadPoint::Link(hy), &s),
+        Ratio::new(1, 4)
+    );
     // X-T failure: reach(X, T) survives via X-H-Y-T? X's IGP reaches T
     // through H and Y, so tunnel 1 stays up and re-routes through H!
     // The pure weight-redistribution case needs X fully cut off from T:
     // fail X-T and H-X; then tunnel 2 carries everything.
     let s = Scenario::links([u_xt, ULinkId(0)]);
     assert_eq!(eval(&m, &fv, &stf, LoadPoint::Link(hy), &s), Ratio::ONE);
-    assert_eq!(eval(&m, &fv, &stf, LoadPoint::Delivered(tr), &s), Ratio::ONE);
+    assert_eq!(
+        eval(&m, &fv, &stf, LoadPoint::Delivered(tr), &s),
+        Ratio::ONE
+    );
 }
 
 #[test]
@@ -187,19 +245,50 @@ fn dscp_selects_among_policies() {
     let fv = FailureVars::allocate(&mut m, &net.topo, FailureMode::Links);
     let mut routes = SymbolicRoutes::compute(&mut m, &net, &fv, None);
     let tr = net.topo.router_by_name("T").unwrap();
-    let mk = |dscp| Flow::new(h, Ipv4::new(11, 0, 0, 1), "70.0.0.9".parse().unwrap(), dscp, Ratio::int(1));
+    let mk = |dscp| {
+        Flow::new(
+            h,
+            Ipv4::new(11, 0, 0, 1),
+            "70.0.0.9".parse().unwrap(),
+            dscp,
+            Ratio::int(1),
+        )
+    };
     let s = Scenario::none();
-    let f0 = simulate_flow(&mut m, &net, &fv, &mut routes, &mk(0), ExecOptions::default());
+    let f0 = simulate_flow(
+        &mut m,
+        &net,
+        &fv,
+        &mut routes,
+        &mk(0),
+        ExecOptions::default(),
+    );
     assert_eq!(eval(&m, &fv, &f0, LoadPoint::Delivered(tr), &s), Ratio::ONE);
-    let f7 = simulate_flow(&mut m, &net, &fv, &mut routes, &mk(7), ExecOptions::default());
-    assert_eq!(eval(&m, &fv, &f7, LoadPoint::Delivered(tr), &s), Ratio::ZERO);
+    let f7 = simulate_flow(
+        &mut m,
+        &net,
+        &fv,
+        &mut routes,
+        &mk(7),
+        ExecOptions::default(),
+    );
+    assert_eq!(
+        eval(&m, &fv, &f7, LoadPoint::Delivered(tr), &s),
+        Ratio::ZERO
+    );
     assert_eq!(eval(&m, &fv, &f7, LoadPoint::Dropped(h), &s), Ratio::ONE);
 }
 
 #[test]
 fn kreduce_during_exec_shrinks_nodes() {
     let (net, [h, ..]) = chain_with_long_tunnel();
-    let flow = Flow::new(h, Ipv4::new(11, 0, 0, 1), "70.0.0.9".parse().unwrap(), 0, Ratio::int(10));
+    let flow = Flow::new(
+        h,
+        Ipv4::new(11, 0, 0, 1),
+        "70.0.0.9".parse().unwrap(),
+        0,
+        Ratio::int(10),
+    );
     let count = |k: Option<u32>| {
         let mut m = Mtbdd::new();
         let fv = FailureVars::allocate(&mut m, &net.topo, FailureMode::Links);

@@ -75,7 +75,10 @@ fn edge_prefix(i: usize) -> Prefix {
 
 /// Builds `FT-m`. `m` must be even and at least 2.
 pub fn fattree(m: usize) -> FatTree {
-    assert!(m >= 2 && m % 2 == 0, "FatTree pod count must be even");
+    assert!(
+        m >= 2 && m.is_multiple_of(2),
+        "FatTree pod count must be even"
+    );
     let half = m / 2;
     let mut t = Topology::new();
     let agg_core_cap = Ratio::int(100);
@@ -95,11 +98,7 @@ pub fn fattree(m: usize) -> FatTree {
         }
         for i in 0..half {
             let lo = Ipv4::new(10, p as u8, 2, i as u8);
-            edges.push(t.add_router(
-                format!("edge{p}_{i}"),
-                lo,
-                66000 + (p * half + i) as u32,
-            ));
+            edges.push(t.add_router(format!("edge{p}_{i}"), lo, 66000 + (p * half + i) as u32));
         }
     }
     for p in 0..m {

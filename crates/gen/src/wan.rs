@@ -17,9 +17,7 @@ use crate::fattree::FatTree;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use yu_mtbdd::Ratio;
-use yu_net::{
-    BgpConfig, Flow, Ipv4, Network, Prefix, RouterId, SrPath, SrPolicy, Topology,
-};
+use yu_net::{BgpConfig, Flow, Ipv4, Network, Prefix, RouterId, SrPath, SrPolicy, Topology};
 
 /// Parameters of the synthetic WAN.
 #[derive(Debug, Clone, Copy)]
@@ -119,7 +117,10 @@ const BACKBONE_AS: u32 = 100;
 
 /// Generates a synthetic WAN.
 pub fn wan(params: WanParams) -> Wan {
-    assert!(params.core_routers >= 3, "need at least a 3-router backbone");
+    assert!(
+        params.core_routers >= 3,
+        "need at least a 3-router backbone"
+    );
     assert!(params.stub_routers >= 1);
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut t = Topology::new();
@@ -191,7 +192,12 @@ pub fn wan(params: WanParams) -> Wan {
     for p in 0..params.prefixes {
         let s = zipf_index(&mut rng, stubs.len());
         let prefix = Prefix::new(
-            Ipv4::new(60 + (p / 65536) as u8, (p / 256 % 256) as u8, (p % 256) as u8, 0),
+            Ipv4::new(
+                60 + (p / 65536) as u8,
+                (p / 256 % 256) as u8,
+                (p % 256) as u8,
+                0,
+            ),
             24,
         );
         stubs[s].1.push(prefix);
@@ -271,7 +277,12 @@ impl Wan {
             let volume = Ratio::new(rng.random_range(1..=80), 100);
             flows.push(Flow::new(
                 ingress,
-                Ipv4::new(11, (i / 65536) as u8, (i / 256 % 256) as u8, (i % 256) as u8),
+                Ipv4::new(
+                    11,
+                    (i / 65536) as u8,
+                    (i / 256 % 256) as u8,
+                    (i % 256) as u8,
+                ),
                 dst,
                 dscp,
                 volume,

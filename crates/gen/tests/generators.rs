@@ -25,12 +25,7 @@ fn every_stub_prefix_is_deliverable_in_steady_state() {
     for (stub, prefixes) in &w.stubs {
         for p in prefixes.iter().take(2) {
             // A flow from some *other* stub to this prefix delivers.
-            let ingress = w
-                .stubs
-                .iter()
-                .map(|(r, _)| *r)
-                .find(|r| r != stub)
-                .unwrap();
+            let ingress = w.stubs.iter().map(|(r, _)| *r).find(|r| r != stub).unwrap();
             let dst = yu_net::Ipv4(p.addr().0 | 1);
             let flow = yu_net::Flow::new(
                 ingress,
@@ -75,7 +70,13 @@ fn fattree_steady_state_is_balanced() {
     // the four core routers' links.
     let ft = fattree(4);
     let flows = ft.pairwise_flows(ft.max_pairwise_flows(), Ratio::int(4));
-    let mut v = YuVerifier::new(ft.net.clone(), YuOptions { k: 0, ..Default::default() });
+    let mut v = YuVerifier::new(
+        ft.net.clone(),
+        YuOptions {
+            k: 0,
+            ..Default::default()
+        },
+    );
     v.add_flows(&flows);
     let s = Scenario::none();
     let mut core_loads = std::collections::BTreeSet::new();
@@ -85,7 +86,11 @@ fn fattree_steady_state_is_balanced() {
             core_loads.insert(v.load_at(LoadPoint::Link(l), &s).to_string());
         }
     }
-    assert_eq!(core_loads.len(), 1, "uniform load on core uplinks: {core_loads:?}");
+    assert_eq!(
+        core_loads.len(),
+        1,
+        "uniform load on core uplinks: {core_loads:?}"
+    );
 }
 
 #[test]

@@ -64,7 +64,7 @@ impl BigUint {
 
     fn bit(&self, i: usize) -> bool {
         let (limb, off) = (i / 64, i % 64);
-        self.limbs.get(limb).map_or(false, |l| l >> off & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| l >> off & 1 == 1)
     }
 
     pub fn cmp_mag(&self, other: &BigUint) -> Ordering {
@@ -165,7 +165,7 @@ impl BigUint {
     }
 
     fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Binary long division: returns `(quotient, remainder)`.

@@ -26,7 +26,12 @@ impl Mtbdd {
                 );
             } else {
                 let n = self.node_at(r);
-                let _ = writeln!(out, "  n{} [shape=circle,label=\"{}\"];", r.0, var_name(n.var));
+                let _ = writeln!(
+                    out,
+                    "  n{} [shape=circle,label=\"{}\"];",
+                    r.0,
+                    var_name(n.var)
+                );
                 let _ = writeln!(out, "  n{} -> n{} [style=dashed];", r.0, n.lo.0);
                 let _ = writeln!(out, "  n{} -> n{};", r.0, n.hi.0);
                 stack.push(n.lo);

@@ -51,6 +51,10 @@ impl Mtbdd {
         for &root in roots {
             self.copy_into(root, &mut fresh, &mut map);
         }
+        if fresh.audit_on() {
+            let live: Vec<NodeRef> = map.values().copied().collect();
+            fresh.audit(&live).assert_ok("post-GC arena");
+        }
         *self = fresh;
         Remap { map }
     }
@@ -100,7 +104,10 @@ mod tests {
         let remap = m.collect(&[live]);
         let live2 = remap.get(live);
         let after = m.stats().nodes_created;
-        assert!(after < before, "GC must shrink the arena ({after} vs {before})");
+        assert!(
+            after < before,
+            "GC must shrink the arena ({after} vs {before})"
+        );
         for bits in 0..8u32 {
             let assign = |v: u32| bits >> v & 1 == 1;
             let want = Ratio::int(40 * (bits & 1) as i64) + Ratio::int((bits >> 1 & 1) as i64);
@@ -131,7 +138,7 @@ mod tests {
         let z = m.zero();
         let remap = m.collect(&[]);
         assert!(remap.try_get(z).is_none()); // not a root, so not mapped...
-        // ...but the singleton constants of the fresh arena are intact.
+                                             // ...but the singleton constants of the fresh arena are intact.
         assert_eq!(m.eval_all_alive(m.zero()), Term::ZERO);
         assert_eq!(m.eval_all_alive(m.one()), Term::ONE);
     }

@@ -27,6 +27,19 @@ impl Mtbdd {
     /// k-failure-equivalence reduction (`KREDUCE(f, k)`, written `βₖ(f)` in
     /// the paper).
     pub fn kreduce(&mut self, f: NodeRef, k: u32) -> NodeRef {
+        let r = self.kreduce_rec(f, k);
+        if self.audit_on() {
+            let mpf = self.max_path_failures(r);
+            assert!(
+                mpf <= k,
+                "KREDUCE postcondition violated (Lemma 2): \
+                 max_path_failures(βₖ({f:?})) = {mpf} > k = {k}"
+            );
+        }
+        r
+    }
+
+    fn kreduce_rec(&mut self, f: NodeRef, k: u32) -> NodeRef {
         if f.is_terminal() {
             return f;
         }
@@ -38,12 +51,12 @@ impl Mtbdd {
             return r;
         }
         let n = self.node_at(f);
-        let hi_km1 = self.kreduce(n.hi, k - 1);
-        let lo_km1 = self.kreduce(n.lo, k - 1);
+        let hi_km1 = self.kreduce_rec(n.hi, k - 1);
+        let lo_km1 = self.kreduce_rec(n.lo, k - 1);
         let r = if hi_km1 == lo_km1 {
-            self.kreduce(n.hi, k)
+            self.kreduce_rec(n.hi, k)
         } else {
-            let hi_k = self.kreduce(n.hi, k);
+            let hi_k = self.kreduce_rec(n.hi, k);
             self.node(n.var, lo_km1, hi_k)
         };
         self.kreduce_cache().insert((f, k), r);
@@ -53,11 +66,7 @@ impl Mtbdd {
     /// Maximum number of `lo` (failure) edges along any root-to-terminal
     /// path of `f`. After `kreduce(f, k)` this is at most `k` (Lemma 2).
     pub fn max_path_failures(&self, f: NodeRef) -> u32 {
-        fn go(
-            m: &Mtbdd,
-            f: NodeRef,
-            memo: &mut std::collections::HashMap<NodeRef, u32>,
-        ) -> u32 {
+        fn go(m: &Mtbdd, f: NodeRef, memo: &mut std::collections::HashMap<NodeRef, u32>) -> u32 {
             if f.is_terminal() {
                 return 0;
             }

@@ -47,7 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-
+mod audit;
 mod bigint;
 mod dot;
 mod gc;
@@ -59,6 +59,7 @@ mod paths;
 mod ratio;
 mod terminal;
 
+pub use audit::{audit_enabled, AuditCheck, AuditReport, AuditViolation};
 pub use gc::Remap;
 pub use manager::{Mtbdd, MtbddStats, Op, Op1};
 pub use node::{NodeRef, Var};

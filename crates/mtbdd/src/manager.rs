@@ -47,7 +47,7 @@ impl Op {
         )
     }
 
-    fn combine(self, a: Term, b: Term) -> Term {
+    pub(crate) fn combine(self, a: Term, b: Term) -> Term {
         match self {
             Op::Add => a.add(b),
             Op::Sub => a.sub(b),
@@ -91,7 +91,7 @@ pub enum Op1 {
 }
 
 impl Op1 {
-    fn combine(self, a: Term) -> Term {
+    pub(crate) fn combine(self, a: Term) -> Term {
         match self {
             Op1::IsFiniteGuard => {
                 if a.is_finite() {
@@ -147,6 +147,11 @@ pub struct Mtbdd {
     zero: NodeRef,
     one: NodeRef,
     pos_inf: NodeRef,
+    /// Whether invariant auditing (see `audit.rs`) is active for this
+    /// manager; latched from `YU_AUDIT`/debug_assertions at construction.
+    audit_enabled: bool,
+    /// Operation counter driving sampled apply-cache re-validation.
+    audit_ops: u64,
 }
 
 impl Default for Mtbdd {
@@ -172,6 +177,8 @@ impl Mtbdd {
             zero: NodeRef(0),
             one: NodeRef(0),
             pos_inf: NodeRef(0),
+            audit_enabled: crate::audit::audit_enabled(),
+            audit_ops: 0,
         };
         m.zero = m.term(Term::ZERO);
         m.one = m.term(Term::ONE);
@@ -271,8 +278,7 @@ impl Mtbdd {
             return lo;
         }
         debug_assert!(
-            self.top_var(lo).map_or(true, |v| v > var)
-                && self.top_var(hi).map_or(true, |v| v > var),
+            self.top_var(lo).is_none_or(|v| v > var) && self.top_var(hi).is_none_or(|v| v > var),
             "variable order violation at var {var}"
         );
         let n = Node { var, lo, hi };
@@ -304,8 +310,15 @@ impl Mtbdd {
         if let Some(r) = self.shortcut(op, f, g) {
             return r;
         }
-        let (f, g) = if op.commutative() && g < f { (g, f) } else { (f, g) };
+        let (f, g) = if op.commutative() && g < f {
+            (g, f)
+        } else {
+            (f, g)
+        };
         if let Some(&r) = self.apply_cache.get(&(op, f, g)) {
+            if self.audit_enabled {
+                self.audit_apply_tick(op, f, g, r);
+            }
             return r;
         }
         let r = if f.is_terminal() && g.is_terminal() {
@@ -322,6 +335,9 @@ impl Mtbdd {
             self.node(var, lo, hi)
         };
         self.apply_cache.insert((op, f, g), r);
+        if self.audit_enabled {
+            self.audit_apply_tick(op, f, g, r);
+        }
         r
     }
 
@@ -602,6 +618,41 @@ impl Mtbdd {
 
     pub(crate) fn kreduce_cache(&mut self) -> &mut FxHashMap<(NodeRef, u32), NodeRef> {
         &mut self.kreduce_cache
+    }
+
+    // ---- crate-internal access for the invariant auditor (audit.rs) ----
+
+    pub(crate) fn raw_nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    pub(crate) fn unique_table(&self) -> &FxHashMap<Node, NodeRef> {
+        &self.unique
+    }
+
+    pub(crate) fn raw_terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    pub(crate) fn term_table(&self) -> &FxHashMap<Term, NodeRef> {
+        &self.term_ids
+    }
+
+    pub(crate) fn apply_cache_ref(&self) -> &FxHashMap<(Op, NodeRef, NodeRef), NodeRef> {
+        &self.apply_cache
+    }
+
+    pub(crate) fn apply1_cache_ref(&self) -> &FxHashMap<(Op1, NodeRef), NodeRef> {
+        &self.apply1_cache
+    }
+
+    pub(crate) fn audit_on(&self) -> bool {
+        self.audit_enabled
+    }
+
+    pub(crate) fn audit_ops_bump(&mut self) -> u64 {
+        self.audit_ops += 1;
+        self.audit_ops
     }
 }
 

@@ -10,7 +10,7 @@
 //! ECMP split factors for dozens of hops) — results stay exact either way.
 
 use crate::bigint::BigUint;
-use serde::{Deserialize, Serialize, Serializer};
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
@@ -106,7 +106,10 @@ impl Int {
         if self.is_zero() || other.is_zero() {
             return Int::ZERO;
         }
-        Int::from_big(self.is_neg() != other.is_neg(), self.mag().mul(&other.mag()))
+        Int::from_big(
+            self.is_neg() != other.is_neg(),
+            self.mag().mul(&other.mag()),
+        )
     }
 
     /// Exact division (used only by gcd-normalized paths).
@@ -321,11 +324,9 @@ impl Add for Ratio {
         {
             let g = gcd_i128(*ad, *bd);
             let (da, db) = (ad / g, bd / g);
-            if let (Some(l), Some(r), Some(d)) = (
-                an.checked_mul(db),
-                bn.checked_mul(da),
-                ad.checked_mul(db),
-            ) {
+            if let (Some(l), Some(r), Some(d)) =
+                (an.checked_mul(db), bn.checked_mul(da), ad.checked_mul(db))
+            {
                 if let Some(n) = l.checked_add(r) {
                     return Ratio::new(n, d);
                 }
@@ -376,6 +377,8 @@ impl Mul for Ratio {
 
 impl Div for Ratio {
     type Output = Ratio;
+    // Division by reciprocal multiplication is intended here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Ratio) -> Ratio {
         self * rhs.recip()
     }
@@ -424,14 +427,14 @@ impl fmt::Display for Ratio {
 }
 
 impl Serialize for Ratio {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.to_string())
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for Ratio {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Ratio, D::Error> {
-        let s = String::deserialize(deserializer)?;
+impl Deserialize for Ratio {
+    fn from_value(v: &serde::Value) -> Result<Ratio, serde::Error> {
+        let s = String::from_value(v)?;
         let (n, d) = match s.split_once('/') {
             Some((n, d)) => (n, d),
             None => (s.as_str(), "1"),

@@ -10,6 +10,11 @@
 //! * `0 · ∞ = 0` (so that `guard · value` annihilates under a false guard)
 //! * comparisons treat `∞` as larger than every finite value.
 
+// The checked `add`/`sub`/`mul`/`div` below intentionally shadow the
+// operator names: they are the Op::combine entry points and must stay
+// ordinary methods (operator traits would hide the ∞ conventions).
+#![allow(clippy::should_implement_trait)]
+
 use crate::ratio::Ratio;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
@@ -110,10 +115,7 @@ impl Term {
         match (self, rhs) {
             (Term::Num(a), Term::Num(b)) => {
                 if b.is_zero() {
-                    assert!(
-                        a.is_zero(),
-                        "Term division {a}/0 with nonzero numerator"
-                    );
+                    assert!(a.is_zero(), "Term division {a}/0 with nonzero numerator");
                     Term::ZERO
                 } else {
                     Term::Num(a / b)

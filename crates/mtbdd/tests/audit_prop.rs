@@ -1,0 +1,109 @@
+//! Property-based test for the MTBDD auditor: after an arbitrary random
+//! sequence of apply / ite / restrict / kreduce / GC operations, a full
+//! `Mtbdd::audit` pass over every live handle must report no violations.
+
+use proptest::prelude::*;
+use yu_mtbdd::{Mtbdd, Op, Op1, Ratio, Var};
+
+const NVARS: u32 = 5;
+
+/// One step of a random operation sequence. Operand indices are taken
+/// modulo the current pool size, so any index is valid.
+#[derive(Debug, Clone)]
+enum Step {
+    Const(i64),
+    Guard(u8),
+    NotGuard(u8),
+    Apply(u8, usize, usize),
+    Apply1(u8, usize),
+    Ite(usize, usize, usize),
+    Restrict(usize, u8, bool),
+    Kreduce(usize, u8),
+    Gc,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (-9i64..=9).prop_map(Step::Const),
+        (0u8..NVARS as u8).prop_map(Step::Guard),
+        (0u8..NVARS as u8).prop_map(Step::NotGuard),
+        (0u8..7, 0usize..64, 0usize..64).prop_map(|(o, a, b)| Step::Apply(o, a, b)),
+        (0u8..2, 0usize..64).prop_map(|(o, a)| Step::Apply1(o, a)),
+        (0usize..64, 0usize..64, 0usize..64).prop_map(|(c, t, e)| Step::Ite(c, t, e)),
+        (0usize..64, 0u8..NVARS as u8, any::<bool>())
+            .prop_map(|(f, v, val)| Step::Restrict(f, v, val)),
+        (0usize..64, 0u8..=4).prop_map(|(f, k)| Step::Kreduce(f, k)),
+        Just(Step::Gc),
+    ]
+}
+
+fn binop(code: u8) -> Op {
+    // Div is excluded (random operands hit ∞/∞, deliberately a panic in
+    // the terminal algebra), as are Or/And (they require 0/1 operands);
+    // the guard comparisons exercise the boolean-producing path instead.
+    [
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::Min,
+        Op::Max,
+        Op::EqGuard,
+        Op::LtGuard,
+    ][code as usize % 7]
+}
+
+fn unop(code: u8) -> Op1 {
+    [Op1::IsFiniteGuard, Op1::Neg][code as usize % 2]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn audit_passes_after_random_op_sequences(steps in proptest::collection::vec(arb_step(), 1..60)) {
+        let mut m = Mtbdd::new();
+        m.fresh_vars(NVARS);
+        let mut pool = vec![m.zero(), m.one()];
+        for step in &steps {
+            let pick = |ix: usize, pool: &Vec<_>| pool[ix % pool.len()];
+            let r = match *step {
+                Step::Const(c) => m.constant(Ratio::int(c)),
+                Step::Guard(v) => m.var_guard(v as Var),
+                Step::NotGuard(v) => m.nvar_guard(v as Var),
+                Step::Apply(o, a, b) => {
+                    let (a, b) = (pick(a, &pool), pick(b, &pool));
+                    m.apply(binop(o), a, b)
+                }
+                Step::Apply1(o, a) => {
+                    let a = pick(a, &pool);
+                    m.apply1(unop(o), a)
+                }
+                Step::Ite(c, t, e) => {
+                    let c = pick(c, &pool);
+                    let g = m.is_finite_guard(c); // any pool entry, coerced to a guard
+                    let (t, e) = (pick(t, &pool), pick(e, &pool));
+                    m.ite(g, t, e)
+                }
+                Step::Restrict(f, v, val) => {
+                    let f = pick(f, &pool);
+                    m.restrict(f, v as Var, val)
+                }
+                Step::Kreduce(f, k) => {
+                    let f = pick(f, &pool);
+                    m.kreduce(f, k as u32)
+                }
+                Step::Gc => {
+                    let remap = m.collect(&pool);
+                    for h in pool.iter_mut() {
+                        *h = remap.get(*h);
+                    }
+                    continue;
+                }
+            };
+            pool.push(r);
+        }
+        let report = m.audit(&pool);
+        prop_assert!(report.ok(), "audit violations after {} steps: {:?}", steps.len(), report.violations);
+        prop_assert!(report.nodes_checked > 0 || pool.iter().all(|h| h.is_terminal()));
+    }
+}

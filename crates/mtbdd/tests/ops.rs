@@ -57,10 +57,7 @@ fn division_by_terminal_sum() {
     let vars: Vec<_> = (0..3).map(|_| m.fresh_var()).collect();
     let guards: Vec<_> = vars.iter().map(|&v| m.var_guard(v)).collect();
     let total = m.sum(&guards);
-    let shares: Vec<_> = guards
-        .iter()
-        .map(|&g| m.apply(Op::Div, g, total))
-        .collect();
+    let shares: Vec<_> = guards.iter().map(|&g| m.apply(Op::Div, g, total)).collect();
     let share_sum = m.sum(&shares);
     for bits in 0..8u32 {
         let got = m.eval(share_sum, |v| bits >> v & 1 == 1);

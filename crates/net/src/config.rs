@@ -80,7 +80,7 @@ impl BgpConfig {
     pub fn export_denied(&self, peer: RouterId, prefix: &Prefix) -> bool {
         self.deny_exports
             .iter()
-            .any(|d| d.peer.map_or(true, |p| p == peer) && d.prefix.covers(prefix))
+            .any(|d| d.peer.is_none_or(|p| p == peer) && d.prefix.covers(prefix))
     }
 
     /// The import local preference for routes learned from `peer`.
@@ -121,7 +121,7 @@ impl SrPolicy {
     /// Whether this policy applies to a flow with DSCP `dscp` resolving
     /// next hop `nip`.
     pub fn matches(&self, nip: Ipv4, dscp: u8) -> bool {
-        self.endpoint == nip && self.match_dscp.map_or(true, |d| d == dscp)
+        self.endpoint == nip && self.match_dscp.is_none_or(|d| d == dscp)
     }
 }
 

@@ -288,7 +288,11 @@ impl<T: Clone> Iterator for Combinations<T> {
         if self.done {
             return None;
         }
-        let out: Vec<T> = self.indices.iter().map(|&i| self.items[i].clone()).collect();
+        let out: Vec<T> = self
+            .indices
+            .iter()
+            .map(|&i| self.items[i].clone())
+            .collect();
         // Advance to the next combination in lexicographic order.
         let n = self.items.len();
         let k = self.indices.len();

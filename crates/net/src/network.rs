@@ -119,7 +119,10 @@ impl Network {
 
     /// Routers of an AS, in id order.
     pub fn routers_in_as(&self, asn: AsNum) -> Vec<RouterId> {
-        self.topo.routers().filter(|&r| self.asn(r) == asn).collect()
+        self.topo
+            .routers()
+            .filter(|&r| self.asn(r) == asn)
+            .collect()
     }
 
     /// All ASes present, with their routers.
@@ -239,8 +242,12 @@ mod tests {
         let sc = n.bgp_sessions(c);
         // eBGP to A, iBGP to D.
         assert_eq!(sc.len(), 2);
-        assert!(sc.iter().any(|(p, s)| *p == a && matches!(s, BgpSession::Ebgp { .. })));
-        assert!(sc.iter().any(|(p, s)| *p == d && matches!(s, BgpSession::Ibgp)));
+        assert!(sc
+            .iter()
+            .any(|(p, s)| *p == a && matches!(s, BgpSession::Ebgp { .. })));
+        assert!(sc
+            .iter()
+            .any(|(p, s)| *p == d && matches!(s, BgpSession::Ibgp)));
     }
 
     #[test]
@@ -269,12 +276,13 @@ mod tests {
     #[test]
     fn validation_flags_unowned_networks() {
         let (mut n, a, _, _) = two_as_net();
-        n.config_mut(a).bgp.as_mut().unwrap().networks =
-            vec!["100.0.0.0/24".parse().unwrap()];
+        n.config_mut(a).bgp.as_mut().unwrap().networks = vec!["100.0.0.0/24".parse().unwrap()];
         let problems = n.validate();
         assert_eq!(problems.len(), 1);
         assert!(problems[0].contains("originates"));
-        n.config_mut(a).connected.push("100.0.0.0/24".parse().unwrap());
+        n.config_mut(a)
+            .connected
+            .push("100.0.0.0/24".parse().unwrap());
         assert!(n.validate().is_empty());
     }
 }
@@ -311,11 +319,15 @@ mod more_tests {
         let mut t = Topology::new();
         let a = t.add_router("A", Ipv4::new(1, 0, 0, 1), 100);
         let mut n = Network::new(t.clone());
-        n.config_mut(a).connected.push("20.0.0.0/24".parse().unwrap());
-        n.config_mut(a).static_routes.push(crate::config::StaticRoute {
-            prefix: "30.0.0.0/8".parse().unwrap(),
-            next_hop: crate::config::StaticNextHop::Null0,
-        });
+        n.config_mut(a)
+            .connected
+            .push("20.0.0.0/24".parse().unwrap());
+        n.config_mut(a)
+            .static_routes
+            .push(crate::config::StaticRoute {
+                prefix: "30.0.0.0/8".parse().unwrap(),
+                next_hop: crate::config::StaticNextHop::Null0,
+            });
         n.config_mut(a).bgp = Some(BgpConfig {
             networks: vec!["20.0.0.0/24".parse().unwrap()],
             ..Default::default()
@@ -323,7 +335,10 @@ mod more_tests {
         let ps = n.all_prefixes();
         assert!(ps.contains(&"20.0.0.0/24".parse().unwrap()));
         assert!(ps.contains(&"30.0.0.0/8".parse().unwrap()));
-        assert!(ps.contains(&Prefix::host(Ipv4::new(1, 0, 0, 1))), "loopback host route");
+        assert!(
+            ps.contains(&Prefix::host(Ipv4::new(1, 0, 0, 1))),
+            "loopback host route"
+        );
         assert_eq!(ps.len(), 3);
     }
 }

@@ -68,7 +68,7 @@ impl TlpReq {
 
     /// Whether a concrete load satisfies this requirement.
     pub fn satisfied_by(&self, load: Ratio) -> bool {
-        self.min.as_ref().map_or(true, |m| &load >= m) && self.max.as_ref().map_or(true, |m| &load <= m)
+        self.min.as_ref().is_none_or(|m| &load >= m) && self.max.as_ref().is_none_or(|m| &load <= m)
     }
 }
 
@@ -88,15 +88,18 @@ impl Tlp {
     /// "No link is overloaded": on every directed link the load must stay
     /// at or below `fraction * capacity`. The paper's P2 "overloaded means
     /// >= 95 Gbps on a 100 Gbps link" corresponds to `fraction` slightly
-    /// under 95/100; with exact rationals a violation is any load strictly
-    /// above the bound, so passing `fraction = 94999/100000` reproduces the
-    /// paper's inclusive-overload threshold exactly.
+    /// > under 95/100; with exact rationals a violation is any load strictly
+    /// > above the bound, so passing `fraction = 94999/100000` reproduces the
+    /// > paper's inclusive-overload threshold exactly.
     pub fn no_overload(topo: &Topology, fraction: Ratio) -> Tlp {
         Tlp {
             reqs: topo
                 .links()
                 .map(|l| {
-                    TlpReq::at_most(LoadPoint::Link(l), topo.link(l).capacity.clone() * fraction.clone())
+                    TlpReq::at_most(
+                        LoadPoint::Link(l),
+                        topo.link(l).capacity.clone() * fraction.clone(),
+                    )
                 })
                 .collect(),
         }

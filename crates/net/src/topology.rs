@@ -94,7 +94,13 @@ impl Topology {
 
     /// Adds a symmetric undirected link (two directed halves with the same
     /// cost and capacity) and returns its id.
-    pub fn add_link(&mut self, a: RouterId, b: RouterId, igp_cost: u64, capacity: Ratio) -> ULinkId {
+    pub fn add_link(
+        &mut self,
+        a: RouterId,
+        b: RouterId,
+        igp_cost: u64,
+        capacity: Ratio,
+    ) -> ULinkId {
         assert_ne!(a, b, "self-loop link on {a}");
         let ulink = ULinkId(self.ulinks.len() as u32);
         let fwd = LinkId(self.links.len() as u32);
@@ -204,11 +210,7 @@ impl Topology {
     /// Human-readable label `A->B` for a directed link.
     pub fn link_label(&self, l: LinkId) -> String {
         let lk = self.link(l);
-        format!(
-            "{}->{}",
-            self.router(lk.from).name,
-            self.router(lk.to).name
-        )
+        format!("{}->{}", self.router(lk.from).name, self.router(lk.to).name)
     }
 
     /// Human-readable label `A-B` for an undirected link.

@@ -182,9 +182,17 @@ mod tests {
         t.insert(p("0.0.0.0/0"), 0);
         t.insert(p("10.0.0.0/8"), 8);
         t.insert(p("10.1.0.0/26"), 26);
-        let m: Vec<_> = t.matches(ip("10.1.0.5")).into_iter().map(|x| *x.1).collect();
+        let m: Vec<_> = t
+            .matches(ip("10.1.0.5"))
+            .into_iter()
+            .map(|x| *x.1)
+            .collect();
         assert_eq!(m, vec![26, 8, 0]);
-        let m: Vec<_> = t.matches(ip("10.2.0.5")).into_iter().map(|x| *x.1).collect();
+        let m: Vec<_> = t
+            .matches(ip("10.2.0.5"))
+            .into_iter()
+            .map(|x| *x.1)
+            .collect();
         assert_eq!(m, vec![8, 0]);
         assert_eq!(t.longest_match(ip("11.0.0.1")).map(|x| *x.1), Some(0));
     }

@@ -3,10 +3,8 @@
 //! enumeration invariants.
 
 use proptest::prelude::*;
-use yu_net::{
-    scenario_count, scenarios_up_to_k, FailureMode, Ipv4, Prefix, PrefixTrie, Topology,
-};
 use yu_mtbdd::Ratio;
+use yu_net::{scenario_count, scenarios_up_to_k, FailureMode, Ipv4, Prefix, PrefixTrie, Topology};
 
 fn arb_prefix() -> impl Strategy<Value = Prefix> {
     (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix::new(Ipv4(addr), len))

@@ -27,9 +27,7 @@ use crate::igp::IgpState;
 use crate::rib::NextHop;
 use std::collections::{BTreeMap, HashMap};
 use yu_mtbdd::{Mtbdd, NodeRef};
-use yu_net::{
-    AsNum, BgpSession, FailureVars, Network, Prefix, PrefixTrie, RouterId, ULinkId,
-};
+use yu_net::{AsNum, BgpSession, FailureVars, Network, Prefix, PrefixTrie, RouterId, ULinkId};
 
 /// Identifier of a prefix equivalence class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -46,6 +44,10 @@ pub enum OriginKind {
 
 /// The origination signature of a prefix class.
 pub type OriginSig = Vec<(RouterId, OriginKind)>;
+
+/// Received-route candidates merged by identical BGP attributes
+/// (AS path, local pref, source, next hop), with OR-ed guards.
+type MergedCandidates = BTreeMap<(Vec<AsNum>, u32, BgpFrom, NextHopKey), NodeRef>;
 
 /// Full signature of a prefix class: origins plus the export filters
 /// hitting it. Two prefixes with the same signature are routed
@@ -64,7 +66,7 @@ impl ClassSig {
     pub fn denied(&self, router: RouterId, peer: RouterId) -> bool {
         self.denies
             .iter()
-            .any(|&(r, p)| r == router && p.map_or(true, |p| p == peer))
+            .any(|&(r, p)| r == router && p.is_none_or(|p| p == peer))
     }
 }
 
@@ -366,14 +368,17 @@ impl BgpState {
                 let Some(bgp_cfg) = net.bgp(r) else { continue };
                 // Merge candidates with identical attributes by OR-ing
                 // guards (parallel sessions, multiple equal paths).
-                let mut acc: HashMap<ClassId, BTreeMap<(Vec<AsNum>, u32, BgpFrom, NextHopKey), NodeRef>> =
-                    HashMap::new();
+                let mut acc: HashMap<ClassId, MergedCandidates> = HashMap::new();
                 for &(peer, sess, sguard) in &sessions[r.0 as usize] {
                     match sess {
                         BgpSession::Ebgp { ulink } => {
                             // The directed link from r towards peer.
                             let (fwd, rev) = net.topo.directions(ulink);
-                            let to_peer = if net.topo.link(fwd).from == r { fwd } else { rev };
+                            let to_peer = if net.topo.link(fwd).from == r {
+                                fwd
+                            } else {
+                                rev
+                            };
                             for adv in &ebgp_out[peer.0 as usize] {
                                 if classes[adv.class.0 as usize].denied(peer, r) {
                                     continue; // outbound filter at the sender
@@ -574,14 +579,14 @@ mod tests {
         for r in [c, d, f] {
             n.config_mut(r).bgp = Some(BgpConfig::default());
         }
-        n.config_mut(f).connected.push("100.0.0.0/24".parse().unwrap());
+        n.config_mut(f)
+            .connected
+            .push("100.0.0.0/24".parse().unwrap());
         n.config_mut(f).bgp.as_mut().unwrap().networks = vec!["100.0.0.0/24".parse().unwrap()];
         (n, vec![a, b, c, d, e, f])
     }
 
-    fn setup(
-        net: &Network,
-    ) -> (Mtbdd, FailureVars, IgpState) {
+    fn setup(net: &Network) -> (Mtbdd, FailureVars, IgpState) {
         let mut m = Mtbdd::new();
         let fv = FailureVars::allocate(&mut m, &net.topo, FailureMode::Links);
         let igp = IgpState::compute(&mut m, net, &fv, None);

@@ -18,8 +18,8 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, HashMap};
 use yu_mtbdd::Ratio;
 use yu_net::{
-    AsNum, BgpSession, Flow, Ipv4, LinkId, Network, Prefix, PrefixTrie, Proto, RouterId,
-    Scenario, StaticNextHop,
+    AsNum, BgpSession, Flow, Ipv4, LinkId, Network, Prefix, PrefixTrie, Proto, RouterId, Scenario,
+    StaticNextHop,
 };
 
 /// A concrete FIB rule (present in the current scenario).
@@ -60,6 +60,10 @@ struct CBgpRoute {
     from: BgpFrom,
     next_hop: CNextHop,
 }
+
+/// Per-router outbound advertisements of one propagation round:
+/// `(as_path, local_pref)` per prefix class.
+type ExportQueues = Vec<BTreeMap<ClassId, Vec<(Vec<AsNum>, u32)>>>;
 
 /// `Ord`-able next hop mirror.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -148,9 +152,7 @@ impl<'n> ConcreteRoutes<'n> {
 
     /// The shortest distance from `r` to `ip` in the IGP of `asn`.
     pub fn igp_distance(&self, asn: AsNum, ip: Ipv4, r: RouterId) -> Option<u64> {
-        self.igp_dist
-            .get(&(asn, ip))
-            .and_then(|v| v[r.0 as usize])
+        self.igp_dist.get(&(asn, ip)).and_then(|v| v[r.0 as usize])
     }
 
     fn reach(&self, asn: AsNum, r: RouterId, ip: Ipv4) -> bool {
@@ -203,16 +205,13 @@ impl<'n> ConcreteRoutes<'n> {
         let max_rounds = 2 * (num_ases + 2) + n.min(64) + 8;
         for _ in 0..max_rounds {
             // Exports: selected best class per (router, class).
-            let mut ebgp_out: Vec<BTreeMap<ClassId, Vec<(Vec<AsNum>, u32)>>> =
-                vec![BTreeMap::new(); n];
-            let mut ibgp_out: Vec<BTreeMap<ClassId, Vec<(Vec<AsNum>, u32)>>> =
-                vec![BTreeMap::new(); n];
+            let mut ebgp_out: ExportQueues = vec![BTreeMap::new(); n];
+            let mut ibgp_out: ExportQueues = vec![BTreeMap::new(); n];
             for r in net.topo.routers() {
                 if net.bgp(r).is_none() || !self.scenario.router_alive(r) {
                     continue;
                 }
-                let mut class_ids: Vec<ClassId> =
-                    received[r.0 as usize].keys().copied().collect();
+                let mut class_ids: Vec<ClassId> = received[r.0 as usize].keys().copied().collect();
                 class_ids.extend(origins[r.0 as usize].keys().copied());
                 class_ids.sort();
                 class_ids.dedup();
@@ -263,7 +262,11 @@ impl<'n> ConcreteRoutes<'n> {
                     match sess {
                         BgpSession::Ebgp { ulink } => {
                             let (fwd, rev) = net.topo.directions(ulink);
-                            let to_peer = if net.topo.link(fwd).from == r { fwd } else { rev };
+                            let to_peer = if net.topo.link(fwd).from == r {
+                                fwd
+                            } else {
+                                rev
+                            };
                             for (cid, advs) in &ebgp_out[peer.0 as usize] {
                                 if self.classes[cid.0 as usize].denied(peer, r) {
                                     continue;
@@ -570,11 +573,7 @@ impl<'n> ConcreteRoutes<'n> {
                 for rule in selected {
                     match rule.next_hop {
                         NextHop::Receive => {
-                            let cur = res
-                                .delivered
-                                .get(&router)
-                                .cloned()
-                                .unwrap_or(Ratio::ZERO);
+                            let cur = res.delivered.get(&router).cloned().unwrap_or(Ratio::ZERO);
                             res.delivered.insert(router, cur + share.clone());
                             emitted = emitted + share.clone();
                         }
@@ -703,7 +702,7 @@ fn concrete_igp(
                 continue;
             }
             let nd = d + net.topo.link(l).igp_cost;
-            if dist[v.0 as usize].map_or(true, |old| nd < old) {
+            if dist[v.0 as usize].is_none_or(|old| nd < old) {
                 dist[v.0 as usize] = Some(nd);
                 heap.push((Reverse(nd), v));
             }
@@ -732,7 +731,9 @@ mod tests {
         for r in [b, c] {
             net.config_mut(r).isis_enabled = true;
         }
-        net.config_mut(c).connected.push("100.0.0.0/24".parse().unwrap());
+        net.config_mut(c)
+            .connected
+            .push("100.0.0.0/24".parse().unwrap());
         net.config_mut(c).bgp.as_mut().unwrap().networks = vec!["100.0.0.0/24".parse().unwrap()];
         (net, [a, b, c])
     }
@@ -784,7 +785,7 @@ mod tests {
             Ratio::int(10),
         );
         let res = routes.forward_flow(&flow, 16);
-        assert!(res.delivered.get(&c).is_none());
+        assert!(!res.delivered.contains_key(&c));
         // Either dropped at A (no route once withdrawal propagates) — in a
         // converged control plane A never hears the route, so the drop is
         // at A itself.

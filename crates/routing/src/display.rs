@@ -166,10 +166,20 @@ mod tests {
         let mut m = Mtbdd::new();
         let fv = FailureVars::allocate(&mut m, &net.topo, FailureMode::Links);
         let mut routes = SymbolicRoutes::compute(&mut m, &net, &fv, None);
-        let table = format_fib(&mut m, &net, &fv, &mut routes, a, "100.0.0.7".parse().unwrap());
+        let table = format_fib(
+            &mut m,
+            &net,
+            &fv,
+            &mut routes,
+            a,
+            "100.0.0.7".parse().unwrap(),
+        );
         assert!(table.contains("100.0.0.0/24"), "{table}");
         assert!(table.contains("Ebgp"), "{table}");
-        assert!(table.contains("A-C"), "guard names the session link: {table}");
+        assert!(
+            table.contains("A-C"),
+            "guard names the session link: {table}"
+        );
     }
 
     #[test]

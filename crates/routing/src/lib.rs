@@ -27,7 +27,9 @@ pub mod rib;
 pub mod sr;
 pub mod symbolic;
 
-pub use bgp::{classify_prefixes, BgpFrom, BgpRoute, BgpState, ClassId, ClassSig, OriginKind, OriginSig};
+pub use bgp::{
+    classify_prefixes, BgpFrom, BgpRoute, BgpState, ClassId, ClassSig, OriginKind, OriginSig,
+};
 pub use concrete::{CRule, ConcreteFlowResult, ConcreteRoutes};
 pub use display::{format_fib, format_guard, format_sr_policies};
 pub use igp::IgpState;

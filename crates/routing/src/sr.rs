@@ -36,7 +36,7 @@ pub struct GuardedSrPolicy {
 impl GuardedSrPolicy {
     /// Whether this policy applies to `(nip, dscp)`.
     pub fn matches(&self, nip: Ipv4, dscp: u8) -> bool {
-        self.endpoint == nip && self.match_dscp.map_or(true, |d| d == dscp)
+        self.endpoint == nip && self.match_dscp.is_none_or(|d| d == dscp)
     }
 }
 
@@ -167,11 +167,7 @@ mod tests {
         }
         // Isolating E entirely (D-E, C-E, E-F) breaks p1 = [E, F] while
         // p2 = [C, F] stays up via D-C and C-F.
-        let s = Scenario::links([
-            yu_net::ULinkId(0),
-            yu_net::ULinkId(4),
-            yu_net::ULinkId(1),
-        ]);
+        let s = Scenario::links([yu_net::ULinkId(0), yu_net::ULinkId(4), yu_net::ULinkId(1)]);
         assert_eq!(m.eval(pol.paths[0].guard, fv.assignment(&s)), Term::ZERO);
         assert_eq!(m.eval(pol.paths[1].guard, fv.assignment(&s)), Term::ONE);
         // Isolating F (E-F and C-F down) breaks the final reach of both

@@ -9,9 +9,7 @@ use crate::sr::{guarded_sr_policies, GuardedSrPolicy};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use yu_mtbdd::{Mtbdd, NodeRef};
-use yu_net::{
-    FailureVars, Ipv4, LinkId, Network, Prefix, Proto, RouterId, StaticNextHop,
-};
+use yu_net::{FailureVars, Ipv4, LinkId, Network, Prefix, Proto, RouterId, StaticNextHop};
 
 /// All guarded routing state of a network.
 pub struct SymbolicRoutes {
@@ -34,7 +32,12 @@ impl SymbolicRoutes {
     ///
     /// `k` is the KREDUCE budget applied throughout (`None` disables the
     /// reduction, the ablation of Figs. 15–16).
-    pub fn compute(m: &mut Mtbdd, net: &Network, fv: &FailureVars, k: Option<u32>) -> SymbolicRoutes {
+    pub fn compute(
+        m: &mut Mtbdd,
+        net: &Network,
+        fv: &FailureVars,
+        k: Option<u32>,
+    ) -> SymbolicRoutes {
         let mut igp = IgpState::compute(m, net, fv, k);
         let bgp = BgpState::compute(m, net, fv, &mut igp, k);
         let sr = guarded_sr_policies(m, net, &mut igp, k);

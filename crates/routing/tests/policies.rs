@@ -3,8 +3,8 @@
 
 use yu_mtbdd::{Mtbdd, Ratio, Term};
 use yu_net::{
-    BgpConfig, DenyExport, FailureMode, FailureVars, Ipv4, Network, Prefix, RouterId,
-    Scenario, Topology, ULinkId,
+    BgpConfig, DenyExport, FailureMode, FailureVars, Ipv4, Network, Prefix, RouterId, Scenario,
+    Topology, ULinkId,
 };
 use yu_routing::{BgpState, ClassId, ConcreteRoutes, IgpState, NextHop, SymbolicRoutes};
 
@@ -90,10 +90,15 @@ fn deny_export_splits_prefix_classes() {
         (trie, classes.len())
     };
     assert_eq!(classes_before, 1, "same origination => one class");
-    net.config_mut(p1).bgp.as_mut().unwrap().deny_exports.push(DenyExport {
-        peer: None,
-        prefix: extra,
-    });
+    net.config_mut(p1)
+        .bgp
+        .as_mut()
+        .unwrap()
+        .deny_exports
+        .push(DenyExport {
+            peer: None,
+            prefix: extra,
+        });
     let (classes, trie) = yu_routing::classify_prefixes(&net);
     assert_eq!(classes.len(), 2, "the filter must split the classes");
     let c1 = trie.longest_match("50.0.0.1".parse().unwrap()).unwrap().1;
@@ -106,10 +111,15 @@ fn deny_export_splits_prefix_classes() {
 #[test]
 fn denied_prefix_is_not_learned() {
     let (mut net, [r, p1, _p2]) = dual_homed(None);
-    net.config_mut(p1).bgp.as_mut().unwrap().deny_exports.push(DenyExport {
-        peer: Some(r),
-        prefix: "50.0.0.0/24".parse().unwrap(),
-    });
+    net.config_mut(p1)
+        .bgp
+        .as_mut()
+        .unwrap()
+        .deny_exports
+        .push(DenyExport {
+            peer: Some(r),
+            prefix: "50.0.0.0/24".parse().unwrap(),
+        });
     let (mut m, _fv, _igp, bgp) = setup(&net);
     let dst: Ipv4 = "50.0.0.7".parse().unwrap();
     let classes = bgp.class_for(dst);
@@ -139,9 +149,9 @@ fn symbolic_bgp_matches_concrete_rib_presence() {
         let class = bgp.class_for(dst)[0].1;
         for cand in bgp.candidates(r, class) {
             let present = m.eval(cand.guard, fv.assignment(&s)).is_one();
-            let concrete_has = conc_rules.iter().any(|cr| {
-                cr.next_hop == cand.next_hop && cr.local_pref == cand.local_pref
-            });
+            let concrete_has = conc_rules
+                .iter()
+                .any(|cr| cr.next_hop == cand.next_hop && cr.local_pref == cand.local_pref);
             assert_eq!(
                 present,
                 concrete_has,
@@ -207,7 +217,13 @@ fn no_multipath_symbolic_matches_concrete() {
                 Term::PosInf => unreachable!(),
             };
             let conc = res.link_fraction.get(&l).cloned().unwrap_or(Ratio::ZERO);
-            assert_eq!(sym, conc, "link {} under {}", net.topo.link_label(l), s.describe(&net.topo));
+            assert_eq!(
+                sym,
+                conc,
+                "link {} under {}",
+                net.topo.link_label(l),
+                s.describe(&net.topo)
+            );
         }
     }
 }

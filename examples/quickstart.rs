@@ -48,14 +48,22 @@ fn main() {
     let p1 = verifier.verify(&ex.p1);
     println!(
         "\nP1 (delivered >= 70 Gbps under any 1 failure): {}",
-        if p1.verified() { "VERIFIED" } else { "VIOLATED" }
+        if p1.verified() {
+            "VERIFIED"
+        } else {
+            "VIOLATED"
+        }
     );
 
     // P2: no overload.
     let p2 = verifier.verify(&ex.p2);
     println!(
         "P2 (no link > 95% capacity under any 1 failure): {}",
-        if p2.verified() { "VERIFIED" } else { "VIOLATED" }
+        if p2.verified() {
+            "VERIFIED"
+        } else {
+            "VIOLATED"
+        }
     );
     for v in &p2.violations {
         println!("  counterexample: {}", v.describe(&topo));

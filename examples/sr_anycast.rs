@@ -18,10 +18,12 @@ use yu::net::{LoadPoint, Scenario};
 fn main() {
     let inc = sr_anycast_incident();
     let topo = inc.net.topo.clone();
-    println!("anycast SR incident network: {} routers, {} links", topo.num_routers(), topo.num_ulinks());
     println!(
-        "SR policy on A1: to 2.2.2.2 via segment list [1.1.1.1 (anycast on B1+B2), 2.2.2.2]"
+        "anycast SR incident network: {} routers, {} links",
+        topo.num_routers(),
+        topo.num_ulinks()
     );
+    println!("SR policy on A1: to 2.2.2.2 via segment list [1.1.1.1 (anycast on B1+B2), 2.2.2.2]");
 
     let mut verifier = YuVerifier::new(
         inc.net,
@@ -43,7 +45,11 @@ fn main() {
     let outcome = verifier.verify(&inc.tlp);
     println!(
         "\noverload TLP under any single link failure: {}",
-        if outcome.verified() { "VERIFIED" } else { "VIOLATED" }
+        if outcome.verified() {
+            "VERIFIED"
+        } else {
+            "VIOLATED"
+        }
     );
     for v in &outcome.violations {
         println!("  {}", v.describe(&topo));

@@ -46,7 +46,11 @@ fn main() {
     let outcome = verifier.verify(&inc.tlp);
     println!(
         "\ndelivery TLP (>= 45 Gbps) under any single link failure: {}",
-        if outcome.verified() { "VERIFIED" } else { "VIOLATED" }
+        if outcome.verified() {
+            "VERIFIED"
+        } else {
+            "VIOLATED"
+        }
     );
     for v in &outcome.violations {
         println!("  {}", v.describe(&topo));
@@ -62,7 +66,13 @@ fn main() {
     // The fix: advertise the specific route.
     let mut fixed = inc.net;
     for r in [inc.routers[2], inc.routers[3]] {
-        fixed.config_mut(r).bgp.as_mut().unwrap().deny_exports.clear();
+        fixed
+            .config_mut(r)
+            .bgp
+            .as_mut()
+            .unwrap()
+            .deny_exports
+            .clear();
     }
     let mut verifier = YuVerifier::new(
         fixed,

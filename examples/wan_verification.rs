@@ -64,7 +64,11 @@ fn main() {
 
     println!(
         "\nno-overload property under any {k} link failures: {}",
-        if out.verified() { "VERIFIED" } else { "VIOLATED" }
+        if out.verified() {
+            "VERIFIED"
+        } else {
+            "VIOLATED"
+        }
     );
     for vi in out.violations.iter().take(5) {
         println!("  {}", vi.describe(&w.net.topo));
@@ -74,8 +78,6 @@ fn main() {
     }
     println!(
         "\nstats: {} flows -> {} equivalence groups; {} MTBDD nodes",
-        out.stats.flows_in,
-        out.stats.flow_groups,
-        out.stats.mtbdd.nodes_created
+        out.stats.flows_in, out.stats.flow_groups, out.stats.mtbdd.nodes_created
     );
 }

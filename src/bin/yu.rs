@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! yu export <fig1|fig9|fig10|ft4|n0> > spec.json     write a built-in example spec
-//! yu check spec.json                                 validate the spec
+//! yu lint spec.json [--json]                         preflight lint (YU0xx diagnostics)
+//! yu check spec.json                                 lint + summarize the spec
 //! yu verify spec.json [--json]                       verify the TLP under <= k failures
 //! yu loads spec.json [--fail A-B,C-D]                per-link loads under a scenario
 //! yu scenarios spec.json                             size of the scenario space
+//! yu rib spec.json --router <name> --dst <ip>        symbolic FIB of one router
 //! ```
 //!
 //! Specs are self-contained JSON (network + flows + TLP + k); see
@@ -30,15 +32,19 @@ fn main() -> ExitCode {
 
     match cmd {
         "export" => export(arg.as_deref().unwrap_or("fig1")),
+        "lint" => lint(&load(&arg), json_output),
         "check" => check(&load(&arg)),
         "verify" => verify(&load(&arg), json_output),
         "loads" => loads(&load(&arg), fail_arg.as_deref()),
         "scenarios" => scenarios(&load(&arg)),
         "rib" => rib(&load(&arg), &args),
-        _ => {
+        other => {
+            if other != "help" {
+                eprintln!("unknown command '{other}'");
+            }
             eprintln!(
-                "usage: yu <export|check|verify|loads|scenarios> [spec.json] \
-                 [--json] [--fail A-B,C-D]"
+                "usage: yu <export|lint|check|verify|loads|scenarios|rib> [spec.json] \
+                 [--json] [--fail A-B,C-D] [--router <name> --dst <ip>]"
             );
             ExitCode::from(2)
         }
@@ -124,9 +130,34 @@ fn export(which: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn lint(spec: &VerifySpec, json_output: bool) -> ExitCode {
+    let diags = spec.validate();
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    if json_output {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&diags).expect("diagnostics are serializable")
+        );
+    } else {
+        for d in &diags {
+            eprintln!("{d}");
+        }
+        eprintln!("{} error(s), {} warning(s)", errors, diags.len() - errors);
+    }
+    if errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn check(spec: &VerifySpec) -> ExitCode {
-    let problems = spec.validate();
-    if problems.is_empty() {
+    let diags = spec.validate();
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    if errors == 0 {
         println!(
             "ok: {} routers, {} links, {} flows, {} requirements, k={} ({:?})",
             spec.network.topo.num_routers(),
@@ -138,9 +169,6 @@ fn check(spec: &VerifySpec) -> ExitCode {
         );
         ExitCode::SUCCESS
     } else {
-        for p in problems {
-            eprintln!("problem: {p}");
-        }
         ExitCode::FAILURE
     }
 }
@@ -216,8 +244,7 @@ fn rib(spec: &VerifySpec, args: &[String]) -> ExitCode {
     };
     let mut m = yu::mtbdd::Mtbdd::new();
     let fv = yu::net::FailureVars::allocate(&mut m, &spec.network.topo, spec.mode);
-    let mut routes =
-        yu::routing::SymbolicRoutes::compute(&mut m, &spec.network, &fv, Some(spec.k));
+    let mut routes = yu::routing::SymbolicRoutes::compute(&mut m, &spec.network, &fv, Some(spec.k));
     print!(
         "{}",
         yu::routing::format_fib(&mut m, &spec.network, &fv, &mut routes, router, dst)

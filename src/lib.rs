@@ -15,6 +15,9 @@
 //!   policies) plus a concrete per-scenario simulator;
 //! * [`core`] — symbolic traffic execution, equivalence reductions, and
 //!   TLP verification with counterexample extraction;
+//! * [`analysis`] — preflight static analysis: lint a network or spec
+//!   for misconfigurations (stable `YU0xx` diagnostic codes) before any
+//!   symbolic computation runs;
 //! * [`baselines`] — Jingubang-style enumeration and QARC-style
 //!   shortest-path baselines;
 //! * [`gen`] — FatTree and synthetic-WAN generators plus the paper's
@@ -42,6 +45,7 @@
 
 pub mod spec;
 
+pub use yu_analysis as analysis;
 pub use yu_baselines as baselines;
 pub use yu_core as core;
 pub use yu_gen as gen;

@@ -3,6 +3,7 @@
 //! interchange format of the `yu` CLI.
 
 use serde::{Deserialize, Serialize};
+use yu_analysis::Diagnostic;
 use yu_net::{FailureMode, Flow, Network, Tlp};
 
 /// A complete verification job.
@@ -36,18 +37,18 @@ impl VerifySpec {
         serde_json::to_string_pretty(self).expect("specs are always serializable")
     }
 
-    /// Validates the embedded network, returning human-readable problems.
-    pub fn validate(&self) -> Vec<String> {
-        let mut problems = self.network.validate();
-        for (i, f) in self.flows.iter().enumerate() {
-            if f.ingress.0 as usize >= self.network.topo.num_routers() {
-                problems.push(format!("flow {i}: ingress {:?} does not exist", f.ingress));
-            }
-            if f.volume.is_negative() {
-                problems.push(format!("flow {i}: negative volume"));
-            }
-        }
-        problems
+    /// Runs the full preflight lint over the spec — the network rules
+    /// plus flow, TLP, and failure-budget checks — returning structured
+    /// diagnostics with stable `YU0xx` codes (see `yu_analysis`). This
+    /// is the single diagnostics path shared by `yu check`, `yu lint`,
+    /// and library callers.
+    pub fn validate(&self) -> Vec<Diagnostic> {
+        yu_analysis::lint_spec(&self.network, &self.flows, &self.tlp, self.k, self.mode)
+    }
+
+    /// Whether [`Self::validate`] reports any error-severity diagnostic.
+    pub fn has_errors(&self) -> bool {
+        self.validate().iter().any(Diagnostic::is_error)
     }
 }
 
@@ -72,7 +73,7 @@ mod tests {
         assert_eq!(back.flows.len(), 2);
         assert_eq!(back.network.topo.num_routers(), 6);
         assert_eq!(back.tlp, spec.tlp);
-        assert!(back.validate().is_empty());
+        assert!(!back.has_errors());
     }
 
     #[test]
@@ -103,7 +104,9 @@ mod tests {
         };
         spec.flows[0].ingress = yu_net::RouterId(99);
         let problems = spec.validate();
-        assert_eq!(problems.len(), 1);
-        assert!(problems[0].contains("ingress"));
+        let errors: Vec<_> = problems.iter().filter(|d| d.is_error()).collect();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].code, "YU014");
+        assert!(errors[0].message.contains("ingress"));
     }
 }

@@ -6,9 +6,7 @@ use yu::baselines::{jingubang_verify, qarc_verify};
 use yu::core::{YuOptions, YuVerifier};
 use yu::gen::{fattree, wan, WanParams};
 use yu::mtbdd::Ratio;
-use yu::net::{
-    scenarios_up_to_k, FailureMode, Flow, LoadPoint, Network, Scenario, Tlp,
-};
+use yu::net::{scenarios_up_to_k, FailureMode, Flow, LoadPoint, Network, Scenario, Tlp};
 use yu::routing::ConcreteRoutes;
 
 /// Sums the concrete per-flow results into per-point loads.
@@ -76,7 +74,13 @@ fn assert_symbolic_matches_concrete(
             for p in [LoadPoint::Delivered(r), LoadPoint::Dropped(r)] {
                 let sym = v.load_at(p, &s);
                 let conc = expected.get(&p).cloned().unwrap_or(Ratio::ZERO);
-                assert_eq!(sym, conc, "{} under {}", p.describe(&net.topo), s.describe(&net.topo));
+                assert_eq!(
+                    sym,
+                    conc,
+                    "{} under {}",
+                    p.describe(&net.topo),
+                    s.describe(&net.topo)
+                );
             }
         }
     }
@@ -174,11 +178,9 @@ fn yu_and_jingubang_agree_on_verdicts() {
         // Every YU violation must be confirmed by the enumerator.
         for vi in &yu_out.violations {
             assert!(
-                jg_out
-                    .violations
-                    .iter()
-                    .any(|jv| jv.point == vi.point && jv.scenario == vi.scenario
-                        && jv.load == vi.load),
+                jg_out.violations.iter().any(|jv| jv.point == vi.point
+                    && jv.scenario == vi.scenario
+                    && jv.load == vi.load),
                 "unconfirmed YU violation: {}",
                 vi.describe(&w.net.topo)
             );
@@ -257,7 +259,7 @@ fn qarc_model_diverges_from_bgp_under_double_failures() {
 
     // Real control plane (concrete BGP simulation): the traffic is
     // dropped at the ingress.
-    let loads = concrete_loads(&ft.net, &scenario, &[flow.clone()]);
+    let loads = concrete_loads(&ft.net, &scenario, std::slice::from_ref(&flow));
     assert_eq!(
         loads.get(&LoadPoint::Delivered(e1)).cloned(),
         None,
@@ -275,7 +277,7 @@ fn qarc_model_diverges_from_bgp_under_double_failures() {
         LoadPoint::Delivered(e1),
         Ratio::int(5),
     ));
-    let qa_out = qarc_verify(&ft.net, &[flow.clone()], &tlp, 2, false);
+    let qa_out = qarc_verify(&ft.net, std::slice::from_ref(&flow), &tlp, 2, false);
     assert!(
         !qa_out.violations.iter().any(|v| v.scenario == scenario),
         "the shortest-path model believes the valley path delivers here"
@@ -307,13 +309,7 @@ fn combined_links_and_routers_mode_matches_concrete() {
     });
     let flows = w.flows(20, 4242);
     let scenarios = scenarios_up_to_k(&w.net.topo, FailureMode::LinksAndRouters, 1);
-    assert_symbolic_matches_concrete(
-        &w.net,
-        &flows,
-        FailureMode::LinksAndRouters,
-        1,
-        scenarios,
-    );
+    assert_symbolic_matches_concrete(&w.net, &flows, FailureMode::LinksAndRouters, 1, scenarios);
 }
 
 #[test]

@@ -38,7 +38,13 @@ fn load(v: &mut YuVerifier, l: LinkId, s: &Scenario) -> Ratio {
 #[test]
 fn figure1a_no_failure_loads() {
     let ex = motivating_example();
-    let mut v = YuVerifier::new(ex.net.clone(), YuOptions { k: 2, ..Default::default() });
+    let mut v = YuVerifier::new(
+        ex.net.clone(),
+        YuOptions {
+            k: 2,
+            ..Default::default()
+        },
+    );
     v.add_flows(&ex.flows);
     let s = Scenario::none();
     // Paper Fig. 1(a): A->C 20, B->C 40, B->D 40, C->E 70, D->E 30,
@@ -61,7 +67,13 @@ fn figure1a_no_failure_loads() {
 #[test]
 fn figure1b_bc_failed() {
     let ex = motivating_example();
-    let mut v = YuVerifier::new(ex.net.clone(), YuOptions { k: 1, ..Default::default() });
+    let mut v = YuVerifier::new(
+        ex.net.clone(),
+        YuOptions {
+            k: 1,
+            ..Default::default()
+        },
+    );
     v.add_flows(&ex.flows);
     // (b): B-C fails -> B sends all 80 to D; D splits 60 (SR p1 via E) /
     // 20 (SR p2 via C); f1 still A->C->E.
@@ -80,7 +92,13 @@ fn figure1b_bc_failed() {
 #[test]
 fn figure1c_bd_failed_overloads_ce() {
     let ex = motivating_example();
-    let mut v = YuVerifier::new(ex.net.clone(), YuOptions { k: 1, ..Default::default() });
+    let mut v = YuVerifier::new(
+        ex.net.clone(),
+        YuOptions {
+            k: 1,
+            ..Default::default()
+        },
+    );
     v.add_flows(&ex.flows);
     // (c): B-D fails -> everything crosses C-E: 100 Gbps (the paper's P2
     // violation).
@@ -99,7 +117,13 @@ fn figure1d_half_f1_on_ce() {
     // Scenario (d) of Fig. 5: A-C failed -> f1 detours via B and only
     // half of it rides C-E... (f1 ECMPs at B over B-C / B-D).
     let ex = motivating_example();
-    let mut v = YuVerifier::new(ex.net.clone(), YuOptions { k: 1, ..Default::default() });
+    let mut v = YuVerifier::new(
+        ex.net.clone(),
+        YuOptions {
+            k: 1,
+            ..Default::default()
+        },
+    );
     v.add_flows(&[ex.flows[0].clone()]); // f1 only, to mirror Fig. 5
     let s = Scenario::links([ex.ulinks[1]]);
     // STF of f1 on C-E is 0.5 (paper Fig. 5 scenario (d)).
@@ -110,7 +134,13 @@ fn figure1d_half_f1_on_ce() {
 #[test]
 fn figure1e_both_b_links_failed() {
     let ex = motivating_example();
-    let mut v = YuVerifier::new(ex.net.clone(), YuOptions { k: 2, ..Default::default() });
+    let mut v = YuVerifier::new(
+        ex.net.clone(),
+        YuOptions {
+            k: 2,
+            ..Default::default()
+        },
+    );
     v.add_flows(&ex.flows);
     // (e): B-C and B-D fail -> B routes f2 back through A.
     let s = Scenario::links([ex.ulinks[2], ex.ulinks[3]]);
@@ -125,7 +155,13 @@ fn figure1e_both_b_links_failed() {
 #[test]
 fn p1_holds_p2_violated_at_k1() {
     let ex = motivating_example();
-    let mut v = YuVerifier::new(ex.net.clone(), YuOptions { k: 1, ..Default::default() });
+    let mut v = YuVerifier::new(
+        ex.net.clone(),
+        YuOptions {
+            k: 1,
+            ..Default::default()
+        },
+    );
     v.add_flows(&ex.flows);
     let p1 = v.verify(&ex.p1);
     assert!(p1.verified(), "P1 must hold under any single link failure");
@@ -150,7 +186,13 @@ fn p1_violated_at_k2() {
     // Stranding f2 (80) needs B isolated: A-B + B-C + B-D = 3 failures,
     // or delivery cut at E-F x2: delivered 0 < 70.
     let ex = motivating_example();
-    let mut v = YuVerifier::new(ex.net.clone(), YuOptions { k: 2, ..Default::default() });
+    let mut v = YuVerifier::new(
+        ex.net.clone(),
+        YuOptions {
+            k: 2,
+            ..Default::default()
+        },
+    );
     v.add_flows(&ex.flows);
     let p1 = v.verify(&ex.p1);
     assert!(!p1.verified(), "two failures can cut delivery below 70");
@@ -163,7 +205,13 @@ fn p1_violated_at_k2() {
 fn symbolic_matches_concrete_on_all_2_failure_scenarios() {
     use yu::routing::ConcreteRoutes;
     let ex = motivating_example();
-    let mut v = YuVerifier::new(ex.net.clone(), YuOptions { k: 2, ..Default::default() });
+    let mut v = YuVerifier::new(
+        ex.net.clone(),
+        YuOptions {
+            k: 2,
+            ..Default::default()
+        },
+    );
     v.add_flows(&ex.flows);
     for s in yu::net::scenarios_up_to_k(&ex.net.topo, yu::net::FailureMode::Links, 2) {
         let routes = ConcreteRoutes::compute(&ex.net, &s);

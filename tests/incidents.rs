@@ -9,7 +9,13 @@ use yu::net::{LoadPoint, Scenario};
 #[test]
 fn fig9_anycast_sr_overload_found() {
     let inc = sr_anycast_incident();
-    let mut v = YuVerifier::new(inc.net.clone(), YuOptions { k: 1, ..Default::default() });
+    let mut v = YuVerifier::new(
+        inc.net.clone(),
+        YuOptions {
+            k: 1,
+            ..Default::default()
+        },
+    );
     v.add_flows(&inc.flows);
 
     // No failure: the backbone interconnect carries nothing.
@@ -41,9 +47,9 @@ fn fig9_anycast_sr_overload_found() {
         .find(|vi| vi.point == LoadPoint::Link(b2_to_b1))
         .expect("B1-B2 must be the overloaded link");
     assert_eq!(vi.load, Ratio::int(40)); // > 95% of 40 Gbps
-    // Note there are two minimal triggers: B2-C2 (the paper's) and
-    // C2-C1 (same effect one hop further); either is a correct
-    // counterexample.
+                                         // Note there are two minimal triggers: B2-C2 (the paper's) and
+                                         // C2-C1 (same effect one hop further); either is a correct
+                                         // counterexample.
     assert_eq!(vi.scenario.failed_links.len(), 1);
     let bad = *vi.scenario.failed_links.iter().next().unwrap();
     let label = inc.net.topo.ulink_label(bad);
@@ -53,7 +59,13 @@ fn fig9_anycast_sr_overload_found() {
 #[test]
 fn fig9_holds_without_the_anycast_trap_at_k0() {
     let inc = sr_anycast_incident();
-    let mut v = YuVerifier::new(inc.net.clone(), YuOptions { k: 0, ..Default::default() });
+    let mut v = YuVerifier::new(
+        inc.net.clone(),
+        YuOptions {
+            k: 0,
+            ..Default::default()
+        },
+    );
     v.add_flows(&inc.flows);
     assert!(v.verify(&inc.tlp).verified(), "no-failure case is clean");
 }
@@ -61,7 +73,13 @@ fn fig9_holds_without_the_anycast_trap_at_k0() {
 #[test]
 fn fig10_static_blackhole_found() {
     let inc = static_blackhole_incident();
-    let mut v = YuVerifier::new(inc.net.clone(), YuOptions { k: 1, ..Default::default() });
+    let mut v = YuVerifier::new(
+        inc.net.clone(),
+        YuOptions {
+            k: 1,
+            ..Default::default()
+        },
+    );
     v.add_flows(&inc.flows);
     let w = inc.routers[4];
     let d1 = inc.routers[2];
@@ -90,9 +108,21 @@ fn fig10_redundancy_works_without_the_misconfig() {
     // M1 fails over to M2-D2-W and delivery survives the D1-W failure.
     let mut inc = static_blackhole_incident();
     for r in [inc.routers[2], inc.routers[3]] {
-        inc.net.config_mut(r).bgp.as_mut().unwrap().deny_exports.clear();
+        inc.net
+            .config_mut(r)
+            .bgp
+            .as_mut()
+            .unwrap()
+            .deny_exports
+            .clear();
     }
-    let mut v = YuVerifier::new(inc.net.clone(), YuOptions { k: 1, ..Default::default() });
+    let mut v = YuVerifier::new(
+        inc.net.clone(),
+        YuOptions {
+            k: 1,
+            ..Default::default()
+        },
+    );
     v.add_flows(&inc.flows);
     let out = v.verify(&inc.tlp);
     assert!(

@@ -1,0 +1,95 @@
+//! The preflight linter must report zero errors on every built-in
+//! example spec (`yu export fig1|fig9|fig10|ft4|n0`) — warnings are
+//! allowed (fig9's anycast is intentional), errors are not.
+
+use yu::mtbdd::Ratio;
+use yu::net::{FailureMode, Tlp};
+use yu::spec::VerifySpec;
+
+fn preset(which: &str) -> VerifySpec {
+    match which {
+        "fig1" => {
+            let ex = yu::gen::motivating_example();
+            VerifySpec {
+                network: ex.net,
+                flows: ex.flows,
+                tlp: ex.p2,
+                k: 1,
+                mode: FailureMode::Links,
+            }
+        }
+        "fig9" => {
+            let inc = yu::gen::sr_anycast_incident();
+            VerifySpec {
+                network: inc.net,
+                flows: inc.flows,
+                tlp: inc.tlp,
+                k: 1,
+                mode: FailureMode::Links,
+            }
+        }
+        "fig10" => {
+            let inc = yu::gen::static_blackhole_incident();
+            VerifySpec {
+                network: inc.net,
+                flows: inc.flows,
+                tlp: inc.tlp,
+                k: 1,
+                mode: FailureMode::Links,
+            }
+        }
+        "ft4" => {
+            let (ft, flows) = yu::gen::fattree_with_flows(4, 16);
+            let tlp = Tlp::no_overload(&ft.net.topo, Ratio::new(95, 100));
+            VerifySpec {
+                network: ft.net,
+                flows,
+                tlp,
+                k: 2,
+                mode: FailureMode::Links,
+            }
+        }
+        "n0" => {
+            let w = yu::gen::wan(yu::gen::WanPreset::N0.params());
+            let flows = w.flows(2000, 0xF10F);
+            let tlp = Tlp::no_overload(&w.net.topo, Ratio::new(95, 100));
+            VerifySpec {
+                network: w.net,
+                flows,
+                tlp,
+                k: 2,
+                mode: FailureMode::Links,
+            }
+        }
+        other => panic!("unknown preset {other}"),
+    }
+}
+
+#[test]
+fn every_builtin_example_lints_without_errors() {
+    for which in ["fig1", "fig9", "fig10", "ft4", "n0"] {
+        let spec = preset(which);
+        let diags = spec.validate();
+        let errors: Vec<_> = diags.iter().filter(|d| d.is_error()).collect();
+        assert!(
+            errors.is_empty(),
+            "{which} must lint without errors, got: {errors:?}"
+        );
+    }
+}
+
+#[test]
+fn fig9_warns_about_intentional_anycast() {
+    let diags = preset("fig9").validate();
+    assert!(
+        diags.iter().any(|d| d.code == "YU012"),
+        "fig9's shared loopback should surface as a YU012 warning: {diags:?}"
+    );
+}
+
+#[test]
+fn diagnostics_serialize_for_json_output() {
+    let diags = preset("fig9").validate();
+    let json = serde_json::to_string_pretty(&diags).unwrap();
+    assert!(json.contains("YU012"), "{json}");
+}

@@ -62,7 +62,10 @@ fn disabling_global_equivalence_preserves_loads() {
         },
     );
     without_eq.add_flows(&flows);
-    assert!(without_eq.verify(&Tlp::new()).stats.flow_groups >= with_eq.verify(&Tlp::new()).stats.flow_groups);
+    assert!(
+        without_eq.verify(&Tlp::new()).stats.flow_groups
+            >= with_eq.verify(&Tlp::new()).stats.flow_groups
+    );
     for u in net.topo.ulinks() {
         let s = Scenario::links([u]);
         for l in net.topo.links() {
@@ -164,8 +167,10 @@ fn router_mode_catches_router_outages() {
     let tlp = Tlp::new().with(TlpReq::at_least(LoadPoint::Delivered(f), Ratio::int(1)));
     let out = v.verify(&tlp);
     assert!(!out.verified());
-    assert!(out.violations[0].scenario.failed_routers.contains(&f)
-        || !out.violations[0].scenario.failed_routers.is_empty());
+    assert!(
+        out.violations[0].scenario.failed_routers.contains(&f)
+            || !out.violations[0].scenario.failed_routers.is_empty()
+    );
     // And the E-router failure severs everything too.
     let s = Scenario::routers([ex.routers[4]]);
     assert_eq!(v.load_at(LoadPoint::Delivered(f), &s), Ratio::ZERO);
@@ -205,7 +210,13 @@ fn k0_equals_concrete_no_failure_loads() {
 #[test]
 fn verify_no_overload_convenience() {
     let ex = motivating_example();
-    let mut v = YuVerifier::new(ex.net, YuOptions { k: 1, ..Default::default() });
+    let mut v = YuVerifier::new(
+        ex.net,
+        YuOptions {
+            k: 1,
+            ..Default::default()
+        },
+    );
     v.add_flows(&ex.flows);
     let out = v.verify_no_overload(Ratio::new(95, 100));
     assert!(!out.verified());

@@ -1,0 +1,150 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Exposes the subset of the criterion 0.8 API this workspace's benches
+//! use (`Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros). Each benchmark closure
+//! is executed a small fixed number of times and the best observed wall
+//! time is printed — no statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark, e.g. `yu/4`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into one id.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs a single benchmark body via [`Bencher::iter`].
+pub struct Bencher {
+    best_ns: u128,
+}
+
+impl Bencher {
+    /// Times `f`, keeping the fastest of a few runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        const RUNS: usize = 3;
+        for _ in 0..RUNS {
+            let start = Instant::now();
+            black_box(f());
+            let elapsed = start.elapsed().as_nanos();
+            self.best_ns = self.best_ns.min(elapsed);
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is fixed in this shim.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { best_ns: u128::MAX };
+        f(&mut b);
+        report(&self.name, &id.id, b.best_ns);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { best_ns: u128::MAX };
+        f(&mut b, input);
+        report(&self.name, &id.id, b.best_ns);
+        self
+    }
+
+    /// Ends the group (no-op in this shim).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, best_ns: u128) {
+    if best_ns == u128::MAX {
+        println!("bench {group}/{id}: no iterations recorded");
+    } else {
+        println!("bench {group}/{id}: best {:.3} ms", best_ns as f64 / 1e6);
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { best_ns: u128::MAX };
+        f(&mut b);
+        report("bench", id, b.best_ns);
+        self
+    }
+}
+
+/// Declares a group function invoking each benchmark function in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,560 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest 1.x API this workspace's
+//! property tests use: the `proptest!` macro, `prop_assert!` /
+//! `prop_assert_eq!`, `prop_oneof!`, range/tuple strategies,
+//! `prop_map`, `prop_recursive`, `any::<T>()`, and
+//! `collection::{vec, btree_set}`.
+//!
+//! Differences from the real crate: generation is deterministic per
+//! test (the RNG is seeded from the test name), there is no shrinking,
+//! and `*.proptest-regressions` files are ignored. Failures report the
+//! case number and the generated inputs.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Deterministic pseudo-random source used for value generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name (FNV-1a hash), so each test
+    /// has a stable stream across runs.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u128) -> u128 {
+        debug_assert!(n > 0);
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % n
+    }
+}
+
+/// Error produced by `prop_assert!`-style macros inside a test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` generated cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            gen: Rc::new(move |rng| self.gen_value(rng)),
+        }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves and `f`
+    /// wraps an inner strategy into composite values, nested up to
+    /// `depth` levels. The `_desired_size` / `_expected_branch` hints
+    /// are accepted for API compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = f(cur).boxed();
+            // Mix the leaf back in so generated values vary in depth
+            // instead of always reaching the maximum.
+            cur = Union::new(vec![leaf.clone(), deeper.clone(), deeper]).boxed();
+        }
+        cur
+    }
+}
+
+/// Type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for MapStrategy<S, F> {
+    type Value = U;
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Uniform choice between several strategies of the same value type.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.arms.len() as u128) as usize;
+        self.arms[idx].gen_value(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, i128);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident . $idx:tt),+ $(,)?)),+ $(,)?) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0,),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+);
+
+/// Types with a canonical full-range strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`Arbitrary::arbitrary`].
+    type Strategy: Strategy<Value = Self>;
+    /// A strategy generating arbitrary values of this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Marker strategy for [`Arbitrary`] integer/bool generation.
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_any {
+    ($($t:ty => $gen:expr),+ $(,)?) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let word = rng.next_u64();
+                #[allow(clippy::redundant_closure_call)]
+                ($gen)(word)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy { _marker: std::marker::PhantomData }
+            }
+        }
+    )+};
+}
+
+impl_any!(
+    bool => |w: u64| w & 1 == 1,
+    u8 => |w: u64| w as u8,
+    u16 => |w: u64| w as u16,
+    u32 => |w: u64| w as u32,
+    u64 => |w: u64| w,
+    usize => |w: u64| w as usize,
+    i32 => |w: u64| w as i32,
+    i64 => |w: u64| w as i64,
+);
+
+/// Returns the canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Collection strategies (`proptest::collection::{vec, btree_set}`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    fn sample_len(size: SizeRange, rng: &mut TestRng) -> usize {
+        (size.lo as u128 + rng.below((size.hi - size.lo + 1) as u128)) as usize
+    }
+
+    /// Strategy generating `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = sample_len(self.size, rng);
+            (0..n).map(|_| self.elem.gen_value(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy generating `BTreeSet`s; duplicates collapse, so the
+    /// resulting set may be smaller than the sampled length.
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = sample_len(self.size, rng);
+            (0..n).map(|_| self.elem.gen_value(rng)).collect()
+        }
+    }
+
+    /// Generates ordered sets from up to `size` sampled elements.
+    pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng, Union,
+    };
+}
+
+/// Defines property tests. Each `fn` inside the block becomes a `#[test]`
+/// (the attribute is written explicitly by callers and passed through)
+/// that runs `cases` generated inputs through the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            let __strats = ($($strat,)+);
+            for __case in 0..__cfg.cases {
+                let ($($arg,)+) = $crate::Strategy::gen_value(&__strats, &mut __rng);
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(__e) = __result {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        __case + 1, __cfg.cases, __e, __inputs
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current proptest case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current proptest case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`", __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}", __l, __r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(i64),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    fn arb_tree() -> BoxedStrategy<Tree> {
+        let leaf = (-5i64..=5).prop_map(Tree::Leaf);
+        leaf.prop_recursive(3, 10, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..9, y in -7i64..=7) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-7..=7).contains(&y), "y out of range: {}", y);
+        }
+
+        #[test]
+        fn recursion_respects_depth(t in arb_tree()) {
+            prop_assert!(depth(&t) <= 3, "tree too deep: {:?}", t);
+        }
+
+        #[test]
+        fn collections_respect_size(v in crate::collection::vec(any::<u32>(), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+        }
+    }
+
+    #[test]
+    fn failures_report_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #[allow(unused)]
+                fn always_fails(x in 0u32..10) {
+                    prop_assert!(false, "forced failure");
+                }
+            }
+            always_fails();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("forced failure"), "message was: {msg}");
+        assert!(msg.contains("x ="), "message was: {msg}");
+    }
+}

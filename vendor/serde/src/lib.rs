@@ -1,0 +1,478 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde crates cannot be fetched in this build environment, so
+//! this shim provides a *value-based* serialization data model with the
+//! same trait and derive names the workspace already uses:
+//!
+//! - [`Serialize`] converts a value into a JSON-like [`Value`] tree.
+//! - [`Deserialize`] reconstructs a value from a [`Value`] tree.
+//! - `#[derive(Serialize, Deserialize)]` (from the companion
+//!   `serde_derive` shim) generates impls matching serde's JSON
+//!   representation conventions: named structs become objects, newtype
+//!   structs are transparent, enums are externally tagged.
+//!
+//! `serde_json` (also vendored) layers text parsing/printing on top of
+//! [`Value`].
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An order-preserving string-keyed map used for JSON objects.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a value by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Inserts a key/value pair, replacing any existing entry for the key.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Removes an entry by key, returning its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Iterates over entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+/// A JSON-like value tree: the serialization data model of this shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer number (JSON number without fraction/exponent).
+    Int(i128),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object, order-preserving.
+    Map(Map),
+}
+
+impl Value {
+    /// Returns the object map if this value is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable variant of [`Value::as_object`].
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this value is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the string contents if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Prints compact JSON, matching `serde_json::Value`'s `Display`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_json(self, None, 0, &mut out);
+        f.write_str(&out)
+    }
+}
+
+/// Writes `v` as JSON text. `indent` of `Some(width)` selects pretty
+/// output. Shared with the vendored `serde_json`.
+#[doc(hidden)]
+pub fn write_json(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+        if let Some(w) = indent {
+            out.push('\n');
+            for _ in 0..w * depth {
+                out.push(' ');
+            }
+        }
+    }
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // serde_json prints integral floats with a trailing ".0".
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    out.push_str(&format!("{f:.1}"));
+                } else {
+                    out.push_str(&f.to_string());
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_json_escaped(s, out),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_json(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Map(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_json_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_json(val, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+/// Writes a JSON string literal with escaping.
+#[doc(hidden)]
+pub fn write_json_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Mirrors `serde::de` far enough for `serde::de::Error::custom` call sites.
+pub mod de {
+    pub use crate::Error;
+}
+
+/// Mirrors `serde::ser` for symmetry.
+pub mod ser {
+    pub use crate::Error;
+}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the shim's serialization data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Attempts to rebuild `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected boolean")),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    _ => Err(Error::custom(concat!("expected integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, i128);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            _ => Err(Error::custom("expected number")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom("expected array")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Serde maps with non-string keys are serialized as JSON objects
+        // only when keys stringify; mirror serde_json by requiring the
+        // key's serialized form to be a string or integer.
+        let mut m = Map::new();
+        for (k, v) in self {
+            let key = match k.to_value() {
+                Value::Str(s) => s,
+                Value::Int(i) => i.to_string(),
+                other => panic!("unsupported map key in serialization: {other:?}"),
+            };
+            m.insert(key, v.to_value());
+        }
+        Value::Map(m)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const N: usize = 0 $(+ { let _ = stringify!($t); 1 })+;
+                match v {
+                    Value::Seq(s) if s.len() == N => Ok(($($t::from_value(&s[$idx])?,)+)),
+                    _ => Err(Error::custom("expected fixed-size array for tuple")),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);

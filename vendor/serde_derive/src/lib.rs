@@ -1,0 +1,485 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! The real `serde_derive` depends on syn/quote, which are unavailable
+//! offline. This implementation walks the raw `proc_macro::TokenTree`
+//! stream by hand, supports exactly the shapes the workspace uses
+//! (named structs, tuple/newtype structs, enums with unit/tuple/struct
+//! variants, `#[serde(default)]` / `#[serde(default = "path")]`), and
+//! emits the generated impls by formatting Rust source and re-parsing
+//! it with `TokenStream::from_str`.
+//!
+//! Generated code follows serde's JSON representation conventions so
+//! that output is interchangeable with the real crates: named structs
+//! are objects, newtype structs are transparent, tuples are arrays,
+//! and enums are externally tagged (`"Variant"`, `{"Variant": value}`,
+//! `{"Variant": [..]}`, or `{"Variant": {..}}`).
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+struct Field {
+    name: String,
+    /// `None`: required. `Some("")`: `Default::default()`. `Some(path)`: call `path()`.
+    default: Option<String>,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn is_punct(tok: &TokenTree, ch: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn ident_str(tok: &TokenTree) -> Option<String> {
+    match tok {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Parses the contents of a `#[serde(...)]` attribute group, returning the
+/// field default if one is declared.
+fn parse_serde_attr(group: &Group) -> Option<String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    // Expect: serde ( ... )
+    if toks.len() != 2 || ident_str(&toks[0]).as_deref() != Some("serde") {
+        return None;
+    }
+    let inner = match &toks[1] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => return None,
+    };
+    let inner_toks: Vec<TokenTree> = inner.stream().into_iter().collect();
+    match inner_toks.as_slice() {
+        [first] if ident_str(first).as_deref() == Some("default") => Some(String::new()),
+        [first, eq, TokenTree::Literal(lit)]
+            if ident_str(first).as_deref() == Some("default") && is_punct(eq, '=') =>
+        {
+            let s = lit.to_string();
+            Some(s.trim_matches('"').to_string())
+        }
+        other => panic!(
+            "vendored serde_derive: unsupported #[serde(...)] attribute: {:?}",
+            other.iter().map(|t| t.to_string()).collect::<Vec<_>>()
+        ),
+    }
+}
+
+/// Skips attributes starting at `i`, returning the new index and any
+/// `#[serde(default...)]` found among them.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, Option<String>) {
+    let mut default = None;
+    while i + 1 < toks.len() && is_punct(&toks[i], '#') {
+        if let TokenTree::Group(g) = &toks[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                if let Some(d) = parse_serde_attr(g) {
+                    default = Some(d);
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (i, default)
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && ident_str(&toks[i]).as_deref() == Some("pub") {
+        i += 1;
+        if i < toks.len() {
+            if let TokenTree::Group(g) = &toks[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Skips a type starting at `i` until a top-level `,` (consumed) or the end.
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(group: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (ni, default) = skip_attrs(&toks, i);
+        i = skip_vis(&toks, ni);
+        let name = ident_str(&toks[i]).unwrap_or_else(|| {
+            panic!(
+                "vendored serde_derive: expected field name, got {}",
+                toks[i]
+            )
+        });
+        i += 1;
+        assert!(
+            is_punct(&toks[i], ':'),
+            "vendored serde_derive: expected ':' after field name"
+        );
+        i = skip_type(&toks, i + 1);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let (ni, _) = skip_attrs(&toks, i);
+        i = skip_vis(&toks, ni);
+        if i >= toks.len() {
+            break;
+        }
+        i = skip_type(&toks, i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (ni, _) = skip_attrs(&toks, i);
+        i = ni;
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_str(&toks[i]).unwrap_or_else(|| {
+            panic!(
+                "vendored serde_derive: expected variant name, got {}",
+                toks[i]
+            )
+        });
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant, then the trailing comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility ahead of the struct/enum keyword.
+    loop {
+        let (ni, _) = skip_attrs(&toks, i);
+        i = skip_vis(&toks, ni);
+        match ident_str(&toks[i]).as_deref() {
+            Some("struct") | Some("enum") => break,
+            Some(_) | None if i + 1 < toks.len() => i += 1,
+            _ => panic!("vendored serde_derive: could not find struct/enum keyword"),
+        }
+    }
+    let kw = ident_str(&toks[i]).unwrap();
+    i += 1;
+    let name = ident_str(&toks[i])
+        .unwrap_or_else(|| panic!("vendored serde_derive: expected type name, got {}", toks[i]));
+    i += 1;
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("vendored serde_derive: generic types are not supported (type {name})");
+    }
+    if kw == "enum" {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            _ => panic!("vendored serde_derive: malformed enum {name}"),
+        }
+    } else {
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g))
+            }
+            _ => Shape::Unit,
+        };
+        Item::Struct { name, shape }
+    }
+}
+
+/// Derives `serde::Serialize` (vendored shim: `fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+                }
+                Shape::Named(fields) => {
+                    let mut b = String::from("{ let mut __m = ::serde::Map::new(); ");
+                    for f in fields {
+                        let fname = &f.name;
+                        let _ = write!(
+                            b,
+                            "__m.insert(\"{fname}\", ::serde::Serialize::to_value(&self.{fname})); "
+                        );
+                    }
+                    b.push_str("::serde::Value::Map(__m) }");
+                    b
+                }
+            };
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => ::serde::Value::Str(String::from(\"{vname}\")), "
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+                        };
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({binds}) => {{ let mut __m = ::serde::Map::new(); \
+                             __m.insert(\"{vname}\", {inner}); ::serde::Value::Map(__m) }}, ",
+                            binds = binds.join(", ")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from("{ let mut __im = ::serde::Map::new(); ");
+                        for f in fields {
+                            let fname = &f.name;
+                            let _ = write!(
+                                inner,
+                                "__im.insert(\"{fname}\", ::serde::Serialize::to_value({fname})); "
+                            );
+                        }
+                        inner.push_str("::serde::Value::Map(__im) }");
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {binds} }} => {{ let mut __m = ::serde::Map::new(); \
+                             __m.insert(\"{vname}\", {inner}); ::serde::Value::Map(__m) }}, ",
+                            binds = binds.join(", ")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ \
+                 match self {{ {arms} }} }} }}"
+            );
+        }
+    }
+    TokenStream::from_str(&out)
+        .expect("vendored serde_derive: generated Serialize impl failed to parse")
+}
+
+fn named_field_deser(type_name: &str, fields: &[Field], map_expr: &str) -> String {
+    let mut b = String::new();
+    for f in fields {
+        let fname = &f.name;
+        let missing = match f.default.as_deref() {
+            None => format!(
+                "return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"{type_name}: missing field `{fname}`\"))"
+            ),
+            Some("") => "::std::default::Default::default()".to_string(),
+            Some(path) => format!("{path}()"),
+        };
+        let _ = write!(
+            b,
+            "{fname}: match {map_expr}.get(\"{fname}\") {{ \
+             ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?, \
+             ::std::option::Option::None => {missing}, }}, "
+        );
+    }
+    b
+}
+
+/// Derives `serde::Deserialize` (vendored shim: `fn from_value(&Value) -> Result<Self, Error>`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                        .collect();
+                    format!(
+                        "match __v {{ ::serde::Value::Seq(__s) if __s.len() == {n} => \
+                         ::std::result::Result::Ok({name}({elems})), \
+                         _ => ::std::result::Result::Err(::serde::Error::custom(\
+                         \"{name}: expected array of {n} elements\")) }}",
+                        elems = elems.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let field_inits = named_field_deser(name, fields, "__m");
+                    format!(
+                        "match __v {{ ::serde::Value::Map(__m) => \
+                         ::std::result::Result::Ok({name} {{ {field_inits} }}), \
+                         _ => ::std::result::Result::Err(::serde::Error::custom(\
+                         \"{name}: expected object\")) }}"
+                    )
+                }
+            };
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{ \
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+                 {body} }} }}"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}), "
+                        );
+                    }
+                    Shape::Tuple(1) => {
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?)), "
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                            .collect();
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vname}\" => match __inner {{ \
+                             ::serde::Value::Seq(__s) if __s.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{vname}({elems})), \
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                             \"{name}::{vname}: expected array of {n} elements\")) }}, ",
+                            elems = elems.join(", ")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let field_inits =
+                            named_field_deser(&format!("{name}::{vname}"), fields, "__im");
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vname}\" => match __inner {{ \
+                             ::serde::Value::Map(__im) => \
+                             ::std::result::Result::Ok({name}::{vname} {{ {field_inits} }}), \
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                             \"{name}::{vname}: expected object\")) }}, ",
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{ \
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+                 match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} \
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                 \"{name}: unknown variant `{{__other}}`\"))) }}, \
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{ \
+                 let (__tag, __inner) = __m.iter().next().unwrap(); \
+                 match __tag.as_str() {{ {tagged_arms} \
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                 \"{name}: unknown variant `{{__other}}`\"))) }} }}, \
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"{name}: expected variant string or single-key object\")) }} }} }}"
+            );
+        }
+    }
+    TokenStream::from_str(&out)
+        .expect("vendored serde_derive: generated Deserialize impl failed to parse")
+}
