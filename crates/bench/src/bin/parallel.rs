@@ -1,0 +1,169 @@
+//! Threads-vs-speedup harness for the sharded parallel execution engine.
+//!
+//! Runs the same verification at increasing worker counts and reports
+//! wall-clock time per stage plus the speedup relative to the sequential
+//! engine. Output is machine-readable JSON (the repo records a run as
+//! `BENCH_parallel.json`).
+//!
+//! ```text
+//! cargo run --release -p yu-bench --bin parallel [--quick] [--out FILE]
+//! ```
+//!
+//! Interpreting the numbers: the parallel engine recomputes symbolic
+//! routes once per worker (the route cache is not `Send`), so the
+//! achievable speedup is bounded by `(R + E) / (R + E/W + M)` for route
+//! time `R`, execution time `E`, workers `W`, and merge/import time `M`
+//! — workloads where execution dominates (many flow groups) scale; tiny
+//! examples do not. The recorded `cores` field matters: with fewer
+//! physical cores than workers, threads time-slice and the measured
+//! speedup is meaningless as a parallelism signal.
+
+use serde::Serialize;
+use std::time::Instant;
+use yu_bench::{overload_tlp, preset_instance};
+use yu_core::{YuOptions, YuVerifier};
+use yu_gen::{fattree_with_flows, WanPreset};
+use yu_net::{FailureMode, Flow, Network, Tlp};
+
+#[derive(Serialize)]
+struct StageSecs {
+    total: f64,
+    route: f64,
+    exec: f64,
+    check: f64,
+}
+
+#[derive(Serialize)]
+struct WorkerPoint {
+    workers: usize,
+    secs: StageSecs,
+    speedup_vs_1: f64,
+    /// Speedup of the symbolic-execution stage alone — the stage the
+    /// worker pool actually shards (route sim and TLP checking stay
+    /// sequential in the main arena).
+    exec_speedup_vs_1: f64,
+    flow_groups: usize,
+    violations: usize,
+}
+
+#[derive(Serialize)]
+struct InstanceResult {
+    instance: &'static str,
+    routers: usize,
+    links: usize,
+    flows: usize,
+    k: u32,
+    points: Vec<WorkerPoint>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    cores: usize,
+    worker_counts: Vec<usize>,
+    instances: Vec<InstanceResult>,
+}
+
+fn timed_run(net: &Network, flows: &[Flow], tlp: &Tlp, k: u32, workers: usize) -> WorkerPoint {
+    let t0 = Instant::now();
+    let mut v = YuVerifier::new(
+        net.clone(),
+        YuOptions {
+            k,
+            mode: FailureMode::Links,
+            workers,
+            ..Default::default()
+        },
+    );
+    v.add_flows(flows);
+    let out = v.verify(tlp);
+    WorkerPoint {
+        workers,
+        secs: StageSecs {
+            total: t0.elapsed().as_secs_f64(),
+            route: out.stats.route_time.as_secs_f64(),
+            exec: out.stats.exec_time.as_secs_f64(),
+            check: out.stats.check_time.as_secs_f64(),
+        },
+        speedup_vs_1: 0.0, // filled in once the sequential point exists
+        exec_speedup_vs_1: 0.0,
+        flow_groups: out.stats.flow_groups,
+        violations: out.violations.len(),
+    }
+}
+
+fn bench_instance(
+    name: &'static str,
+    net: &Network,
+    flows: &[Flow],
+    k: u32,
+    worker_counts: &[usize],
+) -> InstanceResult {
+    let tlp = overload_tlp(net);
+    let mut points: Vec<WorkerPoint> = Vec::new();
+    for &w in worker_counts {
+        eprintln!("  {name}: workers={w} ...");
+        let mut p = timed_run(net, flows, &tlp, k, w);
+        let (base_total, base_exec) = points
+            .first()
+            .map(|b: &WorkerPoint| (b.secs.total, b.secs.exec))
+            .unwrap_or((p.secs.total, p.secs.exec));
+        p.speedup_vs_1 = base_total / p.secs.total;
+        p.exec_speedup_vs_1 = base_exec / p.secs.exec;
+        // Sanity: the parallel engine must agree with the sequential one
+        // (the differential suite proves this exhaustively; here we just
+        // refuse to record numbers from a run that disagrees).
+        if let Some(b) = points.first() {
+            assert_eq!(b.violations, p.violations, "{name}: outcome diverged");
+            assert_eq!(b.flow_groups, p.flow_groups, "{name}: grouping diverged");
+        }
+        points.push(p);
+    }
+    InstanceResult {
+        instance: name,
+        routers: net.topo.num_routers(),
+        links: net.topo.num_ulinks(),
+        flows: flows.len(),
+        k,
+        points,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+    let worker_counts = vec![1, 2, 4, 8];
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let (ft_m, ft_frac, wan_flows) = if quick { (4, 32, 300) } else { (8, 8, 1000) };
+    let (ft, ft_flows) = fattree_with_flows(ft_m, ft_frac);
+    let (w, n0_flows) = preset_instance(WanPreset::N0);
+    let n0_flows = &n0_flows[..wan_flows.min(n0_flows.len())];
+
+    eprintln!("parallel bench: {cores} core(s) available");
+    let instances = vec![
+        bench_instance("fattree-m8", &ft.net, &ft_flows, 2, &worker_counts),
+        bench_instance("wan-n0", &w.net, n0_flows, 2, &worker_counts),
+    ];
+
+    let report = Report {
+        bench: "sharded-parallel-execution",
+        cores,
+        worker_counts,
+        instances,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report is serializable");
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, json).expect("write report");
+            eprintln!("wrote {p}");
+        }
+        None => println!("{json}"),
+    }
+}

@@ -15,10 +15,11 @@
 
 use crate::equivalence::{global_groups_classified, AggStats, FlowGroup};
 use crate::exec::{simulate_flow, ExecOptions, FlowStf};
+use crate::parallel::execute_sharded;
 use crate::verify::{check_requirement, Violation};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
-use yu_mtbdd::{Mtbdd, MtbddStats, NodeRef, Ratio, Term};
+use yu_mtbdd::{ImportMemo, Mtbdd, MtbddStats, NodeRef, Ratio, Term};
 use yu_net::{FailureMode, FailureVars, Flow, LoadPoint, Network, Scenario, Tlp};
 use yu_routing::SymbolicRoutes;
 
@@ -44,6 +45,27 @@ pub struct YuOptions {
     /// loads creates large transient diagrams (the paper's Fig. 18
     /// blow-up); collecting between links bounds the working set.
     pub gc_node_threshold: usize,
+    /// Worker threads for symbolic traffic execution. `1` runs the
+    /// classic sequential engine on the shared arena; `> 1` shards flow
+    /// groups across threads with private arenas (see
+    /// [`crate::parallel`]) and imports the results back in flow order,
+    /// so outcomes are independent of both thread count and scheduling.
+    /// Defaults to `YU_WORKERS` when set, else 1.
+    pub workers: usize,
+}
+
+/// The default worker count: the `YU_WORKERS` environment variable when
+/// set to a positive integer, else 1 (sequential). Latched once per
+/// process, like the `YU_AUDIT` gate.
+pub fn default_workers() -> usize {
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("YU_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+            .unwrap_or(1)
+    })
 }
 
 impl Default for YuOptions {
@@ -57,6 +79,7 @@ impl Default for YuOptions {
             early_stop: false,
             max_hops: yu_net::DEFAULT_MAX_HOPS,
             gc_node_threshold: 4_000_000,
+            workers: default_workers(),
         }
     }
 }
@@ -74,8 +97,11 @@ pub struct RunStats {
     pub flows_in: usize,
     /// Flow groups executed symbolically.
     pub flow_groups: usize,
-    /// MTBDD manager statistics after the run.
+    /// MTBDD manager statistics after the run (main arena).
     pub mtbdd: MtbddStats,
+    /// Cumulative statistics of every worker arena of parallel execution
+    /// (all-zero for sequential runs).
+    pub mtbdd_workers: MtbddStats,
     /// Per-point aggregation statistics (flows vs equivalence classes) —
     /// the data behind Figs. 13 and 14.
     pub per_point: HashMap<LoadPoint, AggStats>,
@@ -111,6 +137,7 @@ pub struct YuVerifier {
     exec_time: Duration,
     load_cache: HashMap<LoadPoint, (NodeRef, AggStats)>,
     live_after_gc: usize,
+    worker_stats: MtbddStats,
 }
 
 impl YuVerifier {
@@ -136,6 +163,7 @@ impl YuVerifier {
             exec_time: Duration::ZERO,
             load_cache: HashMap::new(),
             live_after_gc: 0,
+            worker_stats: MtbddStats::default(),
         };
         yu.audit_checkpoint("after symbolic route simulation");
         yu
@@ -239,21 +267,68 @@ impl YuVerifier {
             max_hops: self.opts.max_hops,
         };
         let t0 = Instant::now();
-        for g in groups {
-            let stf = simulate_flow(
-                &mut self.m,
-                &self.net,
-                &self.fv,
-                &mut self.routes,
-                &g.rep,
-                exec_opts,
-            );
-            self.groups.push(g);
-            self.results.push(stf);
+        if self.opts.workers > 1 && groups.len() > 1 {
+            self.add_groups_parallel(groups, exec_opts);
+        } else {
+            for g in groups {
+                let stf = simulate_flow(
+                    &mut self.m,
+                    &self.net,
+                    &self.fv,
+                    &mut self.routes,
+                    &g.rep,
+                    exec_opts,
+                );
+                self.groups.push(g);
+                self.results.push(stf);
+            }
         }
         self.exec_time += t0.elapsed();
         self.load_cache.clear();
         self.audit_checkpoint("after symbolic traffic execution");
+    }
+
+    /// Sharded parallel execution of one `add_flows` batch: workers own
+    /// private arenas (see [`crate::parallel`]); their per-point STFs are
+    /// imported into the main arena here, walking groups in *flow order*
+    /// and each STF's load points in sorted order, so the merged arena
+    /// state is a pure function of the input — independent of worker
+    /// count and thread scheduling.
+    fn add_groups_parallel(&mut self, groups: Vec<FlowGroup>, exec_opts: ExecOptions) {
+        let shards = execute_sharded(
+            &self.net,
+            self.opts.mode,
+            self.routes.k(),
+            &groups,
+            exec_opts,
+            self.opts.workers,
+        );
+        // Group index -> (shard, position) ownership map.
+        let mut owner: Vec<(usize, usize)> = vec![(usize::MAX, usize::MAX); groups.len()];
+        for (si, shard) in shards.iter().enumerate() {
+            for (pos, (ix, _)) in shard.stfs.iter().enumerate() {
+                owner[*ix] = (si, pos);
+            }
+        }
+        let mut memos: Vec<ImportMemo> = shards.iter().map(|_| ImportMemo::new()).collect();
+        for (ix, g) in groups.into_iter().enumerate() {
+            let (si, pos) = owner[ix];
+            let shard = &shards[si];
+            let (_, stf) = &shard.stfs[pos];
+            let mut points: Vec<(LoadPoint, NodeRef)> =
+                stf.loads.iter().map(|(&p, &n)| (p, n)).collect();
+            points.sort_by_key(|&(p, _)| p);
+            let mut loads = HashMap::with_capacity(points.len());
+            for (p, src_ref) in points {
+                loads.insert(p, self.m.import(&shard.arena, src_ref, &mut memos[si]));
+            }
+            let truncated = self.m.import(&shard.arena, stf.truncated, &mut memos[si]);
+            self.groups.push(g);
+            self.results.push(FlowStf { loads, truncated });
+        }
+        for shard in &shards {
+            self.worker_stats.merge(&shard.arena.stats());
+        }
     }
 
     /// The aggregated symbolic traffic load at `point`
@@ -387,6 +462,7 @@ impl YuVerifier {
                 flows_in: self.flows_in,
                 flow_groups: self.groups.len(),
                 mtbdd: self.m.stats(),
+                mtbdd_workers: self.worker_stats,
                 per_point,
             },
         }
@@ -408,9 +484,19 @@ impl YuVerifier {
     }
 
     /// Direct access to the per-group symbolic results (for tests and the
-    /// figure harness).
+    /// figure harness), in deterministic order: sorted by the
+    /// representative flow's identity `(ingress, dst, dscp, src)`, not by
+    /// insertion or hash order, so iteration is stable across `add_flows`
+    /// batching, input permutations, and worker counts.
     pub fn flow_results(&self) -> impl Iterator<Item = (&FlowGroup, &FlowStf)> {
-        self.groups.iter().zip(self.results.iter())
+        let mut order: Vec<usize> = (0..self.groups.len()).collect();
+        order.sort_by_key(|&i| {
+            let f = &self.groups[i].rep;
+            (f.ingress, f.dst, f.dscp, f.src)
+        });
+        order
+            .into_iter()
+            .map(move |i| (&self.groups[i], &self.results[i]))
     }
 
     /// Mutable access to the manager (tests and the figure harness only).

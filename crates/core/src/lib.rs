@@ -26,11 +26,13 @@
 pub mod api;
 pub mod equivalence;
 pub mod exec;
+pub mod parallel;
 pub mod verify;
 
-pub use api::{RunStats, VerificationOutcome, YuOptions, YuVerifier};
+pub use api::{default_workers, RunStats, VerificationOutcome, YuOptions, YuVerifier};
 pub use equivalence::{
     aggregate_load, global_groups, global_groups_classified, AggStats, FlowGroup,
 };
 pub use exec::{selection_guards, simulate_flow, ExecOptions, FlowStf};
+pub use parallel::{execute_sharded, Shard};
 pub use verify::{check_requirement, check_tlp, enumerate_violations, Violation};

@@ -1,0 +1,80 @@
+//! Sharded parallel symbolic execution (§5 is embarrassingly parallel
+//! across flows).
+//!
+//! Every flow group's symbolic traffic function is built independently
+//! before loads are summed per link, so execution shards cleanly: flow
+//! groups are dealt round-robin across a pool of OS threads, and **each
+//! worker owns a private [`Mtbdd`] arena** — no locks, no contended
+//! unique tables, no sharing of apply caches. A worker allocates its own
+//! failure variables (deterministically identical to the main arena's,
+//! because [`FailureVars::allocate`] is a pure function of topology and
+//! mode), recomputes the guarded routing state locally, executes its
+//! share of the flows with per-worker `KREDUCE`, and hands back its
+//! arena plus per-flow STFs. The caller then imports the results into
+//! the main arena with [`yu_mtbdd::Mtbdd::import`] in *flow order*, so
+//! the merged state is independent of thread scheduling.
+//!
+//! Per-worker `KREDUCE` before the merge is sound: k-failure equivalence
+//! is a congruence under pointwise `+`, `min`, and `max` (Lemma 2 /
+//! Theorem 5.1 of the paper), so reducing each worker's partial diagrams
+//! and reducing the merged sum yields the same verification verdicts as
+//! reducing only the final sum.
+
+use crate::equivalence::FlowGroup;
+use crate::exec::{simulate_flow, ExecOptions, FlowStf};
+use yu_mtbdd::Mtbdd;
+use yu_net::{FailureMode, FailureVars, Network};
+use yu_routing::SymbolicRoutes;
+
+/// The result of one worker: its private arena and the symbolic traffic
+/// functions it produced, tagged with the global flow-group index.
+pub struct Shard {
+    /// The worker's private arena. All [`FlowStf`] handles in
+    /// [`Shard::stfs`] live here until imported.
+    pub arena: Mtbdd,
+    /// `(global group index, STF)` pairs, in this worker's execution
+    /// order (ascending group index by construction).
+    pub stfs: Vec<(usize, FlowStf)>,
+}
+
+/// Executes `groups` across `workers` threads, each with a private arena
+/// and locally recomputed routing state.
+///
+/// Sharding is deterministic (round-robin by group index), and so is
+/// each shard's content; only wall-clock interleaving varies between
+/// runs. Returns one [`Shard`] per worker, indexed by worker id.
+///
+/// # Panics
+/// Propagates panics from worker threads (including audit failures when
+/// `YU_AUDIT=1`).
+pub fn execute_sharded(
+    net: &Network,
+    mode: FailureMode,
+    routes_k: Option<u32>,
+    groups: &[FlowGroup],
+    opts: ExecOptions,
+    workers: usize,
+) -> Vec<Shard> {
+    let workers = workers.clamp(1, groups.len().max(1));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut m = Mtbdd::new();
+                    let fv = FailureVars::allocate(&mut m, &net.topo, mode);
+                    let mut routes = SymbolicRoutes::compute(&mut m, net, &fv, routes_k);
+                    let mut stfs = Vec::new();
+                    for (ix, g) in groups.iter().enumerate().skip(w).step_by(workers) {
+                        let stf = simulate_flow(&mut m, net, &fv, &mut routes, &g.rep, opts);
+                        stfs.push((ix, stf));
+                    }
+                    Shard { arena: m, stfs }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("symbolic execution worker panicked"))
+            .collect()
+    })
+}

@@ -13,7 +13,7 @@ use yu_net::{FailureVars, LoadPoint, Scenario, Tlp, TlpReq, Topology};
 
 /// A verified TLP violation: a concrete `≤ k`-failure scenario under which
 /// the load at a point leaves its required range.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Violation {
     /// Where the violation occurs.
     pub point: LoadPoint,

@@ -47,37 +47,17 @@ impl Mtbdd {
     pub fn collect(&mut self, roots: &[NodeRef]) -> Remap {
         let mut fresh = Mtbdd::new();
         fresh.fresh_vars(self.num_vars());
-        let mut map: FxHashMap<NodeRef, NodeRef> = FxHashMap::default();
+        let mut memo = crate::ImportMemo::new();
         for &root in roots {
-            self.copy_into(root, &mut fresh, &mut map);
+            fresh.import_rec(self, root, memo.map_mut());
         }
+        let map = memo.into_map();
         if fresh.audit_on() {
             let live: Vec<NodeRef> = map.values().copied().collect();
             fresh.audit(&live).assert_ok("post-GC arena");
         }
         *self = fresh;
         Remap { map }
-    }
-
-    fn copy_into(
-        &self,
-        root: NodeRef,
-        fresh: &mut Mtbdd,
-        map: &mut FxHashMap<NodeRef, NodeRef>,
-    ) -> NodeRef {
-        if let Some(&n) = map.get(&root) {
-            return n;
-        }
-        let new = if root.is_terminal() {
-            fresh.term(self.terminal_value(root))
-        } else {
-            let n = self.node_at(root);
-            let lo = self.copy_into(n.lo, fresh, map);
-            let hi = self.copy_into(n.hi, fresh, map);
-            fresh.node(n.var, lo, hi)
-        };
-        map.insert(root, new);
-        new
     }
 }
 

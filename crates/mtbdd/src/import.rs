@@ -1,0 +1,208 @@
+//! Cross-arena structural import of MTBDDs.
+//!
+//! The sharded parallel execution engine (yu-core) gives every worker its
+//! own private [`Mtbdd`] arena; when a worker finishes, its per-link load
+//! diagrams must move into the main arena. [`Mtbdd::import`] performs that
+//! move: a memoized node-by-node copy that re-canonicalizes every copied
+//! node through the target's unique table, so
+//!
+//! * the imported diagram denotes exactly the same pseudo-boolean function
+//!   (the copy is purely structural and MTBDDs with a fixed variable order
+//!   are canonical);
+//! * structurally equal diagrams — whether imported from the same arena,
+//!   from *different* worker arenas, or built natively in the target —
+//!   end up pointer-equal, which keeps the link-local flow-equivalence
+//!   test of §5.3 a O(1) handle comparison across worker boundaries.
+//!
+//! The per-source-arena [`ImportMemo`] makes repeated imports (one per
+//! load point of every flow a worker executed) cost O(new nodes), not
+//! O(diagram) each: shared sub-diagrams are translated once.
+//!
+//! Garbage collection ([`Mtbdd::collect`]) reuses the same walk — a
+//! collection is just an import of the live roots into a fresh arena.
+
+use crate::hasher::FxHashMap;
+use crate::manager::Mtbdd;
+use crate::node::NodeRef;
+
+/// Memo table translating [`NodeRef`]s of one *source* arena into the
+/// target arena of the [`Mtbdd::import`] calls it is threaded through.
+///
+/// A memo is only meaningful for one (source, target) arena pair; using
+/// it with any other pair silently translates to wrong nodes. Keep one
+/// memo per worker arena and drop it with the arena.
+#[derive(Default)]
+pub struct ImportMemo {
+    map: FxHashMap<NodeRef, NodeRef>,
+}
+
+impl ImportMemo {
+    /// An empty memo (no translations yet).
+    pub fn new() -> ImportMemo {
+        ImportMemo::default()
+    }
+
+    /// The target-arena handle a source handle was translated to, if it
+    /// has been imported already.
+    pub fn translated(&self, src: NodeRef) -> Option<NodeRef> {
+        self.map.get(&src).copied()
+    }
+
+    /// Number of source nodes translated so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been imported through this memo yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub(crate) fn map_mut(&mut self) -> &mut FxHashMap<NodeRef, NodeRef> {
+        &mut self.map
+    }
+
+    pub(crate) fn into_map(self) -> FxHashMap<NodeRef, NodeRef> {
+        self.map
+    }
+}
+
+impl Mtbdd {
+    /// Imports the diagram rooted at `root` from `src` into this arena,
+    /// returning the equivalent root here.
+    ///
+    /// Variables are identified by index: variable `v` of `src` is
+    /// variable `v` here (the sharded engine guarantees identical failure
+    /// variable allocation by construction). Missing variables are
+    /// allocated so the copy is always well-formed.
+    ///
+    /// When auditing is enabled (`YU_AUDIT=1` or a `debug_assertions`
+    /// build) every imported root is structurally audited in the target
+    /// arena — variable order, canonicity, and dangling references over
+    /// the reachable sub-diagram.
+    pub fn import(&mut self, src: &Mtbdd, root: NodeRef, memo: &mut ImportMemo) -> NodeRef {
+        if src.num_vars() > self.num_vars() {
+            let missing = src.num_vars() - self.num_vars();
+            self.fresh_vars(missing);
+        }
+        let r = self.import_rec(src, root, &mut memo.map);
+        if self.audit_on() {
+            self.audit_imported(r).assert_ok("imported root");
+        }
+        r
+    }
+
+    /// The memoized copy walk shared by [`Mtbdd::import`] and
+    /// [`Mtbdd::collect`]: copies `root` (a handle of `src`) into `self`,
+    /// re-canonicalizing through `self`'s unique table.
+    pub(crate) fn import_rec(
+        &mut self,
+        src: &Mtbdd,
+        root: NodeRef,
+        map: &mut FxHashMap<NodeRef, NodeRef>,
+    ) -> NodeRef {
+        if let Some(&n) = map.get(&root) {
+            return n;
+        }
+        let new = if root.is_terminal() {
+            self.term(src.terminal_value(root))
+        } else {
+            let n = src.node_at(root);
+            let lo = self.import_rec(src, n.lo, map);
+            let hi = self.import_rec(src, n.hi, map);
+            self.node(n.var, lo, hi)
+        };
+        map.insert(root, new);
+        new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Op, Ratio, Term};
+
+    fn sample_diagram(m: &mut Mtbdd) -> NodeRef {
+        let (x1, x2, x3) = (m.fresh_var(), m.fresh_var(), m.fresh_var());
+        build_over(m, x1, x2, x3)
+    }
+
+    fn build_over(m: &mut Mtbdd, x1: u32, x2: u32, x3: u32) -> NodeRef {
+        let g1 = m.var_guard(x1);
+        let g2 = m.var_guard(x2);
+        let g3 = m.nvar_guard(x3);
+        let a = m.scale(g1, Term::ratio(1, 3));
+        let b = m.add(a, g2);
+        m.apply(Op::Mul, b, g3)
+    }
+
+    #[test]
+    fn import_preserves_semantics() {
+        let mut src = Mtbdd::new();
+        let f = sample_diagram(&mut src);
+        let mut dst = Mtbdd::new();
+        let mut memo = ImportMemo::new();
+        let g = dst.import(&src, f, &mut memo);
+        assert_eq!(dst.num_vars(), src.num_vars());
+        for bits in 0..8u32 {
+            let assign = |v: u32| bits >> v & 1 == 1;
+            assert_eq!(src.eval(f, assign), dst.eval(g, assign), "bits {bits:b}");
+        }
+    }
+
+    #[test]
+    fn import_is_memoized_and_canonical() {
+        let mut src = Mtbdd::new();
+        let f = sample_diagram(&mut src);
+        let mut dst = Mtbdd::new();
+        let mut memo = ImportMemo::new();
+        let g1 = dst.import(&src, f, &mut memo);
+        let translated = memo.len();
+        let g2 = dst.import(&src, f, &mut memo);
+        assert_eq!(g1, g2, "second import must hit the memo");
+        assert_eq!(memo.len(), translated, "no new translations");
+        // A natively rebuilt equal function (over the same, already
+        // imported variables) is pointer-equal to the import.
+        let native = build_over(&mut dst, 0, 1, 2);
+        assert_eq!(native, g1, "hash-consing must unify import with native");
+    }
+
+    #[test]
+    fn imports_from_two_arenas_unify() {
+        let mut a = Mtbdd::new();
+        let mut b = Mtbdd::new();
+        let fa = sample_diagram(&mut a);
+        let fb = sample_diagram(&mut b);
+        let mut dst = Mtbdd::new();
+        let (mut ma, mut mb) = (ImportMemo::new(), ImportMemo::new());
+        let ga = dst.import(&a, fa, &mut ma);
+        let gb = dst.import(&b, fb, &mut mb);
+        assert_eq!(ga, gb, "equal functions from different arenas must unify");
+    }
+
+    #[test]
+    fn import_allocates_missing_variables() {
+        let mut src = Mtbdd::new();
+        let v = src.fresh_vars(5);
+        let g = src.var_guard(v + 4);
+        let mut dst = Mtbdd::new();
+        let mut memo = ImportMemo::new();
+        let r = dst.import(&src, g, &mut memo);
+        assert_eq!(dst.num_vars(), 5);
+        assert_eq!(dst.eval_all_alive(r), Term::ONE);
+    }
+
+    #[test]
+    fn import_terminal_constants() {
+        let mut src = Mtbdd::new();
+        let c = src.constant(Ratio::new(7, 3));
+        let inf = src.pos_inf();
+        let mut dst = Mtbdd::new();
+        let mut memo = ImportMemo::new();
+        let c2 = dst.import(&src, c, &mut memo);
+        let inf2 = dst.import(&src, inf, &mut memo);
+        assert_eq!(dst.terminal_value(c2), Term::Num(Ratio::new(7, 3)));
+        assert_eq!(dst.terminal_value(inf2), Term::PosInf);
+        assert_eq!(inf2, dst.pos_inf());
+    }
+}

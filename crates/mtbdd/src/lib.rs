@@ -52,6 +52,7 @@ mod bigint;
 mod dot;
 mod gc;
 pub mod hasher;
+mod import;
 mod kreduce;
 mod manager;
 mod node;
@@ -61,6 +62,7 @@ mod terminal;
 
 pub use audit::{audit_enabled, AuditCheck, AuditReport, AuditViolation};
 pub use gc::Remap;
+pub use import::ImportMemo;
 pub use manager::{Mtbdd, MtbddStats, Op, Op1};
 pub use node::{NodeRef, Var};
 pub use paths::Path;

@@ -128,6 +128,16 @@ pub struct MtbddStats {
     pub apply_cache_len: usize,
 }
 
+impl MtbddStats {
+    /// Accumulates another manager's statistics into this one (used to
+    /// report totals across the sharded worker arenas of a parallel run).
+    pub fn merge(&mut self, other: &MtbddStats) {
+        self.nodes_created += other.nodes_created;
+        self.terminals_created += other.terminals_created;
+        self.apply_cache_len += other.apply_cache_len;
+    }
+}
+
 /// A multi-terminal binary decision diagram manager.
 ///
 /// Variables are `u32` levels with variable 0 on top; by the failure

@@ -4,7 +4,7 @@
 //! yu export <fig1|fig9|fig10|ft4|n0> > spec.json     write a built-in example spec
 //! yu lint spec.json [--json]                         preflight lint (YU0xx diagnostics)
 //! yu check spec.json                                 lint + summarize the spec
-//! yu verify spec.json [--json]                       verify the TLP under <= k failures
+//! yu verify spec.json [--json] [--workers N]         verify the TLP under <= k failures
 //! yu loads spec.json [--fail A-B,C-D]                per-link loads under a scenario
 //! yu scenarios spec.json                             size of the scenario space
 //! yu rib spec.json --router <name> --dst <ip>        symbolic FIB of one router
@@ -21,7 +21,13 @@ use yu::spec::VerifySpec;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut pos = args.iter().filter(|a| !a.starts_with("--"));
+    // Positional arguments: everything that is neither a flag nor the
+    // value of a value-taking flag.
+    const VALUE_FLAGS: [&str; 4] = ["--fail", "--workers", "--router", "--dst"];
+    let mut pos = args.iter().enumerate().filter_map(|(i, a)| {
+        let is_flag_value = i > 0 && VALUE_FLAGS.iter().any(|f| args[i - 1] == *f);
+        (!a.starts_with("--") && !is_flag_value).then_some(a)
+    });
     let cmd = pos.next().map(String::as_str).unwrap_or("help");
     let arg = pos.next().cloned();
     let json_output = args.iter().any(|a| a == "--json");
@@ -29,12 +35,22 @@ fn main() -> ExitCode {
         .iter()
         .position(|a| a == "--fail")
         .and_then(|i| args.get(i + 1).cloned());
+    let workers = match args.iter().position(|a| a == "--workers") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(w) if w >= 1 => w,
+            _ => {
+                eprintln!("error: --workers takes a positive integer");
+                return ExitCode::from(2);
+            }
+        },
+        None => yu::core::default_workers(),
+    };
 
     match cmd {
         "export" => export(arg.as_deref().unwrap_or("fig1")),
         "lint" => lint(&load(&arg), json_output),
         "check" => check(&load(&arg)),
-        "verify" => verify(&load(&arg), json_output),
+        "verify" => verify(&load(&arg), json_output, workers),
         "loads" => loads(&load(&arg), fail_arg.as_deref()),
         "scenarios" => scenarios(&load(&arg)),
         "rib" => rib(&load(&arg), &args),
@@ -44,7 +60,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: yu <export|lint|check|verify|loads|scenarios|rib> [spec.json] \
-                 [--json] [--fail A-B,C-D] [--router <name> --dst <ip>]"
+                 [--json] [--workers N] [--fail A-B,C-D] [--router <name> --dst <ip>]"
             );
             ExitCode::from(2)
         }
@@ -173,12 +189,13 @@ fn check(spec: &VerifySpec) -> ExitCode {
     }
 }
 
-fn verify(spec: &VerifySpec, json_output: bool) -> ExitCode {
+fn verify(spec: &VerifySpec, json_output: bool, workers: usize) -> ExitCode {
     let mut v = YuVerifier::new(
         spec.network.clone(),
         YuOptions {
             k: spec.k,
             mode: spec.mode,
+            workers,
             ..Default::default()
         },
     );
@@ -205,7 +222,9 @@ fn verify(spec: &VerifySpec, json_output: bool) -> ExitCode {
             println!("  {}", vi.describe(&spec.network.topo));
         }
     }
-    println!(
+    // With --json, stdout carries only the machine-readable violation
+    // list; the human stats line moves to stderr.
+    let stats = format!(
         "({} flows -> {} groups; route {:?}, exec {:?}, check {:?})",
         out.stats.flows_in,
         out.stats.flow_groups,
@@ -213,6 +232,11 @@ fn verify(spec: &VerifySpec, json_output: bool) -> ExitCode {
         out.stats.exec_time,
         out.stats.check_time
     );
+    if json_output {
+        eprintln!("{stats}");
+    } else {
+        println!("{stats}");
+    }
     if out.verified() {
         ExitCode::SUCCESS
     } else {

@@ -1,0 +1,260 @@
+//! Differential tests for the sharded parallel execution engine: for
+//! every built-in example and both failure modes, a run with `workers >
+//! 1` (private per-worker MTBDD arenas, cross-arena import merge) must be
+//! indistinguishable from the sequential engine — same
+//! `VerificationOutcome`, same violation set (including counterexample
+//! scenarios), same aggregation statistics, same load terminals, and the
+//! same concrete load at every sampled scenario and load point.
+
+use yu::core::{YuOptions, YuVerifier};
+use yu::gen::{
+    fattree_with_flows, motivating_example, sr_anycast_incident, static_blackhole_incident, wan,
+    WanParams,
+};
+use yu::mtbdd::{Ratio, Term};
+use yu::net::{scenarios_up_to_k, FailureMode, Flow, LoadPoint, Network, Scenario, Tlp};
+
+struct Instance {
+    name: &'static str,
+    net: Network,
+    flows: Vec<Flow>,
+    tlp: Tlp,
+    k: u32,
+}
+
+/// Every built-in `yu export` example (fig1, fig9, fig10, ft4) plus a
+/// small random WAN; the paper-scale n0 preset is exercised by the bench
+/// harness instead to keep test runtime sane.
+fn instances() -> Vec<Instance> {
+    let fig1 = motivating_example();
+    let fig9 = sr_anycast_incident();
+    let fig10 = static_blackhole_incident();
+    let (ft, ft_flows) = fattree_with_flows(4, 16);
+    let ft_tlp = Tlp::no_overload(&ft.net.topo, Ratio::new(95, 100));
+    let w = wan(WanParams {
+        core_routers: 5,
+        stub_routers: 2,
+        extra_core_links: 3,
+        prefixes: 8,
+        sr_policies: 1,
+        seed: 7,
+    });
+    let w_flows = w.flows(25, 70);
+    let w_tlp = Tlp::no_overload(&w.net.topo, Ratio::new(95, 100));
+    vec![
+        Instance {
+            name: "fig1",
+            net: fig1.net,
+            flows: fig1.flows,
+            tlp: fig1.p2,
+            k: 1,
+        },
+        Instance {
+            name: "fig9",
+            net: fig9.net,
+            flows: fig9.flows,
+            tlp: fig9.tlp,
+            k: 1,
+        },
+        Instance {
+            name: "fig10",
+            net: fig10.net,
+            flows: fig10.flows,
+            tlp: fig10.tlp,
+            k: 1,
+        },
+        Instance {
+            name: "ft4",
+            net: ft.net,
+            flows: ft_flows,
+            tlp: ft_tlp,
+            k: 2,
+        },
+        Instance {
+            name: "wan-small",
+            net: w.net,
+            flows: w_flows,
+            tlp: w_tlp,
+            k: 1,
+        },
+    ]
+}
+
+fn run(inst: &Instance, mode: FailureMode, workers: usize) -> YuVerifier {
+    let mut v = YuVerifier::new(
+        inst.net.clone(),
+        YuOptions {
+            k: inst.k,
+            mode,
+            workers,
+            ..Default::default()
+        },
+    );
+    v.add_flows(&inst.flows);
+    v
+}
+
+/// All load points of a network (links plus per-router pseudo-sinks).
+fn all_points(net: &Network) -> Vec<LoadPoint> {
+    let mut pts: Vec<LoadPoint> = net.topo.links().map(LoadPoint::Link).collect();
+    for r in net.topo.routers() {
+        pts.push(LoadPoint::Delivered(r));
+        pts.push(LoadPoint::Dropped(r));
+    }
+    pts
+}
+
+/// Sampled `≤ k` scenarios: every scenario for small spaces, every third
+/// for larger ones.
+fn sampled_scenarios(net: &Network, mode: FailureMode, k: u32) -> Vec<Scenario> {
+    let all: Vec<Scenario> = scenarios_up_to_k(&net.topo, mode, k as usize).collect();
+    let step = if all.len() > 200 { 3 } else { 1 };
+    all.into_iter().step_by(step).collect()
+}
+
+/// The core differential assertion: `workers = 1` vs each entry of
+/// `worker_counts` must agree on everything observable.
+fn assert_parallel_matches_sequential(inst: &Instance, mode: FailureMode, worker_counts: &[usize]) {
+    let mut seq = run(inst, mode, 1);
+    let seq_out = seq.verify(&inst.tlp);
+    let points = all_points(&inst.net);
+    let scenarios = sampled_scenarios(&inst.net, mode, inst.k);
+    for &w in worker_counts {
+        let ctx = format!("{} mode={mode:?} workers={w}", inst.name);
+        let mut par = run(inst, mode, w);
+        let par_out = par.verify(&inst.tlp);
+        // A single flow group legitimately falls back to the sequential
+        // engine; otherwise the sharded engine must actually have run.
+        if seq_out.stats.flow_groups > 1 {
+            assert!(
+                par_out.stats.mtbdd_workers.nodes_created > 0,
+                "{ctx}: parallel run must report worker arena stats"
+            );
+        }
+        assert_eq!(
+            seq_out.verified(),
+            par_out.verified(),
+            "{ctx}: verdict differs"
+        );
+        assert_eq!(
+            seq_out.violations, par_out.violations,
+            "{ctx}: violation set differs"
+        );
+        assert_eq!(
+            seq_out.stats.flow_groups, par_out.stats.flow_groups,
+            "{ctx}: group count differs"
+        );
+        for (point, stats) in &seq_out.stats.per_point {
+            assert_eq!(
+                Some(stats),
+                par_out.stats.per_point.get(point),
+                "{ctx}: aggregation stats differ at {point:?}"
+            );
+        }
+        for &p in &points {
+            // Identical load terminals (the values Theorem 5.1 scans)...
+            let tau_seq = seq.load_mtbdd(p);
+            let mut terms_seq: Vec<Term> = seq.manager().terminals(tau_seq);
+            let tau_par = par.load_mtbdd(p);
+            let mut terms_par: Vec<Term> = par.manager().terminals(tau_par);
+            terms_seq.sort();
+            terms_par.sort();
+            assert_eq!(terms_seq, terms_par, "{ctx}: terminals differ at {p:?}");
+            // ...and identical concrete loads at every sampled scenario.
+            for s in &scenarios {
+                assert_eq!(
+                    seq.load_at(p, s),
+                    par.load_at(p, s),
+                    "{ctx}: load differs at {p:?} under {s:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fig1_parallel_matches_sequential_both_modes() {
+    let inst = &instances()[0];
+    for mode in [FailureMode::Links, FailureMode::Routers] {
+        assert_parallel_matches_sequential(inst, mode, &[4, 8]);
+    }
+}
+
+#[test]
+fn fig9_parallel_matches_sequential_both_modes() {
+    let inst = &instances()[1];
+    for mode in [FailureMode::Links, FailureMode::Routers] {
+        assert_parallel_matches_sequential(inst, mode, &[4, 8]);
+    }
+}
+
+#[test]
+fn fig10_parallel_matches_sequential_both_modes() {
+    let inst = &instances()[2];
+    for mode in [FailureMode::Links, FailureMode::Routers] {
+        assert_parallel_matches_sequential(inst, mode, &[4, 8]);
+    }
+}
+
+#[test]
+fn ft4_parallel_matches_sequential_both_modes() {
+    let inst = &instances()[3];
+    for mode in [FailureMode::Links, FailureMode::Routers] {
+        assert_parallel_matches_sequential(inst, mode, &[4, 8]);
+    }
+}
+
+#[test]
+fn wan_parallel_matches_sequential_both_modes() {
+    let inst = &instances()[4];
+    for mode in [FailureMode::Links, FailureMode::Routers] {
+        assert_parallel_matches_sequential(inst, mode, &[4, 8]);
+    }
+}
+
+/// Batched `add_flows` calls must merge deterministically in parallel
+/// mode too (the flow-ordered import is per batch).
+#[test]
+fn batched_add_flows_parallel_matches_sequential() {
+    let inst = &instances()[3];
+    let mut seq = run(inst, FailureMode::Links, 1);
+    let mut par = YuVerifier::new(
+        inst.net.clone(),
+        YuOptions {
+            k: inst.k,
+            mode: FailureMode::Links,
+            workers: 4,
+            ..Default::default()
+        },
+    );
+    let mid = inst.flows.len() / 2;
+    par.add_flows(&inst.flows[..mid]);
+    par.add_flows(&inst.flows[mid..]);
+    let so = seq.verify(&inst.tlp);
+    let po = par.verify(&inst.tlp);
+    assert_eq!(so.verified(), po.verified());
+    assert_eq!(so.violations, po.violations);
+    for s in sampled_scenarios(&inst.net, FailureMode::Links, inst.k)
+        .into_iter()
+        .take(20)
+    {
+        for l in inst.net.topo.links() {
+            assert_eq!(
+                seq.load_at(LoadPoint::Link(l), &s),
+                par.load_at(LoadPoint::Link(l), &s)
+            );
+        }
+    }
+}
+
+/// `--workers 8` with fewer groups than workers degrades gracefully.
+#[test]
+fn more_workers_than_groups() {
+    let inst = &instances()[0];
+    let mut seq = run(inst, FailureMode::Links, 1);
+    let mut par = run(inst, FailureMode::Links, 64);
+    assert_eq!(
+        seq.verify(&inst.tlp).violations,
+        par.verify(&inst.tlp).violations
+    );
+}

@@ -249,6 +249,101 @@ fn violations_are_minimal_in_failure_count() {
 }
 
 #[test]
+fn flow_results_order_is_deterministic() {
+    // flow_results() must iterate in a canonical order (sorted by flow
+    // identity), independent of the order flows were added, of batching,
+    // and of the worker count — downstream consumers (figures, reports)
+    // rely on stable iteration.
+    let (net, flows) = small_wan();
+    let key = |f: &yu::net::Flow| (f.ingress, f.dst, f.dscp, f.src);
+    let mut forward = YuVerifier::new(
+        net.clone(),
+        YuOptions {
+            k: 1,
+            ..Default::default()
+        },
+    );
+    forward.add_flows(&flows);
+    let mut reversed_flows = flows.clone();
+    reversed_flows.reverse();
+    let mut backward = YuVerifier::new(
+        net.clone(),
+        YuOptions {
+            k: 1,
+            ..Default::default()
+        },
+    );
+    // Reversed order AND split into two batches.
+    let mid = reversed_flows.len() / 3;
+    backward.add_flows(&reversed_flows[..mid]);
+    backward.add_flows(&reversed_flows[mid..]);
+    let mut parallel = YuVerifier::new(
+        net.clone(),
+        YuOptions {
+            k: 1,
+            workers: 4,
+            ..Default::default()
+        },
+    );
+    parallel.add_flows(&reversed_flows);
+
+    // Whatever the insertion order, batching, or worker count, the
+    // iteration must come out sorted by flow identity.
+    for v in [&forward, &backward, &parallel] {
+        let keys: Vec<_> = v.flow_results().map(|(g, _)| key(&g.rep)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "iteration must be sorted by flow id");
+    }
+    // With identical input order, the sequential and parallel engines
+    // must produce the exact same group sequence with aligned results.
+    let canonical: Vec<_> = parallel.flow_results().map(|(g, _)| key(&g.rep)).collect();
+    let from_reversed_seq: Vec<_> = {
+        let mut v = YuVerifier::new(
+            net.clone(),
+            YuOptions {
+                k: 1,
+                ..Default::default()
+            },
+        );
+        v.add_flows(&reversed_flows);
+        v.flow_results().map(|(g, _)| key(&g.rep)).collect()
+    };
+    assert_eq!(
+        canonical, from_reversed_seq,
+        "order must not depend on workers"
+    );
+    // And the per-group results line up too, not just the keys: each
+    // aligned pair of groups must touch the same set of load points.
+    let seq_results: Vec<_> = forward
+        .flow_results()
+        .map(|(g, r)| {
+            let mut pts: Vec<_> = r.loads.keys().copied().collect();
+            pts.sort();
+            (key(&g.rep), pts)
+        })
+        .collect();
+    let mut par_forward = YuVerifier::new(
+        net.clone(),
+        YuOptions {
+            k: 1,
+            workers: 4,
+            ..Default::default()
+        },
+    );
+    par_forward.add_flows(&flows);
+    let par_results: Vec<_> = par_forward
+        .flow_results()
+        .map(|(g, r)| {
+            let mut pts: Vec<_> = r.loads.keys().copied().collect();
+            pts.sort();
+            (key(&g.rep), pts)
+        })
+        .collect();
+    assert_eq!(seq_results, par_results, "groups or load points diverge");
+}
+
+#[test]
 fn forced_gc_does_not_change_results() {
     // A tiny GC threshold forces collections constantly (including inside
     // the per-link aggregation loop); every load and verdict must match a
