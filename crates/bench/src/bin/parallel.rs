@@ -54,6 +54,26 @@ struct InstanceResult {
     flows: usize,
     k: u32,
     points: Vec<WorkerPoint>,
+    /// Stage spans, cache counters, and derived rates from one extra
+    /// instrumented run at the highest worker count. The timed points
+    /// above always run with telemetry disabled so recording cost never
+    /// contaminates the speedup numbers.
+    telemetry: yu_telemetry::TelemetrySummary,
+}
+
+/// A/B cost of the telemetry layer on one instance: same run with
+/// recording off and on, best-of-N wall clock each.
+#[derive(Serialize)]
+struct TelemetryOverhead {
+    instance: &'static str,
+    workers: usize,
+    reps: usize,
+    off_secs: f64,
+    on_secs: f64,
+    /// `on/off - 1`; the acceptance bar is < 0.02 when disabled, and
+    /// this measures the *enabled* cost, so small values here mean the
+    /// disabled path (a single relaxed atomic load) is certainly free.
+    overhead_frac: f64,
 }
 
 #[derive(Serialize)]
@@ -61,7 +81,21 @@ struct Report {
     bench: &'static str,
     cores: usize,
     worker_counts: Vec<usize>,
+    /// VmHWM from /proc/self/status at the end of the run, if readable
+    /// (Linux only): the high-water mark of resident memory across every
+    /// instance and worker count benchmarked.
+    peak_rss_bytes: Option<u64>,
+    telemetry_overhead: TelemetryOverhead,
     instances: Vec<InstanceResult>,
+}
+
+/// Peak resident set size of this process in bytes, from the kernel's
+/// VmHWM accounting. Returns `None` off Linux or if the field is absent.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 fn timed_run(net: &Network, flows: &[Flow], tlp: &Tlp, k: u32, workers: usize) -> WorkerPoint {
@@ -119,6 +153,15 @@ fn bench_instance(
         }
         points.push(p);
     }
+    // One extra run with recording on, at the widest worker count, to
+    // capture per-stage spans and cache/memo counters for the report.
+    let max_workers = *worker_counts.iter().max().unwrap_or(&1);
+    yu_telemetry::set_enabled(true);
+    yu_telemetry::reset();
+    timed_run(net, flows, &tlp, k, max_workers);
+    let telemetry = yu_telemetry::snapshot().summary();
+    yu_telemetry::reset();
+    yu_telemetry::set_enabled(false);
     InstanceResult {
         instance: name,
         routers: net.topo.num_routers(),
@@ -126,6 +169,43 @@ fn bench_instance(
         flows: flows.len(),
         k,
         points,
+        telemetry,
+    }
+}
+
+/// Best-of-`reps` wall clock with telemetry off, then on, on the same
+/// instance — the A/B that backs the "recording is cheap, disabled is
+/// free" claim in DESIGN.md.
+fn measure_overhead(
+    name: &'static str,
+    net: &Network,
+    flows: &[Flow],
+    k: u32,
+    workers: usize,
+    reps: usize,
+) -> TelemetryOverhead {
+    let tlp = overload_tlp(net);
+    let best = |on: bool| -> f64 {
+        yu_telemetry::set_enabled(on);
+        let mut secs = f64::INFINITY;
+        for _ in 0..reps {
+            yu_telemetry::reset();
+            let p = timed_run(net, flows, &tlp, k, workers);
+            secs = secs.min(p.secs.total);
+        }
+        yu_telemetry::reset();
+        yu_telemetry::set_enabled(false);
+        secs
+    };
+    let off_secs = best(false);
+    let on_secs = best(true);
+    TelemetryOverhead {
+        instance: name,
+        workers,
+        reps,
+        off_secs,
+        on_secs,
+        overhead_frac: on_secs / off_secs - 1.0,
     }
 }
 
@@ -152,10 +232,23 @@ fn main() {
         bench_instance("wan-n0", &w.net, n0_flows, 2, &worker_counts),
     ];
 
+    eprintln!("  telemetry overhead A/B ...");
+    let overhead_workers = cores.min(4).max(1);
+    let telemetry_overhead = measure_overhead(
+        "fattree-m8",
+        &ft.net,
+        &ft_flows,
+        2,
+        overhead_workers,
+        if quick { 2 } else { 3 },
+    );
+
     let report = Report {
         bench: "sharded-parallel-execution",
         cores,
         worker_counts,
+        peak_rss_bytes: peak_rss_bytes(),
+        telemetry_overhead,
         instances,
     };
     let json = serde_json::to_string_pretty(&report).expect("report is serializable");

@@ -105,6 +105,10 @@ pub struct RunStats {
     /// Per-point aggregation statistics (flows vs equivalence classes) —
     /// the data behind Figs. 13 and 14.
     pub per_point: HashMap<LoadPoint, AggStats>,
+    /// Telemetry digest of the run (stage timings, counters, derived
+    /// cache rates). `None` unless telemetry was enabled (`YU_TRACE`,
+    /// `YU_METRICS`, or `yu_telemetry::set_enabled`).
+    pub telemetry: Option<yu_telemetry::TelemetrySummary>,
 }
 
 /// Outcome of verifying one TLP.
@@ -138,6 +142,9 @@ pub struct YuVerifier {
     load_cache: HashMap<LoadPoint, (NodeRef, AggStats)>,
     live_after_gc: usize,
     worker_stats: MtbddStats,
+    /// Combined arena statistics already forwarded to the telemetry
+    /// counters, so repeated `verify` calls emit deltas, not re-counts.
+    telemetry_reported: MtbddStats,
 }
 
 impl YuVerifier {
@@ -148,7 +155,10 @@ impl YuVerifier {
         let fv = FailureVars::allocate(&mut m, &net.topo, opts.mode);
         let t0 = Instant::now();
         let k = opts.use_kreduce.then_some(opts.k);
-        let routes = SymbolicRoutes::compute(&mut m, &net, &fv, k);
+        let routes = {
+            let _stage = yu_telemetry::span("route_sim");
+            SymbolicRoutes::compute(&mut m, &net, &fv, k)
+        };
         let route_time = t0.elapsed();
         let yu = YuVerifier {
             m,
@@ -164,6 +174,7 @@ impl YuVerifier {
             load_cache: HashMap::new(),
             live_after_gc: 0,
             worker_stats: MtbddStats::default(),
+            telemetry_reported: MtbddStats::default(),
         };
         yu.audit_checkpoint("after symbolic route simulation");
         yu
@@ -267,6 +278,7 @@ impl YuVerifier {
             max_hops: self.opts.max_hops,
         };
         let t0 = Instant::now();
+        let exec_span = yu_telemetry::span("exec");
         if self.opts.workers > 1 && groups.len() > 1 {
             self.add_groups_parallel(groups, exec_opts);
         } else {
@@ -283,6 +295,7 @@ impl YuVerifier {
                 self.results.push(stf);
             }
         }
+        drop(exec_span);
         self.exec_time += t0.elapsed();
         self.load_cache.clear();
         self.audit_checkpoint("after symbolic traffic execution");
@@ -311,6 +324,7 @@ impl YuVerifier {
             }
         }
         let mut memos: Vec<ImportMemo> = shards.iter().map(|_| ImportMemo::new()).collect();
+        let import_span = yu_telemetry::span("import");
         for (ix, g) in groups.into_iter().enumerate() {
             let (si, pos) = owner[ix];
             let shard = &shards[si];
@@ -326,6 +340,12 @@ impl YuVerifier {
             self.groups.push(g);
             self.results.push(FlowStf { loads, truncated });
         }
+        drop(import_span);
+        let (hits, misses) = memos
+            .iter()
+            .fold((0, 0), |(h, m), memo| (h + memo.hits(), m + memo.misses()));
+        yu_telemetry::counter("import.memo_hits", hits);
+        yu_telemetry::counter("import.memo_misses", misses);
         for shard in &shards {
             self.worker_stats.merge(&shard.arena.stats());
         }
@@ -345,6 +365,7 @@ impl YuVerifier {
         if let Some(&(tau, stats)) = self.load_cache.get(&point) {
             return (tau, stats);
         }
+        let _stage = yu_telemetry::span_detail("aggregate", || format!("{point:?}"));
         self.maybe_gc(&mut []);
         // Group contributions link-locally (pointer equality of STFs,
         // Sec. 5.3), remembering a representative *result index* per
@@ -439,6 +460,7 @@ impl YuVerifier {
     /// every scenario with at most `k` failures) and run statistics.
     pub fn verify(&mut self, tlp: &Tlp) -> VerificationOutcome {
         let t0 = Instant::now();
+        let verify_span = yu_telemetry::span("verify");
         let mut violations = Vec::new();
         let mut per_point = HashMap::new();
         for req in &tlp.reqs {
@@ -451,8 +473,10 @@ impl YuVerifier {
                 }
             }
         }
+        drop(verify_span);
         let check_time = t0.elapsed();
         self.audit_checkpoint("after TLP check");
+        let telemetry = self.telemetry_summary();
         VerificationOutcome {
             violations,
             stats: RunStats {
@@ -464,8 +488,47 @@ impl YuVerifier {
                 mtbdd: self.m.stats(),
                 mtbdd_workers: self.worker_stats,
                 per_point,
+                telemetry,
             },
         }
+    }
+
+    /// Bridges arena statistics into the telemetry counters (as deltas
+    /// against what earlier `verify` calls already reported) and returns
+    /// the digest of everything recorded so far. `None` when telemetry is
+    /// disabled.
+    fn telemetry_summary(&mut self) -> Option<yu_telemetry::TelemetrySummary> {
+        if !yu_telemetry::enabled() {
+            return None;
+        }
+        let mut combined = self.m.stats();
+        combined.merge(&self.worker_stats);
+        let prev = self.telemetry_reported;
+        yu_telemetry::counter(
+            "mtbdd.apply_cache_hits",
+            combined
+                .apply_cache_hits
+                .saturating_sub(prev.apply_cache_hits),
+        );
+        yu_telemetry::counter(
+            "mtbdd.apply_cache_misses",
+            combined
+                .apply_cache_misses
+                .saturating_sub(prev.apply_cache_misses),
+        );
+        yu_telemetry::counter(
+            "mtbdd.gc_runs",
+            combined.gc_runs.saturating_sub(prev.gc_runs),
+        );
+        yu_telemetry::counter(
+            "mtbdd.gc_reclaimed_nodes",
+            combined
+                .gc_reclaimed_nodes
+                .saturating_sub(prev.gc_reclaimed_nodes),
+        );
+        yu_telemetry::gauge_max("mtbdd.unique_table_peak", combined.unique_table_peak as u64);
+        self.telemetry_reported = combined;
+        Some(yu_telemetry::snapshot().summary())
     }
 
     /// Enumerates every violating `≤ k` scenario for one requirement (up

@@ -117,6 +117,9 @@ pub fn simulate_flow(
     flow: &Flow,
     opts: ExecOptions,
 ) -> FlowStf {
+    let _stage = yu_telemetry::span_detail("exec.flow", || {
+        format!("ingress r{} -> {:?}", flow.ingress.0, flow.dst)
+    });
     let mut exec = Exec {
         m,
         net,

@@ -60,15 +60,26 @@ pub fn execute_sharded(
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 scope.spawn(move || {
-                    let mut m = Mtbdd::new();
-                    let fv = FailureVars::allocate(&mut m, &net.topo, mode);
-                    let mut routes = SymbolicRoutes::compute(&mut m, net, &fv, routes_k);
-                    let mut stfs = Vec::new();
-                    for (ix, g) in groups.iter().enumerate().skip(w).step_by(workers) {
-                        let stf = simulate_flow(&mut m, net, &fv, &mut routes, &g.rep, opts);
-                        stfs.push((ix, stf));
-                    }
-                    Shard { arena: m, stfs }
+                    // Each worker records into its own thread-local
+                    // telemetry buffer (its own trace track); the flush
+                    // before returning makes the buffer visible to the
+                    // main thread's snapshot without any contention
+                    // during execution.
+                    yu_telemetry::set_thread_track(format!("worker-{w}"));
+                    let shard = {
+                        let _stage = yu_telemetry::span("exec.worker");
+                        let mut m = Mtbdd::new();
+                        let fv = FailureVars::allocate(&mut m, &net.topo, mode);
+                        let mut routes = SymbolicRoutes::compute(&mut m, net, &fv, routes_k);
+                        let mut stfs = Vec::new();
+                        for (ix, g) in groups.iter().enumerate().skip(w).step_by(workers) {
+                            let stf = simulate_flow(&mut m, net, &fv, &mut routes, &g.rep, opts);
+                            stfs.push((ix, stf));
+                        }
+                        Shard { arena: m, stfs }
+                    };
+                    yu_telemetry::flush_thread();
+                    shard
                 })
             })
             .collect();

@@ -58,7 +58,19 @@ pub fn check_requirement(
     req: &TlpReq,
     k: u32,
 ) -> Option<Violation> {
-    let reduced = m.kreduce(tau, k);
+    // node_count is O(|tau|): only pay for the before/after reduction
+    // ratio when telemetry is recording.
+    let count_nodes = yu_telemetry::enabled();
+    if count_nodes {
+        yu_telemetry::counter("kreduce.nodes_before", m.node_count(tau) as u64);
+    }
+    let reduced = {
+        let _stage = yu_telemetry::span("kreduce");
+        m.kreduce(tau, k)
+    };
+    if count_nodes {
+        yu_telemetry::counter("kreduce.nodes_after", m.node_count(reduced) as u64);
+    }
     let min = req.min.clone();
     let max = req.max.clone();
     let violates = move |t: Term| match t {

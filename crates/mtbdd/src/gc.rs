@@ -45,12 +45,22 @@ impl Mtbdd {
     /// the handle remapping; all previously held [`NodeRef`]s must be
     /// translated through it (or dropped).
     pub fn collect(&mut self, roots: &[NodeRef]) -> Remap {
+        let before = self.stats();
         let mut fresh = Mtbdd::new();
         fresh.fresh_vars(self.num_vars());
         let mut memo = crate::ImportMemo::new();
         for &root in roots {
-            fresh.import_rec(self, root, memo.map_mut());
+            fresh.import_rec(self, root, &mut memo);
         }
+        // Cumulative counters survive the collection: carry them into the
+        // fresh arena, fold in this collection's reclaim, and keep the
+        // unique-table high-water mark across the swap.
+        fresh.apply_cache_hits = self.apply_cache_hits;
+        fresh.apply_cache_misses = self.apply_cache_misses;
+        fresh.unique_peak = before.unique_table_peak;
+        fresh.gc_runs = self.gc_runs + 1;
+        let live = fresh.stats().nodes_created;
+        fresh.gc_reclaimed = self.gc_reclaimed + before.nodes_created.saturating_sub(live) as u64;
         let map = memo.into_map();
         if fresh.audit_on() {
             let live: Vec<NodeRef> = map.values().copied().collect();
@@ -93,6 +103,40 @@ mod tests {
             let want = Ratio::int(40 * (bits & 1) as i64) + Ratio::int((bits >> 1 & 1) as i64);
             assert_eq!(m.eval(live2, assign), Term::Num(want));
         }
+    }
+
+    #[test]
+    fn collect_tracks_gc_counters_and_peak() {
+        let mut m = Mtbdd::new();
+        let (x1, x2) = (m.fresh_var(), m.fresh_var());
+        let g1 = m.var_guard(x1);
+        let g2 = m.var_guard(x2);
+        let live = m.add(g1, g2);
+        for i in 0..20 {
+            let s = m.scale(g2, Term::int(i));
+            let _ = m.add(s, g1);
+        }
+        let before = m.stats();
+        assert_eq!(before.gc_runs, 0);
+        let _remap = m.collect(&[live]);
+        let after = m.stats();
+        assert_eq!(after.gc_runs, 1);
+        assert!(after.gc_reclaimed_nodes > 0);
+        assert_eq!(
+            after.gc_reclaimed_nodes as usize,
+            before.nodes_created - after.nodes_created
+        );
+        assert!(
+            after.unique_table_peak >= before.nodes_created,
+            "peak must remember the pre-GC table size"
+        );
+        // Hit/miss counters are cumulative across the collection.
+        assert_eq!(after.apply_cache_misses, before.apply_cache_misses);
+        assert_eq!(after.apply_cache_hits, before.apply_cache_hits);
+        // A second collection keeps accumulating.
+        let live2 = m.var_guard(x1);
+        let _ = m.collect(&[live2]);
+        assert_eq!(m.stats().gc_runs, 2);
     }
 
     #[test]

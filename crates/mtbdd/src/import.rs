@@ -34,6 +34,8 @@ use crate::node::NodeRef;
 #[derive(Default)]
 pub struct ImportMemo {
     map: FxHashMap<NodeRef, NodeRef>,
+    hits: u64,
+    misses: u64,
 }
 
 impl ImportMemo {
@@ -58,8 +60,15 @@ impl ImportMemo {
         self.map.is_empty()
     }
 
-    pub(crate) fn map_mut(&mut self) -> &mut FxHashMap<NodeRef, NodeRef> {
-        &mut self.map
+    /// Memo lookups that found an existing translation (shared
+    /// sub-diagrams the copy walk did not have to revisit).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Memo lookups that had to translate a new source node.
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 
     pub(crate) fn into_map(self) -> FxHashMap<NodeRef, NodeRef> {
@@ -85,7 +94,7 @@ impl Mtbdd {
             let missing = src.num_vars() - self.num_vars();
             self.fresh_vars(missing);
         }
-        let r = self.import_rec(src, root, &mut memo.map);
+        let r = self.import_rec(src, root, memo);
         if self.audit_on() {
             self.audit_imported(r).assert_ok("imported root");
         }
@@ -99,20 +108,22 @@ impl Mtbdd {
         &mut self,
         src: &Mtbdd,
         root: NodeRef,
-        map: &mut FxHashMap<NodeRef, NodeRef>,
+        memo: &mut ImportMemo,
     ) -> NodeRef {
-        if let Some(&n) = map.get(&root) {
+        if let Some(&n) = memo.map.get(&root) {
+            memo.hits += 1;
             return n;
         }
+        memo.misses += 1;
         let new = if root.is_terminal() {
             self.term(src.terminal_value(root))
         } else {
             let n = src.node_at(root);
-            let lo = self.import_rec(src, n.lo, map);
-            let hi = self.import_rec(src, n.hi, map);
+            let lo = self.import_rec(src, n.lo, memo);
+            let hi = self.import_rec(src, n.hi, memo);
             self.node(n.var, lo, hi)
         };
-        map.insert(root, new);
+        memo.map.insert(root, new);
         new
     }
 }
@@ -165,6 +176,24 @@ mod tests {
         // imported variables) is pointer-equal to the import.
         let native = build_over(&mut dst, 0, 1, 2);
         assert_eq!(native, g1, "hash-consing must unify import with native");
+    }
+
+    #[test]
+    fn import_memo_counts_hits_and_misses() {
+        let mut src = Mtbdd::new();
+        let f = sample_diagram(&mut src);
+        let mut dst = Mtbdd::new();
+        let mut memo = ImportMemo::new();
+        let _ = dst.import(&src, f, &mut memo);
+        let (h1, m1) = (memo.hits(), memo.misses());
+        assert_eq!(
+            m1 as usize,
+            memo.len(),
+            "every translation is exactly one miss"
+        );
+        let _ = dst.import(&src, f, &mut memo);
+        assert_eq!(memo.hits(), h1 + 1, "re-import hits the memo at the root");
+        assert_eq!(memo.misses(), m1, "no new translations on re-import");
     }
 
     #[test]

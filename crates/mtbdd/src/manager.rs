@@ -116,25 +116,54 @@ impl Op1 {
     }
 }
 
-/// Cumulative statistics of a manager, used by the Fig. 16 experiment
-/// (MTBDD node counts with and without `KREDUCE`).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Statistics of a manager, used by the Fig. 16 experiment (MTBDD node
+/// counts with and without `KREDUCE`) and surfaced through the telemetry
+/// layer. Creation and hit/miss counts are cumulative (they survive
+/// [`Mtbdd::collect`]); `apply_cache_len` is the *current* cache size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct MtbddStats {
-    /// Inner nodes ever created (hash-consing misses).
+    /// Inner nodes currently in the arena (hash-consing misses since the
+    /// last collection).
     pub nodes_created: usize,
-    /// Distinct terminals ever created.
+    /// Distinct terminals currently in the arena.
     pub terminals_created: usize,
-    /// Binary apply cache entries.
+    /// Binary apply cache entries right now (a size, not a counter).
     pub apply_cache_len: usize,
+    /// Cumulative binary apply cache hits.
+    pub apply_cache_hits: u64,
+    /// Cumulative binary apply cache misses (memoized recursions).
+    pub apply_cache_misses: u64,
+    /// High-water mark of the unique (inner-node) table, across
+    /// collections.
+    pub unique_table_peak: usize,
+    /// Number of garbage collections run.
+    pub gc_runs: u64,
+    /// Total inner nodes reclaimed by garbage collections.
+    pub gc_reclaimed_nodes: u64,
 }
 
 impl MtbddStats {
     /// Accumulates another manager's statistics into this one (used to
     /// report totals across the sharded worker arenas of a parallel run).
+    /// Counts (`nodes_created`, hits, misses, GC totals) are summed;
+    /// sizes (`apply_cache_len`, `unique_table_peak`) take the per-arena
+    /// maximum — summing a length across arenas would report capacity
+    /// nobody ever allocated at once.
     pub fn merge(&mut self, other: &MtbddStats) {
         self.nodes_created += other.nodes_created;
         self.terminals_created += other.terminals_created;
-        self.apply_cache_len += other.apply_cache_len;
+        self.apply_cache_len = self.apply_cache_len.max(other.apply_cache_len);
+        self.apply_cache_hits += other.apply_cache_hits;
+        self.apply_cache_misses += other.apply_cache_misses;
+        self.unique_table_peak = self.unique_table_peak.max(other.unique_table_peak);
+        self.gc_runs += other.gc_runs;
+        self.gc_reclaimed_nodes += other.gc_reclaimed_nodes;
+    }
+
+    /// Apply-cache hit rate in `[0, 1]`, or `None` before any lookups.
+    pub fn apply_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.apply_cache_hits + self.apply_cache_misses;
+        (total > 0).then(|| self.apply_cache_hits as f64 / total as f64)
     }
 }
 
@@ -162,6 +191,13 @@ pub struct Mtbdd {
     audit_enabled: bool,
     /// Operation counter driving sampled apply-cache re-validation.
     audit_ops: u64,
+    /// Cumulative counters surfaced via [`MtbddStats`]; `gc.rs` carries
+    /// them into the fresh arena across collections.
+    pub(crate) apply_cache_hits: u64,
+    pub(crate) apply_cache_misses: u64,
+    pub(crate) unique_peak: usize,
+    pub(crate) gc_runs: u64,
+    pub(crate) gc_reclaimed: u64,
 }
 
 impl Default for Mtbdd {
@@ -189,6 +225,11 @@ impl Mtbdd {
             pos_inf: NodeRef(0),
             audit_enabled: crate::audit::audit_enabled(),
             audit_ops: 0,
+            apply_cache_hits: 0,
+            apply_cache_misses: 0,
+            unique_peak: 0,
+            gc_runs: 0,
+            gc_reclaimed: 0,
         };
         m.zero = m.term(Term::ZERO);
         m.one = m.term(Term::ONE);
@@ -326,11 +367,13 @@ impl Mtbdd {
             (f, g)
         };
         if let Some(&r) = self.apply_cache.get(&(op, f, g)) {
+            self.apply_cache_hits += 1;
             if self.audit_enabled {
                 self.audit_apply_tick(op, f, g, r);
             }
             return r;
         }
+        self.apply_cache_misses += 1;
         let r = if f.is_terminal() && g.is_terminal() {
             let t = op.combine(self.terminal_value(f), self.terminal_value(g));
             self.term(t)
@@ -607,12 +650,18 @@ impl Mtbdd {
         vars
     }
 
-    /// Cumulative statistics (monotone; nodes are never freed).
+    /// Current sizes plus cumulative hit/miss and GC counters (the
+    /// counters survive [`Mtbdd::collect`]; the sizes reset with it).
     pub fn stats(&self) -> MtbddStats {
         MtbddStats {
             nodes_created: self.nodes.len(),
             terminals_created: self.terms.len(),
             apply_cache_len: self.apply_cache.len(),
+            apply_cache_hits: self.apply_cache_hits,
+            apply_cache_misses: self.apply_cache_misses,
+            unique_table_peak: self.unique_peak.max(self.nodes.len()),
+            gc_runs: self.gc_runs,
+            gc_reclaimed_nodes: self.gc_reclaimed,
         }
     }
 
@@ -801,6 +850,57 @@ mod tests {
         assert_eq!(m.eval_all_alive(s), Term::int(3));
         assert_eq!(m.eval(s, |v| v == x2), Term::int(1));
         assert_eq!(m.sum(&[]), m.zero());
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_sizes() {
+        let mut a = MtbddStats {
+            nodes_created: 10,
+            terminals_created: 2,
+            apply_cache_len: 100,
+            apply_cache_hits: 5,
+            apply_cache_misses: 7,
+            unique_table_peak: 40,
+            gc_runs: 1,
+            gc_reclaimed_nodes: 30,
+        };
+        let b = MtbddStats {
+            nodes_created: 3,
+            terminals_created: 1,
+            apply_cache_len: 60,
+            apply_cache_hits: 2,
+            apply_cache_misses: 3,
+            unique_table_peak: 90,
+            gc_runs: 2,
+            gc_reclaimed_nodes: 4,
+        };
+        a.merge(&b);
+        assert_eq!(a.nodes_created, 13);
+        assert_eq!(a.terminals_created, 3);
+        assert_eq!(a.apply_cache_len, 100, "cache len is a size: take max");
+        assert_eq!(a.apply_cache_hits, 7);
+        assert_eq!(a.apply_cache_misses, 10);
+        assert_eq!(a.unique_table_peak, 90, "peak is a size: take max");
+        assert_eq!(a.gc_runs, 3);
+        assert_eq!(a.gc_reclaimed_nodes, 34);
+    }
+
+    #[test]
+    fn apply_cache_hit_and_miss_counters() {
+        let (mut m, x1, x2, _) = setup();
+        let g1 = m.var_guard(x1);
+        let g2 = m.var_guard(x2);
+        assert_eq!(m.stats().apply_cache_hits, 0);
+        assert_eq!(m.stats().apply_cache_hit_rate(), None);
+        let s1 = m.add(g1, g2);
+        let first = m.stats();
+        assert!(first.apply_cache_misses > 0);
+        let s2 = m.add(g1, g2);
+        assert_eq!(s1, s2);
+        let second = m.stats();
+        assert_eq!(second.apply_cache_hits, first.apply_cache_hits + 1);
+        assert_eq!(second.apply_cache_misses, first.apply_cache_misses);
+        assert!(second.apply_cache_hit_rate().unwrap() > 0.0);
     }
 
     #[test]

@@ -240,6 +240,7 @@ impl BgpState {
         igp: &mut IgpState,
         k: Option<u32>,
     ) -> BgpState {
+        let _stage = yu_telemetry::span("bgp");
         let reduce = |m: &mut Mtbdd, g: NodeRef| match k {
             Some(k) => m.kreduce(g, k),
             None => g,
@@ -296,8 +297,10 @@ impl BgpState {
         let num_ases = net.ases().len();
         let max_rounds = 2 * (num_ases + 2) + nrouters.min(64) + 8;
         let mut converged = false;
+        let mut rounds: u64 = 0;
 
         for _round in 0..max_rounds {
+            rounds += 1;
             // Exports of every router based on current candidates.
             let mut ebgp_out: Vec<Vec<Advert>> = vec![Vec::new(); nrouters];
             let mut ibgp_out: Vec<Vec<Advert>> = vec![Vec::new(); nrouters];
@@ -462,6 +465,7 @@ impl BgpState {
             }
             received = next;
         }
+        yu_telemetry::counter("bgp.rounds", rounds);
 
         // Final RIB = origins + received.
         let mut rib: Vec<HashMap<ClassId, Vec<BgpRoute>>> = received;

@@ -45,6 +45,7 @@ impl IgpState {
     /// `k` is the failure budget for KREDUCE-during-computation; pass
     /// `None` to keep exact diagrams (the ablation of Fig. 15/16).
     pub fn compute(m: &mut Mtbdd, net: &Network, fv: &FailureVars, k: Option<u32>) -> IgpState {
+        let _stage = yu_telemetry::span("igp");
         let mut state = IgpState {
             dist: HashMap::new(),
             vigp_cache: HashMap::new(),
@@ -60,6 +61,7 @@ impl IgpState {
                 continue;
             }
             for ip in net.igp_destinations(asn) {
+                let _dest = yu_telemetry::span_detail("igp.dest", || format!("as{asn:?} {ip:?}"));
                 let d = compute_destination(m, net, fv, asn, &members, ip, k);
                 state.dist.insert((asn, ip), d);
             }
@@ -219,7 +221,9 @@ fn compute_destination(
         }
     }
     // Guarded Bellman–Ford to fixpoint (bounded by |members| rounds).
+    let mut rounds: u64 = 0;
     for _round in 0..members.len() {
+        rounds += 1;
         let mut changed = false;
         let prev = dist.clone();
         for &r in members {
@@ -244,6 +248,8 @@ fn compute_destination(
             break;
         }
     }
+    yu_telemetry::counter("igp.bf_rounds", rounds);
+    yu_telemetry::counter("igp.destinations", 1);
     dist
 }
 

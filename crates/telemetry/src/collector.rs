@@ -1,0 +1,265 @@
+//! The collection substrate: global enable gate, per-thread buffers,
+//! RAII spans, counters, and gauges.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+use crate::report::TelemetryReport;
+
+/// Whether recording is currently on. Initialized once from the
+/// environment (`YU_TRACE` / `YU_METRICS`), then controlled by
+/// [`set_enabled`].
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+/// Finished per-thread buffers, appended by [`flush_thread`]. Touched
+/// only at flush/snapshot/reset time, never on the recording hot path.
+static FLUSHED: Mutex<Vec<ThreadLog>> = Mutex::new(Vec::new());
+
+fn env_truthy(var: &str) -> bool {
+    match std::env::var(var) {
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("false") || v.is_empty() => false,
+        Ok(_) => true,
+        Err(_) => false,
+    }
+}
+
+fn init_from_env() {
+    ENV_INIT.call_once(|| {
+        if env_truthy("YU_TRACE") || env_truthy("YU_METRICS") {
+            ENABLED.store(true, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Whether telemetry recording is on. One relaxed atomic load — this is
+/// the guard every instrumented call site pays when telemetry is off.
+#[inline]
+pub fn enabled() -> bool {
+    init_from_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off process-wide (e.g. when the CLI sees
+/// `--trace-out`). Spans already open keep recording to completion.
+pub fn set_enabled(on: bool) {
+    init_from_env();
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The shared time base: all threads stamp spans relative to one epoch,
+/// so cross-thread timelines line up in the trace viewer.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// One completed span: a named stage interval on one thread's track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Stage name (`"igp"`, `"exec"`, ...). Static so recording never
+    /// allocates.
+    pub name: &'static str,
+    /// Optional per-occurrence detail (flow id, load point, ...),
+    /// rendered as `args.detail` in the Chrome trace.
+    pub detail: Option<String>,
+    /// Start offset from the process epoch, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Nesting depth at the time the span opened (0 = top level).
+    pub depth: u32,
+}
+
+/// Everything one thread recorded: its track label, completed spans, and
+/// counter/gauge totals.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadLog {
+    /// Track label shown in the trace viewer (`"main"`, `"worker-3"`).
+    pub track: String,
+    /// Completed spans in completion order.
+    pub spans: Vec<SpanEvent>,
+    /// Monotonic counters accumulated on this thread.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// High-water-mark gauges recorded on this thread.
+    pub gauges: BTreeMap<&'static str, u64>,
+}
+
+impl ThreadLog {
+    fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.gauges.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct LocalBuf {
+    log: ThreadLog,
+    depth: u32,
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf::default());
+}
+
+fn default_track() -> String {
+    std::thread::current()
+        .name()
+        .unwrap_or("thread")
+        .to_string()
+}
+
+/// RAII guard returned by [`span`]: records a [`SpanEvent`] covering its
+/// own lifetime into the current thread's buffer when dropped. Inert
+/// (and clock-free) when telemetry is disabled.
+#[must_use = "a span measures its own lifetime; bind it to a variable"]
+pub struct Span {
+    open: Option<OpenSpan>,
+}
+
+struct OpenSpan {
+    name: &'static str,
+    detail: Option<String>,
+    start_us: u64,
+    depth: u32,
+}
+
+impl Span {
+    fn start(name: &'static str, detail: Option<String>) -> Span {
+        if !enabled() {
+            return Span { open: None };
+        }
+        let depth = LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            let d = l.depth;
+            l.depth += 1;
+            d
+        });
+        Span {
+            open: Some(OpenSpan {
+                name,
+                detail,
+                start_us: now_us(),
+                depth,
+            }),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else { return };
+        let end = now_us();
+        LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            l.depth = l.depth.saturating_sub(1);
+            l.log.spans.push(SpanEvent {
+                name: open.name,
+                detail: open.detail,
+                start_us: open.start_us,
+                dur_us: end.saturating_sub(open.start_us),
+                depth: open.depth,
+            });
+        });
+    }
+}
+
+/// Opens a scoped stage timer. The span closes (and is recorded) when
+/// the returned guard drops.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    Span::start(name, None)
+}
+
+/// Like [`span`], with a lazily built detail string; `detail` is only
+/// invoked when telemetry is enabled, so hot paths pay no formatting
+/// cost while disabled.
+#[inline]
+pub fn span_detail(name: &'static str, detail: impl FnOnce() -> String) -> Span {
+    if !enabled() {
+        return Span { open: None };
+    }
+    Span::start(name, Some(detail()))
+}
+
+/// Adds `delta` to the named monotonic counter on the current thread.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    LOCAL.with(|l| {
+        *l.borrow_mut().log.counters.entry(name).or_insert(0) += delta;
+    });
+}
+
+/// Raises the named high-water-mark gauge to at least `value`.
+#[inline]
+pub fn gauge_max(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let g = l.log.gauges.entry(name).or_insert(0);
+        *g = (*g).max(value);
+    });
+}
+
+/// Labels the current thread's track in the exported trace (call once,
+/// early, from worker threads: `set_thread_track(format!("worker-{i}"))`).
+pub fn set_thread_track(name: String) {
+    LOCAL.with(|l| l.borrow_mut().log.track = name);
+}
+
+/// Takes the current thread's buffer without touching global state.
+/// Primarily for tests; production code uses [`flush_thread`] +
+/// [`snapshot`].
+pub fn take_thread_log() -> ThreadLog {
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let mut log = std::mem::take(&mut l.log);
+        if log.track.is_empty() {
+            log.track = default_track();
+        }
+        log
+    })
+}
+
+/// Moves the current thread's buffer into the global registry. Worker
+/// threads call this right before exiting; the buffer then appears in
+/// every later [`snapshot`]. A no-op for empty buffers.
+pub fn flush_thread() {
+    let log = take_thread_log();
+    if log.is_empty() {
+        return;
+    }
+    FLUSHED
+        .lock()
+        .expect("telemetry registry poisoned")
+        .push(log);
+}
+
+/// Flushes the current thread and returns a report over everything
+/// flushed so far (from all threads). Cumulative: data stays in the
+/// registry, so later snapshots include earlier stages; use [`reset`]
+/// to start a fresh measurement window.
+pub fn snapshot() -> TelemetryReport {
+    flush_thread();
+    let threads = FLUSHED.lock().expect("telemetry registry poisoned").clone();
+    TelemetryReport { threads }
+}
+
+/// Clears the global registry and the current thread's buffer (other
+/// threads' unflushed buffers are untouched). Use between independent
+/// measurement windows (e.g. bench runs).
+pub fn reset() {
+    let _ = take_thread_log();
+    FLUSHED.lock().expect("telemetry registry poisoned").clear();
+}

@@ -1,0 +1,48 @@
+//! # yu-telemetry
+//!
+//! Lightweight instrumentation for the YU symbolic verification pipeline:
+//! scoped RAII stage timers ([`span`]), monotonic [`counter`]s, and
+//! high-water-mark [`gauge_max`]es, collected into **per-thread buffers**
+//! so the sharded parallel workers of `yu-core` record independently
+//! without any lock contention on the hot path.
+//!
+//! ## Zero cost when disabled
+//!
+//! Every recording entry point starts with one relaxed atomic load.
+//! Telemetry is off by default; it turns on when the `YU_TRACE` or
+//! `YU_METRICS` environment variable is set to a non-empty value other
+//! than `0`/`false` (mirroring the `YU_AUDIT` gate of `yu-mtbdd`), or
+//! programmatically via [`set_enabled`] (what `yu verify --trace-out`
+//! does). While disabled, [`span`] never reads the clock and [`counter`]
+//! never touches thread-local state, so instrumented code paths cost a
+//! branch — measured < 2% on the parallel bench.
+//!
+//! ## Collection model
+//!
+//! Spans and counters land in a thread-local buffer. Worker threads call
+//! [`set_thread_track`] (to label their Chrome-trace track) and
+//! [`flush_thread`] before they exit; the main thread's buffer is flushed
+//! implicitly by [`snapshot`]. A [`TelemetryReport`] is the merge of all
+//! flushed buffers and can be exported three ways:
+//!
+//! * [`TelemetryReport::summary_table`] — human-readable per-stage table
+//!   (what `yu verify -v` prints on stderr);
+//! * [`TelemetryReport::metrics_json`] — machine-readable metrics with
+//!   derived rates (apply-cache hit rate, KREDUCE reduction ratio,
+//!   import-memo hit rate) for `--metrics-out`;
+//! * [`TelemetryReport::chrome_trace_json`] — Chrome trace-event JSON
+//!   (one track per worker thread) for `--trace-out`, loadable in
+//!   `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod report;
+mod trace;
+
+pub use collector::{
+    counter, enabled, flush_thread, gauge_max, reset, set_enabled, set_thread_track, snapshot,
+    span, span_detail, take_thread_log, Span, SpanEvent, ThreadLog,
+};
+pub use report::{StageAgg, StageSummary, TelemetryReport, TelemetrySummary};

@@ -1,0 +1,242 @@
+//! Aggregation and export of flushed telemetry: per-stage statistics,
+//! derived cache rates, the stderr summary table, and metrics JSON.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::collector::ThreadLog;
+
+/// Aggregate statistics for one stage (all spans sharing a name, across
+/// every thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct StageAgg {
+    /// Number of spans recorded for this stage.
+    pub count: u64,
+    /// Sum of span durations, microseconds.
+    pub total_us: u64,
+    /// Shortest span, microseconds.
+    pub min_us: u64,
+    /// Longest span, microseconds.
+    pub max_us: u64,
+}
+
+impl StageAgg {
+    fn absorb(&mut self, dur_us: u64) {
+        self.count += 1;
+        self.total_us += dur_us;
+        self.min_us = self.min_us.min(dur_us);
+        self.max_us = self.max_us.max(dur_us);
+    }
+}
+
+/// One row of the exported per-stage breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageSummary {
+    /// Stage name (`"igp"`, `"exec"`, ...).
+    pub name: String,
+    /// Number of spans recorded for this stage.
+    pub count: u64,
+    /// Sum of span durations, microseconds.
+    pub total_us: u64,
+    /// Mean span duration, microseconds.
+    pub mean_us: f64,
+    /// Shortest span, microseconds.
+    pub min_us: u64,
+    /// Longest span, microseconds.
+    pub max_us: u64,
+}
+
+/// The machine-readable digest of one run: per-stage timings, raw
+/// counter/gauge totals, and derived rates. This is what `--metrics-out`
+/// writes and what `RunStats` embeds for `--json` output.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TelemetrySummary {
+    /// Per-stage timing rows, sorted by descending total time.
+    pub stages: Vec<StageSummary>,
+    /// Counter totals summed across all threads.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge high-water marks maxed across all threads.
+    pub gauges: BTreeMap<String, u64>,
+    /// Rates computed from the counters (all in `[0, 1]`):
+    /// `apply_cache_hit_rate` = hits / (hits + misses) of the MTBDD apply
+    /// cache; `import_memo_hit_rate` likewise for cross-arena import;
+    /// `kreduce_reduction_ratio` = fraction of nodes *removed* by
+    /// KREDUCE (`1 - after/before`). A rate is omitted when its inputs
+    /// were never recorded.
+    pub derived: BTreeMap<String, f64>,
+}
+
+/// All telemetry flushed so far: one [`ThreadLog`] per flushed thread.
+/// Obtained from [`crate::snapshot`]; exported via the methods here.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryReport {
+    /// Per-thread logs in flush order.
+    pub threads: Vec<ThreadLog>,
+}
+
+impl TelemetryReport {
+    /// True when nothing was recorded (e.g. telemetry was disabled).
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    /// Aggregates spans by stage name across all threads.
+    pub fn stage_aggs(&self) -> BTreeMap<&'static str, StageAgg> {
+        let mut aggs: BTreeMap<&'static str, StageAgg> = BTreeMap::new();
+        for t in &self.threads {
+            for s in &t.spans {
+                aggs.entry(s.name)
+                    .or_insert(StageAgg {
+                        count: 0,
+                        total_us: 0,
+                        min_us: u64::MAX,
+                        max_us: 0,
+                    })
+                    .absorb(s.dur_us);
+            }
+        }
+        aggs
+    }
+
+    /// Counter totals summed across all threads.
+    pub fn counter_totals(&self) -> BTreeMap<String, u64> {
+        let mut out: BTreeMap<String, u64> = BTreeMap::new();
+        for t in &self.threads {
+            for (&k, &v) in &t.counters {
+                *out.entry(k.to_string()).or_insert(0) += v;
+            }
+        }
+        out
+    }
+
+    /// Gauge high-water marks maxed across all threads.
+    pub fn gauge_maxes(&self) -> BTreeMap<String, u64> {
+        let mut out: BTreeMap<String, u64> = BTreeMap::new();
+        for t in &self.threads {
+            for (&k, &v) in &t.gauges {
+                let g = out.entry(k.to_string()).or_insert(0);
+                *g = (*g).max(v);
+            }
+        }
+        out
+    }
+
+    /// Builds the exportable digest: stages sorted by descending total
+    /// time, counter/gauge totals, and derived cache rates.
+    pub fn summary(&self) -> TelemetrySummary {
+        let mut stages: Vec<StageSummary> = self
+            .stage_aggs()
+            .into_iter()
+            .map(|(name, a)| StageSummary {
+                name: name.to_string(),
+                count: a.count,
+                total_us: a.total_us,
+                mean_us: a.total_us as f64 / a.count as f64,
+                min_us: a.min_us,
+                max_us: a.max_us,
+            })
+            .collect();
+        stages.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+        let counters = self.counter_totals();
+        let derived = derived_rates(&counters);
+        TelemetrySummary {
+            stages,
+            counters,
+            gauges: self.gauge_maxes(),
+            derived,
+        }
+    }
+
+    /// Renders the human-readable per-stage table that `yu verify -v`
+    /// prints on stderr.
+    pub fn summary_table(&self) -> String {
+        let s = self.summary();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:>7} {:>12} {:>12} {:>12} {:>12}\n",
+            "stage", "count", "total", "mean", "min", "max"
+        ));
+        for row in &s.stages {
+            out.push_str(&format!(
+                "{:<14} {:>7} {:>12} {:>12} {:>12} {:>12}\n",
+                row.name,
+                row.count,
+                fmt_us(row.total_us),
+                fmt_us(row.mean_us as u64),
+                fmt_us(row.min_us),
+                fmt_us(row.max_us),
+            ));
+        }
+        if !s.derived.is_empty() {
+            out.push('\n');
+            for (k, v) in &s.derived {
+                out.push_str(&format!("{k:<28} {v:.4}\n"));
+            }
+        }
+        if !s.counters.is_empty() {
+            out.push('\n');
+            for (k, v) in &s.counters {
+                out.push_str(&format!("{k:<28} {v}\n"));
+            }
+        }
+        if !s.gauges.is_empty() {
+            out.push('\n');
+            for (k, v) in &s.gauges {
+                out.push_str(&format!("{k:<28} {v} (peak)\n"));
+            }
+        }
+        out
+    }
+
+    /// Renders the machine-readable metrics JSON written by
+    /// `yu verify --metrics-out FILE` (pretty-printed, stable key order).
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::new();
+        serde::write_json(&self.summary().to_value(), Some(2), 0, &mut out);
+        out.push('\n');
+        out
+    }
+}
+
+/// Computes cache/reduction rates from raw counter totals; see
+/// [`TelemetrySummary::derived`] for the definitions.
+fn derived_rates(counters: &BTreeMap<String, u64>) -> BTreeMap<String, f64> {
+    let get = |name: &str| counters.get(name).copied().unwrap_or(0);
+    let mut d = BTreeMap::new();
+    let mut rate = |label: &str, hits: u64, misses: u64| {
+        if hits + misses > 0 {
+            d.insert(label.to_string(), hits as f64 / (hits + misses) as f64);
+        }
+    };
+    rate(
+        "apply_cache_hit_rate",
+        get("mtbdd.apply_cache_hits"),
+        get("mtbdd.apply_cache_misses"),
+    );
+    rate(
+        "import_memo_hit_rate",
+        get("import.memo_hits"),
+        get("import.memo_misses"),
+    );
+    let before = get("kreduce.nodes_before");
+    let after = get("kreduce.nodes_after");
+    if before > 0 {
+        d.insert(
+            "kreduce_reduction_ratio".to_string(),
+            1.0 - after as f64 / before as f64,
+        );
+    }
+    d
+}
+
+/// Formats microseconds with an adaptive unit (`µs`, `ms`, `s`).
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}

@@ -1,0 +1,55 @@
+//! Chrome trace-event exporter: renders a [`TelemetryReport`] as the
+//! JSON object format understood by `chrome://tracing` and Perfetto.
+
+use serde::{Map, Value};
+
+use crate::report::TelemetryReport;
+
+impl TelemetryReport {
+    /// Renders the report as Chrome trace-event JSON (the `traceEvents`
+    /// object format): one complete (`"X"`) event per span and one
+    /// thread-name (`"M"`) metadata event per thread, so each flushed
+    /// thread appears as its own named track. Timestamps/durations are
+    /// microseconds from the shared process epoch. Written by
+    /// `yu verify --trace-out FILE`.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut events: Vec<Value> = Vec::new();
+        for (tid, t) in self.threads.iter().enumerate() {
+            let tid = tid as i128 + 1;
+            let mut meta = Map::new();
+            meta.insert("ph", Value::Str("M".into()));
+            meta.insert("name", Value::Str("thread_name".into()));
+            meta.insert("pid", Value::Int(1));
+            meta.insert("tid", Value::Int(tid));
+            let mut args = Map::new();
+            args.insert("name", Value::Str(t.track.clone()));
+            meta.insert("args", Value::Map(args));
+            events.push(Value::Map(meta));
+
+            for s in &t.spans {
+                let mut ev = Map::new();
+                ev.insert("ph", Value::Str("X".into()));
+                ev.insert("name", Value::Str(s.name.to_string()));
+                ev.insert("cat", Value::Str("yu".into()));
+                ev.insert("pid", Value::Int(1));
+                ev.insert("tid", Value::Int(tid));
+                ev.insert("ts", Value::Int(s.start_us as i128));
+                ev.insert("dur", Value::Int(s.dur_us as i128));
+                let mut args = Map::new();
+                args.insert("depth", Value::Int(s.depth as i128));
+                if let Some(detail) = &s.detail {
+                    args.insert("detail", Value::Str(detail.clone()));
+                }
+                ev.insert("args", Value::Map(args));
+                events.push(Value::Map(ev));
+            }
+        }
+        let mut root = Map::new();
+        root.insert("traceEvents", Value::Seq(events));
+        root.insert("displayTimeUnit", Value::Str("ms".into()));
+        let mut out = String::new();
+        serde::write_json(&Value::Map(root), None, 0, &mut out);
+        out.push('\n');
+        out
+    }
+}

@@ -5,6 +5,7 @@
 //! yu lint spec.json [--json]                         preflight lint (YU0xx diagnostics)
 //! yu check spec.json                                 lint + summarize the spec
 //! yu verify spec.json [--json] [--workers N]         verify the TLP under <= k failures
+//!           [-v] [--trace-out t.json] [--metrics-out m.json]
 //! yu loads spec.json [--fail A-B,C-D]                per-link loads under a scenario
 //! yu scenarios spec.json                             size of the scenario space
 //! yu rib spec.json --router <name> --dst <ip>        symbolic FIB of one router
@@ -12,6 +13,15 @@
 //!
 //! Specs are self-contained JSON (network + flows + TLP + k); see
 //! `yu::spec::VerifySpec` and `yu export` for the format.
+//!
+//! Telemetry: `--trace-out FILE` writes Chrome trace-event JSON (load it
+//! in `chrome://tracing` or Perfetto), `--metrics-out FILE` writes the
+//! per-stage metrics digest, and `-v`/`--verbose` prints the per-stage
+//! time table on stderr. The `YU_TRACE`/`YU_METRICS`/`YU_VERBOSE`
+//! environment variables are defaults for the same (mirroring
+//! `YU_AUDIT`/`YU_WORKERS`): `1`/`true` enables with the default output
+//! name (`yu-trace.json`/`yu-metrics.json`), any other non-empty value
+//! is used as the output path.
 
 use std::process::ExitCode;
 use yu::core::{YuOptions, YuVerifier};
@@ -23,18 +33,27 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Positional arguments: everything that is neither a flag nor the
     // value of a value-taking flag.
-    const VALUE_FLAGS: [&str; 4] = ["--fail", "--workers", "--router", "--dst"];
+    const VALUE_FLAGS: [&str; 6] = [
+        "--fail",
+        "--workers",
+        "--router",
+        "--dst",
+        "--trace-out",
+        "--metrics-out",
+    ];
     let mut pos = args.iter().enumerate().filter_map(|(i, a)| {
         let is_flag_value = i > 0 && VALUE_FLAGS.iter().any(|f| args[i - 1] == *f);
-        (!a.starts_with("--") && !is_flag_value).then_some(a)
+        (!a.starts_with('-') && !is_flag_value).then_some(a)
     });
     let cmd = pos.next().map(String::as_str).unwrap_or("help");
     let arg = pos.next().cloned();
     let json_output = args.iter().any(|a| a == "--json");
-    let fail_arg = args
-        .iter()
-        .position(|a| a == "--fail")
-        .and_then(|i| args.get(i + 1).cloned());
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let fail_arg = flag_value("--fail");
     let workers = match args.iter().position(|a| a == "--workers") {
         Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
             Some(w) if w >= 1 => w,
@@ -45,12 +64,19 @@ fn main() -> ExitCode {
         },
         None => yu::core::default_workers(),
     };
+    let telemetry = TelemetryArgs {
+        trace_out: flag_value("--trace-out").or_else(|| env_out("YU_TRACE", "yu-trace.json")),
+        metrics_out: flag_value("--metrics-out")
+            .or_else(|| env_out("YU_METRICS", "yu-metrics.json")),
+        verbose: args.iter().any(|a| a == "-v" || a == "--verbose")
+            || env_out("YU_VERBOSE", "").is_some(),
+    };
 
     match cmd {
         "export" => export(arg.as_deref().unwrap_or("fig1")),
         "lint" => lint(&load(&arg), json_output),
         "check" => check(&load(&arg)),
-        "verify" => verify(&load(&arg), json_output, workers),
+        "verify" => verify(&load(&arg), json_output, workers, &telemetry),
         "loads" => loads(&load(&arg), fail_arg.as_deref()),
         "scenarios" => scenarios(&load(&arg)),
         "rib" => rib(&load(&arg), &args),
@@ -60,10 +86,36 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: yu <export|lint|check|verify|loads|scenarios|rib> [spec.json] \
-                 [--json] [--workers N] [--fail A-B,C-D] [--router <name> --dst <ip>]"
+                 [--json] [--workers N] [--fail A-B,C-D] [--router <name> --dst <ip>] \
+                 [-v] [--trace-out FILE] [--metrics-out FILE]"
             );
             ExitCode::from(2)
         }
+    }
+}
+
+/// Telemetry-related command-line state for `yu verify`.
+struct TelemetryArgs {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    verbose: bool,
+}
+
+impl TelemetryArgs {
+    fn wants_recording(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.verbose
+    }
+}
+
+/// Resolves a `YU_TRACE`-style environment default: unset/`0`/`false` =
+/// off, `1`/`true` = on with `default_name` as the output path, anything
+/// else = on with the value as the output path.
+fn env_out(var: &str, default_name: &str) -> Option<String> {
+    match std::env::var(var) {
+        Ok(v) if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false") => None,
+        Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Some(default_name.to_string()),
+        Ok(v) => Some(v),
+        Err(_) => None,
     }
 }
 
@@ -189,7 +241,15 @@ fn check(spec: &VerifySpec) -> ExitCode {
     }
 }
 
-fn verify(spec: &VerifySpec, json_output: bool, workers: usize) -> ExitCode {
+fn verify(
+    spec: &VerifySpec,
+    json_output: bool,
+    workers: usize,
+    telemetry: &TelemetryArgs,
+) -> ExitCode {
+    if telemetry.wants_recording() {
+        yu::telemetry::set_enabled(true);
+    }
     let mut v = YuVerifier::new(
         spec.network.clone(),
         YuOptions {
@@ -202,10 +262,7 @@ fn verify(spec: &VerifySpec, json_output: bool, workers: usize) -> ExitCode {
     v.add_flows(&spec.flows);
     let out = v.verify(&spec.tlp);
     if json_output {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&out.violations).expect("serializable")
-        );
+        println!("{}", verify_json(&out));
     } else if out.verified() {
         println!(
             "VERIFIED: the property holds under every scenario with <= {} {} failures",
@@ -222,8 +279,8 @@ fn verify(spec: &VerifySpec, json_output: bool, workers: usize) -> ExitCode {
             println!("  {}", vi.describe(&spec.network.topo));
         }
     }
-    // With --json, stdout carries only the machine-readable violation
-    // list; the human stats line moves to stderr.
+    // With --json, stdout carries only the machine-readable result
+    // object; the human stats line moves to stderr.
     let stats = format!(
         "({} flows -> {} groups; route {:?}, exec {:?}, check {:?})",
         out.stats.flows_in,
@@ -237,10 +294,61 @@ fn verify(spec: &VerifySpec, json_output: bool, workers: usize) -> ExitCode {
     } else {
         println!("{stats}");
     }
+    export_telemetry(telemetry);
     if out.verified() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// The `yu verify --json` result object: verdict, violations, and run
+/// statistics (durations in seconds; `telemetry` only when enabled).
+fn verify_json(out: &yu::core::VerificationOutcome) -> String {
+    use serde::{Map, Serialize, Value};
+    let mut stats = Map::new();
+    stats.insert(
+        "route_secs",
+        Value::Float(out.stats.route_time.as_secs_f64()),
+    );
+    stats.insert("exec_secs", Value::Float(out.stats.exec_time.as_secs_f64()));
+    stats.insert(
+        "check_secs",
+        Value::Float(out.stats.check_time.as_secs_f64()),
+    );
+    stats.insert("flows_in", Value::Int(out.stats.flows_in as i128));
+    stats.insert("flow_groups", Value::Int(out.stats.flow_groups as i128));
+    stats.insert("mtbdd", out.stats.mtbdd.to_value());
+    stats.insert("mtbdd_workers", out.stats.mtbdd_workers.to_value());
+    stats.insert("telemetry", out.stats.telemetry.to_value());
+    let mut root = Map::new();
+    root.insert("verified", Value::Bool(out.verified()));
+    root.insert("violations", out.violations.to_value());
+    root.insert("stats", Value::Map(stats));
+    serde_json::to_string_pretty(&Value::Map(root)).expect("serializable")
+}
+
+/// Writes the trace/metrics files and the `-v` stage table from whatever
+/// the telemetry layer collected in this process.
+fn export_telemetry(telemetry: &TelemetryArgs) {
+    if !telemetry.wants_recording() {
+        return;
+    }
+    let report = yu::telemetry::snapshot();
+    if let Some(path) = &telemetry.trace_out {
+        match std::fs::write(path, report.chrome_trace_json()) {
+            Ok(()) => eprintln!("trace written to {path} (load in chrome://tracing or Perfetto)"),
+            Err(e) => eprintln!("error: cannot write trace to {path}: {e}"),
+        }
+    }
+    if let Some(path) = &telemetry.metrics_out {
+        match std::fs::write(path, report.metrics_json()) {
+            Ok(()) => eprintln!("metrics written to {path}"),
+            Err(e) => eprintln!("error: cannot write metrics to {path}: {e}"),
+        }
+    }
+    if telemetry.verbose {
+        eprint!("{}", report.summary_table());
     }
 }
 

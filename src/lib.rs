@@ -52,3 +52,4 @@ pub use yu_gen as gen;
 pub use yu_mtbdd as mtbdd;
 pub use yu_net as net;
 pub use yu_routing as routing;
+pub use yu_telemetry as telemetry;

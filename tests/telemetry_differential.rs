@@ -1,0 +1,94 @@
+//! Telemetry must be an observer, never a participant: running the same
+//! verification with recording on and off has to produce bit-identical
+//! verdicts, violations, flow grouping, and MTBDD statistics.
+//!
+//! One test function drives both configurations back-to-back so the
+//! process-global enable flag is never toggled concurrently with another
+//! test's run.
+
+use yu::core::{RunStats, VerificationOutcome, YuOptions, YuVerifier};
+use yu::gen::{motivating_example, sr_anycast_incident};
+use yu::net::{Flow, Network, Tlp};
+
+fn run(net: &Network, flows: &[Flow], tlp: &Tlp, workers: usize) -> VerificationOutcome {
+    let mut v = YuVerifier::new(
+        net.clone(),
+        YuOptions {
+            k: 1,
+            workers,
+            ..Default::default()
+        },
+    );
+    v.add_flows(flows);
+    v.verify(tlp)
+}
+
+fn assert_same_modulo_timing(on: &VerificationOutcome, off: &VerificationOutcome) {
+    assert_eq!(on.verified(), off.verified());
+    assert_eq!(
+        format!("{:?}", on.violations),
+        format!("{:?}", off.violations)
+    );
+    let stats = |s: &RunStats| {
+        (
+            s.flows_in,
+            s.flow_groups,
+            s.mtbdd.nodes_created,
+            s.mtbdd.terminals_created,
+            s.mtbdd_workers.nodes_created,
+            s.mtbdd_workers.terminals_created,
+        )
+    };
+    assert_eq!(stats(&on.stats), stats(&off.stats));
+    // The only permitted difference: the enabled run carries a summary.
+    assert!(on.stats.telemetry.is_some());
+    assert!(off.stats.telemetry.is_none());
+}
+
+#[test]
+fn telemetry_on_off_runs_are_identical() {
+    let fig1 = motivating_example();
+    let sr = sr_anycast_incident();
+    let cases: Vec<(&Network, &[Flow], &Tlp)> = vec![
+        (&fig1.net, &fig1.flows, &fig1.p1),
+        (&fig1.net, &fig1.flows, &fig1.p2),
+        (&sr.net, &sr.flows, &sr.tlp),
+    ];
+    for (net, flows, tlp) in cases {
+        for workers in [1, 3] {
+            yu::telemetry::set_enabled(false);
+            let off = run(net, flows, tlp, workers);
+
+            yu::telemetry::set_enabled(true);
+            yu::telemetry::reset();
+            let on = run(net, flows, tlp, workers);
+            let report = yu::telemetry::snapshot();
+            yu::telemetry::reset();
+            yu::telemetry::set_enabled(false);
+
+            assert_same_modulo_timing(&on, &off);
+            // The instrumented run must actually have recorded the
+            // pipeline stages it claims to cover.
+            let aggs = report.stage_aggs();
+            for stage in ["route_sim", "igp", "bgp", "exec", "verify", "kreduce"] {
+                assert!(aggs.contains_key(stage), "missing stage span: {stage}");
+            }
+            let counters = report.counter_totals();
+            assert!(
+                counters
+                    .get("mtbdd.apply_cache_misses")
+                    .copied()
+                    .unwrap_or(0)
+                    > 0
+            );
+            // The sharded engine only engages with >1 flow group.
+            if workers > 1 && on.stats.flow_groups > 1 {
+                assert!(
+                    aggs.contains_key("exec.worker"),
+                    "parallel run should record worker spans"
+                );
+                assert!(counters.contains_key("import.memo_misses"));
+            }
+        }
+    }
+}
