@@ -12,9 +12,9 @@
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
-use yu_core::{global_groups, Violation};
+use yu_core::{global_groups, FlowGroup, Violation};
 use yu_mtbdd::Ratio;
-use yu_net::{scenarios_up_to_k, FailureMode, Flow, LoadPoint, Network, Tlp};
+use yu_net::{scenarios_up_to_k, FailureMode, Flow, LoadPoint, Network, Scenario, Tlp};
 use yu_routing::ConcreteRoutes;
 
 /// Result of a Jingubang-style run.
@@ -50,6 +50,48 @@ pub fn verify(
     verify_bounded(net, flows, tlp, k, mode, max_hops, early_stop, None)
 }
 
+/// Re-simulates exactly one failure scenario with the enumerative
+/// engine and returns every non-zero traffic load (links crossed,
+/// delivered, dropped). This is the per-scenario unit of work of the
+/// Jingubang loop exposed on its own — the independent oracle behind
+/// YU's violation forensics: a symbolic counterexample load can be
+/// cross-checked bit-exactly against this concrete replay.
+pub fn replay_scenario(
+    net: &Network,
+    flows: &[Flow],
+    scenario: &Scenario,
+    max_hops: usize,
+) -> HashMap<LoadPoint, Ratio> {
+    scenario_loads(net, &global_groups(flows), scenario, max_hops)
+}
+
+/// One concrete simulation: per-point loads of `groups` under `scenario`.
+fn scenario_loads(
+    net: &Network,
+    groups: &[FlowGroup],
+    scenario: &Scenario,
+    max_hops: usize,
+) -> HashMap<LoadPoint, Ratio> {
+    let routes = ConcreteRoutes::compute(net, scenario);
+    let mut loads: HashMap<LoadPoint, Ratio> = HashMap::new();
+    for g in groups {
+        let res = routes.forward_flow(&g.rep, max_hops);
+        for (l, frac) in &res.link_fraction {
+            let e = loads.entry(LoadPoint::Link(*l)).or_insert(Ratio::ZERO);
+            *e = e.clone() + frac.clone() * g.volume.clone();
+        }
+        for (r, frac) in &res.delivered {
+            let e = loads.entry(LoadPoint::Delivered(*r)).or_insert(Ratio::ZERO);
+            *e = e.clone() + frac.clone() * g.volume.clone();
+        }
+        for (r, frac) in &res.dropped {
+            let e = loads.entry(LoadPoint::Dropped(*r)).or_insert(Ratio::ZERO);
+            *e = e.clone() + frac.clone() * g.volume.clone();
+        }
+    }
+    loads
+}
+
 /// Like [`verify`] but stops after `max_scenarios` (used by the figure
 /// harness to probe per-scenario cost and extrapolate enormous cells).
 #[allow(clippy::too_many_arguments)]
@@ -72,23 +114,7 @@ pub fn verify_bounded(
             break;
         }
         scenarios_checked += 1;
-        let routes = ConcreteRoutes::compute(net, &scenario);
-        let mut loads: HashMap<LoadPoint, Ratio> = HashMap::new();
-        for g in &groups {
-            let res = routes.forward_flow(&g.rep, max_hops);
-            for (l, frac) in &res.link_fraction {
-                let e = loads.entry(LoadPoint::Link(*l)).or_insert(Ratio::ZERO);
-                *e = e.clone() + frac.clone() * g.volume.clone();
-            }
-            for (r, frac) in &res.delivered {
-                let e = loads.entry(LoadPoint::Delivered(*r)).or_insert(Ratio::ZERO);
-                *e = e.clone() + frac.clone() * g.volume.clone();
-            }
-            for (r, frac) in &res.dropped {
-                let e = loads.entry(LoadPoint::Dropped(*r)).or_insert(Ratio::ZERO);
-                *e = e.clone() + frac.clone() * g.volume.clone();
-            }
-        }
+        let loads = scenario_loads(net, &groups, &scenario, max_hops);
         for req in &tlp.reqs {
             let load = loads.get(&req.point).cloned().unwrap_or(Ratio::ZERO);
             if !req.satisfied_by(load.clone()) {

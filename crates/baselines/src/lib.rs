@@ -19,7 +19,8 @@ pub mod jingubang;
 pub mod qarc;
 
 pub use jingubang::{
-    verify as jingubang_verify, verify_bounded as jingubang_verify_bounded, JingubangOutcome,
+    replay_scenario, verify as jingubang_verify, verify_bounded as jingubang_verify_bounded,
+    JingubangOutcome,
 };
 pub use qarc::{
     supports as qarc_supports, verify as qarc_verify, verify_bounded as qarc_verify_bounded,

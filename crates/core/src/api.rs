@@ -129,13 +129,13 @@ impl VerificationOutcome {
 
 /// The YU verifier: symbolic state for one network plus executed flows.
 pub struct YuVerifier {
-    m: Mtbdd,
-    net: Network,
-    fv: FailureVars,
-    routes: SymbolicRoutes,
-    opts: YuOptions,
-    groups: Vec<FlowGroup>,
-    results: Vec<FlowStf>,
+    pub(crate) m: Mtbdd,
+    pub(crate) net: Network,
+    pub(crate) fv: FailureVars,
+    pub(crate) routes: SymbolicRoutes,
+    pub(crate) opts: YuOptions,
+    pub(crate) groups: Vec<FlowGroup>,
+    pub(crate) results: Vec<FlowStf>,
     flows_in: usize,
     route_time: Duration,
     exec_time: Duration,
@@ -474,7 +474,57 @@ impl YuVerifier {
             }
         }
         drop(verify_span);
-        let check_time = t0.elapsed();
+        self.finish_outcome(violations, per_point, t0.elapsed())
+    }
+
+    /// Like [`Self::verify`], but collects up to `max_violations`
+    /// distinct violating scenarios *per requirement* instead of just the
+    /// first counterexample. The combined list is deduped on
+    /// `(point, scenario)` and sorted by failure count, then point, then
+    /// scenario, so the cheapest triggers lead and the output is stable.
+    /// `max_violations <= 1` is exactly [`Self::verify`].
+    pub fn verify_enumerated(&mut self, tlp: &Tlp, max_violations: usize) -> VerificationOutcome {
+        if max_violations <= 1 {
+            return self.verify(tlp);
+        }
+        let t0 = Instant::now();
+        let verify_span = yu_telemetry::span("verify");
+        let mut violations: Vec<Violation> = Vec::new();
+        let mut per_point = HashMap::new();
+        for req in &tlp.reqs {
+            let (tau, stats) = self.load_with_stats(req.point);
+            per_point.insert(req.point, stats);
+            let vs = crate::verify::enumerate_violations(
+                &mut self.m,
+                &self.fv,
+                tau,
+                req,
+                self.opts.k,
+                max_violations,
+            );
+            violations.extend(vs);
+        }
+        let mut seen = std::collections::HashSet::new();
+        violations.retain(|v| seen.insert((v.point, v.scenario.clone())));
+        violations.sort_by(|a, b| {
+            (a.scenario.count(), a.point, &a.scenario).cmp(&(
+                b.scenario.count(),
+                b.point,
+                &b.scenario,
+            ))
+        });
+        drop(verify_span);
+        self.finish_outcome(violations, per_point, t0.elapsed())
+    }
+
+    /// Shared tail of `verify`/`verify_enumerated`: audits, bridges
+    /// telemetry, and assembles the outcome with run statistics.
+    fn finish_outcome(
+        &mut self,
+        violations: Vec<Violation>,
+        per_point: HashMap<LoadPoint, AggStats>,
+        check_time: Duration,
+    ) -> VerificationOutcome {
         self.audit_checkpoint("after TLP check");
         let telemetry = self.telemetry_summary();
         VerificationOutcome {

@@ -26,6 +26,7 @@
 pub mod api;
 pub mod equivalence;
 pub mod exec;
+pub mod explain;
 pub mod parallel;
 pub mod verify;
 
@@ -34,5 +35,9 @@ pub use equivalence::{
     aggregate_load, global_groups, global_groups_classified, AggStats, FlowGroup,
 };
 pub use exec::{selection_guards, simulate_flow, ExecOptions, FlowStf};
+pub use explain::{
+    explanation_dot, trace_flow, Explanation, FlowBlame, FlowPathDiff, PathOutcome, PointEnvelope,
+    ReplayCheck, TracedPath, MAX_TRACED_PATHS,
+};
 pub use parallel::{execute_sharded, Shard};
 pub use verify::{check_requirement, check_tlp, enumerate_violations, Violation};

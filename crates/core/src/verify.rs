@@ -96,9 +96,12 @@ pub fn check_requirement(
 /// Enumerates *every* violating `≤ k`-failure scenario for one
 /// requirement, up to `limit` (the reduced MTBDD's paths each encode at
 /// most k failures by Lemma 2, so the enumeration is exact — one entry
-/// per distinct root-to-terminal path whose don't-care variables are
-/// alive). Operators use this to see the complete set of triggers, not
-/// just the first counterexample.
+/// per distinct decoded scenario whose don't-care variables are alive).
+/// Results are deduped on the concrete scenario and sorted by failure
+/// count, then by the scenario itself, so the fewest-failure triggers
+/// come first and the order is stable across runs; `limit` truncates
+/// *after* sorting. Operators use this to see the complete set of
+/// triggers, not just the first counterexample.
 pub fn enumerate_violations(
     m: &mut Mtbdd,
     fv: &FailureVars,
@@ -110,9 +113,6 @@ pub fn enumerate_violations(
     let reduced = m.kreduce(tau, k);
     let mut out = Vec::new();
     for path in m.all_paths(reduced) {
-        if out.len() >= limit {
-            break;
-        }
         let load = match &path.value {
             Term::Num(v) => v.clone(),
             Term::PosInf => continue,
@@ -128,9 +128,11 @@ pub fn enumerate_violations(
         }
     }
     // Distinct paths can decode to the same scenario set (don't-cares);
-    // dedupe on the concrete scenario.
+    // dedupe on the concrete scenario, then order fewest-failures-first.
     let mut seen = std::collections::HashSet::new();
-    out.retain(|v| seen.insert(format!("{:?}", v.scenario)));
+    out.retain(|v| seen.insert(v.scenario.clone()));
+    out.sort_by(|a, b| (a.scenario.count(), &a.scenario).cmp(&(b.scenario.count(), &b.scenario)));
+    out.truncate(limit);
     out
 }
 
@@ -259,11 +261,17 @@ mod enumeration_tests {
         let loads: Vec<i128> = all.iter().map(|v| v.load.numer()).collect();
         assert!(loads.contains(&150));
         assert_eq!(loads.iter().filter(|&&l| l == 100).count(), 2);
+        // Sorted: fewest failures first, then by scenario.
+        let counts: Vec<usize> = all.iter().map(|v| v.scenario.count()).collect();
+        assert_eq!(counts, vec![1, 1, 2]);
+        assert!(all[0].scenario < all[1].scenario);
         // At k = 1 only the two single-failure triggers remain.
         let single = enumerate_violations(&mut m, &fv, tau, &req, 1, 100);
         assert_eq!(single.len(), 2);
-        // The limit caps output.
+        // The limit caps output after sorting: the fewest-failure
+        // trigger survives truncation, never the double failure.
         let capped = enumerate_violations(&mut m, &fv, tau, &req, 2, 1);
         assert_eq!(capped.len(), 1);
+        assert_eq!(capped[0].scenario.count(), 1);
     }
 }

@@ -115,6 +115,74 @@ impl Mtbdd {
         out
     }
 
+    /// Counts the complete assignments over variables `0..num_vars` with
+    /// at most `budget` variables set to 0 (failed) that reach a terminal
+    /// satisfying `pred` — i.e. the number of distinct `≤ budget`-failure
+    /// scenarios on which the diagram takes a matching value. Variables a
+    /// path skips (don't-cares) are expanded combinatorially, not counted
+    /// as single paths, so the result is a scenario count, not a path
+    /// count. Saturates at `u128::MAX`.
+    pub fn count_scenarios(
+        &self,
+        f: NodeRef,
+        num_vars: Var,
+        budget: u32,
+        pred: impl Fn(Term) -> bool,
+    ) -> u128 {
+        let mut memo: std::collections::HashMap<(NodeRef, u32), u128> =
+            std::collections::HashMap::new();
+        self.count_from(f, 0, num_vars, budget, &pred, &mut memo)
+    }
+
+    /// Scenario count from `level` with `budget` failures remaining;
+    /// memoized per `(node, budget)` (the free-variable prefix between
+    /// `level` and the node's own variable is handled combinatorially
+    /// before the memo lookup, so the memo key needs no level).
+    fn count_from(
+        &self,
+        f: NodeRef,
+        level: Var,
+        num_vars: Var,
+        budget: u32,
+        pred: &impl Fn(Term) -> bool,
+        memo: &mut std::collections::HashMap<(NodeRef, u32), u128>,
+    ) -> u128 {
+        if f.is_terminal() {
+            if !pred(self.terminal_value(f)) {
+                return 0;
+            }
+            return scenarios_over_free(num_vars.saturating_sub(level), budget);
+        }
+        let n = self.node_at(f);
+        debug_assert!(n.var >= level && n.var < num_vars);
+        // Free variables between `level` and the node: choose j of them
+        // to fail, spending j of the budget before entering the node.
+        let gap = n.var - level;
+        let mut total: u128 = 0;
+        for j in 0..=gap.min(budget) {
+            let ways = binomial(gap, j);
+            if ways == 0 {
+                continue;
+            }
+            let rest = budget - j;
+            let at_node = if let Some(&v) = memo.get(&(f, rest)) {
+                v
+            } else {
+                let hi = self.count_from(n.hi, n.var + 1, num_vars, rest, pred, memo);
+                let lo = if rest > 0 {
+                    self.count_from(n.lo, n.var + 1, num_vars, rest - 1, pred, memo)
+                } else {
+                    0
+                };
+                let v = hi.saturating_add(lo);
+                memo.insert((f, rest), v);
+                v
+            };
+            total = total.saturating_add(ways.saturating_mul(at_node));
+        }
+        total
+    }
+
     fn walk_paths(&self, f: NodeRef, prefix: &mut Vec<(Var, bool)>, out: &mut Vec<Path>) {
         if f.is_terminal() {
             out.push(Path {
@@ -131,6 +199,32 @@ impl Mtbdd {
         self.walk_paths(n.hi, prefix, out);
         prefix.pop();
     }
+}
+
+/// The number of `≤ budget`-failure assignments of `free` unconstrained
+/// variables: `Σ_{j≤budget} C(free, j)`, saturating.
+fn scenarios_over_free(free: Var, budget: u32) -> u128 {
+    let mut total: u128 = 0;
+    for j in 0..=budget.min(free) {
+        total = total.saturating_add(binomial(free, j));
+    }
+    total
+}
+
+/// Binomial coefficient `C(n, k)`, saturating at `u128::MAX`.
+fn binomial(n: u32, k: u32) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut c: u128 = 1;
+    for i in 0..k {
+        c = match c.checked_mul((n - i) as u128) {
+            Some(v) => v / (i + 1) as u128,
+            None => return u128::MAX,
+        };
+    }
+    c
 }
 
 #[cfg(test)]
@@ -176,6 +270,40 @@ mod tests {
         assert_eq!(p.failed_vars(), vec![x2]);
         // Nothing below 0.
         assert!(m.find_path(f, |t| t < Term::ZERO).is_none());
+    }
+
+    #[test]
+    fn count_scenarios_matches_brute_force() {
+        let mut m = Mtbdd::new();
+        let vars: Vec<_> = (0..4).map(|_| m.fresh_var()).collect();
+        // load = 50 + 30·(x1 failed) + 30·(x3 failed)
+        let n1 = m.nvar_guard(vars[1]);
+        let n3 = m.nvar_guard(vars[3]);
+        let e1 = m.scale(n1, Term::int(30));
+        let e3 = m.scale(n3, Term::int(30));
+        let base = m.constant(Ratio::int(50));
+        let t = m.add(base, e1);
+        let f = m.add(t, e3);
+        for budget in 0..=4u32 {
+            // Brute force over all 2^4 assignments within the budget.
+            let mut want = 0u128;
+            for bits in 0..16u32 {
+                let failed = (0..4).filter(|i| bits & (1 << i) != 0).count() as u32;
+                if failed > budget {
+                    continue;
+                }
+                let val = m.eval(f, |v| bits & (1 << v) == 0);
+                if val > Term::int(60) {
+                    want += 1;
+                }
+            }
+            let got = m.count_scenarios(f, 4, budget, |t| t > Term::int(60));
+            assert_eq!(got, want, "budget {budget}");
+        }
+        // A terminal-only diagram counts every scenario in budget.
+        let c = m.constant(Ratio::int(99));
+        assert_eq!(m.count_scenarios(c, 4, 1, |t| t > Term::ZERO), 5); // C(4,0)+C(4,1)
+        assert_eq!(m.count_scenarios(c, 4, 1, |t| t > Term::int(100)), 0);
     }
 
     #[test]

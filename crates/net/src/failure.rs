@@ -151,7 +151,7 @@ impl FailureVars {
 }
 
 /// A concrete failure scenario: the sets of failed links and routers.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Scenario {
     /// Failed undirected links.
     pub failed_links: BTreeSet<ULinkId>,
@@ -199,22 +199,27 @@ impl Scenario {
             && self.router_alive(lk.to)
     }
 
-    /// Human-readable description.
+    /// Human-readable description. Failed links come first, then failed
+    /// routers, each group sorted by label, so reports and JSON are
+    /// byte-stable regardless of how the scenario was produced.
     pub fn describe(&self, topo: &Topology) -> String {
         if self.count() == 0 {
             return "no failures".into();
         }
-        let mut parts: Vec<String> = self
+        let mut links: Vec<String> = self
             .failed_links
             .iter()
             .map(|&u| format!("link {}", topo.ulink_label(u)))
             .collect();
-        parts.extend(
-            self.failed_routers
-                .iter()
-                .map(|&r| format!("router {}", topo.router(r).name)),
-        );
-        parts.join(", ")
+        links.sort();
+        let mut routers: Vec<String> = self
+            .failed_routers
+            .iter()
+            .map(|&r| format!("router {}", topo.router(r).name))
+            .collect();
+        routers.sort();
+        links.extend(routers);
+        links.join(", ")
     }
 }
 
@@ -397,5 +402,26 @@ mod tests {
         assert_eq!(Scenario::none().describe(&t), "no failures");
         let s = Scenario::links([ULinkId(0)]);
         assert_eq!(s.describe(&t), "link A-B");
+    }
+
+    #[test]
+    fn describe_is_sorted_by_label() {
+        // Router/link insertion order deliberately disagrees with label
+        // order, so a correct `describe` must sort.
+        let mut t = Topology::new();
+        let z = t.add_router("Z", Ipv4::new(10, 0, 0, 1), 1);
+        let m = t.add_router("M", Ipv4::new(10, 0, 0, 2), 1);
+        let a = t.add_router("A", Ipv4::new(10, 0, 0, 3), 1);
+        t.add_link(z, m, 1, Ratio::int(100)); // u0: Z-M
+        t.add_link(a, z, 1, Ratio::int(100)); // u1: A-Z
+        t.add_link(a, m, 1, Ratio::int(100)); // u2: A-M
+        let s = Scenario {
+            failed_links: [ULinkId(0), ULinkId(2), ULinkId(1)].into_iter().collect(),
+            failed_routers: [z, a, m].into_iter().collect(),
+        };
+        assert_eq!(
+            s.describe(&t),
+            "link A-M, link A-Z, link Z-M, router A, router M, router Z"
+        );
     }
 }

@@ -219,6 +219,14 @@ impl Topology {
         let lk = self.link(fwd);
         format!("{}-{}", self.router(lk.from).name, self.router(lk.to).name)
     }
+
+    /// Human-readable label `A->C->E` for a router path.
+    pub fn path_label(&self, hops: &[RouterId]) -> String {
+        hops.iter()
+            .map(|&r| self.router(r).name.as_str())
+            .collect::<Vec<_>>()
+            .join("->")
+    }
 }
 
 #[cfg(test)]

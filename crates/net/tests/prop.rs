@@ -3,8 +3,10 @@
 //! enumeration invariants.
 
 use proptest::prelude::*;
-use yu_mtbdd::Ratio;
-use yu_net::{scenario_count, scenarios_up_to_k, FailureMode, Ipv4, Prefix, PrefixTrie, Topology};
+use yu_mtbdd::{Mtbdd, Ratio, Term};
+use yu_net::{
+    scenario_count, scenarios_up_to_k, FailureMode, FailureVars, Ipv4, Prefix, PrefixTrie, Topology,
+};
 
 fn arb_prefix() -> impl Strategy<Value = Prefix> {
     (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix::new(Ipv4(addr), len))
@@ -70,6 +72,48 @@ proptest! {
             prop_assert!(s.count() >= last, "non-decreasing failure count");
             last = s.count();
             prop_assert!(seen.insert(format!("{s:?}")), "duplicate scenario");
+        }
+    }
+
+    /// `scenario_of_path` ↔ `assignment` round trip: decoding any
+    /// root-to-terminal path of a KREDUCE-d diagram to a concrete failure
+    /// scenario and re-evaluating under that scenario's assignment
+    /// reproduces the path's terminal value exactly — the property that
+    /// makes a violating path a trustworthy counterexample (Theorem 5.1)
+    /// and per-flow blame sum exactly (Lemma 1).
+    #[test]
+    fn scenario_of_path_assignment_roundtrip(
+        n_links in 1usize..=6,
+        k in 0u32..=3,
+        coeffs in proptest::collection::vec(1i64..=50, 6),
+    ) {
+        let mut t = Topology::new();
+        let a = t.add_router("a", Ipv4::new(1, 0, 0, 1), 1);
+        let b = t.add_router("b", Ipv4::new(1, 0, 0, 2), 1);
+        for _ in 0..n_links {
+            t.add_link(a, b, 1, Ratio::int(1));
+        }
+        let mut m = Mtbdd::new();
+        let fv = FailureVars::allocate(&mut m, &t, FailureMode::Links);
+        // load = 10 + Σ coeff_i · [link i failed]
+        let mut f = m.constant(Ratio::int(10));
+        for (i, u) in t.ulinks().enumerate() {
+            let v = fv.link_var(u).unwrap();
+            let g = m.nvar_guard(v);
+            let extra = m.scale(g, Term::int(coeffs[i % coeffs.len()]));
+            f = m.add(f, extra);
+        }
+        let reduced = m.kreduce(f, k);
+        for path in m.all_paths(reduced) {
+            let s = fv.scenario_of_path(&path);
+            // Post-KREDUCE paths encode at most k failures (Lemma 2).
+            prop_assert!(s.count() <= k as usize);
+            // The reduced diagram evaluates to the path's terminal ...
+            let got = m.eval(reduced, fv.assignment(&s));
+            prop_assert_eq!(&got, &path.value);
+            // ... and so does the exact (unreduced) one (Lemma 1).
+            let exact = m.eval(f, fv.assignment(&s));
+            prop_assert_eq!(&exact, &path.value);
         }
     }
 }

@@ -5,7 +5,11 @@
 //! yu lint spec.json [--json]                         preflight lint (YU0xx diagnostics)
 //! yu check spec.json                                 lint + summarize the spec
 //! yu verify spec.json [--json] [--workers N]         verify the TLP under <= k failures
+//!           [--explain] [--max-violations N]
 //!           [-v] [--trace-out t.json] [--metrics-out m.json]
+//! yu explain spec.json [--json] [--dot-out f.dot]    forensic report per violation:
+//!           [--max-violations N]                     per-flow blame, rerouted paths,
+//!                                                    concrete replay, load envelope
 //! yu loads spec.json [--fail A-B,C-D]                per-link loads under a scenario
 //! yu scenarios spec.json                             size of the scenario space
 //! yu rib spec.json --router <name> --dst <ip>        symbolic FIB of one router
@@ -13,6 +17,15 @@
 //!
 //! Specs are self-contained JSON (network + flows + TLP + k); see
 //! `yu::spec::VerifySpec` and `yu export` for the format.
+//!
+//! Forensics: `yu explain` (and `yu verify --explain`) re-verifies the
+//! spec, then builds an [`yu::core::Explanation`] for each violation —
+//! per-flow blame that sums exactly to the violating load, a before/after
+//! rerouted-path diff, an independent concrete replay cross-check, and the
+//! load envelope at the violated point. `--max-violations N` enumerates up
+//! to `N` violating scenarios per requirement (fewest failures first)
+//! instead of the default single counterexample; `--dot-out FILE` writes a
+//! Graphviz overlay of the rerouted paths per explanation.
 //!
 //! Telemetry: `--trace-out FILE` writes Chrome trace-event JSON (load it
 //! in `chrome://tracing` or Perfetto), `--metrics-out FILE` writes the
@@ -33,13 +46,15 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Positional arguments: everything that is neither a flag nor the
     // value of a value-taking flag.
-    const VALUE_FLAGS: [&str; 6] = [
+    const VALUE_FLAGS: [&str; 8] = [
         "--fail",
         "--workers",
         "--router",
         "--dst",
         "--trace-out",
         "--metrics-out",
+        "--max-violations",
+        "--dot-out",
     ];
     let mut pos = args.iter().enumerate().filter_map(|(i, a)| {
         let is_flag_value = i > 0 && VALUE_FLAGS.iter().any(|f| args[i - 1] == *f);
@@ -64,6 +79,18 @@ fn main() -> ExitCode {
         },
         None => yu::core::default_workers(),
     };
+    let max_violations = match args.iter().position(|a| a == "--max-violations") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: --max-violations takes a positive integer");
+                return ExitCode::from(2);
+            }
+        },
+        None => 1,
+    };
+    let dot_out = flag_value("--dot-out");
+    let explain_flag = args.iter().any(|a| a == "--explain");
     let telemetry = TelemetryArgs {
         trace_out: flag_value("--trace-out").or_else(|| env_out("YU_TRACE", "yu-trace.json")),
         metrics_out: flag_value("--metrics-out")
@@ -76,7 +103,22 @@ fn main() -> ExitCode {
         "export" => export(arg.as_deref().unwrap_or("fig1")),
         "lint" => lint(&load(&arg), json_output),
         "check" => check(&load(&arg)),
-        "verify" => verify(&load(&arg), json_output, workers, &telemetry),
+        "verify" => verify(
+            &load(&arg),
+            json_output,
+            workers,
+            &telemetry,
+            explain_flag,
+            max_violations,
+        ),
+        "explain" => explain(
+            &load(&arg),
+            json_output,
+            workers,
+            &telemetry,
+            max_violations,
+            dot_out.as_deref(),
+        ),
         "loads" => loads(&load(&arg), fail_arg.as_deref()),
         "scenarios" => scenarios(&load(&arg)),
         "rib" => rib(&load(&arg), &args),
@@ -85,8 +127,9 @@ fn main() -> ExitCode {
                 eprintln!("unknown command '{other}'");
             }
             eprintln!(
-                "usage: yu <export|lint|check|verify|loads|scenarios|rib> [spec.json] \
-                 [--json] [--workers N] [--fail A-B,C-D] [--router <name> --dst <ip>] \
+                "usage: yu <export|lint|check|verify|explain|loads|scenarios|rib> [spec.json] \
+                 [--json] [--workers N] [--explain] [--max-violations N] [--dot-out FILE] \
+                 [--fail A-B,C-D] [--router <name> --dst <ip>] \
                  [-v] [--trace-out FILE] [--metrics-out FILE]"
             );
             ExitCode::from(2)
@@ -246,6 +289,8 @@ fn verify(
     json_output: bool,
     workers: usize,
     telemetry: &TelemetryArgs,
+    explain_flag: bool,
+    max_violations: usize,
 ) -> ExitCode {
     if telemetry.wants_recording() {
         yu::telemetry::set_enabled(true);
@@ -260,23 +305,35 @@ fn verify(
         },
     );
     v.add_flows(&spec.flows);
-    let out = v.verify(&spec.tlp);
+    let out = if max_violations > 1 {
+        v.verify_enumerated(&spec.tlp, max_violations)
+    } else {
+        v.verify(&spec.tlp)
+    };
+    let explanations: Vec<yu::core::Explanation> = if explain_flag {
+        out.violations.iter().map(|vi| v.explain(vi)).collect()
+    } else {
+        Vec::new()
+    };
     if json_output {
-        println!("{}", verify_json(&out));
+        println!(
+            "{}",
+            verify_json(&out, explain_flag.then_some(explanations.as_slice()))
+        );
     } else if out.verified() {
         println!(
             "VERIFIED: the property holds under every scenario with <= {} {} failures",
             spec.k,
-            match spec.mode {
-                FailureMode::Links => "link",
-                FailureMode::Routers => "router",
-                FailureMode::LinksAndRouters => "element",
-            }
+            mode_noun(spec.mode)
         );
     } else {
         println!("VIOLATED ({} findings):", out.violations.len());
         for vi in &out.violations {
             println!("  {}", vi.describe(&spec.network.topo));
+        }
+        for ex in &explanations {
+            println!();
+            println!("{}", ex.describe(&spec.network.topo));
         }
     }
     // With --json, stdout carries only the machine-readable result
@@ -302,9 +359,111 @@ fn verify(
     }
 }
 
+/// Failure-mode noun for human verdict lines.
+fn mode_noun(mode: FailureMode) -> &'static str {
+    match mode {
+        FailureMode::Links => "link",
+        FailureMode::Routers => "router",
+        FailureMode::LinksAndRouters => "element",
+    }
+}
+
+/// The `yu explain` subcommand: verify (enumerating up to
+/// `max_violations` scenarios per requirement) and print a full forensic
+/// report — per-flow blame, rerouted paths, concrete replay, load
+/// envelope — for every violation found.
+fn explain(
+    spec: &VerifySpec,
+    json_output: bool,
+    workers: usize,
+    telemetry: &TelemetryArgs,
+    max_violations: usize,
+    dot_out: Option<&str>,
+) -> ExitCode {
+    if telemetry.wants_recording() {
+        yu::telemetry::set_enabled(true);
+    }
+    let mut v = YuVerifier::new(
+        spec.network.clone(),
+        YuOptions {
+            k: spec.k,
+            mode: spec.mode,
+            workers,
+            ..Default::default()
+        },
+    );
+    v.add_flows(&spec.flows);
+    let out = v.verify_enumerated(&spec.tlp, max_violations);
+    let explanations: Vec<yu::core::Explanation> =
+        out.violations.iter().map(|vi| v.explain(vi)).collect();
+    if json_output {
+        println!("{}", explain_json(&out, &explanations));
+    } else if out.verified() {
+        println!(
+            "VERIFIED: the property holds under every scenario with <= {} {} failures \
+             -- nothing to explain",
+            spec.k,
+            mode_noun(spec.mode)
+        );
+    } else {
+        println!("VIOLATED ({} findings):", out.violations.len());
+        for (i, ex) in explanations.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            println!("{}", ex.describe(&spec.network.topo));
+        }
+    }
+    if let Some(base) = dot_out {
+        for (i, ex) in explanations.iter().enumerate() {
+            let path = dot_path(base, i, explanations.len());
+            match std::fs::write(&path, yu::core::explanation_dot(&spec.network.topo, ex)) {
+                Ok(()) => eprintln!("dot overlay written to {path}"),
+                Err(e) => eprintln!("error: cannot write dot to {path}: {e}"),
+            }
+        }
+    }
+    export_telemetry(telemetry);
+    if out.verified() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Output path for the `i`-th dot overlay: the base path as-is for a
+/// single explanation, otherwise `base.dot` -> `base.2.dot` etc.
+fn dot_path(base: &str, i: usize, total: usize) -> String {
+    if total <= 1 || i == 0 {
+        return base.to_string();
+    }
+    match base.rsplit_once('.') {
+        Some((stem, ext)) => format!("{stem}.{}.{ext}", i + 1),
+        None => format!("{base}.{}", i + 1),
+    }
+}
+
+/// The `yu explain --json` result object: verdict, violations, and one
+/// explanation per violation (blame, path diffs, replay, envelope).
+fn explain_json(
+    out: &yu::core::VerificationOutcome,
+    explanations: &[yu::core::Explanation],
+) -> String {
+    use serde::{Map, Serialize, Value};
+    let mut root = Map::new();
+    root.insert("verified", Value::Bool(out.verified()));
+    root.insert("violations", out.violations.to_value());
+    root.insert("explanations", explanations.to_value());
+    serde_json::to_string_pretty(&Value::Map(root)).expect("serializable")
+}
+
 /// The `yu verify --json` result object: verdict, violations, and run
-/// statistics (durations in seconds; `telemetry` only when enabled).
-fn verify_json(out: &yu::core::VerificationOutcome) -> String {
+/// statistics (durations in seconds; `telemetry` only when enabled;
+/// `explanations` only under `--explain`).
+fn verify_json(
+    out: &yu::core::VerificationOutcome,
+    explanations: Option<&[yu::core::Explanation]>,
+) -> String {
     use serde::{Map, Serialize, Value};
     let mut stats = Map::new();
     stats.insert(
@@ -324,6 +483,9 @@ fn verify_json(out: &yu::core::VerificationOutcome) -> String {
     let mut root = Map::new();
     root.insert("verified", Value::Bool(out.verified()));
     root.insert("violations", out.violations.to_value());
+    if let Some(ex) = explanations {
+        root.insert("explanations", ex.to_value());
+    }
     root.insert("stats", Value::Map(stats));
     serde_json::to_string_pretty(&Value::Map(root)).expect("serializable")
 }

@@ -57,3 +57,44 @@ fn fig10_spec_round_trips_filters_and_static_routes() {
     v.add_flows(&back.flows);
     assert!(!v.verify(&back.tlp).verified());
 }
+
+#[test]
+fn explain_report_serializes_for_the_cli() {
+    // The `yu explain --json` payload: explanations must serialize with
+    // the fields the CI smoke step validates (blame summing to the load,
+    // replay status, envelope bounds).
+    let ex = yu::gen::motivating_example();
+    let spec = VerifySpec {
+        network: ex.net,
+        flows: ex.flows,
+        tlp: ex.p2,
+        k: 1,
+        mode: yu::net::FailureMode::Links,
+    };
+    let spec = VerifySpec::from_json(&spec.to_json()).unwrap();
+    let mut v = YuVerifier::new(
+        spec.network,
+        YuOptions {
+            k: spec.k,
+            mode: spec.mode,
+            ..Default::default()
+        },
+    );
+    v.add_flows(&spec.flows);
+    let out = v.verify_enumerated(&spec.tlp, 4);
+    assert!(!out.verified());
+    let explanations: Vec<yu::core::Explanation> =
+        out.violations.iter().map(|vi| v.explain(vi)).collect();
+    let json = serde_json::to_string(&explanations).unwrap();
+    for field in [
+        "blame",
+        "blame_total",
+        "contribution",
+        "replay",
+        "\"match\"",
+        "envelope",
+        "violating_scenarios",
+    ] {
+        assert!(json.contains(field), "missing {field} in {json}");
+    }
+}

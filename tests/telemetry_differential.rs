@@ -10,7 +10,14 @@ use yu::core::{RunStats, VerificationOutcome, YuOptions, YuVerifier};
 use yu::gen::{motivating_example, sr_anycast_incident};
 use yu::net::{Flow, Network, Tlp};
 
-fn run(net: &Network, flows: &[Flow], tlp: &Tlp, workers: usize) -> VerificationOutcome {
+/// Verifies, then explains every violation; the forensic reports ride
+/// along so the on/off comparison also covers the explain pipeline.
+fn run(
+    net: &Network,
+    flows: &[Flow],
+    tlp: &Tlp,
+    workers: usize,
+) -> (VerificationOutcome, Vec<String>) {
     let mut v = YuVerifier::new(
         net.clone(),
         YuOptions {
@@ -20,7 +27,13 @@ fn run(net: &Network, flows: &[Flow], tlp: &Tlp, workers: usize) -> Verification
         },
     );
     v.add_flows(flows);
-    v.verify(tlp)
+    let out = v.verify(tlp);
+    let explanations = out
+        .violations
+        .iter()
+        .map(|vi| format!("{:?}", v.explain(vi)))
+        .collect();
+    (out, explanations)
 }
 
 fn assert_same_modulo_timing(on: &VerificationOutcome, off: &VerificationOutcome) {
@@ -57,16 +70,19 @@ fn telemetry_on_off_runs_are_identical() {
     for (net, flows, tlp) in cases {
         for workers in [1, 3] {
             yu::telemetry::set_enabled(false);
-            let off = run(net, flows, tlp, workers);
+            let (off, off_explanations) = run(net, flows, tlp, workers);
 
             yu::telemetry::set_enabled(true);
             yu::telemetry::reset();
-            let on = run(net, flows, tlp, workers);
+            let (on, on_explanations) = run(net, flows, tlp, workers);
             let report = yu::telemetry::snapshot();
             yu::telemetry::reset();
             yu::telemetry::set_enabled(false);
 
             assert_same_modulo_timing(&on, &off);
+            // The forensic reports must be bit-identical too — blame,
+            // path diffs, replay results, envelopes.
+            assert_eq!(on_explanations, off_explanations);
             // The instrumented run must actually have recorded the
             // pipeline stages it claims to cover.
             let aggs = report.stage_aggs();
@@ -88,6 +104,30 @@ fn telemetry_on_off_runs_are_identical() {
                     "parallel run should record worker spans"
                 );
                 assert!(counters.contains_key("import.memo_misses"));
+            }
+            // Forensics record their own spans and counters when any
+            // violation was explained.
+            if !on.violations.is_empty() {
+                for stage in [
+                    "explain",
+                    "explain.blame",
+                    "explain.paths",
+                    "explain.replay",
+                ] {
+                    assert!(aggs.contains_key(stage), "missing explain span: {stage}");
+                }
+                assert!(
+                    counters.get("explain.flows_blamed").copied().unwrap_or(0) > 0,
+                    "explain must count blamed flows"
+                );
+                assert_eq!(
+                    counters
+                        .get("explain.replay_mismatches")
+                        .copied()
+                        .unwrap_or(0),
+                    0,
+                    "replay must agree with the symbolic verdicts"
+                );
             }
         }
     }

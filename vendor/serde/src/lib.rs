@@ -329,6 +329,31 @@ macro_rules! impl_int {
 
 impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, i128);
 
+// `Value::Int` is an i128, so u128 gets its own impl: values beyond
+// i128::MAX fall back to a decimal string (still round-trippable).
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        match i128::try_from(*self) {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::Str(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Int(i) => {
+                u128::try_from(*i).map_err(|_| Error::custom("integer out of range for u128"))
+            }
+            Value::Str(s) => s
+                .parse()
+                .map_err(|_| Error::custom("expected u128 integer")),
+            _ => Err(Error::custom("expected integer for u128")),
+        }
+    }
+}
+
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::Float(*self)
