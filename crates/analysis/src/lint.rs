@@ -268,7 +268,7 @@ pub fn lint_spec(
                 "zero volume: the flow contributes no load anywhere",
             ));
         } else {
-            total_volume = total_volume + f.volume.clone();
+            total_volume += f.volume.clone();
         }
     }
 

@@ -1,0 +1,455 @@
+//! Benchmark harness for the check stage: the fused `ADD∘KREDUCE` kernel
+//! and sharded parallel property checking.
+//!
+//! Two experiments, reported as machine-readable JSON (the repo records a
+//! run as `BENCH_check.json`):
+//!
+//! 1. **Fused kernel microbench** — a Fig. 18-style aggregation blow-up
+//!    (many overlapping primary/backup flow STFs summed pairwise under a
+//!    small failure budget), built twice in fresh arenas: classic
+//!    `apply(Add)` followed by `kreduce`, and the fused
+//!    `add_kreduce`. Node allocations are deterministic, so the reported
+//!    `nodes_ratio`/`peak_ratio` are machine-independent; the fused
+//!    kernel must come in strictly below 1.0 (it never materializes the
+//!    un-reduced sum).
+//! 2. **Check-worker scaling** — the same verification at increasing
+//!    `check_workers`, reporting per-stage wall-clock and the check-stage
+//!    speedup vs the sequential checker. The `cores` field matters: with
+//!    fewer physical cores than workers, threads time-slice and the
+//!    speedup column measures sharding overhead, not parallelism.
+//!
+//! ```text
+//! cargo run --release -p yu-bench --bin check \
+//!     [--quick] [--out FILE] [--baseline FILE] [--max-regress FRAC]
+//! ```
+//!
+//! With `--baseline BENCH_check.json` the run exits non-zero if the
+//! sequential check regresses by more than `--max-regress` (default
+//! 0.25) against the baseline. The hard gate is the deterministic
+//! total-allocation count (`check_nodes`); wall-clock is gated too but
+//! only fails when the node count confirms the regression, so a CI
+//! runner slower than the machine that recorded the baseline cannot
+//! trip the gate on its own.
+
+use serde::Serialize;
+use std::time::Instant;
+use yu_bench::{overload_tlp, preset_instance};
+use yu_core::{YuOptions, YuVerifier};
+use yu_gen::{fattree_with_flows, WanPreset};
+use yu_mtbdd::{Mtbdd, NodeRef, Ratio, Term};
+use yu_net::{FailureMode, Flow, Network, Tlp};
+
+#[derive(Serialize)]
+struct KernelSide {
+    /// Inner nodes materialized while aggregating (excludes the shared
+    /// per-flow STF construction) — deterministic.
+    nodes_created: usize,
+    /// Unique-table high-water mark of the arena — deterministic.
+    unique_peak: usize,
+    secs: f64,
+}
+
+#[derive(Serialize)]
+struct FusedMicro {
+    nvars: u32,
+    nflows: usize,
+    k: u32,
+    unfused: KernelSide,
+    fused: KernelSide,
+    /// `fused.nodes_created / unfused.nodes_created`; < 1.0 means the
+    /// fused kernel skipped materializing that fraction of transients.
+    nodes_ratio: f64,
+    /// `fused.unique_peak / unfused.unique_peak`.
+    peak_ratio: f64,
+}
+
+#[derive(Serialize)]
+struct StageSecs {
+    total: f64,
+    route: f64,
+    exec: f64,
+    check: f64,
+}
+
+#[derive(Serialize)]
+struct CheckPoint {
+    check_workers: usize,
+    secs: StageSecs,
+    /// Speedup of the check stage alone vs `check_workers = 1` — the
+    /// stage the pool actually shards (route sim and execution are
+    /// untouched by this knob).
+    check_speedup_vs_1: f64,
+    violations: usize,
+}
+
+#[derive(Serialize)]
+struct CheckInstance {
+    instance: &'static str,
+    routers: usize,
+    links: usize,
+    flows: usize,
+    reqs: usize,
+    k: u32,
+    /// Total main-arena allocations during the sequential check
+    /// (`nodes_created + gc_reclaimed` delta) — deterministic, the
+    /// machine-independent regression gate.
+    check_nodes: u64,
+    points: Vec<CheckPoint>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    cores: usize,
+    check_worker_counts: Vec<usize>,
+    /// VmHWM from /proc/self/status at the end of the run, if readable.
+    peak_rss_bytes: Option<u64>,
+    fused: FusedMicro,
+    instances: Vec<CheckInstance>,
+}
+
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// One synthetic flow STF of the blow-up family: volume `1/(i+1)` along
+/// a 3-link primary path, rerouting onto a 2-link backup when the first
+/// primary link fails. Strides are chosen so consecutive flows overlap
+/// on some variables and diverge on others — the shape that makes the
+/// un-reduced pairwise sums of Fig. 18 explode.
+fn blowup_stf(m: &mut Mtbdd, i: usize, nvars: u32) -> NodeRef {
+    let a = (3 * i) as u32 % nvars;
+    let b = (3 * i + 1) as u32 % nvars;
+    let c = (3 * i + 2) as u32 % nvars;
+    let d = (3 * i + 7) as u32 % nvars;
+    let e = (3 * i + 11) as u32 % nvars;
+    let ga = m.var_guard(a);
+    let gb = m.var_guard(b);
+    let gc = m.var_guard(c);
+    let p0 = m.mul(ga, gb);
+    let primary = m.mul(p0, gc);
+    let na = m.nvar_guard(a);
+    let gd = m.var_guard(d);
+    let ge = m.var_guard(e);
+    let b0 = m.mul(na, gd);
+    let backup = m.mul(b0, ge);
+    let path = m.add(primary, backup);
+    m.scale(path, Term::Num(Ratio::new(1, i as i128 + 1)))
+}
+
+/// Builds the flow family in a fresh arena and aggregates it pairwise,
+/// either fused or classic. Returns deterministic allocation counters
+/// plus wall-clock.
+fn aggregate_blowup(nvars: u32, nflows: usize, k: u32, fused: bool) -> KernelSide {
+    let mut m = Mtbdd::new();
+    m.fresh_vars(nvars);
+    let mut level: Vec<NodeRef> = (0..nflows)
+        .map(|i| {
+            let f = blowup_stf(&mut m, i, nvars);
+            m.kreduce(f, k)
+        })
+        .collect();
+    let base = m.stats().nodes_created;
+    let t0 = Instant::now();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            next.push(if pair.len() == 2 {
+                if fused {
+                    m.add_kreduce(pair[0], pair[1], k)
+                } else {
+                    let s = m.add(pair[0], pair[1]);
+                    m.kreduce(s, k)
+                }
+            } else {
+                pair[0]
+            });
+        }
+        level = next;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let stats = m.stats();
+    KernelSide {
+        nodes_created: stats.nodes_created - base,
+        unique_peak: stats.unique_table_peak,
+        secs,
+    }
+}
+
+fn fused_micro(quick: bool) -> FusedMicro {
+    let (nvars, nflows, k) = if quick { (36, 48, 2) } else { (60, 96, 2) };
+    eprintln!("  fused microbench: {nflows} flows over {nvars} vars, k={k} ...");
+    let unfused = aggregate_blowup(nvars, nflows, k, false);
+    let fused = aggregate_blowup(nvars, nflows, k, true);
+    let nodes_ratio = fused.nodes_created as f64 / unfused.nodes_created as f64;
+    let peak_ratio = fused.unique_peak as f64 / unfused.unique_peak as f64;
+    FusedMicro {
+        nvars,
+        nflows,
+        k,
+        unfused,
+        fused,
+        nodes_ratio,
+        peak_ratio,
+    }
+}
+
+/// Monotone total-allocation counter of an arena: `nodes_created` resets
+/// to the live count on GC, but `gc_reclaimed` carries the difference.
+fn total_alloc(v: &YuVerifier) -> u64 {
+    let s = v.mtbdd_stats();
+    s.nodes_created as u64 + s.gc_reclaimed_nodes
+}
+
+fn timed_run(
+    net: &Network,
+    flows: &[Flow],
+    tlp: &Tlp,
+    k: u32,
+    check_workers: usize,
+) -> (CheckPoint, u64) {
+    let t0 = Instant::now();
+    let mut v = YuVerifier::new(
+        net.clone(),
+        YuOptions {
+            k,
+            mode: FailureMode::Links,
+            check_workers,
+            ..Default::default()
+        },
+    );
+    v.add_flows(flows);
+    let before = total_alloc(&v);
+    let out = v.verify(tlp);
+    let check_nodes = total_alloc(&v) - before;
+    let point = CheckPoint {
+        check_workers,
+        secs: StageSecs {
+            total: t0.elapsed().as_secs_f64(),
+            route: out.stats.route_time.as_secs_f64(),
+            exec: out.stats.exec_time.as_secs_f64(),
+            check: out.stats.check_time.as_secs_f64(),
+        },
+        check_speedup_vs_1: 0.0, // filled in once the sequential point exists
+        violations: out.violations.len(),
+    };
+    (point, check_nodes)
+}
+
+fn bench_instance(
+    name: &'static str,
+    net: &Network,
+    flows: &[Flow],
+    k: u32,
+    worker_counts: &[usize],
+) -> CheckInstance {
+    let tlp = overload_tlp(net);
+    let mut points: Vec<CheckPoint> = Vec::new();
+    let mut check_nodes = 0u64;
+    for &w in worker_counts {
+        eprintln!("  {name}: check_workers={w} ...");
+        let (mut p, nodes) = timed_run(net, flows, &tlp, k, w);
+        if w == 1 {
+            check_nodes = nodes;
+        }
+        let base_check = points
+            .first()
+            .map(|b: &CheckPoint| b.secs.check)
+            .unwrap_or(p.secs.check);
+        p.check_speedup_vs_1 = base_check / p.secs.check;
+        // The differential suite proves bit-identity exhaustively; here we
+        // just refuse to record numbers from a run that disagrees.
+        if let Some(b) = points.first() {
+            assert_eq!(b.violations, p.violations, "{name}: outcome diverged");
+        }
+        points.push(p);
+    }
+    CheckInstance {
+        instance: name,
+        routers: net.topo.num_routers(),
+        links: net.topo.num_ulinks(),
+        flows: flows.len(),
+        reqs: tlp.reqs.len(),
+        k,
+        check_nodes,
+        points,
+    }
+}
+
+/// `obj.key` lookup on the vendored minimal JSON `Value`.
+fn jget<'a>(v: &'a serde_json::Value, key: &str) -> Option<&'a serde_json::Value> {
+    v.as_object()?.get(key)
+}
+
+fn jf64(v: &serde_json::Value) -> Option<f64> {
+    match v {
+        serde_json::Value::Int(i) => Some(*i as f64),
+        serde_json::Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn ju64(v: &serde_json::Value) -> Option<u64> {
+    match v {
+        serde_json::Value::Int(i) => u64::try_from(*i).ok(),
+        _ => None,
+    }
+}
+
+/// Gates this run against a committed baseline report. The hard gate is
+/// the **deterministic** node-allocation count of the sequential check:
+/// it is a pure function of the input, so exceeding the baseline by
+/// more than `max_regress` always means the code genuinely does more
+/// work. Wall-clock is compared too, but a wall-clock regression only
+/// fails the run when the node count confirms it — the committed
+/// baseline was recorded on one specific machine, and a slower CI
+/// runner must not trip the gate by itself (it is still printed as a
+/// warning). Returns the failure messages.
+fn gate_against_baseline(
+    report: &Report,
+    baseline: &serde_json::Value,
+    max_regress: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let empty = Vec::new();
+    let base_instances = jget(baseline, "instances")
+        .and_then(|v| v.as_array())
+        .unwrap_or(&empty);
+    for inst in &report.instances {
+        let Some(base) = base_instances
+            .iter()
+            .find(|b| jget(b, "instance").and_then(|v| v.as_str()) == Some(inst.instance))
+        else {
+            continue;
+        };
+        let Some(serial) = inst.points.iter().find(|p| p.check_workers == 1) else {
+            continue;
+        };
+        let nodes_regressed = match jget(base, "check_nodes").and_then(ju64) {
+            Some(base_nodes) if base_nodes > 0 => {
+                let regressed = inst.check_nodes as f64 > base_nodes as f64 * (1.0 + max_regress);
+                if regressed {
+                    failures.push(format!(
+                        "{}: serial check allocated {} nodes vs baseline {} (> {:.0}% regression)",
+                        inst.instance,
+                        inst.check_nodes,
+                        base_nodes,
+                        max_regress * 100.0
+                    ));
+                }
+                regressed
+            }
+            _ => false,
+        };
+        if let Some(base_secs) = jget(base, "points")
+            .and_then(|v| v.as_array())
+            .and_then(|ps| {
+                ps.iter()
+                    .find(|p| jget(p, "check_workers").and_then(ju64) == Some(1))
+            })
+            .and_then(|p| jget(p, "secs"))
+            .and_then(|s| jget(s, "check"))
+            .and_then(jf64)
+        {
+            if serial.secs.check > base_secs * (1.0 + max_regress) {
+                let msg = format!(
+                    "{}: serial check {:.3}s vs baseline {:.3}s (> {:.0}% regression)",
+                    inst.instance,
+                    serial.secs.check,
+                    base_secs,
+                    max_regress * 100.0
+                );
+                if nodes_regressed {
+                    failures.push(msg);
+                } else {
+                    eprintln!(
+                        "PERF WARNING: {msg} — node count did not regress, \
+                         attributing to machine speed"
+                    );
+                }
+            }
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag_value("--out");
+    let baseline_path = flag_value("--baseline");
+    let max_regress: f64 = flag_value("--max-regress")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+    let worker_counts = vec![1, 2, 4, 8];
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    eprintln!("check bench: {cores} core(s) available");
+    let fused = fused_micro(quick);
+
+    let (ft_m, ft_frac, wan_flows) = if quick { (4, 16, 300) } else { (8, 8, 1000) };
+    let (ft, ft_flows) = fattree_with_flows(ft_m, ft_frac);
+    let (w, n0_flows) = preset_instance(WanPreset::N0);
+    let n0_flows = &n0_flows[..wan_flows.min(n0_flows.len())];
+    let ft_name: &'static str = if quick { "fattree-m4" } else { "fattree-m8" };
+    let instances = vec![
+        bench_instance(ft_name, &ft.net, &ft_flows, 2, &worker_counts),
+        bench_instance("wan-n0", &w.net, n0_flows, 2, &worker_counts),
+    ];
+
+    let report = Report {
+        bench: "fused-parallel-check",
+        cores,
+        check_worker_counts: worker_counts,
+        peak_rss_bytes: peak_rss_bytes(),
+        fused,
+        instances,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report is serializable");
+    match &out_path {
+        Some(p) => {
+            std::fs::write(p, &json).expect("write report");
+            eprintln!("wrote {p}");
+        }
+        None => println!("{json}"),
+    }
+
+    // Machine-independent invariant: the fused kernel must materialize
+    // strictly fewer nodes than add-then-kreduce on the blow-up.
+    let mut failures = Vec::new();
+    if report.fused.nodes_ratio >= 1.0 {
+        failures.push(format!(
+            "fused kernel materialized as many nodes as the classic pipeline \
+             (ratio {:.3})",
+            report.fused.nodes_ratio
+        ));
+    }
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline: serde_json::Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("error: invalid baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        failures.extend(gate_against_baseline(&report, &baseline, max_regress));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("PERF GATE FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("perf gates passed");
+}

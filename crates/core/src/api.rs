@@ -15,7 +15,7 @@
 
 use crate::equivalence::{global_groups_classified, AggStats, FlowGroup};
 use crate::exec::{simulate_flow, ExecOptions, FlowStf};
-use crate::parallel::execute_sharded;
+use crate::parallel::{check_sharded, execute_sharded, CheckCtx, CheckUnit};
 use crate::verify::{check_requirement, Violation};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -52,6 +52,15 @@ pub struct YuOptions {
     /// so outcomes are independent of both thread count and scheduling.
     /// Defaults to `YU_WORKERS` when set, else 1.
     pub workers: usize,
+    /// Worker threads for the property-checking stage. `1` aggregates and
+    /// scans every load point sequentially on the shared arena; `> 1`
+    /// shards requirements across threads with private arenas (see
+    /// [`crate::parallel::check_sharded`]) — each worker imports only the
+    /// per-point equivalence-class representatives it needs and combines
+    /// them with the fused `ADD∘KREDUCE` kernel. Results are bit-identical
+    /// to a sequential check. Defaults to `YU_CHECK_WORKERS` when set,
+    /// else 1.
+    pub check_workers: usize,
 }
 
 /// The default worker count: the `YU_WORKERS` environment variable when
@@ -61,6 +70,20 @@ pub fn default_workers() -> usize {
     static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *WORKERS.get_or_init(|| {
         std::env::var("YU_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+            .unwrap_or(1)
+    })
+}
+
+/// The default check-stage worker count: the `YU_CHECK_WORKERS`
+/// environment variable when set to a positive integer, else 1
+/// (sequential). Latched once per process, like [`default_workers`].
+pub fn default_check_workers() -> usize {
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("YU_CHECK_WORKERS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&w| w >= 1)
@@ -80,6 +103,7 @@ impl Default for YuOptions {
             max_hops: yu_net::DEFAULT_MAX_HOPS,
             gc_node_threshold: 4_000_000,
             workers: default_workers(),
+            check_workers: default_check_workers(),
         }
     }
 }
@@ -372,37 +396,28 @@ impl YuVerifier {
         // class instead of the raw handle so the loop below can garbage-
         // collect mid-aggregation and re-derive fresh handles.
         let mut classes: Vec<(usize, Ratio)> = Vec::new();
-        if self.opts.use_link_local_equiv {
-            let mut by_stf: HashMap<NodeRef, usize> = HashMap::new();
-            for (ix, (stf, g)) in self.results.iter().zip(&self.groups).enumerate() {
-                let handle = stf.at(&self.m, point);
-                if handle == self.m.zero() || g.volume.is_zero() {
-                    continue;
-                }
+        let mut flows = 0usize;
+        let mut by_stf: HashMap<NodeRef, usize> = HashMap::new();
+        for (ix, (stf, g)) in self.results.iter().zip(&self.groups).enumerate() {
+            let handle = stf.at(&self.m, point);
+            if handle == self.m.zero() || g.volume.is_zero() {
+                continue;
+            }
+            flows += 1;
+            if self.opts.use_link_local_equiv {
                 match by_stf.entry(handle) {
                     std::collections::hash_map::Entry::Occupied(e) => {
-                        classes[*e.get()].1 = classes[*e.get()].1.clone() + g.volume.clone();
+                        classes[*e.get()].1 += &g.volume;
                     }
                     std::collections::hash_map::Entry::Vacant(e) => {
                         e.insert(classes.len());
                         classes.push((ix, g.volume.clone()));
                     }
                 }
-            }
-        } else {
-            for (ix, (stf, g)) in self.results.iter().zip(&self.groups).enumerate() {
-                let handle = stf.at(&self.m, point);
-                if handle != self.m.zero() && !g.volume.is_zero() {
-                    classes.push((ix, g.volume.clone()));
-                }
+            } else {
+                classes.push((ix, g.volume.clone()));
             }
         }
-        let flows = self
-            .results
-            .iter()
-            .zip(&self.groups)
-            .filter(|(stf, g)| stf.at(&self.m, point) != self.m.zero() && !g.volume.is_zero())
-            .count();
         let stats = AggStats {
             flows,
             classes: classes.len(),
@@ -416,10 +431,11 @@ impl YuVerifier {
         let mut level: Vec<NodeRef> = Vec::with_capacity(classes.len());
         for (rep, vol) in classes {
             let stf = self.results[rep].at(&self.m, point);
-            let scaled = self.m.scale(stf, Term::Num(vol));
+            // The fused kernels reduce during the apply, so the
+            // un-reduced intermediates never hit the arena.
             let scaled = match k {
-                Some(k) => self.m.kreduce(scaled, k),
-                None => scaled,
+                Some(k) => self.m.scale_kreduce(stf, Term::Num(vol), k),
+                None => self.m.scale(stf, Term::Num(vol)),
             };
             level.push(scaled);
             self.maybe_gc(&mut level);
@@ -428,10 +444,9 @@ impl YuVerifier {
             let mut next = Vec::with_capacity(level.len().div_ceil(2));
             for pair in level.chunks(2) {
                 let merged = if pair.len() == 2 {
-                    let sum = self.m.add(pair[0], pair[1]);
                     match k {
-                        Some(k) => self.m.kreduce(sum, k),
-                        None => sum,
+                        Some(k) => self.m.add_kreduce(pair[0], pair[1], k),
+                        None => self.m.add(pair[0], pair[1]),
                     }
                 } else {
                     pair[0]
@@ -456,23 +471,80 @@ impl YuVerifier {
         }
     }
 
+    /// Whether the parallel check stage should run for this TLP.
+    fn check_in_parallel(&self, tlp: &Tlp) -> bool {
+        self.opts.check_workers > 1 && tlp.reqs.len() > 1
+    }
+
+    /// Sharded parallel checking of one TLP's requirements: workers own
+    /// private arenas (see [`crate::parallel::check_sharded`]), read the
+    /// main arena immutably, and return plain-data verdicts. The merge
+    /// walks units in requirement order, so the outcome is bit-identical
+    /// to the sequential loop — independent of worker count and
+    /// scheduling. With `max_violations <= 1` and `early_stop`, the
+    /// result is truncated to the prefix the sequential loop would have
+    /// produced (the extra verdicts past the first violation are
+    /// discarded, not returned).
+    fn check_parallel(
+        &mut self,
+        reqs: &[yu_net::TlpReq],
+        max_violations: usize,
+    ) -> (Vec<Violation>, HashMap<LoadPoint, AggStats>) {
+        let shards = {
+            let ctx = CheckCtx {
+                m: &self.m,
+                fv: &self.fv,
+                results: &self.results,
+                groups: &self.groups,
+                use_link_local_equiv: self.opts.use_link_local_equiv,
+                use_kreduce: self.opts.use_kreduce,
+                k: self.opts.k,
+            };
+            check_sharded(&ctx, reqs, max_violations, self.opts.check_workers)
+        };
+        let mut units: Vec<CheckUnit> = Vec::with_capacity(reqs.len());
+        for shard in shards {
+            self.worker_stats.merge(&shard.stats);
+            units.extend(shard.units);
+        }
+        units.sort_by_key(|u| u.req_ix);
+        let cut = if max_violations <= 1 && self.opts.early_stop {
+            units.iter().position(|u| !u.violations.is_empty())
+        } else {
+            None
+        };
+        let take = cut.map_or(units.len(), |i| i + 1);
+        let mut violations = Vec::new();
+        let mut per_point = HashMap::new();
+        for u in units.into_iter().take(take) {
+            per_point.insert(reqs[u.req_ix].point, u.agg);
+            violations.extend(u.violations);
+        }
+        (violations, per_point)
+    }
+
     /// Verifies a TLP, returning violations (empty = property holds under
     /// every scenario with at most `k` failures) and run statistics.
     pub fn verify(&mut self, tlp: &Tlp) -> VerificationOutcome {
         let t0 = Instant::now();
         let verify_span = yu_telemetry::span("verify");
-        let mut violations = Vec::new();
-        let mut per_point = HashMap::new();
-        for req in &tlp.reqs {
-            let (tau, stats) = self.load_with_stats(req.point);
-            per_point.insert(req.point, stats);
-            if let Some(v) = check_requirement(&mut self.m, &self.fv, tau, req, self.opts.k) {
-                violations.push(v);
-                if self.opts.early_stop {
-                    break;
+        let (violations, per_point) = if self.check_in_parallel(tlp) {
+            self.check_parallel(&tlp.reqs, 1)
+        } else {
+            let mut violations = Vec::new();
+            let mut per_point = HashMap::new();
+            for req in &tlp.reqs {
+                let (tau, stats) = self.load_with_stats(req.point);
+                per_point.insert(req.point, stats);
+                if let Some(v) = check_requirement(&mut self.m, &self.fv, tau, req, self.opts.k) {
+                    violations.push(v);
+                    if self.opts.early_stop {
+                        break;
+                    }
                 }
             }
-        }
+            (violations, per_point)
+        };
         drop(verify_span);
         self.finish_outcome(violations, per_point, t0.elapsed())
     }
@@ -489,21 +561,26 @@ impl YuVerifier {
         }
         let t0 = Instant::now();
         let verify_span = yu_telemetry::span("verify");
-        let mut violations: Vec<Violation> = Vec::new();
-        let mut per_point = HashMap::new();
-        for req in &tlp.reqs {
-            let (tau, stats) = self.load_with_stats(req.point);
-            per_point.insert(req.point, stats);
-            let vs = crate::verify::enumerate_violations(
-                &mut self.m,
-                &self.fv,
-                tau,
-                req,
-                self.opts.k,
-                max_violations,
-            );
-            violations.extend(vs);
-        }
+        let (mut violations, per_point) = if self.check_in_parallel(tlp) {
+            self.check_parallel(&tlp.reqs, max_violations)
+        } else {
+            let mut violations: Vec<Violation> = Vec::new();
+            let mut per_point = HashMap::new();
+            for req in &tlp.reqs {
+                let (tau, stats) = self.load_with_stats(req.point);
+                per_point.insert(req.point, stats);
+                let vs = crate::verify::enumerate_violations(
+                    &mut self.m,
+                    &self.fv,
+                    tau,
+                    req,
+                    self.opts.k,
+                    max_violations,
+                );
+                violations.extend(vs);
+            }
+            (violations, per_point)
+        };
         let mut seen = std::collections::HashSet::new();
         violations.retain(|v| seen.insert((v.point, v.scenario.clone())));
         violations.sort_by(|a, b| {
@@ -565,6 +642,18 @@ impl YuVerifier {
             combined
                 .apply_cache_misses
                 .saturating_sub(prev.apply_cache_misses),
+        );
+        yu_telemetry::counter(
+            "mtbdd.fused_cache_hits",
+            combined
+                .fused_cache_hits
+                .saturating_sub(prev.fused_cache_hits),
+        );
+        yu_telemetry::counter(
+            "mtbdd.fused_cache_misses",
+            combined
+                .fused_cache_misses
+                .saturating_sub(prev.fused_cache_misses),
         );
         yu_telemetry::counter(
             "mtbdd.gc_runs",

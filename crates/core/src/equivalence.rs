@@ -57,7 +57,7 @@ fn group_by_key(
     for f in flows {
         map.entry(key(f))
             .and_modify(|g| {
-                g.volume = g.volume.clone() + f.volume.clone();
+                g.volume += &f.volume;
                 g.members += 1;
             })
             .or_insert_with(|| FlowGroup {
@@ -113,8 +113,7 @@ pub fn aggregate_load(
     let tau = if link_local {
         let mut by_class: HashMap<NodeRef, Ratio> = HashMap::new();
         for (stf, v) in &nonzero {
-            let e = by_class.entry(*stf).or_insert(Ratio::ZERO);
-            *e = e.clone() + v.clone();
+            *by_class.entry(*stf).or_insert(Ratio::ZERO) += v;
         }
         stats.classes = by_class.len();
         let mut parts: Vec<NodeRef> = Vec::with_capacity(by_class.len());

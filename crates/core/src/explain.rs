@@ -327,8 +327,8 @@ impl YuVerifier {
             let base_frac = eval_ratio(&self.m, h, &self.fv, &none);
             let contribution = fraction.clone() * g.volume.clone();
             let baseline = base_frac * g.volume.clone();
-            blame_total = blame_total + contribution.clone();
-            baseline_load = baseline_load + baseline.clone();
+            blame_total += contribution.clone();
+            baseline_load += baseline.clone();
             if contribution.is_zero() && baseline.is_zero() {
                 continue;
             }
@@ -503,7 +503,7 @@ fn replay_point_load(
         }
         .cloned()
         .unwrap_or(Ratio::ZERO);
-        load = load + frac * g.volume.clone();
+        load += frac * g.volume.clone();
     }
     load
 }
@@ -652,7 +652,7 @@ impl Tracer<'_> {
                     continue;
                 }
                 let q = fraction.clone() * s;
-                consumed = consumed + q.clone();
+                consumed += q.clone();
                 self.follow(l, stack, q, &hops, &links, hops_left);
             }
             consumed
@@ -694,18 +694,17 @@ impl Tracer<'_> {
             match rule.next_hop {
                 NextHop::Receive => {
                     self.finish(hops, links, share.clone(), PathOutcome::Delivered(router));
-                    consumed = consumed + share;
+                    consumed += share;
                 }
                 NextHop::Null0 => {
                     // Falls into the dropped residual of `walk`.
                 }
                 NextHop::Direct(l) => {
-                    consumed = consumed + share.clone();
+                    consumed += share.clone();
                     self.follow(l, &[], share, hops, links, hops_left);
                 }
                 NextHop::Ip(nip) => {
-                    consumed =
-                        consumed + self.resolve_nh(router, nip, share, hops, links, hops_left);
+                    consumed += self.resolve_nh(router, nip, share, hops, links, hops_left);
                 }
             }
         }
@@ -753,7 +752,7 @@ impl Tracer<'_> {
                         links.to_vec(),
                         hops_left,
                     );
-                    consumed = consumed + share;
+                    consumed += share;
                     continue;
                 }
                 let shares = self.routes.vigp(self.m, self.net, self.fv, router, first);
@@ -763,7 +762,7 @@ impl Tracer<'_> {
                         continue;
                     }
                     let q = share.clone() * s;
-                    consumed = consumed + q.clone();
+                    consumed += q.clone();
                     self.follow(l, &p.segments, q, hops, links, hops_left);
                 }
             }
@@ -775,7 +774,7 @@ impl Tracer<'_> {
                     continue;
                 }
                 let q = amount.clone() * s;
-                consumed = consumed + q.clone();
+                consumed += q.clone();
                 self.follow(l, &[], q, hops, links, hops_left);
             }
         }

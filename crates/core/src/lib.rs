@@ -30,7 +30,9 @@ pub mod explain;
 pub mod parallel;
 pub mod verify;
 
-pub use api::{default_workers, RunStats, VerificationOutcome, YuOptions, YuVerifier};
+pub use api::{
+    default_check_workers, default_workers, RunStats, VerificationOutcome, YuOptions, YuVerifier,
+};
 pub use equivalence::{
     aggregate_load, global_groups, global_groups_classified, AggStats, FlowGroup,
 };
@@ -39,5 +41,5 @@ pub use explain::{
     explanation_dot, trace_flow, Explanation, FlowBlame, FlowPathDiff, PathOutcome, PointEnvelope,
     ReplayCheck, TracedPath, MAX_TRACED_PATHS,
 };
-pub use parallel::{execute_sharded, Shard};
+pub use parallel::{check_sharded, execute_sharded, CheckCtx, CheckShard, CheckUnit, Shard};
 pub use verify::{check_requirement, check_tlp, enumerate_violations, Violation};

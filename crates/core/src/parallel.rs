@@ -1,33 +1,95 @@
-//! Sharded parallel symbolic execution (§5 is embarrassingly parallel
-//! across flows).
+//! Sharded parallel symbolic execution and property checking.
 //!
-//! Every flow group's symbolic traffic function is built independently
-//! before loads are summed per link, so execution shards cleanly: flow
-//! groups are dealt round-robin across a pool of OS threads, and **each
-//! worker owns a private [`Mtbdd`] arena** — no locks, no contended
-//! unique tables, no sharing of apply caches. A worker allocates its own
-//! failure variables (deterministically identical to the main arena's,
-//! because [`FailureVars::allocate`] is a pure function of topology and
-//! mode), recomputes the guarded routing state locally, executes its
-//! share of the flows with per-worker `KREDUCE`, and hands back its
-//! arena plus per-flow STFs. The caller then imports the results into
-//! the main arena with [`yu_mtbdd::Mtbdd::import`] in *flow order*, so
-//! the merged state is independent of thread scheduling.
+//! Two stages of the pipeline are embarrassingly parallel and share the
+//! worker-pool plumbing here:
 //!
-//! Per-worker `KREDUCE` before the merge is sound: k-failure equivalence
-//! is a congruence under pointwise `+`, `min`, and `max` (Lemma 2 /
-//! Theorem 5.1 of the paper), so reducing each worker's partial diagrams
-//! and reducing the merged sum yields the same verification verdicts as
-//! reducing only the final sum.
+//! * **Execution** (§5): every flow group's symbolic traffic function is
+//!   built independently before loads are summed per link, so flow groups
+//!   are dealt round-robin across a pool of OS threads
+//!   ([`execute_sharded`]).
+//! * **Checking** (§4.5/§5.3): every requirement's load point is
+//!   aggregated and scanned independently, so requirements are dealt the
+//!   same way ([`check_sharded`]).
+//!
+//! In both stages **each worker owns a private [`Mtbdd`] arena** — no
+//! locks, no contended unique tables, no sharing of apply caches. An
+//! execution worker allocates its own failure variables (deterministically
+//! identical to the main arena's, because [`FailureVars::allocate`] is a
+//! pure function of topology and mode), recomputes the guarded routing
+//! state locally, executes its share of the flows with per-worker
+//! `KREDUCE`, and hands back its arena plus per-flow STFs; the caller
+//! imports the results into the main arena with
+//! [`yu_mtbdd::Mtbdd::import`] in *flow order*, so the merged state is
+//! independent of thread scheduling.
+//!
+//! A check worker goes the other way: it reads the *main* arena (shared
+//! immutably across the pool — [`Mtbdd`] has no interior mutability),
+//! computes the link-local equivalence classes of its requirement's point
+//! against main-arena handles exactly as the sequential path does, imports
+//! only the class representatives into its private arena, aggregates them
+//! there with the fused `ADD∘KREDUCE` kernel, and scans terminals locally.
+//! Because hash-consed MTBDDs with a fixed variable order are canonical
+//! and `import` preserves variable indices, the reduced diagram a worker
+//! scans is structurally identical to the one the sequential checker
+//! builds, so the returned [`Violation`]s are **bit-identical** to a
+//! sequential run — independent of worker count and scheduling.
+//!
+//! Per-worker `KREDUCE` before any merge is sound in both stages:
+//! k-failure equivalence is a congruence under pointwise `+`, `min`, and
+//! `max` (Lemma 2 / Theorem 5.1 of the paper), and `KREDUCE` is
+//! canonicalizing for `≈ₖ`, so reducing early and reducing late yield the
+//! same final diagrams.
 
-use crate::equivalence::FlowGroup;
+use crate::equivalence::{AggStats, FlowGroup};
 use crate::exec::{simulate_flow, ExecOptions, FlowStf};
-use yu_mtbdd::Mtbdd;
-use yu_net::{FailureMode, FailureVars, Network};
+use crate::verify::{check_requirement, enumerate_violations, Violation};
+use std::collections::HashMap;
+use yu_mtbdd::{ImportMemo, Mtbdd, MtbddStats, NodeRef, Ratio, Term};
+use yu_net::{FailureMode, FailureVars, Network, TlpReq};
 use yu_routing::SymbolicRoutes;
 
-/// The result of one worker: its private arena and the symbolic traffic
-/// functions it produced, tagged with the global flow-group index.
+/// Runs `job(w)` for `w in 0..workers` on scoped OS threads, each with
+/// its own telemetry track (named by `track`) and a `span_name` stage
+/// span, flushing the thread-local telemetry buffer before joining.
+///
+/// # Panics
+/// Propagates panics from worker threads (including audit failures when
+/// `YU_AUDIT=1`).
+fn run_worker_pool<T: Send>(
+    workers: usize,
+    track: impl Fn(usize) -> String + Sync,
+    span_name: &'static str,
+    job: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (track, job) = (&track, &job);
+                scope.spawn(move || {
+                    // Each worker records into its own thread-local
+                    // telemetry buffer (its own trace track); the flush
+                    // before returning makes the buffer visible to the
+                    // main thread's snapshot without any contention
+                    // during execution.
+                    yu_telemetry::set_thread_track(track(w));
+                    let out = {
+                        let _stage = yu_telemetry::span(span_name);
+                        job(w)
+                    };
+                    yu_telemetry::flush_thread();
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+/// The result of one execution worker: its private arena and the symbolic
+/// traffic functions it produced, tagged with the global flow-group index.
 pub struct Shard {
     /// The worker's private arena. All [`FlowStf`] handles in
     /// [`Shard::stfs`] live here until imported.
@@ -56,36 +118,186 @@ pub fn execute_sharded(
     workers: usize,
 ) -> Vec<Shard> {
     let workers = workers.clamp(1, groups.len().max(1));
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    // Each worker records into its own thread-local
-                    // telemetry buffer (its own trace track); the flush
-                    // before returning makes the buffer visible to the
-                    // main thread's snapshot without any contention
-                    // during execution.
-                    yu_telemetry::set_thread_track(format!("worker-{w}"));
-                    let shard = {
-                        let _stage = yu_telemetry::span("exec.worker");
-                        let mut m = Mtbdd::new();
-                        let fv = FailureVars::allocate(&mut m, &net.topo, mode);
-                        let mut routes = SymbolicRoutes::compute(&mut m, net, &fv, routes_k);
-                        let mut stfs = Vec::new();
-                        for (ix, g) in groups.iter().enumerate().skip(w).step_by(workers) {
-                            let stf = simulate_flow(&mut m, net, &fv, &mut routes, &g.rep, opts);
-                            stfs.push((ix, stf));
-                        }
-                        Shard { arena: m, stfs }
-                    };
-                    yu_telemetry::flush_thread();
-                    shard
-                })
-            })
-            .collect();
-        handles
+    run_worker_pool(
+        workers,
+        |w| format!("worker-{w}"),
+        "exec.worker",
+        move |w| {
+            let mut m = Mtbdd::new();
+            let fv = FailureVars::allocate(&mut m, &net.topo, mode);
+            let mut routes = SymbolicRoutes::compute(&mut m, net, &fv, routes_k);
+            let mut stfs = Vec::new();
+            for (ix, g) in groups.iter().enumerate().skip(w).step_by(workers) {
+                let stf = simulate_flow(&mut m, net, &fv, &mut routes, &g.rep, opts);
+                stfs.push((ix, stf));
+            }
+            Shard { arena: m, stfs }
+        },
+    )
+}
+
+/// Read-only view of the verifier state a check worker needs: the main
+/// arena, the failure-variable allocation, and the executed flow groups.
+pub struct CheckCtx<'a> {
+    /// The main arena, shared immutably across the pool.
+    pub m: &'a Mtbdd,
+    /// Failure variables (for decoding violating paths into scenarios).
+    pub fv: &'a FailureVars,
+    /// Per-group symbolic traffic functions (handles of `m`).
+    pub results: &'a [FlowStf],
+    /// The flow groups, parallel to `results`.
+    pub groups: &'a [FlowGroup],
+    /// Group contributions link-locally by STF handle (§5.3).
+    pub use_link_local_equiv: bool,
+    /// Apply KREDUCE throughout (the fused kernel when aggregating).
+    pub use_kreduce: bool,
+    /// The failure budget.
+    pub k: u32,
+}
+
+/// The verdict for one requirement, tagged with its index in the TLP.
+pub struct CheckUnit {
+    /// Index of the requirement in `tlp.reqs`.
+    pub req_ix: usize,
+    /// Violations found for it (at most one unless enumerating).
+    pub violations: Vec<Violation>,
+    /// Aggregation statistics of its load point (Figs. 13/14 data).
+    pub agg: AggStats,
+}
+
+/// The result of one check worker: its verdicts and its private arena's
+/// final statistics (the arena itself is dropped — violations are plain
+/// data, no handles escape).
+pub struct CheckShard {
+    /// One entry per requirement this worker checked, in ascending
+    /// `req_ix` order by construction.
+    pub units: Vec<CheckUnit>,
+    /// Statistics of the worker's private arena.
+    pub stats: MtbddStats,
+}
+
+/// Checks `reqs` across `workers` threads (round-robin by requirement
+/// index), each worker aggregating and scanning its load points in a
+/// private arena. With `max_violations <= 1` each unit carries at most
+/// the first (fewest-failure) violation, exactly like
+/// [`check_requirement`]; larger values enumerate per requirement like
+/// [`enumerate_violations`].
+///
+/// The returned violations are bit-identical to what the sequential
+/// checker produces for the same requirements (see the module docs).
+///
+/// # Panics
+/// Propagates panics from worker threads (including audit failures when
+/// `YU_AUDIT=1`).
+pub fn check_sharded(
+    ctx: &CheckCtx<'_>,
+    reqs: &[TlpReq],
+    max_violations: usize,
+    workers: usize,
+) -> Vec<CheckShard> {
+    let workers = workers.clamp(1, reqs.len().max(1));
+    run_worker_pool(
+        workers,
+        |w| format!("check-worker-{w}"),
+        "check.worker",
+        move |w| {
+            let mut m = Mtbdd::new();
+            let mut memo = ImportMemo::new();
+            let mut units = Vec::new();
+            for (ix, req) in reqs.iter().enumerate().skip(w).step_by(workers) {
+                units.push(check_unit(ctx, &mut m, &mut memo, ix, req, max_violations));
+            }
+            yu_telemetry::counter("check.import_memo_hits", memo.hits());
+            yu_telemetry::counter("check.import_memo_misses", memo.misses());
+            CheckShard {
+                units,
+                stats: m.stats(),
+            }
+        },
+    )
+}
+
+/// Aggregates and checks one requirement in the worker arena `m`.
+///
+/// The link-local classing walks `(results, groups)` in group order
+/// against main-arena handles — the same first-seen class order and the
+/// same volume sums as the sequential `load_with_stats` — then only the
+/// class representatives are imported and combined with the fused
+/// `ADD∘KREDUCE` kernel.
+fn check_unit(
+    ctx: &CheckCtx<'_>,
+    m: &mut Mtbdd,
+    memo: &mut ImportMemo,
+    ix: usize,
+    req: &TlpReq,
+    max_violations: usize,
+) -> CheckUnit {
+    let point = req.point;
+    let _stage = yu_telemetry::span_detail("aggregate", || format!("{point:?}"));
+    let zero = ctx.m.zero();
+    let mut classes: Vec<(usize, Ratio)> = Vec::new();
+    let mut flows = 0usize;
+    let mut by_stf: HashMap<NodeRef, usize> = HashMap::new();
+    for (gi, (stf, g)) in ctx.results.iter().zip(ctx.groups).enumerate() {
+        let handle = stf.at(ctx.m, point);
+        if handle == zero || g.volume.is_zero() {
+            continue;
+        }
+        flows += 1;
+        if ctx.use_link_local_equiv {
+            match by_stf.entry(handle) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    classes[*e.get()].1 += &g.volume;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(classes.len());
+                    classes.push((gi, g.volume.clone()));
+                }
+            }
+        } else {
+            classes.push((gi, g.volume.clone()));
+        }
+    }
+    let agg = AggStats {
+        flows,
+        classes: classes.len(),
+    };
+    let k = ctx.use_kreduce.then_some(ctx.k);
+    let mut level: Vec<NodeRef> = Vec::with_capacity(classes.len());
+    for (rep, vol) in classes {
+        let src = ctx.results[rep].at(ctx.m, point);
+        let local = m.import(ctx.m, src, memo);
+        let scaled = match k {
+            Some(k) => m.scale_kreduce(local, Term::Num(vol), k),
+            None => m.scale(local, Term::Num(vol)),
+        };
+        level.push(scaled);
+    }
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            next.push(if pair.len() == 2 {
+                match k {
+                    Some(k) => m.add_kreduce(pair[0], pair[1], k),
+                    None => m.add(pair[0], pair[1]),
+                }
+            } else {
+                pair[0]
+            });
+        }
+        level = next;
+    }
+    let tau = level.pop().unwrap_or_else(|| m.zero());
+    let violations = if max_violations <= 1 {
+        check_requirement(m, ctx.fv, tau, req, ctx.k)
             .into_iter()
-            .map(|h| h.join().expect("symbolic execution worker panicked"))
             .collect()
-    })
+    } else {
+        enumerate_violations(m, ctx.fv, tau, req, ctx.k, max_violations)
+    };
+    CheckUnit {
+        req_ix: ix,
+        violations,
+        agg,
+    }
 }

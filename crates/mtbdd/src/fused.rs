@@ -1,0 +1,275 @@
+//! Fused `ADD∘KREDUCE`: applying the Definition 5.2 failure budget
+//! *during* the apply, so the un-reduced sum is never materialized.
+//!
+//! Aggregating a link's load sums many per-flow STFs; the paper's Fig. 18
+//! shows that the transient of a single un-reduced `F + G` can blow up
+//! combinatorially even though its reduction `βₖ(F + G)` is tiny. The
+//! classic pipeline (`apply(Add)` then `kreduce`) pays for that transient
+//! in full — every node of the sum is hash-consed before the reduction
+//! throws most of them away. [`Mtbdd::add_kreduce`] fuses the two
+//! recursions into one, memoized on `(op, f, g, k)`:
+//!
+//! * with no budget left (`k = 0`) only the all-alive branch matters, so
+//!   the result is the terminal `f(1…1) ⊕ g(1…1)` — no product structure
+//!   is ever built;
+//! * at a decision node over `x = min(top(f), top(g))`, the Definition
+//!   5.2 recursion applies directly to the (virtual) sum: if
+//!   `β_{k-1}(f|x=1 ⊕ g|x=1) = β_{k-1}(f|x=0 ⊕ g|x=0)` the variable test
+//!   is dropped, otherwise the failed branch spends one budget unit.
+//!
+//! By induction on the operand pair, the fused result is **node-for-node
+//! identical** to `kreduce(apply(op, f, g), k)` — both are canonical
+//! diagrams of the same function in the same arena — which the proptest
+//! suite asserts on random diagrams. Only the transient footprint
+//! changes: the fused recursion materializes reduced sub-results only,
+//! so the arena never holds the Fig. 18 blow-up.
+//!
+//! The kernel is generic over the commutative arithmetic it fuses
+//! (`Add` for aggregation, `Mul` for the volume-scaling variant
+//! [`Mtbdd::scale_kreduce`]); operand pairs are canonically ordered
+//! before the cache lookup, like the plain apply cache.
+
+use crate::manager::{Mtbdd, Op};
+use crate::node::NodeRef;
+use crate::terminal::Term;
+
+impl Mtbdd {
+    /// Fused `βₖ(f + g)`: k-failure-reduced pointwise addition that never
+    /// materializes the un-reduced sum. Node-for-node identical to
+    /// `self.kreduce(self.add(f, g), k)`.
+    pub fn add_kreduce(&mut self, f: NodeRef, g: NodeRef, k: u32) -> NodeRef {
+        let r = self.fused_rec(Op::Add, f, g, k);
+        if self.audit_on() {
+            self.audit_fused(r, k, "add_kreduce");
+        }
+        r
+    }
+
+    /// Fused `βₖ(f · c)` for a constant factor `c` (the volume-scaling
+    /// step of load aggregation). Node-for-node identical to
+    /// `self.kreduce(self.scale(f, c), k)`.
+    pub fn scale_kreduce(&mut self, f: NodeRef, c: Term, k: u32) -> NodeRef {
+        let c = self.term(c);
+        let r = self.fused_rec(Op::Mul, f, c, k);
+        if self.audit_on() {
+            self.audit_fused(r, k, "scale_kreduce");
+        }
+        r
+    }
+
+    /// Lemma 2 postcondition of every fused public entry point, active
+    /// under `YU_AUDIT=1` / debug builds (mirrors `kreduce`'s hook).
+    fn audit_fused(&self, r: NodeRef, k: u32, what: &str) {
+        let mpf = self.max_path_failures(r);
+        assert!(
+            mpf <= k,
+            "fused kernel postcondition violated (Lemma 2): \
+             max_path_failures({what} result) = {mpf} > k = {k}"
+        );
+    }
+
+    fn fused_rec(&mut self, op: Op, f: NodeRef, g: NodeRef, k: u32) -> NodeRef {
+        debug_assert!(
+            matches!(op, Op::Add | Op::Mul),
+            "fused kernel supports Add/Mul, not {op:?}"
+        );
+        // Apply's terminal shortcuts return a node equal to the exact
+        // (un-reduced) result, so reducing it finishes the job without
+        // touching the fused cache.
+        if let Some(r) = self.shortcut(op, f, g) {
+            return self.kreduce_rec(r, k);
+        }
+        // Budget exhausted: the whole (virtual) result collapses to its
+        // all-alive terminal (`β₀`), covering the both-terminal case too.
+        if k == 0 || (f.is_terminal() && g.is_terminal()) {
+            let t = op.combine(self.eval_all_alive(f), self.eval_all_alive(g));
+            return self.term(t);
+        }
+        let (f, g) = if op.commutative() && g < f {
+            (g, f)
+        } else {
+            (f, g)
+        };
+        if let Some(&r) = self.fused_cache().get(&(op, f, g, k)) {
+            self.fused_cache_hits += 1;
+            return r;
+        }
+        self.fused_cache_misses += 1;
+        let vf = self.top_var(f).unwrap_or(u32::MAX);
+        let vg = self.top_var(g).unwrap_or(u32::MAX);
+        let var = vf.min(vg);
+        let (f0, f1) = if vf == var { self.cofactors(f) } else { (f, f) };
+        let (g0, g1) = if vg == var { self.cofactors(g) } else { (g, g) };
+        // Definition 5.2 on the virtual node (var, f0⊕g0, f1⊕g1).
+        let hi_km1 = self.fused_rec(op, f1, g1, k - 1);
+        let lo_km1 = self.fused_rec(op, f0, g0, k - 1);
+        let r = if hi_km1 == lo_km1 {
+            self.fused_rec(op, f1, g1, k)
+        } else {
+            let hi_k = self.fused_rec(op, f1, g1, k);
+            self.node(var, lo_km1, hi_k)
+        };
+        self.fused_cache().insert((op, f, g, k), r);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ratio;
+
+    fn setup(n: u32) -> Mtbdd {
+        let mut m = Mtbdd::new();
+        m.fresh_vars(n);
+        m
+    }
+
+    /// A small Fig. 18-shaped family: flow i contributes volume
+    /// `1/(i+1)` along a 2-link path guard, rerouting onto a backup pair
+    /// when its first link fails.
+    fn flow_stf(m: &mut Mtbdd, i: usize, nvars: u32) -> NodeRef {
+        let p0 = (2 * i) as u32 % nvars;
+        let p1 = (2 * i + 1) as u32 % nvars;
+        let b0 = (2 * i + 3) as u32 % nvars;
+        let g0 = m.var_guard(p0);
+        let g1 = m.var_guard(p1);
+        let primary = m.mul(g0, g1);
+        let n0 = m.nvar_guard(p0);
+        let gb = m.var_guard(b0);
+        let backup = m.mul(n0, gb);
+        let path = m.add(primary, backup);
+        m.scale(path, Term::Num(Ratio::new(1, i as i128 + 1)))
+    }
+
+    #[test]
+    fn fused_equals_unfused_node_for_node() {
+        let mut m = setup(10);
+        for k in 0..=3u32 {
+            for i in 0..6 {
+                let f = flow_stf(&mut m, i, 10);
+                let g = flow_stf(&mut m, i + 3, 10);
+                let fused = m.add_kreduce(f, g, k);
+                let sum = m.add(f, g);
+                let unfused = m.kreduce(sum, k);
+                assert_eq!(fused, unfused, "i={i} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_variant_equals_unfused() {
+        let mut m = setup(8);
+        for k in 0..=2u32 {
+            for i in 0..5 {
+                let f = flow_stf(&mut m, i, 8);
+                let c = Term::Num(Ratio::new(3, i as i128 + 2));
+                let fused = m.scale_kreduce(f, c.clone(), k);
+                let scaled = m.scale(f, c);
+                let unfused = m.kreduce(scaled, k);
+                assert_eq!(fused, unfused, "i={i} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_terminal_shortcuts() {
+        let mut m = setup(4);
+        let f = flow_stf(&mut m, 0, 4);
+        let z = m.zero();
+        let reduced = m.kreduce(f, 1);
+        assert_eq!(m.add_kreduce(f, z, 1), reduced);
+        assert_eq!(m.add_kreduce(z, f, 1), reduced);
+        assert_eq!(m.scale_kreduce(f, Term::ONE, 1), reduced);
+        assert_eq!(m.scale_kreduce(f, Term::ZERO, 3), m.zero());
+        // k = 0 collapses to the all-alive sum without building anything.
+        let g = flow_stf(&mut m, 1, 4);
+        let r = m.add_kreduce(f, g, 0);
+        assert!(r.is_terminal());
+        let fa = m.eval_all_alive(f);
+        let ga = m.eval_all_alive(g);
+        assert_eq!(m.terminal_value(r), fa.add(ga));
+    }
+
+    #[test]
+    fn fused_cache_is_canonicalized_and_counted() {
+        let mut m = setup(10);
+        let f = flow_stf(&mut m, 0, 10);
+        let g = flow_stf(&mut m, 2, 10);
+        let before = m.stats();
+        assert_eq!(before.fused_cache_hits, 0);
+        let r1 = m.add_kreduce(f, g, 2);
+        let mid = m.stats();
+        assert!(mid.fused_cache_misses > 0);
+        assert!(mid.fused_cache_len > 0);
+        // Swapped operands share the canonical entry: a pure root hit.
+        let r2 = m.add_kreduce(g, f, 2);
+        let after = m.stats();
+        assert_eq!(r1, r2);
+        assert_eq!(after.fused_cache_misses, mid.fused_cache_misses);
+        assert_eq!(after.fused_cache_hits, mid.fused_cache_hits + 1);
+    }
+
+    #[test]
+    fn fused_avoids_the_unreduced_transient() {
+        // Aggregate the whole flow family pairwise both ways in fresh
+        // arenas: the fused kernel must materialize strictly fewer inner
+        // nodes than add-then-kreduce (it never builds the blow-up).
+        let nvars = 20;
+        let nflows = 14;
+        let k = 2;
+        let aggregate = |fused: bool| -> (usize, NodeRef, Mtbdd) {
+            let mut m = setup(nvars);
+            let mut level: Vec<NodeRef> = (0..nflows)
+                .map(|i| {
+                    let f = flow_stf(&mut m, i, nvars);
+                    m.kreduce(f, k)
+                })
+                .collect();
+            let base = m.stats().nodes_created;
+            while level.len() > 1 {
+                let mut next = Vec::new();
+                for pair in level.chunks(2) {
+                    next.push(if pair.len() == 2 {
+                        if fused {
+                            m.add_kreduce(pair[0], pair[1], k)
+                        } else {
+                            let s = m.add(pair[0], pair[1]);
+                            m.kreduce(s, k)
+                        }
+                    } else {
+                        pair[0]
+                    });
+                }
+                level = next;
+            }
+            (m.stats().nodes_created - base, level[0], m)
+        };
+        let (unfused_nodes, r_unfused, m_unfused) = aggregate(false);
+        let (fused_nodes, r_fused, m_fused) = aggregate(true);
+        assert!(
+            fused_nodes < unfused_nodes,
+            "fused must materialize fewer transient nodes ({fused_nodes} vs {unfused_nodes})"
+        );
+        // Same function either way (compare across arenas via import).
+        let mut dst = Mtbdd::new();
+        let mut ma = crate::ImportMemo::new();
+        let mut mb = crate::ImportMemo::new();
+        let a = dst.import(&m_unfused, r_unfused, &mut ma);
+        let b = dst.import(&m_fused, r_fused, &mut mb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clear_caches_drops_fused_entries() {
+        let mut m = setup(8);
+        let f = flow_stf(&mut m, 0, 8);
+        let g = flow_stf(&mut m, 1, 8);
+        let _ = m.add_kreduce(f, g, 2);
+        assert!(m.stats().fused_cache_len > 0);
+        m.clear_caches();
+        assert_eq!(m.stats().fused_cache_len, 0);
+        // Counters are cumulative and survive the clear.
+        assert!(m.stats().fused_cache_misses > 0);
+    }
+}

@@ -57,6 +57,8 @@ impl Mtbdd {
         // unique-table high-water mark across the swap.
         fresh.apply_cache_hits = self.apply_cache_hits;
         fresh.apply_cache_misses = self.apply_cache_misses;
+        fresh.fused_cache_hits = self.fused_cache_hits;
+        fresh.fused_cache_misses = self.fused_cache_misses;
         fresh.unique_peak = before.unique_table_peak;
         fresh.gc_runs = self.gc_runs + 1;
         let live = fresh.stats().nodes_created;

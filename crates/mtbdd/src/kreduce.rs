@@ -39,7 +39,7 @@ impl Mtbdd {
         r
     }
 
-    fn kreduce_rec(&mut self, f: NodeRef, k: u32) -> NodeRef {
+    pub(crate) fn kreduce_rec(&mut self, f: NodeRef, k: u32) -> NodeRef {
         if f.is_terminal() {
             return f;
         }

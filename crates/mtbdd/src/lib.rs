@@ -50,6 +50,7 @@
 mod audit;
 mod bigint;
 mod dot;
+mod fused;
 mod gc;
 pub mod hasher;
 mod import;

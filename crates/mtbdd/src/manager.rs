@@ -40,7 +40,7 @@ pub enum Op {
 }
 
 impl Op {
-    fn commutative(self) -> bool {
+    pub(crate) fn commutative(self) -> bool {
         matches!(
             self,
             Op::Add | Op::Mul | Op::Min | Op::Max | Op::Or | Op::And | Op::EqGuard
@@ -133,6 +133,12 @@ pub struct MtbddStats {
     pub apply_cache_hits: u64,
     /// Cumulative binary apply cache misses (memoized recursions).
     pub apply_cache_misses: u64,
+    /// Fused `op∘KREDUCE` cache entries right now (a size, not a counter).
+    pub fused_cache_len: usize,
+    /// Cumulative fused-kernel cache hits (see [`Mtbdd::add_kreduce`]).
+    pub fused_cache_hits: u64,
+    /// Cumulative fused-kernel cache misses (memoized recursions).
+    pub fused_cache_misses: u64,
     /// High-water mark of the unique (inner-node) table, across
     /// collections.
     pub unique_table_peak: usize,
@@ -155,6 +161,9 @@ impl MtbddStats {
         self.apply_cache_len = self.apply_cache_len.max(other.apply_cache_len);
         self.apply_cache_hits += other.apply_cache_hits;
         self.apply_cache_misses += other.apply_cache_misses;
+        self.fused_cache_len = self.fused_cache_len.max(other.fused_cache_len);
+        self.fused_cache_hits += other.fused_cache_hits;
+        self.fused_cache_misses += other.fused_cache_misses;
         self.unique_table_peak = self.unique_table_peak.max(other.unique_table_peak);
         self.gc_runs += other.gc_runs;
         self.gc_reclaimed_nodes += other.gc_reclaimed_nodes;
@@ -182,6 +191,7 @@ pub struct Mtbdd {
     ite_cache: FxHashMap<(NodeRef, NodeRef, NodeRef), NodeRef>,
     restrict_cache: FxHashMap<(NodeRef, Var, bool), NodeRef>,
     kreduce_cache: FxHashMap<(NodeRef, u32), NodeRef>,
+    fused_cache: FxHashMap<(Op, NodeRef, NodeRef, u32), NodeRef>,
     num_vars: u32,
     zero: NodeRef,
     one: NodeRef,
@@ -195,6 +205,8 @@ pub struct Mtbdd {
     /// them into the fresh arena across collections.
     pub(crate) apply_cache_hits: u64,
     pub(crate) apply_cache_misses: u64,
+    pub(crate) fused_cache_hits: u64,
+    pub(crate) fused_cache_misses: u64,
     pub(crate) unique_peak: usize,
     pub(crate) gc_runs: u64,
     pub(crate) gc_reclaimed: u64,
@@ -219,6 +231,7 @@ impl Mtbdd {
             ite_cache: FxHashMap::default(),
             restrict_cache: FxHashMap::default(),
             kreduce_cache: FxHashMap::default(),
+            fused_cache: FxHashMap::default(),
             num_vars: 0,
             zero: NodeRef(0),
             one: NodeRef(0),
@@ -227,6 +240,8 @@ impl Mtbdd {
             audit_ops: 0,
             apply_cache_hits: 0,
             apply_cache_misses: 0,
+            fused_cache_hits: 0,
+            fused_cache_misses: 0,
             unique_peak: 0,
             gc_runs: 0,
             gc_reclaimed: 0,
@@ -394,7 +409,7 @@ impl Mtbdd {
         r
     }
 
-    fn shortcut(&mut self, op: Op, f: NodeRef, g: NodeRef) -> Option<NodeRef> {
+    pub(crate) fn shortcut(&mut self, op: Op, f: NodeRef, g: NodeRef) -> Option<NodeRef> {
         let ft = f.is_terminal().then(|| self.terminal_value(f));
         let gt = g.is_terminal().then(|| self.terminal_value(g));
         match op {
@@ -659,6 +674,9 @@ impl Mtbdd {
             apply_cache_len: self.apply_cache.len(),
             apply_cache_hits: self.apply_cache_hits,
             apply_cache_misses: self.apply_cache_misses,
+            fused_cache_len: self.fused_cache.len(),
+            fused_cache_hits: self.fused_cache_hits,
+            fused_cache_misses: self.fused_cache_misses,
             unique_table_peak: self.unique_peak.max(self.nodes.len()),
             gc_runs: self.gc_runs,
             gc_reclaimed_nodes: self.gc_reclaimed,
@@ -673,10 +691,15 @@ impl Mtbdd {
         self.ite_cache.clear();
         self.restrict_cache.clear();
         self.kreduce_cache.clear();
+        self.fused_cache.clear();
     }
 
     pub(crate) fn kreduce_cache(&mut self) -> &mut FxHashMap<(NodeRef, u32), NodeRef> {
         &mut self.kreduce_cache
+    }
+
+    pub(crate) fn fused_cache(&mut self) -> &mut FxHashMap<(Op, NodeRef, NodeRef, u32), NodeRef> {
+        &mut self.fused_cache
     }
 
     // ---- crate-internal access for the invariant auditor (audit.rs) ----
@@ -860,6 +883,9 @@ mod tests {
             apply_cache_len: 100,
             apply_cache_hits: 5,
             apply_cache_misses: 7,
+            fused_cache_len: 50,
+            fused_cache_hits: 4,
+            fused_cache_misses: 6,
             unique_table_peak: 40,
             gc_runs: 1,
             gc_reclaimed_nodes: 30,
@@ -870,6 +896,9 @@ mod tests {
             apply_cache_len: 60,
             apply_cache_hits: 2,
             apply_cache_misses: 3,
+            fused_cache_len: 80,
+            fused_cache_hits: 1,
+            fused_cache_misses: 2,
             unique_table_peak: 90,
             gc_runs: 2,
             gc_reclaimed_nodes: 4,
@@ -880,6 +909,9 @@ mod tests {
         assert_eq!(a.apply_cache_len, 100, "cache len is a size: take max");
         assert_eq!(a.apply_cache_hits, 7);
         assert_eq!(a.apply_cache_misses, 10);
+        assert_eq!(a.fused_cache_len, 80, "cache len is a size: take max");
+        assert_eq!(a.fused_cache_hits, 5);
+        assert_eq!(a.fused_cache_misses, 8);
         assert_eq!(a.unique_table_peak, 90, "peak is a size: take max");
         assert_eq!(a.gc_runs, 3);
         assert_eq!(a.gc_reclaimed_nodes, 34);
@@ -901,6 +933,44 @@ mod tests {
         assert_eq!(second.apply_cache_hits, first.apply_cache_hits + 1);
         assert_eq!(second.apply_cache_misses, first.apply_cache_misses);
         assert!(second.apply_cache_hit_rate().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn commutative_apply_cache_canonicalizes_operand_order() {
+        // `add(f, g)` and `add(g, f)` must share one cache entry: the
+        // swapped application is a pure hit (no new memoized recursions),
+        // so the hit rate strictly improves.
+        let (mut m, x1, x2, x3) = setup();
+        let g1 = m.var_guard(x1);
+        let g2 = m.var_guard(x2);
+        let g3 = m.var_guard(x3);
+        let half = m.constant(Ratio::new(1, 2));
+        let f = m.mul(g1, half); // inner, != g
+        let g = m.add(g2, g3); // inner, != f
+        let before = m.stats();
+        let r1 = m.add(f, g);
+        let mid = m.stats();
+        assert!(mid.apply_cache_misses > before.apply_cache_misses);
+        let r2 = m.add(g, f);
+        let after = m.stats();
+        assert_eq!(r1, r2, "addition is commutative");
+        assert_eq!(
+            after.apply_cache_misses, mid.apply_cache_misses,
+            "swapped operands must not re-recurse"
+        );
+        assert_eq!(
+            after.apply_cache_hits,
+            mid.apply_cache_hits + 1,
+            "swapped operands are one canonical cache hit"
+        );
+        assert!(
+            after.apply_cache_hit_rate().unwrap() > mid.apply_cache_hit_rate().unwrap(),
+            "hit rate must improve on the symmetric application"
+        );
+        // Non-commutative operations stay order-sensitive.
+        let s1 = m.apply(Op::Sub, f, g);
+        let s2 = m.apply(Op::Sub, g, f);
+        assert_ne!(s1, s2);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::bigint::BigUint;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
-use std::ops::{Add, Div, Mul, Neg, Sub};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
 
 /// A signed integer with an `i128` fast path and arbitrary-precision
 /// fallback. Canonical: the `Big` variant is only used for values outside
@@ -313,11 +313,11 @@ impl Ratio {
             other
         }
     }
-}
 
-impl Add for Ratio {
-    type Output = Ratio;
-    fn add(self, rhs: Ratio) -> Ratio {
+    /// `self + rhs` without consuming either operand. On the `i128` fast
+    /// path this copies no heap data at all, which is what the aggregation
+    /// hot loop wants (`acc += &volume` instead of two clones per flow).
+    pub fn add_ref(&self, rhs: &Ratio) -> Ratio {
         // Fast path entirely in i128 with cross-reduction.
         if let (Int::Small(an), Int::Small(ad), Int::Small(bn), Int::Small(bd)) =
             (&self.num, &self.den, &rhs.num, &rhs.den)
@@ -335,6 +335,25 @@ impl Add for Ratio {
         let n1 = self.num.mul(&rhs.den);
         let n2 = rhs.num.mul(&self.den);
         Ratio::make(n1.add(&n2), self.den.mul(&rhs.den))
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        self.add_ref(&rhs)
+    }
+}
+
+impl AddAssign<&Ratio> for Ratio {
+    fn add_assign(&mut self, rhs: &Ratio) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl AddAssign for Ratio {
+    fn add_assign(&mut self, rhs: Ratio) {
+        *self = self.add_ref(&rhs);
     }
 }
 
@@ -545,6 +564,29 @@ mod tests {
         // final denominator and obtain an integer.
         let denom = frac.recip();
         assert!((acc * denom).is_integer());
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        // Small fast path.
+        let mut acc = Ratio::ZERO;
+        let third = Ratio::new(1, 3);
+        for _ in 0..3 {
+            acc += &third;
+        }
+        assert_eq!(acc, Ratio::ONE);
+        // By-value form.
+        let mut acc2 = Ratio::new(1, 4);
+        acc2 += Ratio::new(3, 4);
+        assert_eq!(acc2, Ratio::ONE);
+        // Big-int spill path stays exact through +=.
+        let tiny = Ratio::new(1, 1 << 126);
+        let tinier = tiny.clone() * tiny;
+        let mut big_acc = Ratio::ZERO;
+        for _ in 0..4 {
+            big_acc += &tinier;
+        }
+        assert_eq!(big_acc, tinier * Ratio::int(4));
     }
 
     #[test]

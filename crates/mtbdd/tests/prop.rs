@@ -200,6 +200,43 @@ proptest! {
         }
     }
 
+    /// The fused kernel is node-for-node identical to the classic
+    /// pipeline: add_kreduce(f, g, k) == kreduce(add(f, g), k) as handles
+    /// (both are canonical diagrams in the same arena, so pointer
+    /// equality is function equality).
+    #[test]
+    fn fused_add_kreduce_matches_pipeline(
+        ef in arb_expr(),
+        eg in arb_expr(),
+        k in 0u32..=NVARS,
+    ) {
+        let mut m = manager();
+        let f = build(&mut m, &ef);
+        let g = build(&mut m, &eg);
+        let fused = m.add_kreduce(f, g, k);
+        let sum = m.add(f, g);
+        let unfused = m.kreduce(sum, k);
+        prop_assert_eq!(fused, unfused);
+        // And Lemma 2 holds for the fused result directly.
+        prop_assert!(m.max_path_failures(fused) <= k);
+    }
+
+    /// Same for the constant-scaling variant.
+    #[test]
+    fn fused_scale_kreduce_matches_pipeline(
+        e in arb_expr(),
+        cn in -20i128..=20, cd in 1i128..=12,
+        k in 0u32..=NVARS,
+    ) {
+        let mut m = manager();
+        let f = build(&mut m, &e);
+        let c = Term::Num(Ratio::new(cn, cd));
+        let fused = m.scale_kreduce(f, c.clone(), k);
+        let scaled = m.scale(f, c);
+        let unfused = m.kreduce(scaled, k);
+        prop_assert_eq!(fused, unfused);
+    }
+
     /// Restriction fixes a variable: restrict(f, v, b) equals f evaluated
     /// with v := b.
     #[test]

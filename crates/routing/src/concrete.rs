@@ -546,7 +546,7 @@ impl<'n> ConcreteRoutes<'n> {
                 let q = amount.clone() * share;
                 if !q.is_zero() {
                     self.emit(l, stack.to_vec(), q.clone(), res, next);
-                    emitted = emitted + q;
+                    emitted += q;
                 }
             }
         } else {
@@ -575,16 +575,15 @@ impl<'n> ConcreteRoutes<'n> {
                         NextHop::Receive => {
                             let cur = res.delivered.get(&router).cloned().unwrap_or(Ratio::ZERO);
                             res.delivered.insert(router, cur + share.clone());
-                            emitted = emitted + share.clone();
+                            emitted += share.clone();
                         }
                         NextHop::Null0 => {} // falls into the dropped residual
                         NextHop::Direct(l) => {
                             self.emit(l, Vec::new(), share.clone(), res, next);
-                            emitted = emitted + share.clone();
+                            emitted += share.clone();
                         }
                         NextHop::Ip(nip) => {
-                            emitted = emitted
-                                + self.resolve_nh(flow, router, nip, share.clone(), res, next);
+                            emitted += self.resolve_nh(flow, router, nip, share.clone(), res, next);
                         }
                     }
                 }
@@ -629,14 +628,14 @@ impl<'n> ConcreteRoutes<'n> {
                     // Degenerate: headend owns the first segment; treat the
                     // remaining stack immediately.
                     self.step(flow, router, &p.segments, share.clone(), res, next);
-                    emitted = emitted + share;
+                    emitted += share;
                     continue;
                 }
                 for (l, lshare) in self.igp_shares(router, first) {
                     let q = share.clone() * lshare;
                     if !q.is_zero() {
                         self.emit(l, p.segments.clone(), q.clone(), res, next);
-                        emitted = emitted + q;
+                        emitted += q;
                     }
                 }
             }
@@ -645,7 +644,7 @@ impl<'n> ConcreteRoutes<'n> {
                 let q = amount.clone() * share;
                 if !q.is_zero() {
                     self.emit(l, Vec::new(), q.clone(), res, next);
-                    emitted = emitted + q;
+                    emitted += q;
                 }
             }
         }

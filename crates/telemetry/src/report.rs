@@ -61,9 +61,11 @@ pub struct TelemetrySummary {
     /// Rates computed from the counters (all in `[0, 1]`):
     /// `apply_cache_hit_rate` = hits / (hits + misses) of the MTBDD apply
     /// cache; `import_memo_hit_rate` likewise for cross-arena import;
-    /// `kreduce_reduction_ratio` = fraction of nodes *removed* by
-    /// KREDUCE (`1 - after/before`). A rate is omitted when its inputs
-    /// were never recorded.
+    /// `fused_cache_hit_rate` likewise for the fused ADD∘KREDUCE memo;
+    /// `check_import_memo_hit_rate` likewise for the per-check-worker
+    /// representative imports; `kreduce_reduction_ratio` = fraction of
+    /// nodes *removed* by KREDUCE (`1 - after/before`). A rate is
+    /// omitted when its inputs were never recorded.
     pub derived: BTreeMap<String, f64>,
 }
 
@@ -218,6 +220,16 @@ fn derived_rates(counters: &BTreeMap<String, u64>) -> BTreeMap<String, f64> {
         "import_memo_hit_rate",
         get("import.memo_hits"),
         get("import.memo_misses"),
+    );
+    rate(
+        "fused_cache_hit_rate",
+        get("mtbdd.fused_cache_hits"),
+        get("mtbdd.fused_cache_misses"),
+    );
+    rate(
+        "check_import_memo_hit_rate",
+        get("check.import_memo_hits"),
+        get("check.import_memo_misses"),
     );
     let before = get("kreduce.nodes_before");
     let after = get("kreduce.nodes_after");

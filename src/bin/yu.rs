@@ -5,6 +5,7 @@
 //! yu lint spec.json [--json]                         preflight lint (YU0xx diagnostics)
 //! yu check spec.json                                 lint + summarize the spec
 //! yu verify spec.json [--json] [--workers N]         verify the TLP under <= k failures
+//!           [--check-workers N]
 //!           [--explain] [--max-violations N]
 //!           [-v] [--trace-out t.json] [--metrics-out m.json]
 //! yu explain spec.json [--json] [--dot-out f.dot]    forensic report per violation:
@@ -46,9 +47,10 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Positional arguments: everything that is neither a flag nor the
     // value of a value-taking flag.
-    const VALUE_FLAGS: [&str; 8] = [
+    const VALUE_FLAGS: [&str; 9] = [
         "--fail",
         "--workers",
+        "--check-workers",
         "--router",
         "--dst",
         "--trace-out",
@@ -79,6 +81,16 @@ fn main() -> ExitCode {
         },
         None => yu::core::default_workers(),
     };
+    let check_workers = match args.iter().position(|a| a == "--check-workers") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(w) if w >= 1 => w,
+            _ => {
+                eprintln!("error: --check-workers takes a positive integer");
+                return ExitCode::from(2);
+            }
+        },
+        None => yu::core::default_check_workers(),
+    };
     let max_violations = match args.iter().position(|a| a == "--max-violations") {
         Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
             Some(n) if n >= 1 => n,
@@ -107,6 +119,7 @@ fn main() -> ExitCode {
             &load(&arg),
             json_output,
             workers,
+            check_workers,
             &telemetry,
             explain_flag,
             max_violations,
@@ -115,6 +128,7 @@ fn main() -> ExitCode {
             &load(&arg),
             json_output,
             workers,
+            check_workers,
             &telemetry,
             max_violations,
             dot_out.as_deref(),
@@ -128,8 +142,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: yu <export|lint|check|verify|explain|loads|scenarios|rib> [spec.json] \
-                 [--json] [--workers N] [--explain] [--max-violations N] [--dot-out FILE] \
-                 [--fail A-B,C-D] [--router <name> --dst <ip>] \
+                 [--json] [--workers N] [--check-workers N] [--explain] [--max-violations N] \
+                 [--dot-out FILE] [--fail A-B,C-D] [--router <name> --dst <ip>] \
                  [-v] [--trace-out FILE] [--metrics-out FILE]"
             );
             ExitCode::from(2)
@@ -288,6 +302,7 @@ fn verify(
     spec: &VerifySpec,
     json_output: bool,
     workers: usize,
+    check_workers: usize,
     telemetry: &TelemetryArgs,
     explain_flag: bool,
     max_violations: usize,
@@ -301,6 +316,7 @@ fn verify(
             k: spec.k,
             mode: spec.mode,
             workers,
+            check_workers,
             ..Default::default()
         },
     );
@@ -376,6 +392,7 @@ fn explain(
     spec: &VerifySpec,
     json_output: bool,
     workers: usize,
+    check_workers: usize,
     telemetry: &TelemetryArgs,
     max_violations: usize,
     dot_out: Option<&str>,
@@ -389,6 +406,7 @@ fn explain(
             k: spec.k,
             mode: spec.mode,
             workers,
+            check_workers,
             ..Default::default()
         },
     );

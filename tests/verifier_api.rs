@@ -198,8 +198,8 @@ fn k0_equals_concrete_no_failure_loads() {
     let mut dropped = Ratio::ZERO;
     let s = Scenario::none();
     for r in net.topo.routers() {
-        delivered = delivered + v.load_at(LoadPoint::Delivered(r), &s);
-        dropped = dropped + v.load_at(LoadPoint::Dropped(r), &s);
+        delivered += v.load_at(LoadPoint::Delivered(r), &s);
+        dropped += v.load_at(LoadPoint::Dropped(r), &s);
     }
     let total: Ratio = flows
         .iter()
