@@ -1,0 +1,670 @@
+//! Interval load-bound inference and requirement classification.
+//!
+//! For every TLP requirement the classifier derives a sound interval
+//! `[0, U]` containing the load at the measurement point in *every*
+//! failure scenario, from three facts about the symbolic execution
+//! model:
+//!
+//! 1. **Mass conservation.** Per flow, delivered plus dropped mass
+//!    never exceeds the flow's volume, so the load at a
+//!    `Delivered`/`Dropped` point is at most the total volume of the
+//!    flows whose ingress can reach that router at all.
+//! 2. **Hop-bounded traversal.** A flow's fraction on a single
+//!    directed link can exceed 1 only through transient forwarding
+//!    loops, and the execution truncates after `max_hops` traversals
+//!    — so `max_hops × Σ volumes` bounds any link load.
+//! 3. **Monotone reachability.** Failures only remove edges, so
+//!    full-topology reachability over-approximates where traffic can
+//!    be under any scenario.
+//!
+//! A requirement whose bounds are satisfied by every value in
+//! `[0, U]` is `ProvenSafe`; one that fails in some concrete ≤ k
+//! scenario (zero failures for an infeasible minimum, or a
+//! disconnecting cut from [`crate::semantic`]) is `ProvenViolated`;
+//! everything else `NeedsSymbolic`. Every non-symbolic verdict
+//! carries a [`Certificate`] that [`check_certificate`] re-validates
+//! from scratch — plain BFS and rational arithmetic, no shared state
+//! with the classifier.
+
+use crate::diagnostic::Diagnostic;
+use crate::lint::lint_spec;
+use crate::semantic::{
+    bridges, isolated_routers, links_failable, min_disconnecting_failures, partition_failures,
+    reachable_from, reachable_under, routers_failable, CutTarget,
+};
+use serde::Serialize;
+use std::collections::HashMap;
+use yu_mtbdd::Ratio;
+use yu_net::{FailureMode, Flow, LoadPoint, Network, RouterId, Scenario, Tlp, TlpReq};
+
+/// The part of the verification options the static analysis needs.
+#[derive(Debug, Clone, Copy)]
+pub struct PreflightConfig {
+    /// Failure budget.
+    pub k: u32,
+    /// What can fail.
+    pub mode: FailureMode,
+    /// TTL bound of the symbolic execution (enters the link-load
+    /// bound: a loop can re-traverse a link at most `max_hops` times).
+    pub max_hops: usize,
+}
+
+/// Verdict of the static classifier for one requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ReqClass {
+    /// The requirement holds in every ≤ k scenario; the symbolic
+    /// engine can skip it.
+    ProvenSafe,
+    /// Some concrete ≤ k scenario violates the requirement. The
+    /// symbolic engine still runs (it produces the exact violation
+    /// the report needs), but the verdict is known.
+    ProvenViolated,
+    /// The static analysis cannot decide; the symbolic engine must.
+    NeedsSymbolic,
+}
+
+/// A machine-checkable justification for a non-symbolic verdict.
+/// Each variant states exactly the facts [`check_certificate`]
+/// re-derives independently.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum Certificate {
+    /// No positive-volume flow's ingress reaches the point in the
+    /// intact topology, so the load is identically zero and the
+    /// bounds accept zero.
+    Unreachable,
+    /// The load never exceeds `bound` (conservation / hop-bounded
+    /// traversal) and the bounds accept all of `[0, bound]`.
+    UpperBound {
+        /// Sound upper bound on the load in every scenario.
+        bound: Ratio,
+    },
+    /// No upper bound is requested and the minimum is at most zero:
+    /// nonnegative loads always comply.
+    TrivialBounds,
+    /// `min > max`: no load value can satisfy the requirement, so
+    /// every scenario (including zero failures) violates it.
+    ContradictoryBounds,
+    /// The requested minimum exceeds the sound upper bound `bound`,
+    /// so every scenario violates the requirement.
+    InfeasibleMin {
+        /// Sound upper bound on the load in every scenario.
+        bound: Ratio,
+    },
+    /// Failing `cut` (within budget) leaves the point unreachable
+    /// from every source, zeroing a load that must stay positive.
+    DisconnectingCut {
+        /// The concrete ≤ k failure scenario.
+        cut: Scenario,
+    },
+}
+
+impl Certificate {
+    /// One-line human summary (for diagnostics and telemetry).
+    pub fn describe(&self) -> String {
+        match self {
+            Certificate::Unreachable => "point unreachable from every flow ingress".into(),
+            Certificate::UpperBound { bound } => format!("load can never exceed {bound}"),
+            Certificate::TrivialBounds => "loads are nonnegative and no upper bound is set".into(),
+            Certificate::ContradictoryBounds => "min exceeds max: unsatisfiable bounds".into(),
+            Certificate::InfeasibleMin { bound } => {
+                format!("minimum exceeds the sound load bound {bound}")
+            }
+            Certificate::DisconnectingCut { cut } => {
+                format!("a {}-failure cut disconnects every source", cut.count())
+            }
+        }
+    }
+}
+
+/// Classification of one requirement, with its certificate when the
+/// verdict is not `NeedsSymbolic`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReqClassification {
+    /// Index of the requirement in the TLP.
+    pub req_ix: usize,
+    /// The verdict.
+    pub class: ReqClass,
+    /// Why — absent exactly when `class` is `NeedsSymbolic`.
+    pub certificate: Option<Certificate>,
+}
+
+/// The incremental classifier: owns the per-ingress reachability
+/// cache so classifying a whole TLP runs one BFS per distinct
+/// ingress, not per requirement.
+pub struct Preflight<'a> {
+    net: &'a Network,
+    flows: &'a [Flow],
+    cfg: PreflightConfig,
+    reach: HashMap<RouterId, Vec<bool>>,
+    /// Distinct valid ingresses of positive-volume flows.
+    sources: Vec<RouterId>,
+    /// Set when the flow set is itself invalid (negative volumes or
+    /// out-of-range ingresses): every bound would be unsound, so
+    /// everything classifies as `NeedsSymbolic`.
+    unsound: bool,
+}
+
+impl<'a> Preflight<'a> {
+    /// Builds a classifier for one network + flow set + options.
+    pub fn new(net: &'a Network, flows: &'a [Flow], cfg: PreflightConfig) -> Preflight<'a> {
+        let n = net.topo.num_routers();
+        let unsound = flows
+            .iter()
+            .any(|f| f.volume.is_negative() || f.ingress.0 as usize >= n);
+        let mut sources: Vec<RouterId> = flows
+            .iter()
+            .filter(|f| !f.volume.is_zero() && (f.ingress.0 as usize) < n)
+            .map(|f| f.ingress)
+            .collect();
+        sources.sort();
+        sources.dedup();
+        Preflight {
+            net,
+            flows,
+            cfg,
+            reach: HashMap::new(),
+            sources,
+            unsound,
+        }
+    }
+
+    fn reach(&mut self, r: RouterId) -> &Vec<bool> {
+        self.reach
+            .entry(r)
+            .or_insert_with(|| reachable_from(&self.net.topo, &[r]))
+    }
+
+    /// Whether `point` is a valid measurement point of this topology.
+    fn point_in_range(&self, point: LoadPoint) -> bool {
+        match point {
+            LoadPoint::Link(l) => (l.0 as usize) < self.net.topo.num_links(),
+            LoadPoint::Delivered(r) | LoadPoint::Dropped(r) => {
+                (r.0 as usize) < self.net.topo.num_routers()
+            }
+        }
+    }
+
+    /// A sound upper bound on the load at `point` across every
+    /// failure scenario, or `None` when the flow set or point is
+    /// invalid. Zero means no positive-volume flow can reach the
+    /// point at all.
+    pub fn upper_bound(&mut self, point: LoadPoint) -> Option<Ratio> {
+        if self.unsound || !self.point_in_range(point) {
+            return None;
+        }
+        let (gate, multiplier) = match point {
+            LoadPoint::Link(l) => (
+                self.net.topo.link(l).from,
+                Ratio::int(self.cfg.max_hops as i64),
+            ),
+            LoadPoint::Delivered(r) | LoadPoint::Dropped(r) => (r, Ratio::ONE),
+        };
+        let mut sum = Ratio::ZERO;
+        for i in 0..self.flows.len() {
+            let ingress = self.flows[i].ingress;
+            if self.flows[i].volume.is_zero() || !self.reach(ingress)[gate.0 as usize] {
+                continue;
+            }
+            sum += &self.flows[i].volume;
+        }
+        Some(sum * multiplier)
+    }
+
+    /// Classifies one requirement. `req_ix` is only recorded in the
+    /// result (for reporting); classification itself depends only on
+    /// the requirement.
+    pub fn classify_req(&mut self, req_ix: usize, req: &TlpReq) -> ReqClassification {
+        let verdict = |class, certificate| ReqClassification {
+            req_ix,
+            class,
+            certificate,
+        };
+        let needs_symbolic = verdict(ReqClass::NeedsSymbolic, None);
+        if let (Some(min), Some(max)) = (&req.min, &req.max) {
+            if min > max {
+                return verdict(
+                    ReqClass::ProvenViolated,
+                    Some(Certificate::ContradictoryBounds),
+                );
+            }
+        }
+        let Some(bound) = self.upper_bound(req.point) else {
+            return needs_symbolic;
+        };
+        if let Some(min) = &req.min {
+            if min > &bound {
+                return verdict(
+                    ReqClass::ProvenViolated,
+                    Some(Certificate::InfeasibleMin { bound }),
+                );
+            }
+        }
+        let min_ok = req.min.as_ref().is_none_or(|m| m <= &Ratio::ZERO);
+        let max_ok = req.max.as_ref().is_none_or(|m| m >= &bound);
+        if min_ok && max_ok {
+            let cert = if req.max.is_none() {
+                Certificate::TrivialBounds
+            } else if bound.is_zero() {
+                Certificate::Unreachable
+            } else {
+                Certificate::UpperBound { bound }
+            };
+            return verdict(ReqClass::ProvenSafe, Some(cert));
+        }
+        // A positive minimum can still be refuted by a within-budget
+        // disconnecting cut.
+        if req.min.as_ref().is_some_and(|m| m > &Ratio::ZERO) && self.cfg.k >= 1 {
+            let target = match req.point {
+                LoadPoint::Link(l) => CutTarget::Link(l),
+                LoadPoint::Delivered(r) | LoadPoint::Dropped(r) => CutTarget::Router(r),
+            };
+            if let Some(cut) =
+                min_disconnecting_failures(&self.net.topo, self.cfg.mode, &self.sources, target)
+            {
+                if cut.count() <= self.cfg.k as usize {
+                    return verdict(
+                        ReqClass::ProvenViolated,
+                        Some(Certificate::DisconnectingCut { cut }),
+                    );
+                }
+            }
+        }
+        needs_symbolic
+    }
+}
+
+/// Classifies every requirement of `tlp` (see [`Preflight`]).
+pub fn classify(
+    net: &Network,
+    flows: &[Flow],
+    tlp: &Tlp,
+    cfg: PreflightConfig,
+) -> Vec<ReqClassification> {
+    let mut pf = Preflight::new(net, flows, cfg);
+    tlp.reqs
+        .iter()
+        .enumerate()
+        .map(|(ix, req)| pf.classify_req(ix, req))
+        .collect()
+}
+
+/// Independently re-validates a classification's certificate against
+/// the requirement it claims to discharge: fresh BFS, fresh volume
+/// sums, no state shared with [`Preflight`].
+///
+/// # Errors
+///
+/// `Err` explains the first fact that failed to check — a forged or
+/// stale certificate, or one that cannot justify its class.
+///
+/// # Panics
+///
+/// Panics only if `classification.req_ix` points outside the TLP the
+/// classification was computed from (caller error).
+pub fn check_certificate(
+    net: &Network,
+    flows: &[Flow],
+    req: &TlpReq,
+    cfg: PreflightConfig,
+    classification: &ReqClassification,
+) -> Result<(), String> {
+    let cert = match (&classification.certificate, classification.class) {
+        (None, ReqClass::NeedsSymbolic) => return Ok(()),
+        (None, c) => return Err(format!("verdict {c:?} carries no certificate")),
+        (Some(_), ReqClass::NeedsSymbolic) => {
+            return Err("NeedsSymbolic must not carry a certificate".into())
+        }
+        (Some(cert), _) => cert,
+    };
+    let topo = &net.topo;
+    let n = topo.num_routers();
+    if flows
+        .iter()
+        .any(|f| f.volume.is_negative() || f.ingress.0 as usize >= n)
+    {
+        return Err("flow set is invalid: no static bound is sound".into());
+    }
+    let in_range = match req.point {
+        LoadPoint::Link(l) => (l.0 as usize) < topo.num_links(),
+        LoadPoint::Delivered(r) | LoadPoint::Dropped(r) => (r.0 as usize) < n,
+    };
+    if !in_range && !matches!(cert, Certificate::ContradictoryBounds) {
+        return Err(format!("point {:?} is out of range", req.point));
+    }
+    // Recompute the sound upper bound from scratch.
+    let recompute_bound = || -> Ratio {
+        let (gate, multiplier) = match req.point {
+            LoadPoint::Link(l) => (topo.link(l).from, Ratio::int(cfg.max_hops as i64)),
+            LoadPoint::Delivered(r) | LoadPoint::Dropped(r) => (r, Ratio::ONE),
+        };
+        let mut sum = Ratio::ZERO;
+        for f in flows {
+            if !f.volume.is_zero() && reachable_from(topo, &[f.ingress])[gate.0 as usize] {
+                sum += &f.volume;
+            }
+        }
+        sum * multiplier
+    };
+    let min_ok = req.min.as_ref().is_none_or(|m| m <= &Ratio::ZERO);
+    match (classification.class, cert) {
+        (ReqClass::ProvenViolated, Certificate::ContradictoryBounds) => {
+            match (&req.min, &req.max) {
+                (Some(min), Some(max)) if min > max => Ok(()),
+                _ => Err("bounds are not contradictory".into()),
+            }
+        }
+        (ReqClass::ProvenViolated, Certificate::InfeasibleMin { bound }) => {
+            let fresh = recompute_bound();
+            if &fresh > bound {
+                return Err(format!(
+                    "claimed bound {bound} is below the recomputed sound bound {fresh}"
+                ));
+            }
+            match &req.min {
+                Some(min) if min > bound => Ok(()),
+                _ => Err("minimum does not exceed the claimed bound".into()),
+            }
+        }
+        (ReqClass::ProvenViolated, Certificate::DisconnectingCut { cut }) => {
+            if cut.count() > cfg.k as usize {
+                return Err(format!(
+                    "cut size {} exceeds budget k={}",
+                    cut.count(),
+                    cfg.k
+                ));
+            }
+            if !cut.failed_links.is_empty() && !links_failable(cfg.mode) {
+                return Err("cut fails links but links cannot fail".into());
+            }
+            if !cut.failed_routers.is_empty() && !routers_failable(cfg.mode) {
+                return Err("cut fails routers but routers cannot fail".into());
+            }
+            if req.min.as_ref().is_none_or(|m| m <= &Ratio::ZERO) {
+                return Err("cut refutes nothing: no positive minimum".into());
+            }
+            let sources: Vec<RouterId> = flows
+                .iter()
+                .filter(|f| !f.volume.is_zero())
+                .map(|f| f.ingress)
+                .collect();
+            let reach = reachable_under(topo, &sources, cut);
+            let disconnected = match req.point {
+                LoadPoint::Delivered(r) | LoadPoint::Dropped(r) => !reach[r.0 as usize],
+                LoadPoint::Link(l) => {
+                    !cut.link_usable(topo, l) || !reach[topo.link(l).from.0 as usize]
+                }
+            };
+            if disconnected {
+                Ok(())
+            } else {
+                Err("cut does not disconnect the point from the sources".into())
+            }
+        }
+        (ReqClass::ProvenSafe, Certificate::TrivialBounds) => {
+            if min_ok && req.max.is_none() {
+                Ok(())
+            } else {
+                Err("bounds are not trivially satisfied by nonnegative loads".into())
+            }
+        }
+        (ReqClass::ProvenSafe, Certificate::Unreachable) => {
+            if !recompute_bound().is_zero() {
+                return Err("some positive-volume flow reaches the point".into());
+            }
+            if min_ok && req.max.as_ref().is_none_or(|m| m >= &Ratio::ZERO) {
+                Ok(())
+            } else {
+                Err("bounds reject the identically-zero load".into())
+            }
+        }
+        (ReqClass::ProvenSafe, Certificate::UpperBound { bound }) => {
+            let fresh = recompute_bound();
+            if &fresh > bound {
+                return Err(format!(
+                    "claimed bound {bound} is below the recomputed sound bound {fresh}"
+                ));
+            }
+            if min_ok && req.max.as_ref().is_none_or(|m| m >= bound) {
+                Ok(())
+            } else {
+                Err("bounds reject some value in [0, bound]".into())
+            }
+        }
+        (class, cert) => Err(format!("certificate {cert:?} cannot justify {class:?}")),
+    }
+}
+
+/// The deep lint: every [`lint_spec`] rule plus the semantic rules
+/// `YU021`–`YU032` built on reachability, min-cuts, and bound
+/// inference. This is what `yu lint --deep` runs.
+///
+/// # Panics
+///
+/// Panics only on internal invariant violations (a classification
+/// whose requirement index is out of range).
+pub fn lint_deep(
+    net: &Network,
+    flows: &[Flow],
+    tlp: &Tlp,
+    k: u32,
+    mode: FailureMode,
+) -> Vec<Diagnostic> {
+    let mut out = lint_spec(net, flows, tlp, k, mode);
+    let topo = &net.topo;
+    if net.configs.len() != topo.num_routers() {
+        // lint_spec already reported YU001; the semantic rules index
+        // configs by router and would panic.
+        return out;
+    }
+
+    // YU028: routers with no links at all.
+    for r in isolated_routers(topo) {
+        out.push(Diagnostic::warning(
+            "YU028",
+            format!("router {}", topo.router(r).name),
+            "isolated: no links attach to this router, so no traffic can \
+             enter or leave it",
+        ));
+    }
+
+    // YU027: bridge links (single-link SRLGs) — only meaningful when
+    // link failures are in scope.
+    if links_failable(mode) && k >= 1 {
+        for u in bridges(topo) {
+            let (fwd, _) = topo.directions(u);
+            let lk = topo.link(fwd);
+            out.push(Diagnostic::warning(
+                "YU027",
+                format!("link {}", topo.ulink_label(u)),
+                format!(
+                    "bridge: this single failure disconnects {} from {} — \
+                     one failure of the budget k={k} partitions the network here",
+                    topo.router(lk.from).name,
+                    topo.router(lk.to).name
+                ),
+            ));
+        }
+    }
+
+    // YU021: the failure budget suffices to partition the topology,
+    // so "arbitrary k failures" degenerates to "the network can be
+    // split" and lower-bound requirements are at the cut's mercy.
+    if let Some(cut) = partition_failures(topo, mode, k) {
+        let how = if cut.count() == 0 {
+            "the topology is already disconnected with zero failures".to_string()
+        } else {
+            format!(
+                "failing {} (within budget k={k}) splits it into mutually \
+                 unreachable alive routers",
+                cut.describe(topo)
+            )
+        };
+        out.push(Diagnostic::warning(
+            "YU021",
+            "topology",
+            format!("the network can be partitioned within the failure budget: {how}"),
+        ));
+    }
+
+    // YU026: flows entering a router exceed its total egress capacity
+    // (excluding traffic it can deliver locally): overload at that
+    // router is possible in every scenario that keeps it reachable.
+    let mut ingress_volume: HashMap<RouterId, Ratio> = HashMap::new();
+    for f in flows {
+        if f.volume.is_negative() || (f.ingress.0 as usize) >= topo.num_routers() {
+            continue;
+        }
+        let local = net
+            .config(f.ingress)
+            .connected
+            .iter()
+            .any(|p| p.contains(f.dst));
+        if !local {
+            *ingress_volume.entry(f.ingress).or_insert(Ratio::ZERO) += &f.volume;
+        }
+    }
+    for r in topo.routers() {
+        let Some(vol) = ingress_volume.get(&r) else {
+            continue;
+        };
+        let mut egress = Ratio::ZERO;
+        for &l in topo.out_links(r) {
+            egress += &topo.link(l).capacity;
+        }
+        if vol > &egress {
+            out.push(Diagnostic::warning(
+                "YU026",
+                format!("router {}", topo.router(r).name),
+                format!(
+                    "capacity-infeasible ingress volume: {vol} Gbps of non-local \
+                     traffic enters but total egress capacity is only {egress} Gbps"
+                ),
+            ));
+        }
+    }
+
+    // Classification-driven rules (YU022–YU025, YU029–YU031).
+    let cfg = PreflightConfig {
+        k,
+        mode,
+        max_hops: yu_net::DEFAULT_MAX_HOPS,
+    };
+    let mut pf = Preflight::new(net, flows, cfg);
+    let has_traffic = flows.iter().any(|f| !f.volume.is_zero());
+    let (mut safe, mut violated, mut symbolic) = (0usize, 0usize, 0usize);
+    for (i, req) in tlp.reqs.iter().enumerate() {
+        let loc = || format!("requirement {i} ({})", req.point.describe(topo));
+        let c = pf.classify_req(i, req);
+        // YU022: dead requirement — no traffic can ever reach the
+        // point, so its load is identically zero.
+        if has_traffic && pf.upper_bound(req.point).is_some_and(|b| b.is_zero()) {
+            out.push(Diagnostic::warning(
+                "YU022",
+                loc(),
+                "dead requirement: no flow's ingress reaches this point, so \
+                 its load is identically 0 in every scenario",
+            ));
+        }
+        match c.class {
+            ReqClass::ProvenSafe => {
+                safe += 1;
+                let cert = c
+                    .certificate
+                    .as_ref()
+                    .expect("safe verdicts carry certificates");
+                out.push(Diagnostic::note(
+                    "YU023",
+                    loc(),
+                    format!("statically discharged: {}", cert.describe()),
+                ));
+            }
+            ReqClass::ProvenViolated => {
+                violated += 1;
+                match c
+                    .certificate
+                    .as_ref()
+                    .expect("violated verdicts carry certificates")
+                {
+                    Certificate::ContradictoryBounds => out.push(Diagnostic::error(
+                        "YU029",
+                        loc(),
+                        "contradictory bounds: min exceeds max, so no load can \
+                         ever satisfy this requirement",
+                    )),
+                    Certificate::InfeasibleMin { bound } => out.push(Diagnostic::warning(
+                        "YU024",
+                        loc(),
+                        format!(
+                            "violated even with zero failures: the minimum exceeds \
+                             the sound load bound {bound}"
+                        ),
+                    )),
+                    Certificate::DisconnectingCut { cut } => {
+                        let router_degeneracy = matches!(
+                            req.point,
+                            LoadPoint::Delivered(r) | LoadPoint::Dropped(r)
+                                if *cut == Scenario::routers([r])
+                        );
+                        if router_degeneracy {
+                            out.push(Diagnostic::warning(
+                                "YU031",
+                                loc(),
+                                "router-failure degeneracy: failing the measured \
+                                 router itself zeroes this load below its minimum \
+                                 (router mode makes every such bound refutable)",
+                            ));
+                        } else {
+                            out.push(Diagnostic::warning(
+                                "YU025",
+                                loc(),
+                                format!(
+                                    "a within-budget cut refutes the minimum: failing \
+                                     {} disconnects every traffic source from this point",
+                                    cut.describe(topo)
+                                ),
+                            ));
+                        }
+                    }
+                    other => out.push(Diagnostic::warning(
+                        "YU024",
+                        loc(),
+                        format!("proven violated: {}", other.describe()),
+                    )),
+                }
+            }
+            ReqClass::NeedsSymbolic => symbolic += 1,
+        }
+    }
+
+    // YU030: the same measurement point constrained twice.
+    let mut seen: HashMap<LoadPoint, usize> = HashMap::new();
+    for (i, req) in tlp.reqs.iter().enumerate() {
+        if let Some(&first) = seen.get(&req.point) {
+            out.push(Diagnostic::warning(
+                "YU030",
+                format!("requirement {i} ({})", req.point.describe(topo)),
+                format!(
+                    "duplicate measurement point: requirement {first} already \
+                     constrains it (merge the bounds into one requirement)"
+                ),
+            ));
+        } else {
+            seen.insert(req.point, i);
+        }
+    }
+
+    // YU032: the preflight summary.
+    if !tlp.reqs.is_empty() {
+        out.push(Diagnostic::note(
+            "YU032",
+            "preflight",
+            format!(
+                "{} of {} requirements discharged statically ({safe} proven safe, \
+                 {violated} proven violated); {symbolic} need the symbolic engine",
+                safe + violated,
+                tlp.reqs.len(),
+            ),
+        ));
+    }
+    out
+}

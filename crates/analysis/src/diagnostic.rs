@@ -11,6 +11,11 @@ pub enum Severity {
     Error,
     /// Suspicious but not fatal; verification can proceed.
     Warning,
+    /// Informational: nothing is wrong, but the analyzer learned
+    /// something worth surfacing (e.g. a requirement was discharged
+    /// statically). Never affects exit codes, even under
+    /// `--deny-warnings`.
+    Note,
 }
 
 impl fmt::Display for Severity {
@@ -18,6 +23,7 @@ impl fmt::Display for Severity {
         match self {
             Severity::Error => f.write_str("error"),
             Severity::Warning => f.write_str("warning"),
+            Severity::Note => f.write_str("note"),
         }
     }
 }
@@ -67,9 +73,28 @@ impl Diagnostic {
         }
     }
 
+    /// Creates a note diagnostic.
+    pub fn note(
+        code: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Note,
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+
     /// True when this diagnostic is an error.
     pub fn is_error(&self) -> bool {
         self.severity == Severity::Error
+    }
+
+    /// True when this diagnostic is a warning.
+    pub fn is_warning(&self) -> bool {
+        self.severity == Severity::Warning
     }
 }
 

@@ -6,5 +6,16 @@
 mod diagnostic;
 mod lint;
 
+pub mod bounds;
+pub mod semantic;
+
+pub use bounds::{
+    check_certificate, classify, lint_deep, Certificate, Preflight, PreflightConfig, ReqClass,
+    ReqClassification,
+};
 pub use diagnostic::{Diagnostic, Severity};
 pub use lint::{lint_network, lint_spec};
+pub use semantic::{
+    bridges, isolated_routers, min_cut, min_disconnecting_failures, partition_failures,
+    reachable_from, reachable_under, CutTarget,
+};

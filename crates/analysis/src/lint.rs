@@ -185,7 +185,7 @@ pub fn lint_network(net: &Network) -> Vec<Diagnostic> {
 
     // YU012: anycast loopbacks are legal (Fig. 9) but worth surfacing —
     // they change IGP resolution semantics.
-    let mut by_loopback: std::collections::BTreeMap<_, Vec<_>> = Default::default();
+    let mut by_loopback: std::collections::BTreeMap<_, Vec<_>> = std::collections::BTreeMap::new();
     for r in topo.routers() {
         by_loopback
             .entry(topo.router(r).loopback)
@@ -208,7 +208,7 @@ pub fn lint_network(net: &Network) -> Vec<Diagnostic> {
 
     // YU013: the same prefix attached to several routers (anycast
     // delivery or a likely copy-paste mistake).
-    let mut by_prefix: std::collections::BTreeMap<_, Vec<_>> = Default::default();
+    let mut by_prefix: std::collections::BTreeMap<_, Vec<_>> = std::collections::BTreeMap::new();
     for r in topo.routers() {
         for p in &net.config(r).connected {
             by_prefix.entry(*p).or_default().push(r);

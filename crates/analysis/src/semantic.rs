@@ -1,0 +1,562 @@
+//! Graph-theoretic semantic analysis over `yu-net` topologies.
+//!
+//! The symbolic engine answers "what is the exact load at this point
+//! under every ≤ k-failure scenario"; many requirements do not need
+//! that much machinery. This module provides the purely combinatorial
+//! primitives the preflight classifier (see [`crate::bounds`]) is
+//! built on:
+//!
+//! * multi-source reachability under a concrete failure scenario,
+//! * a unit-capacity max-flow/min-cut engine that computes, per
+//!   measurement point, the minimum number of link/router failures
+//!   that disconnects every traffic source from it — and returns the
+//!   concrete cut as a [`Scenario`] so the claim is independently
+//!   checkable,
+//! * bridge and partition detection for the deep lint rules
+//!   (`YU021`, `YU027`, `YU028`).
+//!
+//! Soundness notes. All reachability here is over the *full* directed
+//! topology: failures only ever remove edges, so full-topology
+//! reachability over-approximates where traffic can be in any
+//! scenario. Cuts go the other direction — a returned cut is a
+//! *witness*, verified by re-running BFS with the cut applied, so a
+//! suboptimal cut can only make the analysis less aggressive, never
+//! wrong.
+
+use std::collections::BTreeSet;
+use yu_net::{FailureMode, LinkId, RouterId, Scenario, Topology, ULinkId};
+
+/// Capacity standing in for "this element can never fail" in the flow
+/// network. Any max-flow at or above this value means no finite cut
+/// exists.
+const INF: i64 = 1 << 40;
+
+/// Whether undirected links are failable under `mode`.
+pub fn links_failable(mode: FailureMode) -> bool {
+    matches!(mode, FailureMode::Links | FailureMode::LinksAndRouters)
+}
+
+/// Whether routers are failable under `mode`.
+pub fn routers_failable(mode: FailureMode) -> bool {
+    matches!(mode, FailureMode::Routers | FailureMode::LinksAndRouters)
+}
+
+/// Routers reachable from any of `sources` when `scenario`'s elements
+/// have failed. A failed source router is not seeded (traffic whose
+/// ingress is down never enters the network), and no failed link or
+/// link with a failed endpoint is traversed — exactly the usability
+/// guards of the symbolic execution.
+pub fn reachable_under(topo: &Topology, sources: &[RouterId], scenario: &Scenario) -> Vec<bool> {
+    let mut seen = vec![false; topo.num_routers()];
+    let mut queue: Vec<RouterId> = Vec::new();
+    for &s in sources {
+        let ix = s.0 as usize;
+        if ix < seen.len() && scenario.router_alive(s) && !seen[ix] {
+            seen[ix] = true;
+            queue.push(s);
+        }
+    }
+    while let Some(r) = queue.pop() {
+        for &l in topo.out_links(r) {
+            if !scenario.link_usable(topo, l) {
+                continue;
+            }
+            let to = topo.link(l).to;
+            if !seen[to.0 as usize] {
+                seen[to.0 as usize] = true;
+                queue.push(to);
+            }
+        }
+    }
+    seen
+}
+
+/// Routers reachable from any of `sources` in the intact topology.
+pub fn reachable_from(topo: &Topology, sources: &[RouterId]) -> Vec<bool> {
+    reachable_under(topo, sources, &Scenario::none())
+}
+
+/// What a disconnecting cut must separate the sources from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutTarget {
+    /// Traffic arriving at (or originating at) a router — the
+    /// `Delivered`/`Dropped` load points.
+    Router(RouterId),
+    /// Traffic traversing a directed link — the `Link` load points.
+    Link(LinkId),
+}
+
+/// A minimum-size set of failures after which no traffic from
+/// `sources` can appear at `target`, or `None` when no finite failure
+/// set achieves that (e.g. the target router is itself a source and
+/// routers cannot fail).
+///
+/// The empty scenario is returned when the target is already
+/// unreachable with zero failures. The result is guaranteed to
+/// disconnect (it is re-checkable with [`reachable_under`]); its size
+/// is minimal for router targets and at most 1 for reachable link
+/// targets (failing the link itself, or an endpoint in router mode,
+/// always suffices).
+pub fn min_disconnecting_failures(
+    topo: &Topology,
+    mode: FailureMode,
+    sources: &[RouterId],
+    target: CutTarget,
+) -> Option<Scenario> {
+    match target {
+        CutTarget::Link(l) => {
+            let lk = topo.link(l);
+            let reach = reachable_from(topo, sources);
+            if !reach[lk.from.0 as usize] {
+                return Some(Scenario::none());
+            }
+            // Traffic can reach the tail, so the cheapest cut is to
+            // kill the link directly: its own undirected link when
+            // links fail, else an endpoint router.
+            if links_failable(mode) {
+                Some(Scenario::links([lk.ulink]))
+            } else {
+                Some(Scenario::routers([lk.to]))
+            }
+        }
+        CutTarget::Router(t) => {
+            if (t.0 as usize) >= topo.num_routers() {
+                return Some(Scenario::none());
+            }
+            if sources.contains(&t) {
+                // Self-sourced traffic is at the target without
+                // crossing any link; only failing the router stops it.
+                return if routers_failable(mode) {
+                    Some(Scenario::routers([t]))
+                } else {
+                    None
+                };
+            }
+            min_cut(topo, mode, sources, t, &BTreeSet::new())
+        }
+    }
+}
+
+/// Minimum-size failure set separating `sources` from `sink` (arrival
+/// at the sink, including the option of failing the sink itself when
+/// routers are failable and the sink is not in `protect`). `protect`
+/// lists routers that must stay alive (used by partition detection,
+/// where both endpoints of the partition must survive).
+pub fn min_cut(
+    topo: &Topology,
+    mode: FailureMode,
+    sources: &[RouterId],
+    sink: RouterId,
+    protect: &BTreeSet<RouterId>,
+) -> Option<Scenario> {
+    // Node split: router r becomes r_in = 2r and r_out = 2r+1 with an
+    // internal arc carrying the router's own failure; a super source
+    // feeds every traffic source. Undirected links contribute two
+    // antiparallel arcs sharing one failure element (standard for
+    // undirected connectivity: a min cut never pays for both
+    // directions, because a crossing arc's antiparallel twin crosses
+    // the other way).
+    let n = topo.num_routers();
+    let super_src = 2 * n;
+    let mut net = FlowNet::new(2 * n + 1);
+    for r in topo.routers() {
+        let failable = routers_failable(mode) && !protect.contains(&r);
+        let cap = if failable { 1 } else { INF };
+        let elem = failable.then_some(CutElem::Router(r));
+        net.add_arc(2 * r.0 as usize, 2 * r.0 as usize + 1, cap, elem);
+    }
+    for u in topo.ulinks() {
+        let (fwd, _) = topo.directions(u);
+        let lk = topo.link(fwd);
+        let cap = if links_failable(mode) { 1 } else { INF };
+        let elem = links_failable(mode).then_some(CutElem::Link(u));
+        let (a, b) = (lk.from.0 as usize, lk.to.0 as usize);
+        net.add_arc(2 * a + 1, 2 * b, cap, elem);
+        net.add_arc(2 * b + 1, 2 * a, cap, elem);
+    }
+    let mut seeded = BTreeSet::new();
+    for &s in sources {
+        if (s.0 as usize) < n && seeded.insert(s) {
+            net.add_arc(super_src, 2 * s.0 as usize, INF, None);
+        }
+    }
+    let flow = net.max_flow(super_src, 2 * sink.0 as usize + 1);
+    if flow >= INF {
+        return None;
+    }
+    Some(net.extract_cut(super_src))
+}
+
+/// A ≤ `k`-failure scenario after which two *alive* routers can no
+/// longer reach each other, if the analysis finds one — evidence that
+/// the failure budget suffices to partition the network (`YU021`).
+///
+/// Exact for pure link failures (fixed-source max-flow sweeps realize
+/// the edge connectivity); for router modes the sweep over two source
+/// candidates is a sound heuristic — any scenario returned is
+/// re-verified to partition, but a cleverer partition within budget
+/// may exist undetected.
+///
+/// # Panics
+///
+/// Panics only if an internal invariant breaks (a computed cut that
+/// fails its own re-verification BFS).
+pub fn partition_failures(topo: &Topology, mode: FailureMode, k: u32) -> Option<Scenario> {
+    let n = topo.num_routers();
+    if n < 2 {
+        return None;
+    }
+    let r0 = RouterId(0);
+    let full = reachable_from(topo, &[r0]);
+    if full.iter().any(|&x| !x) {
+        return Some(Scenario::none());
+    }
+    if k == 0 {
+        return None;
+    }
+    let min_deg = topo
+        .routers()
+        .min_by_key(|&r| topo.out_links(r).len())
+        .expect("n >= 2");
+    let mut candidates = vec![r0];
+    if min_deg != r0 {
+        candidates.push(min_deg);
+    }
+    let mut best: Option<Scenario> = None;
+    'outer: for s in candidates {
+        for t in topo.routers() {
+            if t == s {
+                continue;
+            }
+            let protect: BTreeSet<RouterId> = [s, t].into_iter().collect();
+            if let Some(cut) = min_cut(topo, mode, &[s], t, &protect) {
+                if cut.count() <= k as usize
+                    && best.as_ref().is_none_or(|b| cut.count() < b.count())
+                    && !reachable_under(topo, &[s], &cut)[t.0 as usize]
+                {
+                    let found_single = cut.count() <= 1;
+                    best = Some(cut);
+                    if found_single {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Undirected links whose sole failure disconnects their endpoints
+/// (bridges — single-link SRLGs, the `YU027` rule). Parallel links are
+/// never bridges: the twin keeps the endpoints connected.
+pub fn bridges(topo: &Topology) -> Vec<ULinkId> {
+    topo.ulinks()
+        .filter(|&u| {
+            let (fwd, _) = topo.directions(u);
+            let lk = topo.link(fwd);
+            let cut = Scenario::links([u]);
+            !reachable_under(topo, &[lk.from], &cut)[lk.to.0 as usize]
+        })
+        .collect()
+}
+
+/// Routers with no links at all (`YU028`): no traffic can enter or
+/// leave them, so flows ingressing there go nowhere and measurement
+/// points there are dead.
+pub fn isolated_routers(topo: &Topology) -> Vec<RouterId> {
+    topo.routers()
+        .filter(|&r| topo.out_links(r).is_empty() && topo.in_links(r).is_empty())
+        .collect()
+}
+
+/// The failure element a flow-network arc stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CutElem {
+    Link(ULinkId),
+    Router(RouterId),
+}
+
+/// A tiny Dinic max-flow solver over an arc-list representation.
+/// Capacities are 1 for failable elements and [`INF`] for everything
+/// that must not enter a cut.
+struct FlowNet {
+    adj: Vec<Vec<usize>>,
+    to: Vec<usize>,
+    cap: Vec<i64>,
+    elem: Vec<Option<CutElem>>,
+}
+
+impl FlowNet {
+    fn new(n: usize) -> FlowNet {
+        FlowNet {
+            adj: vec![Vec::new(); n],
+            to: Vec::new(),
+            cap: Vec::new(),
+            elem: Vec::new(),
+        }
+    }
+
+    fn add_arc(&mut self, u: usize, v: usize, cap: i64, elem: Option<CutElem>) {
+        let ix = self.to.len();
+        self.to.push(v);
+        self.cap.push(cap);
+        self.elem.push(elem);
+        self.to.push(u);
+        self.cap.push(0);
+        self.elem.push(None);
+        self.adj[u].push(ix);
+        self.adj[v].push(ix + 1);
+    }
+
+    fn bfs_levels(&self, s: usize, t: usize) -> Option<Vec<u32>> {
+        let mut level = vec![u32::MAX; self.adj.len()];
+        level[s] = 0;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for &a in &self.adj[u] {
+                let v = self.to[a];
+                if self.cap[a] > 0 && level[v] == u32::MAX {
+                    level[v] = level[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        (level[t] != u32::MAX).then_some(level)
+    }
+
+    fn dfs_push(
+        &mut self,
+        u: usize,
+        t: usize,
+        pushed: i64,
+        level: &[u32],
+        it: &mut [usize],
+    ) -> i64 {
+        if u == t {
+            return pushed;
+        }
+        while it[u] < self.adj[u].len() {
+            let a = self.adj[u][it[u]];
+            let v = self.to[a];
+            if self.cap[a] > 0 && level[v] == level[u] + 1 {
+                let got = self.dfs_push(v, t, pushed.min(self.cap[a]), level, it);
+                if got > 0 {
+                    self.cap[a] -= got;
+                    self.cap[a ^ 1] += got;
+                    return got;
+                }
+            }
+            it[u] += 1;
+        }
+        0
+    }
+
+    /// Max flow from `s` to `t`, capped for practical purposes at
+    /// [`INF`] (any flow that large means "no finite cut").
+    fn max_flow(&mut self, s: usize, t: usize) -> i64 {
+        let mut flow = 0i64;
+        while flow < INF {
+            let Some(level) = self.bfs_levels(s, t) else {
+                break;
+            };
+            let mut it = vec![0usize; self.adj.len()];
+            loop {
+                let pushed = self.dfs_push(s, t, INF - flow, &level, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+        flow
+    }
+
+    /// After `max_flow`: the failure elements of saturated arcs
+    /// crossing the residual-reachability boundary — a minimum cut.
+    fn extract_cut(&self, s: usize) -> Scenario {
+        let mut seen = vec![false; self.adj.len()];
+        seen[s] = true;
+        let mut queue = vec![s];
+        while let Some(u) = queue.pop() {
+            for &a in &self.adj[u] {
+                let v = self.to[a];
+                if self.cap[a] > 0 && !seen[v] {
+                    seen[v] = true;
+                    queue.push(v);
+                }
+            }
+        }
+        let mut cut = Scenario::none();
+        for u in 0..self.adj.len() {
+            if !seen[u] {
+                continue;
+            }
+            for &a in &self.adj[u] {
+                if seen[self.to[a]] || self.cap[a] > 0 {
+                    continue;
+                }
+                match self.elem[a] {
+                    Some(CutElem::Link(l)) => {
+                        cut.failed_links.insert(l);
+                    }
+                    Some(CutElem::Router(r)) => {
+                        cut.failed_routers.insert(r);
+                    }
+                    None => {}
+                }
+            }
+        }
+        cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yu_mtbdd::Ratio;
+    use yu_net::Ipv4;
+
+    fn cap() -> Ratio {
+        Ratio::int(100)
+    }
+
+    /// A - B - C chain plus a parallel A-C detour: A=0, B=1, C=2.
+    fn diamondish() -> Topology {
+        let mut t = Topology::new();
+        let a = t.add_router("A", Ipv4::new(10, 0, 0, 1), 1);
+        let b = t.add_router("B", Ipv4::new(10, 0, 0, 2), 1);
+        let c = t.add_router("C", Ipv4::new(10, 0, 0, 3), 1);
+        t.add_link(a, b, 1, cap());
+        t.add_link(b, c, 1, cap());
+        t.add_link(a, c, 1, cap());
+        t
+    }
+
+    #[test]
+    fn triangle_link_cut_is_two() {
+        let t = diamondish();
+        let cut = min_disconnecting_failures(
+            &t,
+            FailureMode::Links,
+            &[RouterId(0)],
+            CutTarget::Router(RouterId(2)),
+        )
+        .unwrap();
+        assert_eq!(cut.count(), 2);
+        assert!(!reachable_under(&t, &[RouterId(0)], &cut)[2]);
+    }
+
+    #[test]
+    fn router_mode_cuts_the_sink() {
+        let t = diamondish();
+        let cut = min_disconnecting_failures(
+            &t,
+            FailureMode::Routers,
+            &[RouterId(0)],
+            CutTarget::Router(RouterId(2)),
+        )
+        .unwrap();
+        // A single router failure suffices (the sink itself, or the
+        // lone source — either zeroes traffic at the sink).
+        assert_eq!(cut.count(), 1);
+        assert!(cut.failed_links.is_empty());
+        assert!(!reachable_under(&t, &[RouterId(0)], &cut)[2]);
+    }
+
+    #[test]
+    fn self_sourced_traffic_needs_router_failures() {
+        let t = diamondish();
+        assert_eq!(
+            min_disconnecting_failures(
+                &t,
+                FailureMode::Links,
+                &[RouterId(2)],
+                CutTarget::Router(RouterId(2)),
+            ),
+            None
+        );
+        assert_eq!(
+            min_disconnecting_failures(
+                &t,
+                FailureMode::LinksAndRouters,
+                &[RouterId(2)],
+                CutTarget::Router(RouterId(2)),
+            ),
+            Some(Scenario::routers([RouterId(2)]))
+        );
+    }
+
+    #[test]
+    fn link_targets_fall_to_single_failures() {
+        let t = diamondish();
+        // Directed link B->C is LinkId(2) (u1's forward half).
+        let l = LinkId(2);
+        assert_eq!(t.link(l).from, RouterId(1));
+        let cut =
+            min_disconnecting_failures(&t, FailureMode::Links, &[RouterId(0)], CutTarget::Link(l))
+                .unwrap();
+        assert_eq!(cut, Scenario::links([ULinkId(1)]));
+        assert!(!cut.link_usable(&t, l));
+    }
+
+    #[test]
+    fn unreachable_targets_need_no_failures() {
+        let mut t = diamondish();
+        let d = t.add_router("D", Ipv4::new(10, 0, 0, 4), 1);
+        // D is isolated: nothing reaches it.
+        let cut = min_disconnecting_failures(
+            &t,
+            FailureMode::Links,
+            &[RouterId(0)],
+            CutTarget::Router(d),
+        )
+        .unwrap();
+        assert_eq!(cut, Scenario::none());
+    }
+
+    #[test]
+    fn parallel_links_are_not_bridges() {
+        let mut t = Topology::new();
+        let a = t.add_router("A", Ipv4::new(10, 0, 0, 1), 1);
+        let b = t.add_router("B", Ipv4::new(10, 0, 0, 2), 1);
+        let c = t.add_router("C", Ipv4::new(10, 0, 0, 3), 1);
+        t.add_link(a, b, 1, cap());
+        t.add_link(a, b, 1, cap());
+        let bridge = t.add_link(b, c, 1, cap());
+        assert_eq!(bridges(&t), vec![bridge]);
+    }
+
+    #[test]
+    fn partition_respects_budget() {
+        let t = diamondish();
+        // The triangle needs 2 link failures to partition.
+        assert_eq!(partition_failures(&t, FailureMode::Links, 1), None);
+        let cut = partition_failures(&t, FailureMode::Links, 2).unwrap();
+        assert_eq!(cut.count(), 2);
+        // Router mode: failing B alone does NOT partition (A-C link
+        // remains); no single router partitions a triangle.
+        assert_eq!(partition_failures(&t, FailureMode::Routers, 1), None);
+    }
+
+    #[test]
+    fn partition_finds_articulation_router() {
+        // A - B - C chain: failing B partitions A from C.
+        let mut t = Topology::new();
+        let a = t.add_router("A", Ipv4::new(10, 0, 0, 1), 1);
+        let b = t.add_router("B", Ipv4::new(10, 0, 0, 2), 1);
+        let c = t.add_router("C", Ipv4::new(10, 0, 0, 3), 1);
+        t.add_link(a, b, 1, cap());
+        t.add_link(b, c, 1, cap());
+        let cut = partition_failures(&t, FailureMode::Routers, 1).unwrap();
+        assert_eq!(cut, Scenario::routers([b]));
+        // And a disconnected graph partitions with zero failures.
+        let mut t2 = Topology::new();
+        t2.add_router("X", Ipv4::new(10, 0, 0, 1), 1);
+        t2.add_router("Y", Ipv4::new(10, 0, 0, 2), 1);
+        assert_eq!(
+            partition_failures(&t2, FailureMode::Links, 0),
+            Some(Scenario::none())
+        );
+        assert_eq!(isolated_routers(&t2).len(), 2);
+    }
+}

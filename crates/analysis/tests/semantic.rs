@@ -1,0 +1,329 @@
+//! The min-cut engine against brute force, and the classifier's
+//! certificates against their own independent checker.
+
+use proptest::prelude::*;
+use yu_analysis::{
+    check_certificate, classify, lint_deep, min_disconnecting_failures, reachable_under,
+    Certificate, CutTarget, PreflightConfig, ReqClass,
+};
+use yu_mtbdd::Ratio;
+use yu_net::{
+    scenarios_up_to_k, FailureMode, Flow, Ipv4, LoadPoint, Network, RouterId, Scenario, Tlp,
+    TlpReq, Topology,
+};
+
+fn cfg(k: u32, mode: FailureMode) -> PreflightConfig {
+    PreflightConfig {
+        k,
+        mode,
+        max_hops: yu_net::DEFAULT_MAX_HOPS,
+    }
+}
+
+/// Builds a topology with `n` routers and the undirected edges listed
+/// as `(a, b)` pairs.
+fn topo(n: u32, edges: &[(u32, u32)]) -> Topology {
+    let mut t = Topology::new();
+    for i in 0..n {
+        t.add_router(
+            format!("r{i}"),
+            Ipv4::new(10, 0, (i / 250) as u8, (i % 250) as u8 + 1),
+            1,
+        );
+    }
+    for &(a, b) in edges {
+        if a != b {
+            t.add_link(RouterId(a), RouterId(b), 1, Ratio::int(100));
+        }
+    }
+    t
+}
+
+/// Brute-force minimum disconnection: the smallest ≤ `k_max` failure
+/// set after which no source reaches the target router.
+fn brute_force_cut(
+    t: &Topology,
+    mode: FailureMode,
+    sources: &[RouterId],
+    target: RouterId,
+    k_max: usize,
+) -> Option<usize> {
+    scenarios_up_to_k(t, mode, k_max)
+        .filter(|s| !reachable_under(t, sources, s)[target.0 as usize])
+        .map(|s| s.count())
+        .min()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On random ≤ 6-router graphs in every failure mode, the engine's
+    /// cut (a) really disconnects, (b) is no larger than the brute-force
+    /// optimum for router targets, and (c) exists whenever brute force
+    /// finds any disconnection.
+    #[test]
+    fn min_cut_matches_brute_force(
+        n in 2u32..6,
+        raw_edges in proptest::collection::vec((0u32..6, 0u32..6), 1..10),
+        src in 0u32..6,
+        dst in 0u32..6,
+        mode_ix in 0usize..3,
+    ) {
+        let mode = [FailureMode::Links, FailureMode::Routers, FailureMode::LinksAndRouters][mode_ix];
+        let edges: Vec<(u32, u32)> = raw_edges
+            .into_iter()
+            .map(|(a, b)| (a % n, b % n))
+            .filter(|&(a, b)| a != b)
+            .collect();
+        let t = topo(n, &edges);
+        let src = RouterId(src % n);
+        let dst = RouterId(dst % n);
+        let k_max = t.num_ulinks() + t.num_routers();
+        let engine = min_disconnecting_failures(&t, mode, &[src], CutTarget::Router(dst));
+        let brute = brute_force_cut(&t, mode, &[src], dst, k_max);
+        match (engine, brute) {
+            (Some(cut), Some(best)) => {
+                prop_assert!(!reachable_under(&t, &[src], &cut)[dst.0 as usize],
+                    "cut {cut:?} does not disconnect");
+                prop_assert_eq!(cut.count(), best, "cut {:?} is not minimal", &cut);
+            }
+            (None, None) => {}
+            (engine, brute) => {
+                return Err(TestCaseError::fail(format!(
+                    "engine {engine:?} vs brute force {brute:?} disagree on existence"
+                )));
+            }
+        }
+    }
+
+    /// Every certificate the classifier emits passes its own
+    /// independent checker, on random graphs, flows, and bounds.
+    #[test]
+    fn certificates_always_check(
+        n in 2u32..6,
+        raw_edges in proptest::collection::vec((0u32..6, 0u32..6), 1..10),
+        flows_raw in proptest::collection::vec((0u32..6, 1i64..50), 1..4),
+        // Bound selectors >= 200 mean "no bound on this side".
+        points_raw in proptest::collection::vec((0usize..3, 0u32..6, 0i64..250, 0i64..250), 1..6),
+        k in 0u32..3,
+        mode_ix in 0usize..3,
+    ) {
+        let mode = [FailureMode::Links, FailureMode::Routers, FailureMode::LinksAndRouters][mode_ix];
+        let edges: Vec<(u32, u32)> = raw_edges
+            .into_iter()
+            .map(|(a, b)| (a % n, b % n))
+            .filter(|&(a, b)| a != b)
+            .collect();
+        let t = topo(n, &edges);
+        let num_links = t.num_links() as u32;
+        let net = Network::new(t);
+        let flows: Vec<Flow> = flows_raw
+            .iter()
+            .map(|&(ing, vol)| Flow::new(
+                RouterId(ing % n),
+                Ipv4::new(11, 0, 0, 1),
+                Ipv4::new(100, 0, 0, 1),
+                0,
+                Ratio::int(vol),
+            ))
+            .collect();
+        let mut tlp = Tlp::new();
+        for &(kind, id, min, max) in &points_raw {
+            let point = match kind {
+                0 if num_links > 0 => LoadPoint::Link(yu_net::LinkId(id % num_links)),
+                1 => LoadPoint::Delivered(RouterId(id % n)),
+                _ => LoadPoint::Dropped(RouterId(id % n)),
+            };
+            tlp = tlp.with(TlpReq {
+                point,
+                min: (min < 200).then(|| Ratio::int(min)),
+                max: (max < 200).then(|| Ratio::int(max)),
+            });
+        }
+        let cfg = cfg(k, mode);
+        for c in classify(&net, &flows, &tlp, cfg) {
+            let req = &tlp.reqs[c.req_ix];
+            check_certificate(&net, &flows, req, cfg, &c)
+                .map_err(|e| TestCaseError::fail(format!("{c:?}: {e}")))?;
+        }
+    }
+}
+
+#[test]
+fn fig1_classification_discharges_monitoring_bounds() {
+    let ex = yu_gen::motivating_example();
+    let f = ex.routers[5];
+    let total = Ratio::int(100);
+    let tlp = Tlp::new()
+        .with(TlpReq::at_least(LoadPoint::Delivered(f), Ratio::int(70)))
+        .with(TlpReq::at_most(LoadPoint::Delivered(f), total.clone()))
+        .with(TlpReq::at_most(
+            LoadPoint::Dropped(ex.routers[0]),
+            total.clone(),
+        ));
+    let cfg = cfg(1, FailureMode::Links);
+    let classes = classify(&ex.net, &ex.flows, &tlp, cfg);
+    // The P1 lower bound needs the symbolic engine; the monitoring
+    // caps at the total volume are discharged by mass conservation.
+    assert_eq!(classes[0].class, ReqClass::NeedsSymbolic);
+    assert_eq!(classes[1].class, ReqClass::ProvenSafe);
+    assert_eq!(
+        classes[1].certificate,
+        Some(Certificate::UpperBound { bound: total })
+    );
+    assert_eq!(classes[2].class, ReqClass::ProvenSafe);
+    for c in &classes {
+        check_certificate(&ex.net, &ex.flows, &tlp.reqs[c.req_ix], cfg, c).unwrap();
+    }
+}
+
+#[test]
+fn infeasible_minimum_is_proven_violated() {
+    let ex = yu_gen::motivating_example();
+    let f = ex.routers[5];
+    // Total volume is 100; demanding 200 delivered is hopeless with
+    // zero failures already.
+    let tlp = Tlp::new().with(TlpReq::at_least(LoadPoint::Delivered(f), Ratio::int(200)));
+    let cfg = cfg(1, FailureMode::Links);
+    let classes = classify(&ex.net, &ex.flows, &tlp, cfg);
+    assert_eq!(classes[0].class, ReqClass::ProvenViolated);
+    assert!(matches!(
+        classes[0].certificate,
+        Some(Certificate::InfeasibleMin { .. })
+    ));
+    check_certificate(&ex.net, &ex.flows, &tlp.reqs[0], cfg, &classes[0]).unwrap();
+}
+
+#[test]
+fn router_mode_refutes_positive_minima_by_cut() {
+    let ex = yu_gen::motivating_example();
+    let f = ex.routers[5];
+    let tlp = Tlp::new().with(TlpReq::at_least(LoadPoint::Delivered(f), Ratio::int(70)));
+    let cfg = cfg(1, FailureMode::Routers);
+    let classes = classify(&ex.net, &ex.flows, &tlp, cfg);
+    assert_eq!(classes[0].class, ReqClass::ProvenViolated);
+    let Some(Certificate::DisconnectingCut { cut }) = &classes[0].certificate else {
+        panic!(
+            "expected a disconnecting cut, got {:?}",
+            classes[0].certificate
+        );
+    };
+    assert_eq!(cut.count(), 1);
+    check_certificate(&ex.net, &ex.flows, &tlp.reqs[0], cfg, &classes[0]).unwrap();
+}
+
+#[test]
+fn deep_lint_surfaces_semantic_rules() {
+    let ex = yu_gen::motivating_example();
+    let f = ex.routers[5];
+    let total = Ratio::int(100);
+    let tlp = Tlp::new()
+        // Dead requirement: nothing is ever dropped... at a router no
+        // flow reaches? All routers are reachable in Fig. 1, so use a
+        // contradictory-bounds req and a duplicate point instead.
+        .with(TlpReq {
+            point: LoadPoint::Delivered(f),
+            min: Some(Ratio::int(50)),
+            max: Some(Ratio::int(40)),
+        })
+        .with(TlpReq::at_most(LoadPoint::Delivered(f), total.clone()))
+        .with(TlpReq::at_most(LoadPoint::Delivered(f), total));
+    let diags = lint_deep(&ex.net, &ex.flows, &tlp, 1, FailureMode::Links);
+    let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+    assert!(codes.contains(&"YU029"), "contradictory bounds: {codes:?}");
+    assert!(codes.contains(&"YU030"), "duplicate point: {codes:?}");
+    assert!(codes.contains(&"YU023"), "discharge note: {codes:?}");
+    assert!(codes.contains(&"YU032"), "summary note: {codes:?}");
+    // Fig. 1 is 2-edge-connected and k=1, so no partition warning.
+    assert!(!codes.contains(&"YU021"), "{codes:?}");
+}
+
+#[test]
+fn deep_lint_flags_bridges_partitions_and_dead_points() {
+    // A - B - C chain: both links are bridges, k=1 partitions, and an
+    // isolated router D makes a dead measurement point.
+    let mut t = Topology::new();
+    let a = t.add_router("A", Ipv4::new(10, 0, 0, 1), 1);
+    let b = t.add_router("B", Ipv4::new(10, 0, 0, 2), 1);
+    let c = t.add_router("C", Ipv4::new(10, 0, 0, 3), 1);
+    let d = t.add_router("D", Ipv4::new(10, 0, 0, 4), 1);
+    t.add_link(a, b, 1, Ratio::int(100));
+    t.add_link(b, c, 1, Ratio::int(100));
+    let net = Network::new(t);
+    let flows = vec![Flow::new(
+        a,
+        Ipv4::new(11, 0, 0, 1),
+        Ipv4::new(100, 0, 0, 1),
+        0,
+        Ratio::int(10),
+    )];
+    let tlp = Tlp::new().with(TlpReq::at_most(LoadPoint::Dropped(d), Ratio::int(5)));
+    let diags = lint_deep(&net, &flows, &tlp, 1, FailureMode::Links);
+    let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+    assert!(codes.contains(&"YU021"), "partition: {codes:?}");
+    assert!(
+        codes.iter().filter(|&&c| c == "YU027").count() == 2,
+        "bridges: {codes:?}"
+    );
+    assert!(codes.contains(&"YU028"), "isolated router: {codes:?}");
+    assert!(codes.contains(&"YU022"), "dead requirement: {codes:?}");
+}
+
+#[test]
+fn capacity_infeasible_ingress_is_flagged() {
+    // 300 Gbps enters A but its only egress is a 100 Gbps link.
+    let mut t = Topology::new();
+    let a = t.add_router("A", Ipv4::new(10, 0, 0, 1), 1);
+    let b = t.add_router("B", Ipv4::new(10, 0, 0, 2), 1);
+    t.add_link(a, b, 1, Ratio::int(100));
+    let net = Network::new(t);
+    let flows = vec![Flow::new(
+        a,
+        Ipv4::new(11, 0, 0, 1),
+        Ipv4::new(100, 0, 0, 1),
+        0,
+        Ratio::int(300),
+    )];
+    let diags = lint_deep(&net, &flows, &Tlp::new(), 1, FailureMode::Links);
+    assert!(
+        diags.iter().any(|d| d.code == "YU026"),
+        "{:?}",
+        diags.iter().map(|d| d.code).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn certificate_checker_rejects_forged_claims() {
+    let ex = yu_gen::motivating_example();
+    let f = ex.routers[5];
+    let cfg = cfg(1, FailureMode::Links);
+    let req = TlpReq::at_most(LoadPoint::Delivered(f), Ratio::int(100));
+    // Forged: claim a bound below the recomputed sound bound.
+    let forged = yu_analysis::ReqClassification {
+        req_ix: 0,
+        class: ReqClass::ProvenSafe,
+        certificate: Some(Certificate::UpperBound {
+            bound: Ratio::int(10),
+        }),
+    };
+    assert!(check_certificate(&ex.net, &ex.flows, &req, cfg, &forged).is_err());
+    // Forged: an empty "cut" that disconnects nothing.
+    let req2 = TlpReq::at_least(LoadPoint::Delivered(f), Ratio::int(70));
+    let forged2 = yu_analysis::ReqClassification {
+        req_ix: 0,
+        class: ReqClass::ProvenViolated,
+        certificate: Some(Certificate::DisconnectingCut {
+            cut: Scenario::none(),
+        }),
+    };
+    assert!(check_certificate(&ex.net, &ex.flows, &req2, cfg, &forged2).is_err());
+    // Forged: a cut using elements the failure mode forbids.
+    let forged3 = yu_analysis::ReqClassification {
+        req_ix: 0,
+        class: ReqClass::ProvenViolated,
+        certificate: Some(Certificate::DisconnectingCut {
+            cut: Scenario::routers([f]),
+        }),
+    };
+    assert!(check_certificate(&ex.net, &ex.flows, &req2, cfg, &forged3).is_err());
+}

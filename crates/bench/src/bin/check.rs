@@ -29,7 +29,9 @@
 //! total-allocation count (`check_nodes`); wall-clock is gated too but
 //! only fails when the node count confirms the regression, so a CI
 //! runner slower than the machine that recorded the baseline cannot
-//! trip the gate on its own.
+//! trip the gate on its own. Wall-clock comparison is skipped entirely
+//! (node gate kept) when either side ran on a single core — timings
+//! from a time-sliced CPU say nothing about the code.
 
 use serde::Serialize;
 use std::time::Instant;
@@ -315,6 +317,18 @@ fn gate_against_baseline(
 ) -> Vec<String> {
     let mut failures = Vec::new();
     let empty = Vec::new();
+    // Wall-clock numbers from a single-core machine (this run or the
+    // baseline's recorder) are not comparable: every worker count
+    // time-slices one CPU. Honest gate = node counts only.
+    let base_cores = jget(baseline, "cores").and_then(ju64).unwrap_or(1);
+    let wall_clock_comparable = report.cores > 1 && base_cores > 1;
+    if !wall_clock_comparable {
+        eprintln!(
+            "PERF NOTE: wall-clock gate skipped (this run: {} core(s), \
+             baseline: {} core(s)); node-count gate still applies",
+            report.cores, base_cores
+        );
+    }
     let base_instances = jget(baseline, "instances")
         .and_then(|v| v.as_array())
         .unwrap_or(&empty);
@@ -344,6 +358,9 @@ fn gate_against_baseline(
             }
             _ => false,
         };
+        if !wall_clock_comparable {
+            continue;
+        }
         if let Some(base_secs) = jget(base, "points")
             .and_then(|v| v.as_array())
             .and_then(|ps| {

@@ -61,6 +61,15 @@ pub struct YuOptions {
     /// to a sequential check. Defaults to `YU_CHECK_WORKERS` when set,
     /// else 1.
     pub check_workers: usize,
+    /// Run the semantic preflight analyzer before the check stage and
+    /// skip requirements it proves safe (see [`yu_analysis::bounds`]).
+    /// Pruning is sound — only requirements that hold in *every* ≤ k
+    /// scenario are skipped, so verdicts and violations are
+    /// bit-identical to an unpruned run — and each discharge carries a
+    /// machine-checkable certificate (re-validated under `YU_AUDIT` or
+    /// `debug_assertions`). Disable with `--no-static-prune` for the
+    /// differential suite and ablations.
+    pub static_prune: bool,
 }
 
 /// The default worker count: the `YU_WORKERS` environment variable when
@@ -104,6 +113,7 @@ impl Default for YuOptions {
             gc_node_threshold: 4_000_000,
             workers: default_workers(),
             check_workers: default_check_workers(),
+            static_prune: true,
         }
     }
 }
@@ -121,6 +131,9 @@ pub struct RunStats {
     pub flows_in: usize,
     /// Flow groups executed symbolically.
     pub flow_groups: usize,
+    /// Requirements discharged by the static preflight analyzer (never
+    /// reached the symbolic check stage). Zero when pruning is off.
+    pub reqs_pruned: usize,
     /// MTBDD manager statistics after the run (main arena).
     pub mtbdd: MtbddStats,
     /// Cumulative statistics of every worker arena of parallel execution
@@ -471,9 +484,84 @@ impl YuVerifier {
         }
     }
 
-    /// Whether the parallel check stage should run for this TLP.
-    fn check_in_parallel(&self, tlp: &Tlp) -> bool {
-        self.opts.check_workers > 1 && tlp.reqs.len() > 1
+    /// Whether the parallel check stage should run for `n_reqs`
+    /// requirements (after pruning).
+    fn check_in_parallel(&self, n_reqs: usize) -> bool {
+        self.opts.check_workers > 1 && n_reqs > 1
+    }
+
+    /// The semantic preflight pass: classifies every requirement with
+    /// the static analyzer and returns the ones the symbolic engine
+    /// still has to check, plus the number discharged. Only
+    /// `ProvenSafe` requirements are pruned — they hold in every ≤ k
+    /// scenario, so dropping them changes neither the verdict nor the
+    /// violations (proven-violated requirements still run: the report
+    /// needs the engine's exact counterexample). When auditing is on,
+    /// every discharge certificate is re-validated by its independent
+    /// checker before the requirement is skipped.
+    fn preflight_kept(&self, tlp: &Tlp) -> (Vec<yu_net::TlpReq>, usize) {
+        if !self.opts.static_prune || tlp.reqs.is_empty() {
+            return (tlp.reqs.clone(), 0);
+        }
+        let _stage = yu_telemetry::span("preflight");
+        // Classify over the executed flow groups: a group's
+        // representative forwards identically to all members and
+        // carries the summed volume, so bounds over groups equal
+        // bounds over the raw flows.
+        let flows: Vec<Flow> = self
+            .groups
+            .iter()
+            .map(|g| {
+                let mut f = g.rep.clone();
+                f.volume = g.volume.clone();
+                f
+            })
+            .collect();
+        let cfg = yu_analysis::PreflightConfig {
+            k: self.opts.k,
+            mode: self.opts.mode,
+            max_hops: self.opts.max_hops,
+        };
+        let mut pf = yu_analysis::Preflight::new(&self.net, &flows, cfg);
+        let (mut safe, mut violated, mut symbolic) = (0u64, 0u64, 0u64);
+        let mut kept = Vec::with_capacity(tlp.reqs.len());
+        for (ix, req) in tlp.reqs.iter().enumerate() {
+            let classification = {
+                let _s = yu_telemetry::span_detail("preflight.classify", || {
+                    req.point.describe(&self.net.topo)
+                });
+                pf.classify_req(ix, req)
+            };
+            match classification.class {
+                yu_analysis::ReqClass::ProvenSafe => {
+                    if yu_mtbdd::audit_enabled() {
+                        yu_analysis::check_certificate(
+                            &self.net,
+                            &flows,
+                            req,
+                            cfg,
+                            &classification,
+                        )
+                        .unwrap_or_else(|e| {
+                            panic!("preflight certificate failed its independent check: {e}")
+                        });
+                    }
+                    safe += 1;
+                }
+                yu_analysis::ReqClass::ProvenViolated => {
+                    violated += 1;
+                    kept.push(req.clone());
+                }
+                yu_analysis::ReqClass::NeedsSymbolic => {
+                    symbolic += 1;
+                    kept.push(req.clone());
+                }
+            }
+        }
+        yu_telemetry::counter("preflight.proven_safe", safe);
+        yu_telemetry::counter("preflight.proven_violated", violated);
+        yu_telemetry::counter("preflight.needs_symbolic", symbolic);
+        (kept, safe as usize)
     }
 
     /// Sharded parallel checking of one TLP's requirements: workers own
@@ -528,12 +616,13 @@ impl YuVerifier {
     pub fn verify(&mut self, tlp: &Tlp) -> VerificationOutcome {
         let t0 = Instant::now();
         let verify_span = yu_telemetry::span("verify");
-        let (violations, per_point) = if self.check_in_parallel(tlp) {
-            self.check_parallel(&tlp.reqs, 1)
+        let (kept, pruned) = self.preflight_kept(tlp);
+        let (violations, per_point) = if self.check_in_parallel(kept.len()) {
+            self.check_parallel(&kept, 1)
         } else {
             let mut violations = Vec::new();
             let mut per_point = HashMap::new();
-            for req in &tlp.reqs {
+            for req in &kept {
                 let (tau, stats) = self.load_with_stats(req.point);
                 per_point.insert(req.point, stats);
                 if let Some(v) = check_requirement(&mut self.m, &self.fv, tau, req, self.opts.k) {
@@ -546,7 +635,7 @@ impl YuVerifier {
             (violations, per_point)
         };
         drop(verify_span);
-        self.finish_outcome(violations, per_point, t0.elapsed())
+        self.finish_outcome(violations, per_point, t0.elapsed(), pruned)
     }
 
     /// Like [`Self::verify`], but collects up to `max_violations`
@@ -561,12 +650,13 @@ impl YuVerifier {
         }
         let t0 = Instant::now();
         let verify_span = yu_telemetry::span("verify");
-        let (mut violations, per_point) = if self.check_in_parallel(tlp) {
-            self.check_parallel(&tlp.reqs, max_violations)
+        let (kept, pruned) = self.preflight_kept(tlp);
+        let (mut violations, per_point) = if self.check_in_parallel(kept.len()) {
+            self.check_parallel(&kept, max_violations)
         } else {
             let mut violations: Vec<Violation> = Vec::new();
             let mut per_point = HashMap::new();
-            for req in &tlp.reqs {
+            for req in &kept {
                 let (tau, stats) = self.load_with_stats(req.point);
                 per_point.insert(req.point, stats);
                 let vs = crate::verify::enumerate_violations(
@@ -591,7 +681,7 @@ impl YuVerifier {
             ))
         });
         drop(verify_span);
-        self.finish_outcome(violations, per_point, t0.elapsed())
+        self.finish_outcome(violations, per_point, t0.elapsed(), pruned)
     }
 
     /// Shared tail of `verify`/`verify_enumerated`: audits, bridges
@@ -601,6 +691,7 @@ impl YuVerifier {
         violations: Vec<Violation>,
         per_point: HashMap<LoadPoint, AggStats>,
         check_time: Duration,
+        reqs_pruned: usize,
     ) -> VerificationOutcome {
         self.audit_checkpoint("after TLP check");
         let telemetry = self.telemetry_summary();
@@ -612,6 +703,7 @@ impl YuVerifier {
                 check_time,
                 flows_in: self.flows_in,
                 flow_groups: self.groups.len(),
+                reqs_pruned,
                 mtbdd: self.m.stats(),
                 mtbdd_workers: self.worker_stats,
                 per_point,

@@ -20,7 +20,7 @@ pub mod wan;
 
 pub use fattree::{fattree, FatTree};
 pub use scenarios::{
-    motivating_example, sr_anycast_incident, static_blackhole_incident, MotivatingExample,
-    SrAnycastIncident, StaticBlackholeIncident,
+    motivating_example, preflight_example, sr_anycast_incident, static_blackhole_incident,
+    MotivatingExample, PreflightExample, SrAnycastIncident, StaticBlackholeIncident,
 };
 pub use wan::{fattree_with_flows, wan, Wan, WanParams, WanPreset};

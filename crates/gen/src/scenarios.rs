@@ -295,6 +295,48 @@ pub fn static_blackhole_incident() -> StaticBlackholeIncident {
     }
 }
 
+/// The preflight showcase: the Fig. 1 network with a TLP that mixes
+/// statically decidable requirements into the symbolic workload.
+pub struct PreflightExample {
+    /// The Fig. 1 network.
+    pub net: Network,
+    /// The Fig. 1 flows (100 Gbps total).
+    pub flows: Vec<Flow>,
+    /// P1 and P2 plus per-router delivery/drop monitoring caps at the
+    /// total traffic volume — the caps are discharged statically by
+    /// mass conservation, the rest needs the symbolic engine.
+    pub tlp: Tlp,
+    /// How many of `tlp`'s requirements the preflight analyzer is
+    /// expected to discharge.
+    pub expected_discharged: usize,
+}
+
+/// Builds the preflight example: Fig. 1 plus monitoring-style bounds
+/// (`delivered@F <= 100`, `dropped@r <= 100` everywhere) that a sound
+/// bound analysis can discharge without touching the MTBDD engine.
+pub fn preflight_example() -> PreflightExample {
+    let ex = motivating_example();
+    let total = Ratio::int(100);
+    let f = ex.routers[5];
+    let mut tlp = ex.p1.clone();
+    for req in ex.p2.reqs {
+        tlp = tlp.with(req);
+    }
+    tlp = tlp.with(TlpReq::at_most(LoadPoint::Delivered(f), total.clone()));
+    for r in ex.net.topo.routers().collect::<Vec<_>>() {
+        tlp = tlp.with(TlpReq::at_most(LoadPoint::Dropped(r), total.clone()));
+    }
+    // delivered@F and dropped@{A..F} are bounded by the 100 Gbps the
+    // network carries in total: 7 statically provable requirements.
+    let expected_discharged = 1 + ex.net.topo.num_routers();
+    PreflightExample {
+        net: ex.net,
+        flows: ex.flows,
+        tlp,
+        expected_discharged,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,6 +355,15 @@ mod tests {
         assert_eq!(ex.net.topo.num_ulinks(), 9);
         assert_eq!(ex.flows.len(), 2);
         assert_eq!(ex.p2.reqs.len(), 18); // both directions of 9 links
+    }
+
+    #[test]
+    fn preflight_example_shape() {
+        let ex = preflight_example();
+        assert!(ex.net.validate().is_empty());
+        // P1 (1) + P2 (18) + delivered cap (1) + per-router drop caps (6).
+        assert_eq!(ex.tlp.reqs.len(), 26);
+        assert_eq!(ex.expected_discharged, 7);
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! The `yu` command-line verifier.
 //!
 //! ```text
-//! yu export <fig1|fig9|fig10|ft4|n0> > spec.json     write a built-in example spec
-//! yu lint spec.json [--json]                         preflight lint (YU0xx diagnostics)
+//! yu export <fig1|fig9|fig10|ft4|n0|preflight> > spec.json
+//!                                                    write a built-in example spec
+//! yu lint spec.json [--json] [--deep]                preflight lint (YU0xx diagnostics;
+//!           [--deny-warnings]                        --deep adds the semantic rules
+//!                                                    YU021-YU032: bridges, partitions,
+//!                                                    bound-analysis verdicts)
 //! yu check spec.json                                 lint + summarize the spec
 //! yu verify spec.json [--json] [--workers N]         verify the TLP under <= k failures
-//!           [--check-workers N]
+//!           [--check-workers N] [--no-static-prune]
 //!           [--explain] [--max-violations N]
 //!           [-v] [--trace-out t.json] [--metrics-out m.json]
 //! yu explain spec.json [--json] [--dot-out f.dot]    forensic report per violation:
@@ -103,6 +107,9 @@ fn main() -> ExitCode {
     };
     let dot_out = flag_value("--dot-out");
     let explain_flag = args.iter().any(|a| a == "--explain");
+    let deep = args.iter().any(|a| a == "--deep");
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    let static_prune = !args.iter().any(|a| a == "--no-static-prune");
     let telemetry = TelemetryArgs {
         trace_out: flag_value("--trace-out").or_else(|| env_out("YU_TRACE", "yu-trace.json")),
         metrics_out: flag_value("--metrics-out")
@@ -113,7 +120,7 @@ fn main() -> ExitCode {
 
     match cmd {
         "export" => export(arg.as_deref().unwrap_or("fig1")),
-        "lint" => lint(&load(&arg), json_output),
+        "lint" => lint(&load(&arg), json_output, deep, deny_warnings),
         "check" => check(&load(&arg)),
         "verify" => verify(
             &load(&arg),
@@ -121,8 +128,11 @@ fn main() -> ExitCode {
             workers,
             check_workers,
             &telemetry,
-            explain_flag,
-            max_violations,
+            VerifyFlags {
+                explain: explain_flag,
+                max_violations,
+                static_prune,
+            },
         ),
         "explain" => explain(
             &load(&arg),
@@ -142,7 +152,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: yu <export|lint|check|verify|explain|loads|scenarios|rib> [spec.json] \
-                 [--json] [--workers N] [--check-workers N] [--explain] [--max-violations N] \
+                 [--json] [--deep] [--deny-warnings] [--workers N] [--check-workers N] \
+                 [--no-static-prune] [--explain] [--max-violations N] \
                  [--dot-out FILE] [--fail A-B,C-D] [--router <name> --dst <ip>] \
                  [-v] [--trace-out FILE] [--metrics-out FILE]"
             );
@@ -246,8 +257,18 @@ fn export(which: &str) -> ExitCode {
                 mode: FailureMode::Links,
             }
         }
+        "preflight" => {
+            let ex = yu::gen::preflight_example();
+            VerifySpec {
+                network: ex.net,
+                flows: ex.flows,
+                tlp: ex.tlp,
+                k: 1,
+                mode: FailureMode::Links,
+            }
+        }
         other => {
-            eprintln!("unknown example '{other}' (try fig1, fig9, fig10, ft4, n0)");
+            eprintln!("unknown example '{other}' (try fig1, fig9, fig10, ft4, n0, preflight)");
             return ExitCode::from(2);
         }
     };
@@ -255,9 +276,14 @@ fn export(which: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn lint(spec: &VerifySpec, json_output: bool) -> ExitCode {
-    let diags = spec.validate();
+fn lint(spec: &VerifySpec, json_output: bool, deep: bool, deny_warnings: bool) -> ExitCode {
+    let diags = if deep {
+        spec.validate_deep()
+    } else {
+        spec.validate()
+    };
     let errors = diags.iter().filter(|d| d.is_error()).count();
+    let warnings = diags.iter().filter(|d| d.is_warning()).count();
     if json_output {
         println!(
             "{}",
@@ -267,9 +293,14 @@ fn lint(spec: &VerifySpec, json_output: bool) -> ExitCode {
         for d in &diags {
             eprintln!("{d}");
         }
-        eprintln!("{} error(s), {} warning(s)", errors, diags.len() - errors);
+        eprintln!(
+            "{} error(s), {} warning(s), {} note(s)",
+            errors,
+            warnings,
+            diags.len() - errors - warnings
+        );
     }
-    if errors == 0 {
+    if yu::spec::lint_ok(&diags, deny_warnings) {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -298,14 +329,20 @@ fn check(spec: &VerifySpec) -> ExitCode {
     }
 }
 
+/// Behavior switches for `yu verify` beyond the worker counts.
+struct VerifyFlags {
+    explain: bool,
+    max_violations: usize,
+    static_prune: bool,
+}
+
 fn verify(
     spec: &VerifySpec,
     json_output: bool,
     workers: usize,
     check_workers: usize,
     telemetry: &TelemetryArgs,
-    explain_flag: bool,
-    max_violations: usize,
+    flags: VerifyFlags,
 ) -> ExitCode {
     if telemetry.wants_recording() {
         yu::telemetry::set_enabled(true);
@@ -317,16 +354,17 @@ fn verify(
             mode: spec.mode,
             workers,
             check_workers,
+            static_prune: flags.static_prune,
             ..Default::default()
         },
     );
     v.add_flows(&spec.flows);
-    let out = if max_violations > 1 {
-        v.verify_enumerated(&spec.tlp, max_violations)
+    let out = if flags.max_violations > 1 {
+        v.verify_enumerated(&spec.tlp, flags.max_violations)
     } else {
         v.verify(&spec.tlp)
     };
-    let explanations: Vec<yu::core::Explanation> = if explain_flag {
+    let explanations: Vec<yu::core::Explanation> = if flags.explain {
         out.violations.iter().map(|vi| v.explain(vi)).collect()
     } else {
         Vec::new()
@@ -334,7 +372,7 @@ fn verify(
     if json_output {
         println!(
             "{}",
-            verify_json(&out, explain_flag.then_some(explanations.as_slice()))
+            verify_json(&out, flags.explain.then_some(explanations.as_slice()))
         );
     } else if out.verified() {
         println!(
@@ -355,9 +393,11 @@ fn verify(
     // With --json, stdout carries only the machine-readable result
     // object; the human stats line moves to stderr.
     let stats = format!(
-        "({} flows -> {} groups; route {:?}, exec {:?}, check {:?})",
+        "({} flows -> {} groups; {} req(s) statically discharged; \
+         route {:?}, exec {:?}, check {:?})",
         out.stats.flows_in,
         out.stats.flow_groups,
+        out.stats.reqs_pruned,
         out.stats.route_time,
         out.stats.exec_time,
         out.stats.check_time
@@ -495,6 +535,7 @@ fn verify_json(
     );
     stats.insert("flows_in", Value::Int(out.stats.flows_in as i128));
     stats.insert("flow_groups", Value::Int(out.stats.flow_groups as i128));
+    stats.insert("reqs_pruned", Value::Int(out.stats.reqs_pruned as i128));
     stats.insert("mtbdd", out.stats.mtbdd.to_value());
     stats.insert("mtbdd_workers", out.stats.mtbdd_workers.to_value());
     stats.insert("telemetry", out.stats.telemetry.to_value());

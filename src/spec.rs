@@ -50,6 +50,24 @@ impl VerifySpec {
     pub fn has_errors(&self) -> bool {
         self.validate().iter().any(Diagnostic::is_error)
     }
+
+    /// Runs the deep (semantic) lint: everything [`Self::validate`]
+    /// reports, plus the graph-theoretic rules `YU021`–`YU032` —
+    /// bridges, partitions within the failure budget, capacity-infeasible
+    /// ingress volume, and bound-analysis verdicts (statically
+    /// discharged, infeasible, or contradictory requirements). This is
+    /// what `yu lint --deep` prints.
+    pub fn validate_deep(&self) -> Vec<Diagnostic> {
+        yu_analysis::lint_deep(&self.network, &self.flows, &self.tlp, self.k, self.mode)
+    }
+}
+
+/// Exit-code policy for `yu lint`: errors always fail; warnings fail
+/// only under `--deny-warnings`; notes never fail.
+pub fn lint_ok(diags: &[Diagnostic], deny_warnings: bool) -> bool {
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    let warnings = diags.iter().filter(|d| d.is_warning()).count();
+    errors == 0 && !(deny_warnings && warnings > 0)
 }
 
 #[cfg(test)]

@@ -135,8 +135,9 @@ fn assert_check_matches_sequential(inst: &Instance, mode: FailureMode, worker_co
         let mut par = run(inst, mode, opts_with_check_workers(w));
         let par_out = par.verify(&inst.tlp);
         // A single requirement legitimately falls back to the sequential
-        // checker; otherwise the sharded checker must actually have run.
-        if inst.tlp.reqs.len() > 1 {
+        // checker (the static preflight may have discharged the rest);
+        // otherwise the sharded checker must actually have run.
+        if inst.tlp.reqs.len() - par_out.stats.reqs_pruned > 1 {
             assert!(
                 par_out.stats.mtbdd_workers.nodes_created > 0,
                 "{ctx}: parallel check must report worker arena stats"

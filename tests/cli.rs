@@ -98,3 +98,57 @@ fn explain_report_serializes_for_the_cli() {
         assert!(json.contains(field), "missing {field} in {json}");
     }
 }
+
+#[test]
+fn lint_exit_policy_is_stable() {
+    // The `yu lint` exit-code contract: errors always fail, warnings
+    // fail only under --deny-warnings, notes never fail.
+    use yu::analysis::Diagnostic;
+    use yu::spec::lint_ok;
+
+    let clean: Vec<Diagnostic> = vec![];
+    assert!(lint_ok(&clean, false));
+    assert!(lint_ok(&clean, true));
+
+    let notes = vec![Diagnostic::note("YU023", "req 0", "discharged")];
+    assert!(lint_ok(&notes, false));
+    assert!(lint_ok(&notes, true));
+
+    let warnings = vec![Diagnostic::warning("YU027", "link A-B", "bridge")];
+    assert!(lint_ok(&warnings, false));
+    assert!(!lint_ok(&warnings, true));
+
+    let errors = vec![Diagnostic::error("YU029", "req 1", "contradictory bounds")];
+    assert!(!lint_ok(&errors, false));
+    assert!(!lint_ok(&errors, true));
+
+    let mixed = vec![
+        Diagnostic::note("YU032", "preflight", "summary"),
+        Diagnostic::warning("YU030", "req 2", "duplicate point"),
+    ];
+    assert!(lint_ok(&mixed, false));
+    assert!(!lint_ok(&mixed, true));
+}
+
+#[test]
+fn deep_lint_on_the_preflight_example_reports_discharges() {
+    let ex = yu::gen::preflight_example();
+    let spec = VerifySpec {
+        network: ex.net,
+        flows: ex.flows,
+        tlp: ex.tlp,
+        k: 1,
+        mode: yu::net::FailureMode::Links,
+    };
+    let spec = VerifySpec::from_json(&spec.to_json()).unwrap();
+    // Shallow lint: clean except the intentional duplicate-point overlap
+    // is a deep-only rule, so no errors either way.
+    assert!(!spec.has_errors());
+    let deep = spec.validate_deep();
+    let discharged = deep.iter().filter(|d| d.code == "YU023").count();
+    assert_eq!(discharged, ex.expected_discharged);
+    assert!(deep.iter().any(|d| d.code == "YU032"));
+    // Deep lint is a superset severity-wise: still no errors here.
+    assert!(!deep.iter().any(|d| d.is_error()));
+    assert!(yu::spec::lint_ok(&deep, false));
+}

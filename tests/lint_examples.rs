@@ -61,13 +61,23 @@ fn preset(which: &str) -> VerifySpec {
                 mode: FailureMode::Links,
             }
         }
+        "preflight" => {
+            let ex = yu::gen::preflight_example();
+            VerifySpec {
+                network: ex.net,
+                flows: ex.flows,
+                tlp: ex.tlp,
+                k: 1,
+                mode: FailureMode::Links,
+            }
+        }
         other => panic!("unknown preset {other}"),
     }
 }
 
 #[test]
 fn every_builtin_example_lints_without_errors() {
-    for which in ["fig1", "fig9", "fig10", "ft4", "n0"] {
+    for which in ["fig1", "fig9", "fig10", "ft4", "n0", "preflight"] {
         let spec = preset(which);
         let diags = spec.validate();
         let errors: Vec<_> = diags.iter().filter(|d| d.is_error()).collect();
@@ -92,4 +102,19 @@ fn diagnostics_serialize_for_json_output() {
     let diags = preset("fig9").validate();
     let json = serde_json::to_string_pretty(&diags).unwrap();
     assert!(json.contains("YU012"), "{json}");
+}
+
+#[test]
+fn every_builtin_example_deep_lints_without_errors() {
+    // The semantic rules are held to the same bar as the spec lint:
+    // warnings allowed on the worked examples, errors never.
+    for which in ["fig1", "fig9", "fig10", "ft4", "preflight"] {
+        let spec = preset(which);
+        let diags = spec.validate_deep();
+        let errors: Vec<_> = diags.iter().filter(|d| d.is_error()).collect();
+        assert!(
+            errors.is_empty(),
+            "{which} must deep-lint without errors, got: {errors:?}"
+        );
+    }
 }

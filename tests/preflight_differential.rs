@@ -1,0 +1,141 @@
+//! The static preflight pruner must be invisible in the verdict: running
+//! every built-in example with pruning on and off has to produce
+//! bit-identical verification results — same verdict, same violations in
+//! the same order — in every failure mode. Pruning may only change how
+//! much work the symbolic engine does, never what it concludes.
+//!
+//! Certificates are independently re-validated inside the pruner under
+//! `debug_assertions` (the configuration this test runs in), so a pass
+//! here also means every discharged requirement carried a checkable
+//! proof.
+
+use yu::core::{VerificationOutcome, YuOptions, YuVerifier};
+use yu::gen::{
+    motivating_example, preflight_example, sr_anycast_incident, static_blackhole_incident, wan,
+    WanParams,
+};
+use yu::net::{FailureMode, Flow, Network, Tlp};
+
+fn run(
+    net: &Network,
+    flows: &[Flow],
+    tlp: &Tlp,
+    mode: FailureMode,
+    static_prune: bool,
+) -> VerificationOutcome {
+    let mut v = YuVerifier::new(
+        net.clone(),
+        YuOptions {
+            k: 1,
+            mode,
+            static_prune,
+            ..Default::default()
+        },
+    );
+    v.add_flows(flows);
+    v.verify(tlp)
+}
+
+fn cases() -> Vec<(&'static str, Network, Vec<Flow>, Tlp)> {
+    let fig1 = motivating_example();
+    let fig9 = sr_anycast_incident();
+    let fig10 = static_blackhole_incident();
+    let pf = preflight_example();
+    let w = wan(WanParams {
+        core_routers: 5,
+        stub_routers: 3,
+        extra_core_links: 2,
+        prefixes: 8,
+        sr_policies: 1,
+        seed: 7,
+    });
+    let wan_flows = w.flows(12, 0xBEEF);
+    let wan_tlp = Tlp::no_overload(&w.net.topo, yu::mtbdd::Ratio::new(95, 100));
+    vec![
+        ("fig1/p1", fig1.net.clone(), fig1.flows.clone(), fig1.p1),
+        ("fig1/p2", fig1.net, fig1.flows, fig1.p2),
+        ("fig9", fig9.net, fig9.flows, fig9.tlp),
+        ("fig10", fig10.net, fig10.flows, fig10.tlp),
+        ("preflight", pf.net, pf.flows, pf.tlp),
+        ("wan-small", w.net, wan_flows, wan_tlp),
+    ]
+}
+
+#[test]
+fn pruned_and_unpruned_runs_are_bit_identical() {
+    for (name, net, flows, tlp) in cases() {
+        for mode in [FailureMode::Links, FailureMode::Routers] {
+            let pruned = run(&net, &flows, &tlp, mode, true);
+            let full = run(&net, &flows, &tlp, mode, false);
+            assert_eq!(
+                pruned.verified(),
+                full.verified(),
+                "{name} ({mode:?}): verdict changed under pruning"
+            );
+            assert_eq!(
+                pruned.violations, full.violations,
+                "{name} ({mode:?}): violations changed under pruning"
+            );
+            assert_eq!(
+                full.stats.reqs_pruned, 0,
+                "{name} ({mode:?}): --no-static-prune must not prune"
+            );
+        }
+    }
+}
+
+#[test]
+fn preflight_example_actually_discharges_requirements() {
+    let pf = preflight_example();
+    let out = run(&pf.net, &pf.flows, &pf.tlp, FailureMode::Links, true);
+    assert_eq!(
+        out.stats.reqs_pruned, pf.expected_discharged,
+        "the preflight example exists to exercise the pruner"
+    );
+    // P1 and the P2 overload reqs still went through the symbolic
+    // engine and produced the known Fig. 1 counterexamples.
+    assert!(!out.verified());
+}
+
+#[test]
+fn enumerated_verification_is_also_prune_invariant() {
+    let pf = preflight_example();
+    let mut outs = [true, false].map(|static_prune| {
+        let mut v = YuVerifier::new(
+            pf.net.clone(),
+            YuOptions {
+                k: 1,
+                static_prune,
+                ..Default::default()
+            },
+        );
+        v.add_flows(&pf.flows);
+        v.verify_enumerated(&pf.tlp, 3)
+    });
+    let full = outs[1].violations.clone();
+    let pruned = &mut outs[0];
+    assert!(!pruned.verified());
+    assert_eq!(pruned.violations, full);
+    assert!(pruned.stats.reqs_pruned >= 1);
+}
+
+#[test]
+fn preflight_records_telemetry_spans_and_counters() {
+    let pf = preflight_example();
+    yu::telemetry::set_enabled(true);
+    yu::telemetry::reset();
+    let out = run(&pf.net, &pf.flows, &pf.tlp, FailureMode::Links, true);
+    let report = yu::telemetry::snapshot();
+    yu::telemetry::reset();
+    yu::telemetry::set_enabled(false);
+
+    assert!(out.stats.reqs_pruned >= 1);
+    let aggs = report.stage_aggs();
+    assert!(
+        aggs.contains_key("preflight"),
+        "pruner must record its stage span"
+    );
+    let counters = report.counter_totals();
+    assert!(counters.get("preflight.proven_safe").copied().unwrap_or(0) >= 1);
+    assert!(counters.contains_key("preflight.needs_symbolic"));
+}
