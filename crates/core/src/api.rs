@@ -14,8 +14,9 @@
 //! with counterexample extraction.
 
 use crate::equivalence::{global_groups_classified, AggStats, FlowGroup};
-use crate::exec::{simulate_flow, ExecOptions, FlowStf};
+use crate::exec::{simulate_flow, simulate_flow_traced, ExecOptions, FlowStf};
 use crate::parallel::{check_sharded, execute_sharded, CheckCtx, CheckUnit};
+use crate::trace::RouteTrace;
 use crate::verify::{check_requirement, Violation};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -70,6 +71,13 @@ pub struct YuOptions {
     /// `debug_assertions`). Disable with `--no-static-prune` for the
     /// differential suite and ablations.
     pub static_prune: bool,
+    /// Record the routing-state queries each flow group's execution
+    /// depends on (a [`crate::trace::RouteTrace`] per group). Costs a
+    /// little memory and time per execution; required by the incremental
+    /// engine ([`crate::delta::IncrementalVerifier`]), which replays the
+    /// traces after a routing change to decide which groups to
+    /// re-execute. Off by default for batch runs.
+    pub record_route_deps: bool,
 }
 
 /// The default worker count: the `YU_WORKERS` environment variable when
@@ -114,6 +122,7 @@ impl Default for YuOptions {
             workers: default_workers(),
             check_workers: default_check_workers(),
             static_prune: true,
+            record_route_deps: false,
         }
     }
 }
@@ -173,12 +182,15 @@ pub struct YuVerifier {
     pub(crate) opts: YuOptions,
     pub(crate) groups: Vec<FlowGroup>,
     pub(crate) results: Vec<FlowStf>,
-    flows_in: usize,
-    route_time: Duration,
-    exec_time: Duration,
-    load_cache: HashMap<LoadPoint, (NodeRef, AggStats)>,
+    /// Per-group route-dependency traces, parallel to `results`.
+    /// `Some` iff the group was executed with `record_route_deps`.
+    pub(crate) traces: Vec<Option<RouteTrace>>,
+    pub(crate) flows_in: usize,
+    pub(crate) route_time: Duration,
+    pub(crate) exec_time: Duration,
+    pub(crate) load_cache: HashMap<LoadPoint, (NodeRef, AggStats)>,
     live_after_gc: usize,
-    worker_stats: MtbddStats,
+    pub(crate) worker_stats: MtbddStats,
     /// Combined arena statistics already forwarded to the telemetry
     /// counters, so repeated `verify` calls emit deltas, not re-counts.
     telemetry_reported: MtbddStats,
@@ -205,6 +217,7 @@ impl YuVerifier {
             opts,
             groups: Vec::new(),
             results: Vec::new(),
+            traces: Vec::new(),
             flows_in: 0,
             route_time,
             exec_time: Duration::ZERO,
@@ -226,6 +239,9 @@ impl YuVerifier {
         for stf in &self.results {
             stf.gc_roots(&mut roots);
         }
+        for trace in self.traces.iter().flatten() {
+            trace.gc_roots(&mut roots);
+        }
         for &(tau, _) in self.load_cache.values() {
             roots.push(tau);
         }
@@ -234,7 +250,7 @@ impl YuVerifier {
 
     /// Runs [`Self::audit`] and panics on violations when auditing is
     /// enabled (`YU_AUDIT=1` or a `debug_assertions` build).
-    fn audit_checkpoint(&self, context: &str) {
+    pub(crate) fn audit_checkpoint(&self, context: &str) {
         if yu_mtbdd::audit_enabled() {
             self.audit().assert_ok(context);
         }
@@ -243,7 +259,7 @@ impl YuVerifier {
     /// Garbage-collects the MTBDD arena when it has outgrown the
     /// configured threshold, remapping all long-lived state (routing
     /// guards, flow STFs). Cached per-point loads are dropped.
-    fn maybe_gc(&mut self, extra: &mut [NodeRef]) {
+    pub(crate) fn maybe_gc(&mut self, extra: &mut [NodeRef]) {
         let threshold = self.opts.gc_node_threshold;
         if threshold == 0 {
             return;
@@ -261,11 +277,17 @@ impl YuVerifier {
         for stf in &self.results {
             stf.gc_roots(&mut roots);
         }
+        for trace in self.traces.iter().flatten() {
+            trace.gc_roots(&mut roots);
+        }
         roots.extend(extra.iter().copied());
         let remap = self.m.collect(&roots);
         self.routes.remap(&remap);
         for stf in &mut self.results {
             stf.remap(&remap);
+        }
+        for trace in self.traces.iter_mut().flatten() {
+            trace.remap(&remap);
         }
         for n in extra.iter_mut() {
             *n = remap.get(*n);
@@ -320,16 +342,30 @@ impl YuVerifier {
             self.add_groups_parallel(groups, exec_opts);
         } else {
             for g in groups {
-                let stf = simulate_flow(
-                    &mut self.m,
-                    &self.net,
-                    &self.fv,
-                    &mut self.routes,
-                    &g.rep,
-                    exec_opts,
-                );
+                let (stf, trace) = if self.opts.record_route_deps {
+                    let (stf, trace) = simulate_flow_traced(
+                        &mut self.m,
+                        &self.net,
+                        &self.fv,
+                        &mut self.routes,
+                        &g.rep,
+                        exec_opts,
+                    );
+                    (stf, Some(trace))
+                } else {
+                    let stf = simulate_flow(
+                        &mut self.m,
+                        &self.net,
+                        &self.fv,
+                        &mut self.routes,
+                        &g.rep,
+                        exec_opts,
+                    );
+                    (stf, None)
+                };
                 self.groups.push(g);
                 self.results.push(stf);
+                self.traces.push(trace);
             }
         }
         drop(exec_span);
@@ -352,11 +388,12 @@ impl YuVerifier {
             &groups,
             exec_opts,
             self.opts.workers,
+            self.opts.record_route_deps,
         );
         // Group index -> (shard, position) ownership map.
         let mut owner: Vec<(usize, usize)> = vec![(usize::MAX, usize::MAX); groups.len()];
         for (si, shard) in shards.iter().enumerate() {
-            for (pos, (ix, _)) in shard.stfs.iter().enumerate() {
+            for (pos, (ix, _, _)) in shard.stfs.iter().enumerate() {
                 owner[*ix] = (si, pos);
             }
         }
@@ -365,7 +402,7 @@ impl YuVerifier {
         for (ix, g) in groups.into_iter().enumerate() {
             let (si, pos) = owner[ix];
             let shard = &shards[si];
-            let (_, stf) = &shard.stfs[pos];
+            let (_, stf, trace) = &shard.stfs[pos];
             let mut points: Vec<(LoadPoint, NodeRef)> =
                 stf.loads.iter().map(|(&p, &n)| (p, n)).collect();
             points.sort_by_key(|&(p, _)| p);
@@ -374,8 +411,14 @@ impl YuVerifier {
                 loads.insert(p, self.m.import(&shard.arena, src_ref, &mut memos[si]));
             }
             let truncated = self.m.import(&shard.arena, stf.truncated, &mut memos[si]);
+            let trace = trace.as_ref().map(|t| {
+                let mut t = t.clone();
+                t.import_into(&mut self.m, &shard.arena, &mut memos[si]);
+                t
+            });
             self.groups.push(g);
             self.results.push(FlowStf { loads, truncated });
+            self.traces.push(trace);
         }
         drop(import_span);
         let (hits, misses) = memos
@@ -398,7 +441,7 @@ impl YuVerifier {
         self.load_with_stats(point).0
     }
 
-    fn load_with_stats(&mut self, point: LoadPoint) -> (NodeRef, AggStats) {
+    pub(crate) fn load_with_stats(&mut self, point: LoadPoint) -> (NodeRef, AggStats) {
         if let Some(&(tau, stats)) = self.load_cache.get(&point) {
             return (tau, stats);
         }
@@ -490,6 +533,16 @@ impl YuVerifier {
         self.opts.check_workers > 1 && n_reqs > 1
     }
 
+    /// Zeroes the per-run wall-clock and input counters (`route_time`,
+    /// `exec_time`, `flows_in`). The incremental engine calls this at the
+    /// start of every request so each [`RunStats`] reports that request's
+    /// own work instead of accumulating across the daemon's lifetime.
+    pub fn reset_run_counters(&mut self) {
+        self.route_time = Duration::ZERO;
+        self.exec_time = Duration::ZERO;
+        self.flows_in = 0;
+    }
+
     /// The semantic preflight pass: classifies every requirement with
     /// the static analyzer and returns the ones the symbolic engine
     /// still has to check, plus the number discharged. Only
@@ -499,7 +552,7 @@ impl YuVerifier {
     /// needs the engine's exact counterexample). When auditing is on,
     /// every discharge certificate is re-validated by its independent
     /// checker before the requirement is skipped.
-    fn preflight_kept(&self, tlp: &Tlp) -> (Vec<yu_net::TlpReq>, usize) {
+    pub(crate) fn preflight_kept(&self, tlp: &Tlp) -> (Vec<yu_net::TlpReq>, usize) {
         if !self.opts.static_prune || tlp.reqs.is_empty() {
             return (tlp.reqs.clone(), 0);
         }
@@ -686,7 +739,7 @@ impl YuVerifier {
 
     /// Shared tail of `verify`/`verify_enumerated`: audits, bridges
     /// telemetry, and assembles the outcome with run statistics.
-    fn finish_outcome(
+    pub(crate) fn finish_outcome(
         &mut self,
         violations: Vec<Violation>,
         per_point: HashMap<LoadPoint, AggStats>,

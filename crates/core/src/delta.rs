@@ -1,0 +1,558 @@
+//! Incremental re-verification: the change-set engine behind `yu serve`
+//! and `yu diff`.
+//!
+//! An [`IncrementalVerifier`] wraps a [`YuVerifier`] together with the
+//! concrete flows and TLP it was built from, and re-executes **only what a
+//! change invalidated**:
+//!
+//! * **Topology changes** (router/link add/remove) renumber the failure
+//!   variables, so everything is rebuilt from scratch — the only sound
+//!   option, since every guard in the arena is indexed by them.
+//! * **Routing changes** (link-cost edits) recompute the guarded routing
+//!   state *in the same arena* (hash-consing dedupes everything that did
+//!   not change), then replay every flow group's recorded
+//!   [`RouteTrace`] against the new state; only groups with a mismatched
+//!   answer are re-executed. A reused group's symbolic traffic functions
+//!   are bit-identical by construction (§ [`crate::trace`]).
+//! * **Flow changes** regroup and key-match against the executed groups:
+//!   a matched group keeps its STF (symbolic fractions are
+//!   volume-independent; globally equivalent representatives forward
+//!   identically), only its volume/representative metadata is refreshed.
+//! * **TLP changes** touch neither routes nor STFs; the per-requirement
+//!   verdict cache simply misses on new or re-bounded requirements.
+//!
+//! Per-point **epochs** track which aggregated loads a change dirtied:
+//! a cached verdict is reused iff its load point's epoch is unchanged,
+//! so untouched requirements cost a hash lookup. The preflight
+//! classification is likewise cached per requirement and invalidated
+//! only when its bounds inputs (network or flows) changed.
+//!
+//! Soundness of all this reuse rests on the arena's canonicity: MTBDDs
+//! are hash-consed with a fixed variable order and exact arithmetic, so
+//! semantic equality is handle equality, τ-aggregation is independent of
+//! association order, and a verdict is a pure function of
+//! `(τ, requirement, k)`. The differential harnesses
+//! (`tests/serve_differential.rs`, `tests/serve_prop.rs`) enforce
+//! bit-identity against from-scratch runs for every change kind.
+
+use crate::api::{VerificationOutcome, YuOptions, YuVerifier};
+use crate::equivalence::{global_groups_classified, AggStats, FlowGroup};
+use crate::exec::{simulate_flow_traced, ExecOptions};
+use crate::verify::{check_requirement, Violation};
+use std::collections::HashMap;
+use std::time::Instant;
+use yu_mtbdd::Ratio;
+use yu_net::{
+    ChangeError, ChangeSet, Flow, Impact, LoadPoint, Network, Prefix, PrefixTrie, Tlp, TlpReq,
+};
+use yu_routing::SymbolicRoutes;
+
+/// Reuse-vs-recompute statistics of one incremental request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Flow groups whose symbolic traffic functions were reused.
+    pub reused_groups: usize,
+    /// Flow groups (re-)executed symbolically.
+    pub recomputed_groups: usize,
+    /// Requirements answered from the verdict cache.
+    pub reused_reqs: usize,
+    /// Requirements re-aggregated and re-checked.
+    pub rechecked_reqs: usize,
+    /// Load points dirtied by the change.
+    pub dirty_points: usize,
+    /// Whether the change forced a from-scratch rebuild (topology edits).
+    pub full_rebuild: bool,
+}
+
+/// A cached per-requirement verdict, valid while its load point's epoch
+/// is unchanged. Plain data — safe across garbage collections.
+#[derive(Debug, Clone)]
+struct CachedVerdict {
+    epoch: u64,
+    violation: Option<Violation>,
+    agg: AggStats,
+}
+
+/// Cache key of a requirement: the verdict is a pure function of the
+/// (canonical) load at the point and the bounds.
+type ReqKey = (LoadPoint, Option<Ratio>, Option<Ratio>);
+
+fn req_key(req: &TlpReq) -> ReqKey {
+    (req.point, req.min.clone(), req.max.clone())
+}
+
+/// The grouping key of one flow under the active equivalence setting.
+/// Mirrors [`global_groups_classified`] exactly (longest-match prefix
+/// class) so key-matching reproduces the scratch grouping; without
+/// global equivalence the flow's full identity plus an occurrence index
+/// distinguishes duplicates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum GroupKey {
+    Class(yu_net::RouterId, Option<Prefix>, u8),
+    Identity(yu_net::RouterId, yu_net::Ipv4, yu_net::Ipv4, u8, usize),
+}
+
+/// A verifier that carries its inputs and re-verifies change-sets
+/// incrementally, reusing the arena, caches, and every result the change
+/// did not invalidate.
+pub struct IncrementalVerifier {
+    v: YuVerifier,
+    flows: Vec<Flow>,
+    tlp: Tlp,
+    /// Monotone generation counter; bumped once per applied update.
+    gen: u64,
+    /// Last generation that dirtied each load point (absent = never).
+    point_epoch: HashMap<LoadPoint, u64>,
+    verdicts: HashMap<ReqKey, CachedVerdict>,
+    /// `true` = requirement proven safe by preflight (pruned).
+    preflight_cache: HashMap<ReqKey, bool>,
+    /// Whether `preflight_cache` still matches the current network and
+    /// flows (its bounds inputs).
+    preflight_valid: bool,
+    last_delta: DeltaStats,
+}
+
+impl IncrementalVerifier {
+    /// Builds the verifier and executes `flows` with route-dependency
+    /// recording on (required for trace replay), keeping `tlp` as the
+    /// property to re-verify after each change.
+    pub fn new(
+        net: Network,
+        flows: Vec<Flow>,
+        tlp: Tlp,
+        mut opts: YuOptions,
+    ) -> IncrementalVerifier {
+        opts.record_route_deps = true;
+        let mut v = YuVerifier::new(net, opts);
+        v.add_flows(&flows);
+        let groups = v.flow_results().count();
+        IncrementalVerifier {
+            v,
+            flows,
+            tlp,
+            gen: 0,
+            point_epoch: HashMap::new(),
+            verdicts: HashMap::new(),
+            preflight_cache: HashMap::new(),
+            preflight_valid: false,
+            last_delta: DeltaStats {
+                recomputed_groups: groups,
+                full_rebuild: true,
+                ..DeltaStats::default()
+            },
+        }
+    }
+
+    /// The wrapped batch verifier (read-only).
+    pub fn verifier(&self) -> &YuVerifier {
+        &self.v
+    }
+
+    /// The wrapped batch verifier (tests and the CLI).
+    pub fn verifier_mut(&mut self) -> &mut YuVerifier {
+        &mut self.v
+    }
+
+    /// The current network.
+    pub fn network(&self) -> &Network {
+        self.v.network()
+    }
+
+    /// The current flows.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// The current TLP.
+    pub fn tlp(&self) -> &Tlp {
+        &self.tlp
+    }
+
+    /// Reuse statistics of the most recent update + verify.
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.last_delta
+    }
+
+    /// Applies a change-set atomically and re-verifies: on error the
+    /// state is untouched; on success only what the change invalidated
+    /// is recomputed. Returns the new outcome (bit-identical to a
+    /// from-scratch run on the updated inputs).
+    pub fn apply(&mut self, cs: &ChangeSet) -> Result<VerificationOutcome, ChangeError> {
+        let (net, flows, tlp, impact) = cs.apply(self.v.network(), &self.flows, &self.tlp)?;
+        self.v.reset_run_counters();
+        self.update(net, flows, tlp, impact);
+        Ok(self.verify())
+    }
+
+    /// Replaces the inputs wholesale (the `yu diff` path), inferring the
+    /// impact from a field-by-field comparison, then re-verifies.
+    pub fn set_state(&mut self, net: Network, flows: Vec<Flow>, tlp: Tlp) -> VerificationOutcome {
+        let impact = yu_net::diff_impact(
+            (self.v.network(), &self.flows, &self.tlp),
+            (&net, &flows, &tlp),
+        );
+        self.v.reset_run_counters();
+        self.update(net, flows, tlp, impact);
+        self.verify()
+    }
+
+    /// Invalidates and recomputes state for already-validated new inputs.
+    fn update(&mut self, net: Network, flows: Vec<Flow>, tlp: Tlp, impact: Impact) {
+        self.gen += 1;
+        self.last_delta = DeltaStats::default();
+        if impact.topology {
+            self.rebuild(net, flows, tlp);
+        } else {
+            let inv = yu_telemetry::span_detail("delta.invalidate", || impact.to_string());
+            if impact.routing {
+                self.apply_routing(net);
+            } else {
+                // The network can only differ when routing (or topology)
+                // is impacted; assigning is a no-op otherwise.
+                self.v.net = net;
+            }
+            if impact.flows {
+                self.apply_flows(flows);
+            } else {
+                self.flows = flows;
+            }
+            if impact.routing || impact.flows {
+                // The preflight bounds read the network and the flows.
+                self.preflight_valid = false;
+            }
+            self.tlp = tlp;
+            drop(inv);
+        }
+        // Normalise the reuse counters over the *final* group set: a
+        // group counts as recomputed if any stage of this update
+        // re-executed it (the routing replay and the flow regroup touch
+        // disjoint groups), and as reused otherwise — so the two
+        // counters always partition the groups, including TLP-only
+        // updates (everything reused) and full rebuilds (nothing).
+        let total = self.v.groups.len();
+        self.last_delta.recomputed_groups = self.last_delta.recomputed_groups.min(total);
+        self.last_delta.reused_groups = total - self.last_delta.recomputed_groups;
+        self.last_delta.dirty_points = self
+            .point_epoch
+            .values()
+            .filter(|&&e| e == self.gen)
+            .count();
+        yu_telemetry::counter("delta.reused_groups", self.last_delta.reused_groups as u64);
+        yu_telemetry::counter(
+            "delta.recomputed_groups",
+            self.last_delta.recomputed_groups as u64,
+        );
+        self.v.audit_checkpoint("after incremental invalidation");
+    }
+
+    /// Topology edits renumber the failure variables, invalidating every
+    /// guard: rebuild from scratch and drop all caches.
+    fn rebuild(&mut self, net: Network, flows: Vec<Flow>, tlp: Tlp) {
+        let opts = self.v.options();
+        let mut v = YuVerifier::new(net, opts);
+        v.add_flows(&flows);
+        self.last_delta.recomputed_groups = v.flow_results().count();
+        self.last_delta.full_rebuild = true;
+        self.v = v;
+        self.flows = flows;
+        self.tlp = tlp;
+        self.verdicts.clear();
+        self.point_epoch.clear();
+        self.preflight_cache.clear();
+        self.preflight_valid = false;
+    }
+
+    /// Marks one load point dirty: bump its epoch (invalidating cached
+    /// verdicts) and evict its cached aggregate.
+    fn mark_dirty(&mut self, p: LoadPoint) {
+        self.point_epoch.insert(p, self.gen);
+        self.v.load_cache.remove(&p);
+    }
+
+    /// Routing changed (same topology): recompute the guarded routing
+    /// state in the same arena, then replay each group's route trace and
+    /// re-execute only the groups whose answers changed.
+    fn apply_routing(&mut self, net: Network) {
+        let v = &mut self.v;
+        v.net = net;
+        let k = v.opts.use_kreduce.then_some(v.opts.k);
+        let t0 = Instant::now();
+        let routes = {
+            let _stage = yu_telemetry::span("route_sim");
+            SymbolicRoutes::compute(&mut v.m, &v.net, &v.fv, k)
+        };
+        v.routes = routes;
+        v.route_time += t0.elapsed();
+        let exec_opts = ExecOptions {
+            k,
+            max_hops: v.opts.max_hops,
+        };
+        let t1 = Instant::now();
+        let mut dirty: Vec<LoadPoint> = Vec::new();
+        for i in 0..v.groups.len() {
+            let valid = match &v.traces[i] {
+                Some(t) => t.still_valid(&mut v.m, &v.net, &v.fv, &mut v.routes),
+                None => false,
+            };
+            if valid {
+                self.last_delta.reused_groups += 1;
+                continue;
+            }
+            let _stage = yu_telemetry::span_detail("delta.reexec", || {
+                format!("{:?}->{:?}", v.groups[i].rep.ingress, v.groups[i].rep.dst)
+            });
+            let (stf, trace) = simulate_flow_traced(
+                &mut v.m,
+                &v.net,
+                &v.fv,
+                &mut v.routes,
+                &v.groups[i].rep,
+                exec_opts,
+            );
+            // Dirty every point where the group's fraction changed
+            // (handle inequality is semantic inequality in one arena).
+            for (&p, &n) in &v.results[i].loads {
+                if stf.at(&v.m, p) != n {
+                    dirty.push(p);
+                }
+            }
+            for (&p, &n) in &stf.loads {
+                if v.results[i].at(&v.m, p) != n {
+                    dirty.push(p);
+                }
+            }
+            v.results[i] = stf;
+            v.traces[i] = Some(trace);
+            self.last_delta.recomputed_groups += 1;
+        }
+        v.exec_time += t1.elapsed();
+        for p in dirty {
+            self.mark_dirty(p);
+        }
+    }
+
+    /// The grouping keys of `flows` in scratch grouping order, paired
+    /// with the scratch groups themselves.
+    fn grouped(&self, flows: &[Flow]) -> Vec<(GroupKey, FlowGroup)> {
+        if self.v.opts.use_global_equiv {
+            let mut trie = PrefixTrie::new();
+            for p in self.v.net.all_prefixes() {
+                trie.insert(p, ());
+            }
+            global_groups_classified(&self.v.net, flows)
+                .into_iter()
+                .map(|g| {
+                    let class = trie.longest_match(g.rep.dst).map(|(p, _)| p);
+                    (GroupKey::Class(g.rep.ingress, class, g.rep.dscp), g)
+                })
+                .collect()
+        } else {
+            let mut occurrence: HashMap<(yu_net::RouterId, yu_net::Ipv4, yu_net::Ipv4, u8), usize> =
+                HashMap::new();
+            flows
+                .iter()
+                .map(|f| {
+                    let id = (f.ingress, f.src, f.dst, f.dscp);
+                    let n = occurrence.entry(id).or_insert(0);
+                    let key = GroupKey::Identity(f.ingress, f.src, f.dst, f.dscp, *n);
+                    *n += 1;
+                    (
+                        key,
+                        FlowGroup {
+                            rep: f.clone(),
+                            volume: f.volume.clone(),
+                            members: 1,
+                        },
+                    )
+                })
+                .collect()
+        }
+    }
+
+    /// Flows changed: regroup exactly as a scratch run would, key-match
+    /// against the executed groups, and keep matched STFs (symbolic
+    /// fractions do not depend on volume, and equivalent representatives
+    /// forward identically). Unmatched new groups are executed; points
+    /// touched by changed volumes, new groups, or vanished groups are
+    /// dirtied.
+    fn apply_flows(&mut self, flows: Vec<Flow>) {
+        let old_keys: Vec<GroupKey> = self
+            .grouped(&self.flows)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        let new_grouped = self.grouped(&flows);
+        let mut old_by_key: HashMap<&GroupKey, usize> = HashMap::new();
+        for (i, k) in old_keys.iter().enumerate() {
+            old_by_key.entry(k).or_insert(i);
+        }
+        let v = &mut self.v;
+        v.flows_in += flows.len();
+        let exec_opts = ExecOptions {
+            k: v.opts.use_kreduce.then_some(v.opts.k),
+            max_hops: v.opts.max_hops,
+        };
+        let mut groups = Vec::with_capacity(new_grouped.len());
+        let mut results = Vec::with_capacity(new_grouped.len());
+        let mut traces = Vec::with_capacity(new_grouped.len());
+        let mut matched_old = vec![false; old_keys.len()];
+        let mut dirty: Vec<LoadPoint> = Vec::new();
+        let t0 = Instant::now();
+        for (key, g) in new_grouped {
+            if let Some(&i) = old_by_key.get(&key) {
+                matched_old[i] = true;
+                if v.groups[i].volume != g.volume {
+                    dirty.extend(v.results[i].loads.keys().copied());
+                }
+                self.last_delta.reused_groups += 1;
+                groups.push(g);
+                results.push(v.results[i].clone());
+                traces.push(v.traces[i].clone());
+            } else {
+                let _stage = yu_telemetry::span_detail("delta.reexec", || {
+                    format!("{:?}->{:?}", g.rep.ingress, g.rep.dst)
+                });
+                let (stf, trace) =
+                    simulate_flow_traced(&mut v.m, &v.net, &v.fv, &mut v.routes, &g.rep, exec_opts);
+                dirty.extend(stf.loads.keys().copied());
+                self.last_delta.recomputed_groups += 1;
+                groups.push(g);
+                results.push(stf);
+                traces.push(Some(trace));
+            }
+        }
+        for (i, hit) in matched_old.iter().enumerate() {
+            if !hit {
+                dirty.extend(v.results[i].loads.keys().copied());
+            }
+        }
+        v.exec_time += t0.elapsed();
+        v.groups = groups;
+        v.results = results;
+        v.traces = traces;
+        self.flows = flows;
+        for p in dirty {
+            self.mark_dirty(p);
+        }
+    }
+
+    /// The preflight pass with per-requirement caching: classifications
+    /// are reused while their bounds inputs (network, flows) are
+    /// unchanged; only missing requirements are classified, against a
+    /// preflight instance built on demand. Pruning decisions are
+    /// bit-identical to [`YuVerifier`]'s batch preflight because the
+    /// classifier is deterministic in the same inputs.
+    fn preflight_kept_cached(&mut self) -> (Vec<TlpReq>, usize) {
+        if !self.v.opts.static_prune || self.tlp.reqs.is_empty() {
+            return (self.tlp.reqs.clone(), 0);
+        }
+        let _stage = yu_telemetry::span("preflight");
+        if !self.preflight_valid {
+            self.preflight_cache.clear();
+            self.preflight_valid = true;
+        }
+        let missing: Vec<&TlpReq> = self
+            .tlp
+            .reqs
+            .iter()
+            .filter(|r| !self.preflight_cache.contains_key(&req_key(r)))
+            .collect();
+        if !missing.is_empty() {
+            let flows: Vec<Flow> = self
+                .v
+                .groups
+                .iter()
+                .map(|g| {
+                    let mut f = g.rep.clone();
+                    f.volume = g.volume.clone();
+                    f
+                })
+                .collect();
+            let cfg = yu_analysis::PreflightConfig {
+                k: self.v.opts.k,
+                mode: self.v.opts.mode,
+                max_hops: self.v.opts.max_hops,
+            };
+            let mut pf = yu_analysis::Preflight::new(&self.v.net, &flows, cfg);
+            for (ix, req) in missing.into_iter().enumerate() {
+                let classification = pf.classify_req(ix, req);
+                let safe = matches!(classification.class, yu_analysis::ReqClass::ProvenSafe);
+                if safe && yu_mtbdd::audit_enabled() {
+                    yu_analysis::check_certificate(&self.v.net, &flows, req, cfg, &classification)
+                        .unwrap_or_else(|e| {
+                            panic!("preflight certificate failed its independent check: {e}")
+                        });
+                }
+                self.preflight_cache.insert(req_key(req), safe);
+            }
+        }
+        let mut kept = Vec::with_capacity(self.tlp.reqs.len());
+        let mut pruned = 0usize;
+        for req in &self.tlp.reqs {
+            if self.preflight_cache[&req_key(req)] {
+                pruned += 1;
+            } else {
+                kept.push(req.clone());
+            }
+        }
+        (kept, pruned)
+    }
+
+    /// Re-verifies the current TLP, answering unchanged requirements from
+    /// the verdict cache and re-aggregating only dirtied load points. The
+    /// outcome (violations, per-point statistics, prune count) is
+    /// bit-identical to a from-scratch [`YuVerifier::verify`] on the same
+    /// inputs.
+    pub fn verify(&mut self) -> VerificationOutcome {
+        let t0 = Instant::now();
+        let verify_span = yu_telemetry::span("verify");
+        let (kept, pruned) = self.preflight_kept_cached();
+        let mut violations = Vec::new();
+        let mut per_point = HashMap::new();
+        for req in &kept {
+            let key = req_key(req);
+            let epoch = self.point_epoch.get(&req.point).copied().unwrap_or(0);
+            let cached = self
+                .verdicts
+                .get(&key)
+                .filter(|c| c.epoch == epoch)
+                .cloned();
+            let (violation, agg) = match cached {
+                Some(c) => {
+                    self.last_delta.reused_reqs += 1;
+                    (c.violation, c.agg)
+                }
+                None => {
+                    self.last_delta.rechecked_reqs += 1;
+                    let (tau, agg) = self.v.load_with_stats(req.point);
+                    let violation =
+                        check_requirement(&mut self.v.m, &self.v.fv, tau, req, self.v.opts.k);
+                    self.verdicts.insert(
+                        key,
+                        CachedVerdict {
+                            epoch,
+                            violation: violation.clone(),
+                            agg,
+                        },
+                    );
+                    (violation, agg)
+                }
+            };
+            per_point.insert(req.point, agg);
+            if let Some(v) = violation {
+                violations.push(v);
+                if self.v.opts.early_stop {
+                    break;
+                }
+            }
+        }
+        yu_telemetry::counter("delta.reused_reqs", self.last_delta.reused_reqs as u64);
+        yu_telemetry::counter(
+            "delta.rechecked_reqs",
+            self.last_delta.rechecked_reqs as u64,
+        );
+        drop(verify_span);
+        self.v
+            .finish_outcome(violations, per_point, t0.elapsed(), pruned)
+    }
+}

@@ -27,10 +27,12 @@
 //! `KREDUCE`, which keeps diagram sizes `O(n^k)`-shaped (§5.2); Theorem
 //! 5.1 guarantees verification results are unaffected.
 
+use crate::trace::{fib_answer, RouteTrace, TraceAnswer, TraceQuery};
 use std::collections::HashMap;
+use std::rc::Rc;
 use yu_mtbdd::{Mtbdd, NodeRef, Op};
 use yu_net::Proto;
-use yu_net::{FailureVars, Flow, Ipv4, LoadPoint, Network, RouterId};
+use yu_net::{FailureVars, Flow, Ipv4, LinkId, LoadPoint, Network, RouterId};
 use yu_routing::{class_partition, NextHop, Rule, SymbolicRoutes};
 
 /// Options for symbolic traffic execution.
@@ -129,8 +131,40 @@ pub fn simulate_flow(
         opts,
         stacks: StackTable::default(),
         loads: HashMap::new(),
+        trace: None,
     };
     exec.run()
+}
+
+/// Like [`simulate_flow`], additionally recording every routing-state
+/// query the execution issued. Replaying the returned [`RouteTrace`]
+/// against a changed routing state decides whether the STF can be reused
+/// (see [`crate::trace`]).
+pub fn simulate_flow_traced(
+    m: &mut Mtbdd,
+    net: &Network,
+    fv: &FailureVars,
+    routes: &mut SymbolicRoutes,
+    flow: &Flow,
+    opts: ExecOptions,
+) -> (FlowStf, RouteTrace) {
+    let _stage = yu_telemetry::span_detail("exec.flow", || {
+        format!("ingress r{} -> {:?} (traced)", flow.ingress.0, flow.dst)
+    });
+    let mut trace = RouteTrace::new();
+    let mut exec = Exec {
+        m,
+        net,
+        fv,
+        routes,
+        flow,
+        opts,
+        stacks: StackTable::default(),
+        loads: HashMap::new(),
+        trace: Some(&mut trace),
+    };
+    let stf = exec.run();
+    (stf, trace)
 }
 
 struct Exec<'a> {
@@ -142,9 +176,68 @@ struct Exec<'a> {
     opts: ExecOptions,
     stacks: StackTable,
     loads: HashMap<LoadPoint, NodeRef>,
+    /// When set, every routing-state query is recorded here.
+    trace: Option<&'a mut RouteTrace>,
 }
 
 impl<'a> Exec<'a> {
+    /// Recording wrappers around the five routing-state query kinds. All
+    /// queries are deterministic per key, so recording the first
+    /// occurrence captures the full dependency.
+    fn q_alive(&mut self, router: RouterId) -> NodeRef {
+        let g = self.fv.router_alive(self.m, router);
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.record(TraceQuery::Alive(router), || TraceAnswer::Alive(g));
+        }
+        g
+    }
+
+    fn q_owns(&mut self, router: RouterId, ip: Ipv4) -> bool {
+        let owned = self.routes.owns(self.net, router, ip);
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.record(TraceQuery::Owns(router, ip), || TraceAnswer::Owns(owned));
+        }
+        owned
+    }
+
+    fn q_vigp(&mut self, router: RouterId, nip: Ipv4) -> Vec<(LinkId, NodeRef)> {
+        let shares = self.routes.vigp(self.m, self.net, self.fv, router, nip);
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.record(TraceQuery::Vigp(router, nip), || {
+                TraceAnswer::Vigp(shares.clone())
+            });
+        }
+        shares
+    }
+
+    fn q_fib(&mut self, router: RouterId) -> (Rc<Vec<Rule>>, bool) {
+        let rules = self
+            .routes
+            .fib_rules(self.m, self.net, self.fv, router, self.flow.dst);
+        let multipath = self.net.bgp(router).map(|b| b.multipath).unwrap_or(true);
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.record(TraceQuery::Fib(router, self.flow.dst), || {
+                fib_answer(&rules, multipath)
+            });
+        }
+        (rules, multipath)
+    }
+
+    fn q_sr(&mut self, router: RouterId, nip: Ipv4) -> Option<yu_routing::GuardedSrPolicy> {
+        let pol = self.routes.sr_policy(router, nip, self.flow.dscp).cloned();
+        if let Some(t) = self.trace.as_deref_mut() {
+            let snap = pol.as_ref().map(|p| {
+                p.paths
+                    .iter()
+                    .map(|g| (g.segments.clone(), g.weight, g.guard))
+                    .collect()
+            });
+            t.record(TraceQuery::Sr(router, nip, self.flow.dscp), || {
+                TraceAnswer::Sr(snap)
+            });
+        }
+        pol
+    }
     fn reduce(&mut self, f: NodeRef) -> NodeRef {
         match self.opts.k {
             Some(k) => self.m.kreduce(f, k),
@@ -169,7 +262,7 @@ impl<'a> Exec<'a> {
     fn run(&mut self) -> FlowStf {
         let empty = self.stacks.intern(Vec::new());
         let mut frontier: HashMap<(RouterId, u32), NodeRef> = HashMap::new();
-        let ingress_alive = self.fv.router_alive(self.m, self.flow.ingress);
+        let ingress_alive = self.q_alive(self.flow.ingress);
         if ingress_alive != self.m.zero() {
             frontier.insert((self.flow.ingress, empty), ingress_alive);
         }
@@ -208,7 +301,7 @@ impl<'a> Exec<'a> {
         // 17-18).
         let mut stack = stack;
         while let Some((&top, rest)) = stack.split_first() {
-            if self.routes.owns(self.net, router, top) {
+            if self.q_owns(router, top) {
                 stack = rest;
             } else {
                 break;
@@ -217,7 +310,7 @@ impl<'a> Exec<'a> {
         let mut emitted = self.m.zero();
         if let Some(&top) = stack.first() {
             // Labeled traffic: toward the top segment via V^IGP.
-            let shares = self.routes.vigp(self.m, self.net, self.fv, router, top);
+            let shares = self.q_vigp(router, top);
             for (l, share) in shares {
                 let q = self.m.mul(amount, share);
                 let q = self.reduce(q);
@@ -244,10 +337,7 @@ impl<'a> Exec<'a> {
         amount: NodeRef,
         next: &mut HashMap<(RouterId, u32), NodeRef>,
     ) -> NodeRef {
-        let rules = self
-            .routes
-            .fib_rules(self.m, self.net, self.fv, router, self.flow.dst);
-        let multipath = self.net.bgp(router).map(|b| b.multipath).unwrap_or(true);
+        let (rules, multipath) = self.q_fib(router);
         let sel = selection_guards(self.m, &rules, multipath);
         let total = self.m.sum(&sel);
         let mut consumed = self.m.zero();
@@ -294,7 +384,7 @@ impl<'a> Exec<'a> {
         next: &mut HashMap<(RouterId, u32), NodeRef>,
     ) -> NodeRef {
         let mut emitted = self.m.zero();
-        let policy = self.routes.sr_policy(router, nip, self.flow.dscp).cloned();
+        let policy = self.q_sr(router, nip);
         if let Some(pol) = policy {
             // c_p = g_p * w_p / Σ g_{p'} * w_{p'}
             let weighted: Vec<NodeRef> = pol
@@ -311,14 +401,14 @@ impl<'a> Exec<'a> {
                     continue;
                 }
                 let first = p.segments[0];
-                if self.routes.owns(self.net, router, first) {
+                if self.q_owns(router, first) {
                     // Degenerate headend-owns-first-segment case: process
                     // the stack immediately at this router.
                     self.step(router, &p.segments, share, next);
                     emitted = self.m.add(emitted, share);
                     continue;
                 }
-                let shares = self.routes.vigp(self.m, self.net, self.fv, router, first);
+                let shares = self.q_vigp(router, first);
                 for (l, lshare) in shares {
                     let q = self.m.mul(share, lshare);
                     let q = self.reduce(q);
@@ -327,7 +417,7 @@ impl<'a> Exec<'a> {
                 }
             }
         } else {
-            let shares = self.routes.vigp(self.m, self.net, self.fv, router, nip);
+            let shares = self.q_vigp(router, nip);
             for (l, share) in shares {
                 let q = self.m.mul(amount, share);
                 let q = self.reduce(q);

@@ -24,22 +24,26 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod delta;
 pub mod equivalence;
 pub mod exec;
 pub mod explain;
 pub mod parallel;
+pub mod trace;
 pub mod verify;
 
 pub use api::{
     default_check_workers, default_workers, RunStats, VerificationOutcome, YuOptions, YuVerifier,
 };
+pub use delta::{DeltaStats, IncrementalVerifier};
 pub use equivalence::{
     aggregate_load, global_groups, global_groups_classified, AggStats, FlowGroup,
 };
-pub use exec::{selection_guards, simulate_flow, ExecOptions, FlowStf};
+pub use exec::{selection_guards, simulate_flow, simulate_flow_traced, ExecOptions, FlowStf};
 pub use explain::{
     explanation_dot, trace_flow, Explanation, FlowBlame, FlowPathDiff, PathOutcome, PointEnvelope,
     ReplayCheck, TracedPath, MAX_TRACED_PATHS,
 };
 pub use parallel::{check_sharded, execute_sharded, CheckCtx, CheckShard, CheckUnit, Shard};
+pub use trace::{RouteTrace, TraceAnswer, TraceQuery};
 pub use verify::{check_requirement, check_tlp, enumerate_violations, Violation};

@@ -41,7 +41,8 @@
 //! same final diagrams.
 
 use crate::equivalence::{AggStats, FlowGroup};
-use crate::exec::{simulate_flow, ExecOptions, FlowStf};
+use crate::exec::{simulate_flow, simulate_flow_traced, ExecOptions, FlowStf};
+use crate::trace::RouteTrace;
 use crate::verify::{check_requirement, enumerate_violations, Violation};
 use std::collections::HashMap;
 use yu_mtbdd::{ImportMemo, Mtbdd, MtbddStats, NodeRef, Ratio, Term};
@@ -94,9 +95,11 @@ pub struct Shard {
     /// The worker's private arena. All [`FlowStf`] handles in
     /// [`Shard::stfs`] live here until imported.
     pub arena: Mtbdd,
-    /// `(global group index, STF)` pairs, in this worker's execution
-    /// order (ascending group index by construction).
-    pub stfs: Vec<(usize, FlowStf)>,
+    /// `(global group index, STF, route trace)` triples, in this worker's
+    /// execution order (ascending group index by construction). The trace
+    /// is `Some` iff the shard ran with `record_traces` and holds handles
+    /// of this shard's arena until imported.
+    pub stfs: Vec<(usize, FlowStf, Option<RouteTrace>)>,
 }
 
 /// Executes `groups` across `workers` threads, each with a private arena
@@ -116,6 +119,7 @@ pub fn execute_sharded(
     groups: &[FlowGroup],
     opts: ExecOptions,
     workers: usize,
+    record_traces: bool,
 ) -> Vec<Shard> {
     let workers = workers.clamp(1, groups.len().max(1));
     run_worker_pool(
@@ -128,8 +132,14 @@ pub fn execute_sharded(
             let mut routes = SymbolicRoutes::compute(&mut m, net, &fv, routes_k);
             let mut stfs = Vec::new();
             for (ix, g) in groups.iter().enumerate().skip(w).step_by(workers) {
-                let stf = simulate_flow(&mut m, net, &fv, &mut routes, &g.rep, opts);
-                stfs.push((ix, stf));
+                if record_traces {
+                    let (stf, trace) =
+                        simulate_flow_traced(&mut m, net, &fv, &mut routes, &g.rep, opts);
+                    stfs.push((ix, stf, Some(trace)));
+                } else {
+                    let stf = simulate_flow(&mut m, net, &fv, &mut routes, &g.rep, opts);
+                    stfs.push((ix, stf, None));
+                }
             }
             Shard { arena: m, stfs }
         },

@@ -21,7 +21,7 @@ pub enum StaticNextHop {
 }
 
 /// A static route.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StaticRoute {
     /// Destination prefix.
     pub prefix: Prefix,
@@ -45,7 +45,7 @@ pub struct DenyExport {
 /// an eBGP session per physical link whose endpoints are in different ASes
 /// (both running BGP), and an iBGP full mesh among the BGP routers of each
 /// AS.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BgpConfig {
     /// Prefixes originated by this router (`network` statements). The
     /// router also *delivers* traffic for these prefixes (they are attached
@@ -95,7 +95,7 @@ impl BgpConfig {
 
 /// One weighted path of an SR policy: an explicit segment list (router
 /// loopback addresses, possibly anycast) plus a load-balancing weight.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SrPath {
     /// Segment list, first segment first (`[E, F]` in the paper's Fig. 4).
     pub segments: Vec<Ipv4>,
@@ -106,7 +106,7 @@ pub struct SrPath {
 
 /// A segment routing policy: traffic resolving BGP next hop `endpoint`
 /// (and matching `match_dscp`, if set) is steered into the weighted paths.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SrPolicy {
     /// The next-hop address the policy applies to (e.g. `10.0.0.6/32` on
     /// router D in Fig. 1).
@@ -126,7 +126,7 @@ impl SrPolicy {
 }
 
 /// Full configuration of one router.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RouterConfig {
     /// Attached (connected) networks; traffic for them is delivered here.
     /// These are installed as connected routes (administrative distance 0)

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 mod addr;
+mod change;
 mod config;
 mod failure;
 mod flow;
@@ -23,6 +24,7 @@ mod topology;
 mod trie;
 
 pub use addr::{AddrParseError, Ipv4, Prefix};
+pub use change::{diff_impact, Change, ChangeError, ChangeSet, Impact, PointRef};
 pub use config::{
     BgpConfig, DenyExport, Proto, RouterConfig, SrPath, SrPolicy, StaticNextHop, StaticRoute,
 };

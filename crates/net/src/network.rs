@@ -23,7 +23,7 @@ pub enum BgpSession {
 }
 
 /// A fully specified network.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Network {
     /// The graph.
     pub topo: Topology,

@@ -34,7 +34,7 @@ impl fmt::Display for RouterId {
 }
 
 /// A router with its loopback address and AS membership.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Router {
     /// Human-readable name (unique within a topology).
     pub name: String,
@@ -46,7 +46,7 @@ pub struct Router {
 }
 
 /// A directed link.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Link {
     /// Source router.
     pub from: RouterId,
@@ -61,7 +61,7 @@ pub struct Link {
 }
 
 /// The network graph.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Topology {
     routers: Vec<Router>,
     links: Vec<Link>,
@@ -125,6 +125,19 @@ impl Topology {
         self.out_adj[b.0 as usize].push(rev);
         self.in_adj[a.0 as usize].push(rev);
         ulink
+    }
+
+    /// Sets the IGP cost of one *directed* link. The reverse direction is
+    /// untouched, so asymmetric costs can be expressed by two calls.
+    pub fn set_link_cost(&mut self, l: LinkId, cost: u64) {
+        self.links[l.0 as usize].igp_cost = cost;
+    }
+
+    /// Sets the IGP cost of both directed halves of an undirected link.
+    pub fn set_ulink_cost(&mut self, u: ULinkId, cost: u64) {
+        let (fwd, rev) = self.directions(u);
+        self.set_link_cost(fwd, cost);
+        self.set_link_cost(rev, cost);
     }
 
     /// Number of routers.

@@ -18,6 +18,12 @@
 //! yu loads spec.json [--fail A-B,C-D]                per-link loads under a scenario
 //! yu scenarios spec.json                             size of the scenario space
 //! yu rib spec.json --router <name> --dst <ip>        symbolic FIB of one router
+//! yu diff old.json new.json [--json]                 incremental re-verification: verdict
+//!                                                    delta between two specs, recomputing
+//!                                                    only what the change invalidated
+//! yu serve --spec base.json                          JSON-lines daemon: one change-set
+//!                                                    request per line, one verdict-delta
+//!                                                    response per line (see yu::serve)
 //! ```
 //!
 //! Specs are self-contained JSON (network + flows + TLP + k); see
@@ -51,7 +57,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Positional arguments: everything that is neither a flag nor the
     // value of a value-taking flag.
-    const VALUE_FLAGS: [&str; 9] = [
+    const VALUE_FLAGS: [&str; 10] = [
         "--fail",
         "--workers",
         "--check-workers",
@@ -61,6 +67,7 @@ fn main() -> ExitCode {
         "--metrics-out",
         "--max-violations",
         "--dot-out",
+        "--spec",
     ];
     let mut pos = args.iter().enumerate().filter_map(|(i, a)| {
         let is_flag_value = i > 0 && VALUE_FLAGS.iter().any(|f| args[i - 1] == *f);
@@ -68,6 +75,7 @@ fn main() -> ExitCode {
     });
     let cmd = pos.next().map(String::as_str).unwrap_or("help");
     let arg = pos.next().cloned();
+    let arg2 = pos.next().cloned();
     let json_output = args.iter().any(|a| a == "--json");
     let flag_value = |flag: &str| {
         args.iter()
@@ -146,16 +154,33 @@ fn main() -> ExitCode {
         "loads" => loads(&load(&arg), fail_arg.as_deref()),
         "scenarios" => scenarios(&load(&arg)),
         "rib" => rib(&load(&arg), &args),
+        "diff" => diff(
+            &load(&arg),
+            &load(&arg2),
+            json_output,
+            workers,
+            check_workers,
+            static_prune,
+            &telemetry,
+        ),
+        "serve" => serve(
+            flag_value("--spec").or(arg),
+            workers,
+            check_workers,
+            static_prune,
+            &telemetry,
+        ),
         other => {
             if other != "help" {
                 eprintln!("unknown command '{other}'");
             }
             eprintln!(
-                "usage: yu <export|lint|check|verify|explain|loads|scenarios|rib> [spec.json] \
+                "usage: yu <export|lint|check|verify|explain|loads|scenarios|rib|diff|serve> \
+                 [spec.json] \
                  [--json] [--deep] [--deny-warnings] [--workers N] [--check-workers N] \
                  [--no-static-prune] [--explain] [--max-violations N] \
                  [--dot-out FILE] [--fail A-B,C-D] [--router <name> --dst <ip>] \
-                 [-v] [--trace-out FILE] [--metrics-out FILE]"
+                 [--spec base.json] [-v] [--trace-out FILE] [--metrics-out FILE]"
             );
             ExitCode::from(2)
         }
@@ -413,6 +438,149 @@ fn verify(
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// The `yu diff` subcommand: verify `old`, switch the same incremental
+/// verifier to `new`, and report the verdict delta plus what was reused.
+fn diff(
+    old: &VerifySpec,
+    new: &VerifySpec,
+    json_output: bool,
+    workers: usize,
+    check_workers: usize,
+    static_prune: bool,
+    telemetry: &TelemetryArgs,
+) -> ExitCode {
+    if telemetry.wants_recording() {
+        yu::telemetry::set_enabled(true);
+    }
+    let opts = YuOptions {
+        k: old.k,
+        mode: old.mode,
+        workers,
+        check_workers,
+        static_prune,
+        ..Default::default()
+    };
+    let mut inc = yu::core::IncrementalVerifier::new(
+        old.network.clone(),
+        old.flows.clone(),
+        old.tlp.clone(),
+        opts,
+    );
+    let base = inc.verify();
+    let out = if old.k != new.k || old.mode != new.mode {
+        // A different failure budget or mode changes the scenario space
+        // itself — nothing symbolic is reusable; start over on `new`.
+        inc = yu::core::IncrementalVerifier::new(
+            new.network.clone(),
+            new.flows.clone(),
+            new.tlp.clone(),
+            YuOptions {
+                k: new.k,
+                mode: new.mode,
+                ..opts
+            },
+        );
+        inc.verify()
+    } else {
+        inc.set_state(new.network.clone(), new.flows.clone(), new.tlp.clone())
+    };
+    let delta = inc.delta_stats();
+    let (new_v, resolved) = yu::serve::violation_delta(&base.violations, &out.violations);
+    if json_output {
+        use serde::{Map, Serialize, Value};
+        let mut root = Map::new();
+        root.insert("verified", Value::Bool(out.verified()));
+        root.insert("violations", out.violations.to_value());
+        root.insert("new_violations", new_v.to_value());
+        root.insert("resolved_violations", resolved.to_value());
+        root.insert("stats", yu::serve::stats_value(&out, delta));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&Value::Map(root)).expect("serializable")
+        );
+    } else {
+        if out.verified() {
+            println!(
+                "VERIFIED: the new spec holds under every scenario with <= {} {} failures",
+                new.k,
+                mode_noun(new.mode)
+            );
+        } else {
+            println!("VIOLATED ({} findings):", out.violations.len());
+            for vi in &out.violations {
+                println!("  {}", vi.describe(&new.network.topo));
+            }
+        }
+        println!(
+            "delta: +{} -{} violation(s); {} group(s) reused, {} recomputed; \
+             {} req(s) reused, {} rechecked{}",
+            new_v.len(),
+            resolved.len(),
+            delta.reused_groups,
+            delta.recomputed_groups,
+            delta.reused_reqs,
+            delta.rechecked_reqs,
+            if delta.full_rebuild {
+                " (full rebuild)"
+            } else {
+                ""
+            }
+        );
+    }
+    export_telemetry(telemetry);
+    if out.verified() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The `yu serve` subcommand: read JSON-lines change-set requests from
+/// stdin, write one verdict-delta response line each, until EOF.
+fn serve(
+    spec_path: Option<String>,
+    workers: usize,
+    check_workers: usize,
+    static_prune: bool,
+    telemetry: &TelemetryArgs,
+) -> ExitCode {
+    use std::io::{BufRead, Write};
+    if telemetry.wants_recording() {
+        yu::telemetry::set_enabled(true);
+    }
+    let spec = load(&spec_path);
+    let opts = YuOptions {
+        k: spec.k,
+        mode: spec.mode,
+        workers,
+        check_workers,
+        static_prune,
+        ..Default::default()
+    };
+    let mut session = yu::serve::ServeSession::new(&spec, opts);
+    let stdout = std::io::stdout();
+    {
+        let mut out = stdout.lock();
+        let _ = writeln!(out, "{}", session.ready_line());
+        let _ = out.flush();
+    }
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = session.handle_line(&line);
+        let mut out = stdout.lock();
+        if writeln!(out, "{resp}").is_err() {
+            break;
+        }
+        let _ = out.flush();
+    }
+    export_telemetry(telemetry);
+    ExitCode::SUCCESS
 }
 
 /// Failure-mode noun for human verdict lines.

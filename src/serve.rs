@@ -1,0 +1,207 @@
+//! The `yu serve` session: a long-running incremental re-verification
+//! daemon speaking JSON-lines.
+//!
+//! Protocol: one request per line —
+//!
+//! ```json
+//! {"id": 1, "changes": [{"SetLinkCost": {"from": "A", "to": "B", "cost": 10}}]}
+//! ```
+//!
+//! — one response per line. A successful response carries the verdict,
+//! the **verdict delta** against the previous state (violations that
+//! appeared and violations that resolved), and reuse statistics:
+//!
+//! ```json
+//! {"id": 1, "ok": true, "verified": false, "violations": [...],
+//!  "new_violations": [...], "resolved_violations": [],
+//!  "stats": {"reused_groups": 5, "recomputed_groups": 1, ...}}
+//! ```
+//!
+//! Errors never crash the session and never mutate verifier state:
+//! malformed JSON yields `{"ok": false, "error": {"kind": "parse", ...}}`,
+//! an unknown change kind or bad request shape yields `kind":
+//! "bad_request"`, and a change naming a nonexistent router/link/flow is
+//! rejected atomically by [`ChangeSet::apply`] before anything is
+//! touched.
+
+use crate::spec::VerifySpec;
+use serde::{Deserialize, Map, Serialize, Value};
+use yu_core::{DeltaStats, IncrementalVerifier, VerificationOutcome, Violation, YuOptions};
+use yu_net::{Change, ChangeSet};
+
+/// One `yu serve` request: a change-set plus an optional client-chosen
+/// correlation id (echoed back in the response).
+#[derive(Debug, Clone, Deserialize)]
+struct Request {
+    #[serde(default)]
+    id: Option<i128>,
+    changes: Vec<Change>,
+}
+
+/// A long-running incremental verification session.
+pub struct ServeSession {
+    inc: IncrementalVerifier,
+    /// Violations of the current state (baseline of the next delta).
+    violations: Vec<Violation>,
+}
+
+impl ServeSession {
+    /// Builds the session from a base spec: executes all flows (with
+    /// route-dependency recording) and verifies once to establish the
+    /// baseline verdict.
+    pub fn new(spec: &VerifySpec, opts: YuOptions) -> ServeSession {
+        let mut inc = IncrementalVerifier::new(
+            spec.network.clone(),
+            spec.flows.clone(),
+            spec.tlp.clone(),
+            opts,
+        );
+        let out = inc.verify();
+        ServeSession {
+            inc,
+            violations: out.violations,
+        }
+    }
+
+    /// The incremental verifier (tests).
+    pub fn verifier(&self) -> &IncrementalVerifier {
+        &self.inc
+    }
+
+    /// The banner printed when the session starts: a single JSON line
+    /// announcing readiness and the baseline verdict.
+    pub fn ready_line(&self) -> String {
+        let net = self.inc.network();
+        let mut m = Map::new();
+        m.insert("ready", Value::Bool(true));
+        m.insert("routers", Value::Int(net.topo.num_routers() as i128));
+        m.insert("links", Value::Int(net.topo.num_ulinks() as i128));
+        m.insert("flows", Value::Int(self.inc.flows().len() as i128));
+        m.insert("reqs", Value::Int(self.inc.tlp().reqs.len() as i128));
+        m.insert("verified", Value::Bool(self.violations.is_empty()));
+        m.insert("violations", Value::Int(self.violations.len() as i128));
+        Value::Map(m).to_string()
+    }
+
+    /// Handles one request line and returns one response line. Never
+    /// panics on bad input; errors leave the verifier state untouched.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        let _req_span = yu_telemetry::span("serve.request");
+        // Stage 1: is the line JSON at all?
+        let value: Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => return error_line(Value::Null, "parse", &e.to_string()),
+        };
+        let id = value
+            .as_object()
+            .and_then(|m| m.get("id"))
+            .cloned()
+            .unwrap_or(Value::Null);
+        // Stage 2: does it have the request shape (known change kinds)?
+        let req: Request = match serde_json::from_str(line) {
+            Ok(r) => r,
+            Err(e) => return error_line(id, "bad_request", &e.to_string()),
+        };
+        let id = req.id.map(Value::Int).unwrap_or(id);
+        let cs = ChangeSet {
+            changes: req.changes,
+        };
+        // Stage 3: apply atomically; semantic errors (unknown router,
+        // bad index) are rejected before any state is touched.
+        match self.inc.apply(&cs) {
+            Ok(out) => {
+                let delta = self.inc.delta_stats();
+                let line = success_line(id, &out, &self.violations, delta);
+                self.violations = out.violations;
+                line
+            }
+            Err(e) => error_line(id, "bad_request", &e.to_string()),
+        }
+    }
+}
+
+/// The structured error response (one line).
+fn error_line(id: Value, kind: &str, message: &str) -> String {
+    let mut err = Map::new();
+    err.insert("kind", Value::Str(kind.to_string()));
+    err.insert("message", Value::Str(message.to_string()));
+    let mut root = Map::new();
+    root.insert("id", id);
+    root.insert("ok", Value::Bool(false));
+    root.insert("error", Value::Map(err));
+    Value::Map(root).to_string()
+}
+
+/// The success response (one line): verdict, verdict delta against
+/// `previous`, and reuse statistics.
+fn success_line(
+    id: Value,
+    out: &VerificationOutcome,
+    previous: &[Violation],
+    delta: DeltaStats,
+) -> String {
+    let (new_v, resolved) = violation_delta(previous, &out.violations);
+    let mut root = Map::new();
+    root.insert("id", id);
+    root.insert("ok", Value::Bool(true));
+    root.insert("verified", Value::Bool(out.verified()));
+    root.insert("violations", out.violations.to_value());
+    root.insert("new_violations", new_v.to_value());
+    root.insert("resolved_violations", resolved.to_value());
+    root.insert("stats", stats_value(out, delta));
+    Value::Map(root).to_string()
+}
+
+/// Splits the verdict delta: violations present now but not before, and
+/// violations present before but resolved now. Compared structurally
+/// (point, scenario, load, bounds) — outcomes are bit-identical to
+/// scratch runs, so equality is exact.
+pub fn violation_delta(
+    previous: &[Violation],
+    current: &[Violation],
+) -> (Vec<Violation>, Vec<Violation>) {
+    let new_v = current
+        .iter()
+        .filter(|v| !previous.contains(v))
+        .cloned()
+        .collect();
+    let resolved = previous
+        .iter()
+        .filter(|v| !current.contains(v))
+        .cloned()
+        .collect();
+    (new_v, resolved)
+}
+
+/// The per-request statistics object: reuse counters plus the usual run
+/// statistics.
+pub fn stats_value(out: &VerificationOutcome, delta: DeltaStats) -> Value {
+    let mut stats = Map::new();
+    stats.insert("reused_groups", Value::Int(delta.reused_groups as i128));
+    stats.insert(
+        "recomputed_groups",
+        Value::Int(delta.recomputed_groups as i128),
+    );
+    stats.insert("reused_reqs", Value::Int(delta.reused_reqs as i128));
+    stats.insert("rechecked_reqs", Value::Int(delta.rechecked_reqs as i128));
+    stats.insert("dirty_points", Value::Int(delta.dirty_points as i128));
+    stats.insert("full_rebuild", Value::Bool(delta.full_rebuild));
+    stats.insert("flow_groups", Value::Int(out.stats.flow_groups as i128));
+    stats.insert("reqs_pruned", Value::Int(out.stats.reqs_pruned as i128));
+    stats.insert(
+        "route_secs",
+        Value::Float(out.stats.route_time.as_secs_f64()),
+    );
+    stats.insert("exec_secs", Value::Float(out.stats.exec_time.as_secs_f64()));
+    stats.insert(
+        "check_secs",
+        Value::Float(out.stats.check_time.as_secs_f64()),
+    );
+    Value::Map(stats)
+}
+
+/// Shared by `yu diff` and `Change` consumers: a change-set parsed from a
+/// JSON string (the line format of the serve protocol's `changes` field).
+pub fn parse_changes(json: &str) -> Result<Vec<Change>, serde_json::Error> {
+    serde_json::from_str(json)
+}

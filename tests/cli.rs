@@ -130,6 +130,223 @@ fn lint_exit_policy_is_stable() {
     assert!(!lint_ok(&mixed, true));
 }
 
+/// The fig1 spec used by the serve tests.
+fn fig1_spec() -> VerifySpec {
+    let ex = yu::gen::motivating_example();
+    VerifySpec {
+        network: ex.net,
+        flows: ex.flows,
+        tlp: ex.p2,
+        k: 1,
+        mode: yu::net::FailureMode::Links,
+    }
+}
+
+/// A field of a one-line JSON response.
+fn field<'a>(resp: &'a serde_json::Value, name: &str) -> &'a serde_json::Value {
+    resp.as_object()
+        .and_then(|m| m.get(name))
+        .unwrap_or_else(|| panic!("response missing {name:?}: {resp:?}"))
+}
+
+#[test]
+fn serve_session_handles_errors_without_mutating_state() {
+    use serde_json::Value;
+    use yu::serve::ServeSession;
+
+    let spec = fig1_spec();
+    let mut s = ServeSession::new(&spec, yu::core::YuOptions::default());
+    let ready: Value = serde_json::from_str(&s.ready_line()).unwrap();
+    assert_eq!(field(&ready, "ready"), &Value::Bool(true));
+    let baseline = format!("{:?}", s.verifier().verifier().options());
+    let base_flows = s.verifier().flows().to_vec();
+
+    // Malformed JSON -> structured parse error.
+    let r: Value = serde_json::from_str(&s.handle_line("{not json")).unwrap();
+    assert_eq!(field(&r, "ok"), &Value::Bool(false));
+    assert_eq!(
+        field(field(&r, "error"), "kind"),
+        &Value::Str("parse".into())
+    );
+
+    // Unknown change kind -> bad_request.
+    let r: Value = serde_json::from_str(
+        &s.handle_line(r#"{"id": 2, "changes": [{"FrobnicateRouter": {"name": "A"}}]}"#),
+    )
+    .unwrap();
+    assert_eq!(field(&r, "ok"), &Value::Bool(false));
+    assert_eq!(field(&r, "id"), &Value::Int(2));
+    assert_eq!(
+        field(field(&r, "error"), "kind"),
+        &Value::Str("bad_request".into())
+    );
+
+    // Nonexistent router -> bad_request, rejected atomically.
+    let r: Value = serde_json::from_str(&s.handle_line(
+        r#"{"id": 3, "changes": [{"SetLinkCost": {"from": "NOPE", "to": "B", "cost": 5}}]}"#,
+    ))
+    .unwrap();
+    assert_eq!(field(&r, "ok"), &Value::Bool(false));
+    assert_eq!(
+        field(field(&r, "error"), "kind"),
+        &Value::Str("bad_request".into())
+    );
+
+    // Partially-valid change-set (valid volume edit + bogus removal) ->
+    // rejected as a whole; no partial mutation.
+    let r: Value = serde_json::from_str(&s.handle_line(
+        r#"{"id": 4, "changes": [{"SetFlowVolume": {"flow": 0, "volume": "7"}}, {"RemoveFlow": {"flow": 9999}}]}"#,
+    ))
+    .unwrap();
+    assert_eq!(field(&r, "ok"), &Value::Bool(false));
+    assert_eq!(
+        s.verifier().flows(),
+        &base_flows[..],
+        "state mutated by rejected set"
+    );
+    assert_eq!(format!("{:?}", s.verifier().verifier().options()), baseline);
+
+    // The session still serves valid requests afterwards.
+    let r: Value = serde_json::from_str(
+        &s.handle_line(r#"{"id": 5, "changes": [{"SetFlowVolume": {"flow": 0, "volume": "7"}}]}"#),
+    )
+    .unwrap();
+    assert_eq!(
+        field(&r, "ok"),
+        &Value::Bool(true),
+        "valid request after errors: {r:?}"
+    );
+    assert_eq!(field(&r, "id"), &Value::Int(5));
+    for key in [
+        "verified",
+        "violations",
+        "new_violations",
+        "resolved_violations",
+        "stats",
+    ] {
+        assert!(
+            r.as_object().unwrap().get(key).is_some(),
+            "success response missing {key}"
+        );
+    }
+}
+
+#[test]
+fn serve_stats_reset_between_requests() {
+    use serde_json::Value;
+    use yu::serve::ServeSession;
+
+    let spec = fig1_spec();
+    let mut s = ServeSession::new(&spec, yu::core::YuOptions::default());
+
+    // Request 1 touches the flows stage: flows_in and exec time are
+    // nonzero for THIS request.
+    let r1: Value = serde_json::from_str(&s.handle_line(
+        r#"{"id": 1, "changes": [{"AddFlow": {"ingress": "A", "src": 151587081, "dst": 1677721601, "volume": "5"}}]}"#,
+    ))
+    .unwrap();
+    assert_eq!(field(&r1, "ok"), &Value::Bool(true), "{r1:?}");
+    let flows_now = s.verifier().flows().len();
+
+    // Request 2 is TLP-only: had the counters accumulated across
+    // requests (the old RunStats reuse bug), route/exec times and group
+    // recompute counts from request 1 would leak into this response.
+    let r2: Value = serde_json::from_str(&s.handle_line(
+        r#"{"id": 2, "changes": [{"AddReq": {"point": {"Delivered": {"router": "E"}}, "max": "1000000"}}]}"#,
+    ))
+    .unwrap();
+    assert_eq!(field(&r2, "ok"), &Value::Bool(true), "{r2:?}");
+    let stats2 = field(&r2, "stats");
+    assert_eq!(
+        field(stats2, "route_secs"),
+        &Value::Float(0.0),
+        "route time leaked across requests: {r2:?}"
+    );
+    assert_eq!(
+        field(stats2, "exec_secs"),
+        &Value::Float(0.0),
+        "exec time leaked across requests: {r2:?}"
+    );
+    assert_eq!(field(stats2, "recomputed_groups"), &Value::Int(0));
+    assert_eq!(field(stats2, "full_rebuild"), &Value::Bool(false));
+    // The verifier itself still knows the true flow count.
+    assert_eq!(s.verifier().flows().len(), flows_now);
+}
+
+#[test]
+fn serve_over_a_pipe_end_to_end() {
+    use serde_json::Value;
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::{Command, Stdio};
+
+    let spec = fig1_spec();
+    let dir = std::env::temp_dir();
+    let spec_path = dir.join("yu-serve-cli-test.json");
+    std::fs::write(&spec_path, spec.to_json()).unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_yu"))
+        .args(["serve", "--spec", spec_path.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn yu serve");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    let mut next = |input: Option<&str>| -> Value {
+        if let Some(line) = input {
+            writeln!(stdin, "{line}").unwrap();
+            stdin.flush().unwrap();
+        }
+        let line = lines.next().expect("serve closed early").unwrap();
+        serde_json::from_str(&line).unwrap_or_else(|e| panic!("bad response {line:?}: {e:?}"))
+    };
+
+    let ready = next(None);
+    assert_eq!(field(&ready, "ready"), &Value::Bool(true));
+    assert_eq!(field(&ready, "verified"), &Value::Bool(false)); // fig1 P2 is violated
+
+    // A valid change-set: raising the C-E capacity-bound requirement
+    // volume... keep it simple: double flow 0's volume.
+    let ok = next(Some(
+        r#"{"id": 1, "changes": [{"SetFlowVolume": {"flow": 0, "volume": "80"}}]}"#,
+    ));
+    assert_eq!(field(&ok, "ok"), &Value::Bool(true), "{ok:?}");
+    assert_eq!(field(&ok, "id"), &Value::Int(1));
+    assert!(field(&ok, "stats").as_object().is_some());
+
+    // Malformed JSON, unknown kind, unknown router: structured errors,
+    // daemon stays alive.
+    let e1 = next(Some("this is not json"));
+    assert_eq!(
+        field(field(&e1, "error"), "kind"),
+        &Value::Str("parse".into())
+    );
+    let e2 = next(Some(r#"{"id": 2, "changes": [{"Nonsense": {}}]}"#));
+    assert_eq!(
+        field(field(&e2, "error"), "kind"),
+        &Value::Str("bad_request".into())
+    );
+    let e3 = next(Some(
+        r#"{"id": 3, "changes": [{"SetLinkCost": {"from": "NOPE", "to": "B", "cost": 1}}]}"#,
+    ));
+    assert_eq!(
+        field(field(&e3, "error"), "kind"),
+        &Value::Str("bad_request".into())
+    );
+
+    // Still serving after three failures.
+    let ok2 = next(Some(
+        r#"{"id": 4, "changes": [{"SetFlowVolume": {"flow": 0, "volume": "70"}}]}"#,
+    ));
+    assert_eq!(field(&ok2, "ok"), &Value::Bool(true), "{ok2:?}");
+
+    drop(stdin); // EOF ends the session cleanly
+    let status = child.wait().unwrap();
+    assert!(status.success(), "serve exited with {status:?}");
+    let _ = std::fs::remove_file(&spec_path);
+}
+
 #[test]
 fn deep_lint_on_the_preflight_example_reports_discharges() {
     let ex = yu::gen::preflight_example();

@@ -1,0 +1,449 @@
+//! Differential tests for the incremental re-verification engine: every
+//! built-in example is driven through a curated edit script (cost bump,
+//! link removal, volume change, new requirement, combined edits), and
+//! after **every** step the incremental verifier must be bit-identical
+//! to a from-scratch run on the updated inputs — same verdict, same
+//! violation set (including counterexample scenarios), same per-point
+//! aggregation statistics, same prune count, same flow-group results
+//! (volumes, members, and symbolic load terminals), and the same
+//! concrete loads at sampled scenarios. The whole script runs with
+//! static pruning both on and off.
+//!
+//! Under `YU_AUDIT=1` the reused arena additionally passes the
+//! canonicity auditor after each invalidation (the engine's own
+//! `audit_checkpoint`), and this harness re-audits explicitly after
+//! every step regardless.
+
+use yu::core::{IncrementalVerifier, VerificationOutcome, YuOptions, YuVerifier};
+use yu::gen::{
+    fattree_with_flows, motivating_example, sr_anycast_incident, static_blackhole_incident, wan,
+    WanParams,
+};
+use yu::mtbdd::{Ratio, Term};
+use yu::net::{
+    scenarios_up_to_k, Change, ChangeSet, FailureMode, Flow, LoadPoint, Network, PointRef,
+    Scenario, Tlp,
+};
+
+struct Instance {
+    name: &'static str,
+    net: Network,
+    flows: Vec<Flow>,
+    tlp: Tlp,
+    k: u32,
+}
+
+/// Every built-in `yu export` example (fig1, fig9, fig10, ft4) plus the
+/// small random WAN of the parallel differential suite (IGP + SR
+/// routing, so cost edits actually invalidate routes).
+fn instances() -> Vec<Instance> {
+    let fig1 = motivating_example();
+    let fig9 = sr_anycast_incident();
+    let fig10 = static_blackhole_incident();
+    let (ft, ft_flows) = fattree_with_flows(4, 16);
+    let ft_tlp = Tlp::no_overload(&ft.net.topo, Ratio::new(95, 100));
+    let w = wan(WanParams {
+        core_routers: 5,
+        stub_routers: 2,
+        extra_core_links: 3,
+        prefixes: 8,
+        sr_policies: 1,
+        seed: 7,
+    });
+    let w_flows = w.flows(25, 70);
+    let w_tlp = Tlp::no_overload(&w.net.topo, Ratio::new(95, 100));
+    vec![
+        Instance {
+            name: "fig1",
+            net: fig1.net,
+            flows: fig1.flows,
+            tlp: fig1.p2,
+            k: 1,
+        },
+        Instance {
+            name: "fig9",
+            net: fig9.net,
+            flows: fig9.flows,
+            tlp: fig9.tlp,
+            k: 1,
+        },
+        Instance {
+            name: "fig10",
+            net: fig10.net,
+            flows: fig10.flows,
+            tlp: fig10.tlp,
+            k: 1,
+        },
+        Instance {
+            name: "ft4",
+            net: ft.net,
+            flows: ft_flows,
+            tlp: ft_tlp,
+            k: 2,
+        },
+        Instance {
+            name: "wan-small",
+            net: w.net,
+            flows: w_flows,
+            tlp: w_tlp,
+            k: 1,
+        },
+    ]
+}
+
+/// The router names of directed link `l`.
+fn link_names(net: &Network, l: yu::net::LinkId) -> (String, String) {
+    let lk = net.topo.link(l);
+    (
+        net.topo.router(lk.from).name.clone(),
+        net.topo.router(lk.to).name.clone(),
+    )
+}
+
+/// The curated edit script: one change-set per step, applied
+/// cumulatively. Built against the instance's *initial* state; steps
+/// only reference elements that survive the earlier steps.
+fn edit_script(inst: &Instance) -> Vec<(&'static str, ChangeSet)> {
+    let topo = &inst.net.topo;
+    let first_link = topo.links().next().expect("instances have links");
+    let (from, to) = link_names(&inst.net, first_link);
+    let last_ulink = yu::net::ULinkId((topo.num_ulinks() - 1) as u32);
+    let (rm_fwd, _) = topo.directions(last_ulink);
+    let (rm_from, rm_to) = link_names(&inst.net, rm_fwd);
+    let last_router = topo
+        .routers()
+        .last()
+        .map(|r| topo.router(r).name.clone())
+        .expect("instances have routers");
+    let mut script = vec![
+        (
+            "cost-bump",
+            ChangeSet::single(Change::SetLinkCost {
+                from: from.clone(),
+                to: to.clone(),
+                index: 0,
+                cost: topo.link(first_link).igp_cost * 3 + 7,
+            }),
+        ),
+        (
+            "volume-change",
+            ChangeSet::single(Change::SetFlowVolume {
+                flow: 0,
+                volume: inst.flows[0].volume.clone() * Ratio::int(2),
+            }),
+        ),
+        (
+            "new-req",
+            ChangeSet::single(Change::AddReq {
+                point: PointRef::Dropped {
+                    router: last_router.clone(),
+                },
+                min: None,
+                max: Some(Ratio::int(1_000_000)),
+            }),
+        ),
+        (
+            "combined",
+            ChangeSet {
+                changes: vec![
+                    Change::SetLinkCost {
+                        from,
+                        to,
+                        index: 0,
+                        cost: topo.link(first_link).igp_cost,
+                    },
+                    Change::SetFlowVolume {
+                        flow: 0,
+                        volume: inst.flows[0].volume.clone(),
+                    },
+                ],
+            },
+        ),
+        (
+            "link-removal",
+            ChangeSet::single(Change::RemoveLink {
+                from: rm_from,
+                to: rm_to,
+                index: 0,
+            }),
+        ),
+    ];
+    // A new flow entering at the last router, toward an address an
+    // existing flow already reaches.
+    script.push((
+        "new-flow",
+        ChangeSet::single(Change::AddFlow {
+            ingress: last_router,
+            src: yu::net::Ipv4::new(11, 99, 0, 1),
+            dst: inst.flows[0].dst,
+            dscp: 0,
+            volume: Ratio::int(3),
+        }),
+    ));
+    script
+}
+
+fn options(inst: &Instance, static_prune: bool) -> YuOptions {
+    YuOptions {
+        k: inst.k,
+        mode: FailureMode::Links,
+        static_prune,
+        ..Default::default()
+    }
+}
+
+/// A from-scratch run on the given state.
+fn scratch(
+    net: &Network,
+    flows: &[Flow],
+    tlp: &Tlp,
+    opts: YuOptions,
+) -> (YuVerifier, VerificationOutcome) {
+    let mut v = YuVerifier::new(net.clone(), opts);
+    v.add_flows(flows);
+    let out = v.verify(tlp);
+    (v, out)
+}
+
+/// The semantic signature of `flow_results()`: per group (in the
+/// deterministic result order) the representative identity, volume,
+/// member count, and per-point symbolic load terminals.
+#[allow(clippy::type_complexity)]
+fn flow_signature(
+    v: &YuVerifier,
+) -> Vec<(
+    (yu::net::RouterId, yu::net::Ipv4, yu::net::Ipv4, u8),
+    Ratio,
+    usize,
+    Vec<(LoadPoint, Vec<Term>)>,
+)> {
+    v.flow_results()
+        .map(|(g, stf)| {
+            let mut loads: Vec<(LoadPoint, Vec<Term>)> = stf
+                .loads
+                .iter()
+                .map(|(&p, &n)| {
+                    let mut t = v.manager().terminals(n);
+                    t.sort();
+                    (p, t)
+                })
+                .collect();
+            loads.sort_by_key(|&(p, _)| p);
+            (
+                (g.rep.ingress, g.rep.src, g.rep.dst, g.rep.dscp),
+                g.volume.clone(),
+                g.members,
+                loads,
+            )
+        })
+        .collect()
+}
+
+/// Sampled `≤ k` scenarios (every scenario for small spaces).
+fn sampled_scenarios(net: &Network, k: u32) -> Vec<Scenario> {
+    let all: Vec<Scenario> = scenarios_up_to_k(&net.topo, FailureMode::Links, k as usize).collect();
+    let step = if all.len() > 120 { 5 } else { 1 };
+    all.into_iter().step_by(step).collect()
+}
+
+/// The full bit-identity assertion between an incremental state and a
+/// scratch run on the same inputs.
+fn assert_matches_scratch(ctx: &str, inc: &mut IncrementalVerifier, inc_out: &VerificationOutcome) {
+    let opts = inc.verifier().options();
+    let (mut fresh, fresh_out) = scratch(
+        &inc.network().clone(),
+        inc.flows(),
+        &inc.tlp().clone(),
+        opts,
+    );
+    assert_eq!(
+        fresh_out.verified(),
+        inc_out.verified(),
+        "{ctx}: verdict differs"
+    );
+    assert_eq!(
+        fresh_out.violations, inc_out.violations,
+        "{ctx}: violation set differs"
+    );
+    assert_eq!(
+        fresh_out.stats.reqs_pruned, inc_out.stats.reqs_pruned,
+        "{ctx}: prune count differs"
+    );
+    assert_eq!(
+        fresh_out.stats.flow_groups, inc_out.stats.flow_groups,
+        "{ctx}: group count differs"
+    );
+    assert_eq!(
+        fresh_out.stats.per_point, inc_out.stats.per_point,
+        "{ctx}: per-point aggregation stats differ"
+    );
+    assert_eq!(
+        flow_signature(&fresh),
+        flow_signature(inc.verifier()),
+        "{ctx}: flow_results differ"
+    );
+    // Concrete loads at every requirement point under sampled scenarios.
+    let scenarios = sampled_scenarios(&inc.network().clone(), opts.k);
+    let points: Vec<LoadPoint> = inc.tlp().reqs.iter().map(|r| r.point).collect();
+    for p in points {
+        for s in &scenarios {
+            assert_eq!(
+                fresh.load_at(p, s),
+                inc.verifier_mut().load_at(p, s),
+                "{ctx}: load differs at {p:?} under {s:?}"
+            );
+        }
+    }
+    // The reused arena stays canonical after every invalidation.
+    inc.verifier().audit().assert_ok(ctx);
+}
+
+fn run_script(inst: &Instance, static_prune: bool) {
+    let opts = options(inst, static_prune);
+    let mut inc =
+        IncrementalVerifier::new(inst.net.clone(), inst.flows.clone(), inst.tlp.clone(), opts);
+    let base = inc.verify();
+    assert_matches_scratch(
+        &format!("{} base prune={static_prune}", inst.name),
+        &mut inc,
+        &base,
+    );
+    for (step, cs) in edit_script(inst) {
+        let ctx = format!("{} step={step} prune={static_prune}", inst.name);
+        let out = inc
+            .apply(&cs)
+            .unwrap_or_else(|e| panic!("{ctx}: apply failed: {e}"));
+        let delta = inc.delta_stats();
+        // The change engine must account for every group, one way or the
+        // other.
+        assert_eq!(
+            delta.reused_groups + delta.recomputed_groups,
+            out.stats.flow_groups,
+            "{ctx}: reuse counters do not partition the groups"
+        );
+        assert_matches_scratch(&ctx, &mut inc, &out);
+    }
+}
+
+#[test]
+fn fig1_edit_script_matches_scratch() {
+    let inst = &instances()[0];
+    run_script(inst, true);
+    run_script(inst, false);
+}
+
+#[test]
+fn fig9_edit_script_matches_scratch() {
+    let inst = &instances()[1];
+    run_script(inst, true);
+    run_script(inst, false);
+}
+
+#[test]
+fn fig10_edit_script_matches_scratch() {
+    let inst = &instances()[2];
+    run_script(inst, true);
+    run_script(inst, false);
+}
+
+#[test]
+fn ft4_edit_script_matches_scratch() {
+    let inst = &instances()[3];
+    run_script(inst, true);
+    run_script(inst, false);
+}
+
+#[test]
+fn wan_edit_script_matches_scratch() {
+    let inst = &instances()[4];
+    run_script(inst, true);
+    run_script(inst, false);
+}
+
+/// The headline acceptance criterion: on a fattree m=8, a single
+/// link-cost edit through the diff path recomputes strictly fewer flow
+/// groups than a scratch run executes, and the `delta.reused_groups`
+/// telemetry counter is positive — incremental re-verification provably
+/// reuses work.
+#[test]
+fn fattree_m8_cost_edit_reuses_groups() {
+    let (ft, flows) = fattree_with_flows(8, 1);
+    let tlp = Tlp::no_overload(&ft.net.topo, Ratio::new(95, 100));
+    let mut inc = IncrementalVerifier::new(
+        ft.net.clone(),
+        flows,
+        tlp,
+        YuOptions {
+            k: 1,
+            mode: FailureMode::Links,
+            ..Default::default()
+        },
+    );
+    let total = inc.verify().stats.flow_groups;
+    assert!(total > 0);
+    yu::telemetry::set_enabled(true);
+    let first = ft.net.topo.links().next().unwrap();
+    let (from, to) = link_names(&ft.net, first);
+    let cs = ChangeSet::single(Change::SetLinkCost {
+        from,
+        to,
+        index: 0,
+        cost: ft.net.topo.link(first).igp_cost * 7,
+    });
+    let out = inc.apply(&cs).expect("cost edit applies");
+    yu::telemetry::set_enabled(false);
+    let delta = inc.delta_stats();
+    assert!(!delta.full_rebuild, "a cost edit must not rebuild");
+    assert!(delta.reused_groups > 0, "no groups reused: {delta:?}");
+    assert!(
+        delta.recomputed_groups < out.stats.flow_groups,
+        "incremental run recomputed every group: {delta:?}"
+    );
+    let counters = yu::telemetry::snapshot().counter_totals();
+    assert!(
+        counters.get("delta.reused_groups").copied().unwrap_or(0) > 0,
+        "telemetry counter delta.reused_groups not recorded: {counters:?}"
+    );
+    // And the incremental verdict still matches scratch.
+    assert_matches_scratch("fattree-m8 cost edit", &mut inc, &out);
+}
+
+/// A WAN cost edit must actually exercise the trace-replay path: the
+/// IGP/SR routing there is cost-sensitive, so flipping a core link's
+/// cost either invalidates some groups (recomputed > 0) or provably
+/// changes nothing — and in both cases the verdicts must match scratch.
+/// This also guards against a vacuously-true replay (empty traces).
+#[test]
+fn wan_cost_edit_invalidates_something_somewhere() {
+    let inst = &instances()[4];
+    let mut inc = IncrementalVerifier::new(
+        inst.net.clone(),
+        inst.flows.clone(),
+        inst.tlp.clone(),
+        options(inst, true),
+    );
+    let _ = inc.verify();
+    let mut any_invalidated = false;
+    // Try every undirected link until one reroutes something.
+    for u in inst.net.topo.ulinks() {
+        let (fwd, _) = inst.net.topo.directions(u);
+        let (from, to) = link_names(&inst.net, fwd);
+        let cs = ChangeSet::single(Change::SetLinkCost {
+            from,
+            to,
+            index: 0,
+            cost: inst.net.topo.link(fwd).igp_cost * 100 + 13,
+        });
+        let out = inc.apply(&cs).expect("cost edit applies");
+        if inc.delta_stats().recomputed_groups > 0 {
+            any_invalidated = true;
+            assert_matches_scratch("wan cost edit", &mut inc, &out);
+            break;
+        }
+    }
+    assert!(
+        any_invalidated,
+        "no cost edit on any WAN link invalidated any flow group — \
+         trace replay is likely vacuous"
+    );
+}
