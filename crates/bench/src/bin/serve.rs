@@ -1,0 +1,345 @@
+//! Serve-loop latency harness: drives a real [`yu::serve::ServeSession`]
+//! through a scripted change sequence and reports request-latency
+//! quantiles, peak arena size, and the A/B overhead of the metrics
+//! registry. Output is machine-readable JSON (the repo records a run as
+//! `BENCH_serve.json`).
+//!
+//! ```text
+//! cargo run --release -p yu-bench --bin serve \
+//!     [--quick] [--reps N] [--out FILE] [--baseline FILE] [--max-regress FRAC]
+//! ```
+//!
+//! The script interleaves the request kinds a deployment actually sees:
+//! link-cost flips (invalidation + partial recompute), flow-volume edits
+//! (group re-execution), and empty change-sets (pure cache-hit
+//! requests). The same script runs with registry recording off and on
+//! (best-of-`reps` total wall clock each) — `registry_overhead_frac` is
+//! the acceptance number for "observability costs < 2%".
+//!
+//! The optional `--baseline` gate compares p95 request latency against a
+//! previous run and fails (exit 1) on regression beyond `--max-regress`
+//! (default 0.25). Wall-clock comparison is skipped entirely when either
+//! run saw only one core — time-sliced threads make latency noise, not
+//! signal — mirroring the PR 6 rule in the check bench.
+
+use serde::Serialize;
+use std::time::{Duration, Instant};
+use yu::serve::ServeSession;
+use yu::spec::VerifySpec;
+use yu_bench::{overload_tlp, preset_instance};
+use yu_core::YuOptions;
+use yu_gen::WanPreset;
+use yu_mtbdd::Ratio;
+use yu_net::{Change, FailureMode};
+
+#[derive(Serialize)]
+struct LatencySummary {
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    mean_us: u64,
+    total_secs: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    instance: &'static str,
+    cores: usize,
+    routers: usize,
+    links: usize,
+    flows: usize,
+    k: u32,
+    requests: usize,
+    reps: usize,
+    /// Latency of the production configuration (registry recording on).
+    registry_on: LatencySummary,
+    /// Same script with `set_registry_enabled(false)`.
+    registry_off: LatencySummary,
+    /// `on_total / off_total - 1`, best-of-`reps` totals. The
+    /// acceptance bar is < 0.02.
+    registry_overhead_frac: f64,
+    /// Peak live inner nodes in the main arena across all requests.
+    peak_live_nodes: usize,
+    /// Verdict flips observed over the script (sanity: the script is
+    /// built to flip at least once).
+    verdict_flips: u64,
+}
+
+/// Nearest-rank quantile over sorted microsecond samples.
+fn quantile_us(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn summarize(samples: &[Duration]) -> LatencySummary {
+    let mut us: Vec<u64> = samples.iter().map(|d| d.as_micros() as u64).collect();
+    us.sort_unstable();
+    let total: Duration = samples.iter().sum();
+    LatencySummary {
+        p50_us: quantile_us(&us, 0.50),
+        p95_us: quantile_us(&us, 0.95),
+        p99_us: quantile_us(&us, 0.99),
+        mean_us: total.as_micros() as u64 / samples.len() as u64,
+        total_secs: total.as_secs_f64(),
+    }
+}
+
+/// The scripted change sequence: `n` JSON-lines requests cycling over
+/// link-cost flips, flow-volume edits, cost restores, and no-op
+/// change-sets, so reuse ratios and verdict flips both get exercised.
+fn change_script(spec: &VerifySpec, n: usize) -> Vec<String> {
+    let topo = &spec.network.topo;
+    // A few undirected links to perturb, with their original costs.
+    let targets: Vec<(String, String, u64)> = topo
+        .ulinks()
+        .take(4)
+        .map(|u| {
+            let (fwd, _) = topo.directions(u);
+            let lk = topo.link(fwd);
+            (
+                topo.router(lk.from).name.clone(),
+                topo.router(lk.to).name.clone(),
+                lk.igp_cost,
+            )
+        })
+        .collect();
+    let flows = spec.flows.len();
+    (0..n)
+        .map(|i| {
+            let changes: Vec<Change> = match i % 4 {
+                // Reroute: bump one link's cost well above its original.
+                0 => {
+                    let (from, to, cost) = &targets[(i / 4) % targets.len()];
+                    vec![Change::SetLinkCost {
+                        from: from.clone(),
+                        to: to.clone(),
+                        index: 0,
+                        cost: cost * 7 + 100,
+                    }]
+                }
+                // Load shift: scale one flow's volume. One request near
+                // the middle of the script spikes a flow far past any
+                // link capacity, guaranteeing at least one verdict flip.
+                1 => {
+                    let spike = i >= n / 2 && i < n / 2 + 4;
+                    vec![Change::SetFlowVolume {
+                        flow: i % flows,
+                        volume: Ratio::new(if spike { 100_000 } else { 3 + (i % 5) as i128 }, 1),
+                    }]
+                }
+                // Restore the perturbed link (often flips the verdict back).
+                2 => {
+                    let (from, to, cost) = &targets[(i / 4) % targets.len()];
+                    vec![Change::SetLinkCost {
+                        from: from.clone(),
+                        to: to.clone(),
+                        index: 0,
+                        cost: *cost,
+                    }]
+                }
+                // No-op request: everything answered from caches.
+                _ => Vec::new(),
+            };
+            format!(
+                "{{\"id\":{},\"changes\":{}}}",
+                i,
+                serde_json::to_string(&changes).expect("serialize changes")
+            )
+        })
+        .collect()
+}
+
+struct RunResult {
+    latencies: Vec<Duration>,
+    peak_live_nodes: usize,
+    verdict_flips: u64,
+}
+
+/// One full pass: fresh session, whole script, per-request wall clock.
+fn run_script(spec: &VerifySpec, opts: YuOptions, script: &[String]) -> RunResult {
+    let mut session = ServeSession::new(spec, opts);
+    let mut latencies = Vec::with_capacity(script.len());
+    let mut peak = session.verifier().verifier().manager().live_nodes();
+    for line in script {
+        let t0 = Instant::now();
+        let resp = session.handle_line(line);
+        latencies.push(t0.elapsed());
+        assert!(
+            resp.contains("\"ok\":true"),
+            "script request rejected: {resp}"
+        );
+        peak = peak.max(session.verifier().verifier().manager().live_nodes());
+    }
+    RunResult {
+        latencies,
+        peak_live_nodes: peak,
+        verdict_flips: session.lifetime().verdict_flips,
+    }
+}
+
+/// `reps` passes with registry recording set to `on`, combined by
+/// element-wise per-request minimum. The script is deterministic, so
+/// request `i` does identical work in every rep — taking each request's
+/// best observation filters scheduler interruptions far better than
+/// picking one whole best pass, which matters on small totals where a
+/// single preemption swamps a percent-level A/B difference.
+fn best_run(
+    spec: &VerifySpec,
+    opts: YuOptions,
+    script: &[String],
+    reps: usize,
+    on: bool,
+) -> RunResult {
+    yu_telemetry::set_registry_enabled(on);
+    let mut best: Option<RunResult> = None;
+    for _ in 0..reps {
+        let run = run_script(spec, opts, script);
+        best = Some(match best {
+            None => run,
+            Some(mut b) => {
+                for (acc, l) in b.latencies.iter_mut().zip(&run.latencies) {
+                    *acc = (*acc).min(*l);
+                }
+                b.peak_live_nodes = b.peak_live_nodes.max(run.peak_live_nodes);
+                b
+            }
+        });
+    }
+    yu_telemetry::set_registry_enabled(true);
+    best.expect("reps >= 1")
+}
+
+fn jget<'a>(v: &'a serde_json::Value, path: &[&str]) -> Option<&'a serde_json::Value> {
+    let mut cur = v;
+    for key in path {
+        cur = cur.as_object()?.get(*key)?;
+    }
+    Some(cur)
+}
+
+fn ju64(v: &serde_json::Value) -> Option<u64> {
+    match v {
+        serde_json::Value::Int(i) => u64::try_from(*i).ok(),
+        _ => None,
+    }
+}
+
+/// The `--baseline` latency gate (PR 6 rule: skipped at 1 core).
+fn gate(report: &Report, baseline_path: &str, max_regress: f64) -> bool {
+    let Ok(text) = std::fs::read_to_string(baseline_path) else {
+        eprintln!("PERF NOTE: baseline {baseline_path} unreadable; gate skipped");
+        return true;
+    };
+    let Ok(base) = serde_json::from_str::<serde_json::Value>(&text) else {
+        eprintln!("PERF NOTE: baseline {baseline_path} not JSON; gate skipped");
+        return true;
+    };
+    let base_cores = jget(&base, &["cores"]).and_then(ju64).unwrap_or(1);
+    if report.cores <= 1 || base_cores <= 1 {
+        eprintln!(
+            "PERF NOTE: wall-clock gate skipped (this run: {} core(s), baseline: {} core(s))",
+            report.cores, base_cores
+        );
+        return true;
+    }
+    let Some(base_p95) = jget(&base, &["registry_on", "p95_us"]).and_then(ju64) else {
+        eprintln!("PERF NOTE: baseline has no registry_on.p95_us; gate skipped");
+        return true;
+    };
+    let now = report.registry_on.p95_us as f64;
+    let limit = base_p95 as f64 * (1.0 + max_regress);
+    if now > limit {
+        eprintln!(
+            "PERF REGRESSION: p95 request latency {now}us > {limit:.0}us \
+             (baseline {base_p95}us + {max_regress})"
+        );
+        return false;
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag_value("--out");
+    let baseline = flag_value("--baseline");
+    let max_regress = flag_value("--max-regress")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.25);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("serve bench: {cores} core(s) available");
+
+    let (nflows, requests, default_reps) = if quick { (60, 20, 1) } else { (150, 40, 5) };
+    let reps = flag_value("--reps")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(default_reps);
+    let (w, flows) = preset_instance(WanPreset::N0);
+    let spec = VerifySpec {
+        tlp: overload_tlp(&w.net),
+        network: w.net,
+        flows: flows[..nflows].to_vec(),
+        k: 2,
+        mode: FailureMode::Links,
+    };
+    let opts = YuOptions {
+        k: spec.k,
+        mode: spec.mode,
+        ..Default::default()
+    };
+    let script = change_script(&spec, requests);
+
+    // Off first, then on, so the on-run (whose latencies we publish)
+    // benefits from no warmup asymmetry either way — both sides are
+    // best-of-reps over fresh sessions.
+    let off = best_run(&spec, opts, &script, reps, false);
+    let on = best_run(&spec, opts, &script, reps, true);
+    let on_sum = summarize(&on.latencies);
+    let off_sum = summarize(&off.latencies);
+    let overhead = on_sum.total_secs / off_sum.total_secs - 1.0;
+
+    let report = Report {
+        bench: "serve-loop",
+        instance: "wan-n0",
+        cores,
+        routers: spec.network.topo.num_routers(),
+        links: spec.network.topo.num_ulinks(),
+        flows: spec.flows.len(),
+        k: spec.k,
+        requests,
+        reps,
+        registry_on: on_sum,
+        registry_off: off_sum,
+        registry_overhead_frac: overhead,
+        peak_live_nodes: on.peak_live_nodes.max(off.peak_live_nodes),
+        verdict_flips: on.verdict_flips,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    match &out_path {
+        Some(p) => {
+            std::fs::write(p, &json).expect("write bench output");
+            eprintln!("wrote {p}");
+        }
+        None => println!("{json}"),
+    }
+    eprintln!(
+        "p50 {}us  p95 {}us  p99 {}us  registry overhead {:+.2}%",
+        report.registry_on.p50_us,
+        report.registry_on.p95_us,
+        report.registry_on.p99_us,
+        100.0 * report.registry_overhead_frac
+    );
+    if let Some(b) = baseline {
+        if !gate(&report, &b, max_regress) {
+            std::process::exit(1);
+        }
+    }
+}

@@ -194,6 +194,10 @@ pub struct YuVerifier {
     /// Combined arena statistics already forwarded to the telemetry
     /// counters, so repeated `verify` calls emit deltas, not re-counts.
     telemetry_reported: MtbddStats,
+    /// Same high-water mark for the process-lifetime metrics registry,
+    /// tracked separately because the registry is on even when span
+    /// telemetry is off (and vice versa).
+    registry_reported: MtbddStats,
 }
 
 impl YuVerifier {
@@ -225,6 +229,7 @@ impl YuVerifier {
             live_after_gc: 0,
             worker_stats: MtbddStats::default(),
             telemetry_reported: MtbddStats::default(),
+            registry_reported: MtbddStats::default(),
         };
         yu.audit_checkpoint("after symbolic route simulation");
         yu
@@ -252,7 +257,23 @@ impl YuVerifier {
     /// enabled (`YU_AUDIT=1` or a `debug_assertions` build).
     pub(crate) fn audit_checkpoint(&self, context: &str) {
         if yu_mtbdd::audit_enabled() {
-            self.audit().assert_ok(context);
+            let report = self.audit();
+            if !report.ok() && yu_telemetry::events_enabled() {
+                // Emit before assert_ok panics, so an operator tailing
+                // the event log sees why the daemon died.
+                yu_telemetry::emit_event(
+                    yu_telemetry::EventLevel::Error,
+                    "audit_failure",
+                    vec![
+                        ("context", serde::Value::Str(context.to_string())),
+                        (
+                            "violations",
+                            serde::Value::Int(report.violations.len() as i128),
+                        ),
+                    ],
+                );
+            }
+            report.assert_ok(context);
         }
     }
 
@@ -281,6 +302,7 @@ impl YuVerifier {
             trace.gc_roots(&mut roots);
         }
         roots.extend(extra.iter().copied());
+        let t_gc = Instant::now();
         let remap = self.m.collect(&roots);
         self.routes.remap(&remap);
         for stf in &mut self.results {
@@ -293,7 +315,26 @@ impl YuVerifier {
             *n = remap.get(*n);
         }
         self.load_cache.clear();
-        self.live_after_gc = self.m.stats().nodes_created;
+        let live = self.m.live_nodes();
+        if yu_telemetry::events_enabled() {
+            yu_telemetry::emit_event(
+                yu_telemetry::EventLevel::Info,
+                "gc",
+                vec![
+                    ("nodes_before", serde::Value::Int(created as i128)),
+                    ("nodes_after", serde::Value::Int(live as i128)),
+                    (
+                        "reclaimed",
+                        serde::Value::Int(created.saturating_sub(live) as i128),
+                    ),
+                    (
+                        "elapsed_us",
+                        serde::Value::Int(t_gc.elapsed().as_micros() as i128),
+                    ),
+                ],
+            );
+        }
+        self.live_after_gc = live;
     }
 
     /// The network being verified.
@@ -338,6 +379,7 @@ impl YuVerifier {
         };
         let t0 = Instant::now();
         let exec_span = yu_telemetry::span("exec");
+        yu_telemetry::with_registry(|r| r.flow_groups_executed_total.add(groups.len() as u64));
         if self.opts.workers > 1 && groups.len() > 1 {
             self.add_groups_parallel(groups, exec_opts);
         } else {
@@ -747,6 +789,7 @@ impl YuVerifier {
         reqs_pruned: usize,
     ) -> VerificationOutcome {
         self.audit_checkpoint("after TLP check");
+        self.registry_bridge(check_time, reqs_pruned, per_point.len());
         let telemetry = self.telemetry_summary();
         VerificationOutcome {
             violations,
@@ -763,6 +806,66 @@ impl YuVerifier {
                 telemetry,
             },
         }
+    }
+
+    /// Bridges per-run statistics into the process-lifetime metrics
+    /// registry: run/requirement totals, stage latency histograms, the
+    /// point-in-time arena gauges, and deltas of the cumulative arena
+    /// counters (against what earlier runs already recorded, mirroring
+    /// [`Self::telemetry_summary`] but tracked separately because the
+    /// registry and the span collector are gated independently). The
+    /// registry is an observer only — nothing here feeds back into
+    /// verification, so registry-on/off runs stay bit-identical.
+    fn registry_bridge(&mut self, check_time: Duration, reqs_pruned: usize, reqs_checked: usize) {
+        if !yu_telemetry::registry_enabled() {
+            return;
+        }
+        let r = yu_telemetry::registry();
+        r.verify_runs_total.inc();
+        r.reqs_checked_total.add(reqs_checked as u64);
+        r.reqs_pruned_total.add(reqs_pruned as u64);
+        r.stage_route_seconds
+            .record(self.route_time.as_micros() as u64);
+        r.stage_exec_seconds
+            .record(self.exec_time.as_micros() as u64);
+        r.stage_check_seconds.record(check_time.as_micros() as u64);
+        let live = self.m.live_nodes() as u64;
+        r.mtbdd_live_nodes.set_u64(live);
+        r.mtbdd_live_nodes_hist.record(live);
+        r.mtbdd_unique_table_load_factor
+            .set(self.m.unique_table_load_factor());
+        r.mtbdd_arena_bytes.set_u64(self.m.arena_bytes() as u64);
+        let mut combined = self.m.stats();
+        combined.merge(&self.worker_stats);
+        let prev = self.registry_reported;
+        r.mtbdd_apply_cache_hits_total.add(
+            combined
+                .apply_cache_hits
+                .saturating_sub(prev.apply_cache_hits),
+        );
+        r.mtbdd_apply_cache_misses_total.add(
+            combined
+                .apply_cache_misses
+                .saturating_sub(prev.apply_cache_misses),
+        );
+        r.mtbdd_fused_cache_hits_total.add(
+            combined
+                .fused_cache_hits
+                .saturating_sub(prev.fused_cache_hits),
+        );
+        r.mtbdd_fused_cache_misses_total.add(
+            combined
+                .fused_cache_misses
+                .saturating_sub(prev.fused_cache_misses),
+        );
+        r.mtbdd_gc_runs_total
+            .add(combined.gc_runs.saturating_sub(prev.gc_runs));
+        r.mtbdd_gc_reclaimed_nodes_total.add(
+            combined
+                .gc_reclaimed_nodes
+                .saturating_sub(prev.gc_reclaimed_nodes),
+        );
+        self.registry_reported = combined;
     }
 
     /// Bridges arena statistics into the telemetry counters (as deltas

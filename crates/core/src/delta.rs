@@ -242,6 +242,15 @@ impl IncrementalVerifier {
             "delta.recomputed_groups",
             self.last_delta.recomputed_groups as u64,
         );
+        yu_telemetry::with_registry(|r| {
+            r.incremental_reused_groups_total
+                .add(self.last_delta.reused_groups as u64);
+            r.incremental_recomputed_groups_total
+                .add(self.last_delta.recomputed_groups as u64);
+            if self.last_delta.full_rebuild {
+                r.incremental_full_rebuilds_total.inc();
+            }
+        });
         self.v.audit_checkpoint("after incremental invalidation");
     }
 
@@ -551,6 +560,12 @@ impl IncrementalVerifier {
             "delta.rechecked_reqs",
             self.last_delta.rechecked_reqs as u64,
         );
+        yu_telemetry::with_registry(|r| {
+            r.incremental_reused_reqs_total
+                .add(self.last_delta.reused_reqs as u64);
+            r.incremental_rechecked_reqs_total
+                .add(self.last_delta.rechecked_reqs as u64);
+        });
         drop(verify_span);
         self.v
             .finish_outcome(violations, per_point, t0.elapsed(), pruned)

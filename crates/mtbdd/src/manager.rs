@@ -683,6 +683,49 @@ impl Mtbdd {
         }
     }
 
+    /// Inner nodes currently in the arena. Unlike the cumulative
+    /// counters in [`MtbddStats`], this is a point-in-time gauge: it
+    /// drops after [`Mtbdd::collect`].
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Load factor of the inner-node unique table (`len / capacity`, 0
+    /// for an empty arena). An observability gauge: values near the
+    /// hash map's resize threshold predict an imminent rehash pause.
+    pub fn unique_table_load_factor(&self) -> f64 {
+        let cap = self.unique.capacity();
+        if cap == 0 {
+            0.0
+        } else {
+            self.unique.len() as f64 / cap as f64
+        }
+    }
+
+    /// Estimated resident bytes of the arena: node and terminal
+    /// storage plus the unique tables and operation caches, computed
+    /// from *capacities* (what the allocator actually holds, not what
+    /// is in use). Terminal payloads are counted shallowly — `Term`
+    /// heap allocations (rational bignums) are not chased — so this is
+    /// a lower bound suitable for trend monitoring, not an exact RSS.
+    pub fn arena_bytes(&self) -> usize {
+        use std::mem::size_of;
+        fn map_bytes<K, V>(m: &FxHashMap<K, V>) -> usize {
+            // Hashbrown stores (K, V) pairs plus one control byte each.
+            m.capacity() * (size_of::<K>() + size_of::<V>() + 1)
+        }
+        self.nodes.capacity() * size_of::<Node>()
+            + self.terms.capacity() * size_of::<Term>()
+            + map_bytes(&self.unique)
+            + map_bytes(&self.term_ids)
+            + map_bytes(&self.apply_cache)
+            + map_bytes(&self.apply1_cache)
+            + map_bytes(&self.ite_cache)
+            + map_bytes(&self.restrict_cache)
+            + map_bytes(&self.kreduce_cache)
+            + map_bytes(&self.fused_cache)
+    }
+
     /// Drops all operation caches (the unique tables are kept, so handles
     /// stay valid). Useful between verification phases to bound memory.
     pub fn clear_caches(&mut self) {

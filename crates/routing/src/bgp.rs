@@ -466,6 +466,7 @@ impl BgpState {
             received = next;
         }
         yu_telemetry::counter("bgp.rounds", rounds);
+        yu_telemetry::with_registry(|r| r.route_bgp_rounds_total.add(rounds));
 
         // Final RIB = origins + received.
         let mut rib: Vec<HashMap<ClassId, Vec<BgpRoute>>> = received;

@@ -250,6 +250,7 @@ fn compute_destination(
     }
     yu_telemetry::counter("igp.bf_rounds", rounds);
     yu_telemetry::counter("igp.destinations", 1);
+    yu_telemetry::with_registry(|r| r.route_igp_rounds_total.add(rounds));
     dist
 }
 

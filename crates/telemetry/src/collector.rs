@@ -57,7 +57,7 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-fn now_us() -> u64 {
+pub(crate) fn now_us() -> u64 {
     epoch().elapsed().as_micros() as u64
 }
 

@@ -33,16 +33,51 @@
 //! * [`TelemetryReport::chrome_trace_json`] — Chrome trace-event JSON
 //!   (one track per worker thread) for `--trace-out`, loadable in
 //!   `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//!
+//! ## Process-lifetime metrics (v2)
+//!
+//! The span collector is one-shot: it answers "where did *this run*
+//! spend its time". Long-running deployments (`yu serve`) need the
+//! complementary continuous view, provided by three sibling subsystems:
+//!
+//! * [`registry`]/[`MetricsRegistry`] — atomic counters, gauges, and
+//!   fixed-bucket log-scale [`Histogram`]s (lock-free record, exact
+//!   merge) accumulating over the whole process;
+//! * [`snapshot_prometheus`] — Prometheus text-format exposition of the
+//!   registry (what `yu serve --prom-out` writes after each request);
+//! * [`emit_event`] — a leveled, structured JSON event log
+//!   (`--events-out`): request lifecycle, slow requests, GC runs,
+//!   verdict flips, audit failures.
+//!
+//! Registry recording is on by default (a handful of atomic adds per
+//! request — measured < 2% on the serve bench) and disabled with
+//! `YU_REGISTRY=0` or [`set_registry_enabled`]; like spans, it is an
+//! observer only — registry-on and registry-off runs are bit-identical
+//! in verdicts (`tests/telemetry_differential.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod collector;
+mod events;
+mod histogram;
+mod prometheus;
+mod registry;
 mod report;
 mod trace;
 
 pub use collector::{
     counter, enabled, flush_thread, gauge_max, reset, set_enabled, set_thread_track, snapshot,
     span, span_detail, take_thread_log, Span, SpanEvent, ThreadLog,
+};
+pub use events::{
+    close_event_sink, emit_event, events_enabled, set_event_min_level, set_event_sink_file,
+    set_event_sink_memory, take_memory_events, EventLevel,
+};
+pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot};
+pub use prometheus::{render_prometheus, snapshot_prometheus};
+pub use registry::{
+    registry, registry_enabled, set_registry_enabled, with_registry, Counter, Gauge, MetricDesc,
+    MetricKind, MetricsRegistry, RegistrySnapshot,
 };
 pub use report::{StageAgg, StageSummary, TelemetryReport, TelemetrySummary};

@@ -1,0 +1,105 @@
+//! Prometheus text-format exposition of the metrics registry.
+//!
+//! [`snapshot_prometheus`] renders every registered metric in the
+//! [text exposition format](https://prometheus.io/docs/instrumenting/exposition_formats/):
+//! `# HELP` / `# TYPE` headers, `_total` counters, gauges, and full
+//! histograms (`_bucket{le="..."}` cumulative counts, `_sum`, `_count`).
+//! `yu serve --prom-out FILE` rewrites the file atomically after each
+//! request (write-to-temp + rename), so a scraper — or the node
+//! exporter's textfile collector — never reads a torn exposition.
+//!
+//! Histogram buckets are recorded in raw integer units (microseconds,
+//! node counts) and scaled to the exposition unit here, so `le` bounds
+//! of latency histograms come out in seconds as Prometheus convention
+//! demands. Counters and bucket counts are monotone across snapshots by
+//! construction (relaxed atomic adds, never reset).
+
+use crate::registry::{registry, MetricDesc, MetricKind, MetricsRegistry};
+
+/// Renders the process-wide registry in Prometheus text format.
+pub fn snapshot_prometheus() -> String {
+    render_prometheus(registry())
+}
+
+/// Renders one registry in Prometheus text format (the library API;
+/// [`snapshot_prometheus`] applies it to the global registry).
+pub fn render_prometheus(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for d in reg.descriptors() {
+        render_metric(&mut out, &d);
+    }
+    out
+}
+
+fn render_metric(out: &mut String, d: &MetricDesc<'_>) {
+    out.push_str(&format!("# HELP {} {}\n", d.name, d.help));
+    match &d.metric {
+        MetricKind::Counter(c) => {
+            out.push_str(&format!("# TYPE {} counter\n", d.name));
+            out.push_str(&format!("{} {}\n", d.name, c.get()));
+        }
+        MetricKind::Gauge(g) => {
+            out.push_str(&format!("# TYPE {} gauge\n", d.name));
+            out.push_str(&format!("{} {}\n", d.name, fmt_f64(g.get())));
+        }
+        MetricKind::Histogram(h, scale) => {
+            out.push_str(&format!("# TYPE {} histogram\n", d.name));
+            let snap = h.snapshot();
+            for (bound, cum) in snap.cumulative() {
+                let le = match bound {
+                    Some(b) => fmt_f64(b as f64 * scale),
+                    None => "+Inf".to_string(),
+                };
+                out.push_str(&format!("{}_bucket{{le=\"{le}\"}} {cum}\n", d.name));
+            }
+            out.push_str(&format!(
+                "{}_sum {}\n",
+                d.name,
+                fmt_f64(snap.sum as f64 * scale)
+            ));
+            out.push_str(&format!("{}_count {}\n", d.name, snap.count()));
+        }
+    }
+}
+
+/// Formats an `f64` the way Prometheus parsers expect: plain decimal
+/// or scientific notation, never `NaN`-adjacent localized forms.
+/// Rust's shortest-roundtrip `{}` formatting satisfies this.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        // Keep integers readable ("42" rather than "42.0" is accepted
+        // either way; emit the canonical integer form).
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn exposition_has_headers_buckets_and_consistent_totals() {
+        let reg = MetricsRegistry::default();
+        reg.serve_requests_total.add(3);
+        reg.serve_request_seconds.record(1_500); // 1.5 ms
+        reg.serve_request_seconds.record(2_000_000); // 2 s
+        let text = render_prometheus(&reg);
+        assert!(text.contains("# TYPE yu_serve_requests_total counter"));
+        assert!(text.contains("yu_serve_requests_total 3"));
+        assert!(text.contains("# TYPE yu_serve_request_seconds histogram"));
+        assert!(text.contains("yu_serve_request_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("yu_serve_request_seconds_count 2"));
+        // le bounds are in seconds (scaled from recorded microseconds).
+        assert!(text.contains("le=\"1\"}"), "1-second bound present");
+        // Every line is a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed line: {line}"
+            );
+        }
+    }
+}

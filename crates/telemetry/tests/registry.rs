@@ -1,0 +1,248 @@
+//! Property and schema tests for the v2 metrics registry: histogram
+//! record/merge against a reference sorted-vector quantile
+//! implementation, bucket-boundary edge cases, and the Prometheus text
+//! exposition (parseable, typed, monotone across snapshots).
+//!
+//! Every test builds its own local [`MetricsRegistry`] / [`Histogram`]
+//! — nothing here touches the process-global registry, so the tests run
+//! concurrently without interference.
+
+use proptest::prelude::*;
+use yu_telemetry::{
+    bucket_bounds, bucket_index, render_prometheus, Histogram, HistogramSnapshot, MetricsRegistry,
+};
+
+/// The reference implementation: exact nearest-rank quantile over the
+/// raw samples, with the same rank rule the histogram uses
+/// (`rank = ceil(q * count)`, clamped to `[1, count]`).
+fn reference_quantile(samples: &[u64], q: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn record_all(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::default();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// The histogram quantile answers with the upper bound of exactly
+    /// the bucket that holds the reference quantile — identical rank
+    /// rule, bucket-granular value.
+    #[test]
+    fn quantile_matches_reference_bucket(
+        samples in proptest::collection::vec(0u64..=1u64 << 42, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let snap = record_all(&samples);
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        let reference = reference_quantile(&samples, q);
+        let answer = snap.quantile(q);
+        let top = *bucket_bounds().last().unwrap();
+        if reference > top {
+            // The rank falls in the +Inf bucket, which saturates to the
+            // largest finite bound.
+            prop_assert_eq!(answer, top);
+        } else {
+            prop_assert_eq!(
+                bucket_index(answer),
+                bucket_index(reference),
+                "quantile {} answered {} for reference {}",
+                q, answer, reference
+            );
+            // The answer is the upper bound of the reference's bucket,
+            // so it never under-reports.
+            prop_assert!(answer >= reference);
+        }
+    }
+
+    /// Merging two histograms is exactly recording the concatenation:
+    /// same buckets, same sum, same every-quantile (shared static grid,
+    /// bucket-wise addition — no approximation).
+    #[test]
+    fn merge_is_exact(
+        a in proptest::collection::vec(0u64..=1u64 << 41, 0..120),
+        b in proptest::collection::vec(0u64..=1u64 << 41, 0..120),
+    ) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+        let both: Vec<u64> = a.iter().chain(&b).copied().collect();
+        let direct = record_all(&both);
+        prop_assert_eq!(&merged.counts, &direct.counts);
+        prop_assert_eq!(merged.sum, direct.sum);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), direct.quantile(q));
+        }
+    }
+
+    /// Bucket semantics at the boundaries: a value equal to a bound
+    /// lands in the bucket that bound closes (inclusive upper bound),
+    /// and the next integer lands strictly later.
+    #[test]
+    fn bucket_bounds_are_inclusive_upper(raw_ix in 0usize..10_000) {
+        let bounds = bucket_bounds();
+        let ix = raw_ix % bounds.len();
+        let b = bounds[ix];
+        prop_assert_eq!(bucket_index(b), ix);
+        prop_assert!(bucket_index(b + 1) > ix);
+        if b > 1 {
+            prop_assert!(bucket_index(b - 1) <= ix);
+        }
+    }
+}
+
+#[test]
+fn quantile_extremes_use_the_clamped_rank() {
+    let samples: Vec<u64> = (1..=100).collect();
+    let snap = record_all(&samples);
+    // q = 0 clamps to rank 1 (the minimum's bucket bound)...
+    assert_eq!(snap.quantile(0.0), 1);
+    // ...and q = 1 is rank = count (the maximum's bucket bound).
+    assert_eq!(snap.quantile(1.0), snap.quantile(0.999999));
+    assert_eq!(bucket_index(snap.quantile(1.0)), bucket_index(100));
+}
+
+#[test]
+fn overflow_values_land_in_the_inf_bucket() {
+    let bounds = bucket_bounds();
+    let top = *bounds.last().unwrap();
+    assert_eq!(bucket_index(top + 1), bounds.len());
+    assert_eq!(bucket_index(u64::MAX), bounds.len());
+    let h = Histogram::default();
+    h.record(u64::MAX);
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), 1);
+    // The +Inf entry of the cumulative view carries the overflow.
+    let cum = snap.cumulative();
+    let (bound, total) = cum.last().unwrap();
+    assert_eq!(*bound, None);
+    assert_eq!(*total, 1);
+}
+
+/// One parsed exposition: `name -> value` for plain metrics, plus raw
+/// `# TYPE` entries.
+struct Parsed {
+    types: Vec<(String, String)>,
+    values: Vec<(String, f64)>,
+}
+
+fn parse_exposition(text: &str) -> Parsed {
+    let mut types = Vec::new();
+    let mut values = Vec::new();
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "blank line in exposition");
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE name").to_string();
+            let kind = it.next().expect("TYPE kind").to_string();
+            assert!(
+                matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                "unknown TYPE {kind}"
+            );
+            types.push((name, kind));
+        } else if line.starts_with('#') {
+            assert!(line.starts_with("# HELP "), "unknown comment: {line}");
+        } else {
+            let mut it = line.split_whitespace();
+            let name = it.next().expect("sample name").to_string();
+            let value: f64 = it
+                .next()
+                .expect("sample value")
+                .parse()
+                .unwrap_or_else(|e| panic!("unparseable value in {line:?}: {e}"));
+            assert!(it.next().is_none(), "trailing tokens in {line:?}");
+            values.push((name, value));
+        }
+    }
+    Parsed { types, values }
+}
+
+fn value_of(p: &Parsed, name: &str) -> f64 {
+    p.values
+        .iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("exposition missing {name}"))
+        .1
+}
+
+#[test]
+fn prometheus_schema_and_monotone_counters() {
+    let reg = MetricsRegistry::default();
+    reg.serve_requests_total.add(2);
+    reg.verify_runs_total.inc();
+    reg.serve_request_seconds.record(1_500);
+    reg.serve_request_seconds.record(250_000);
+    reg.mtbdd_live_nodes.set_u64(4096);
+
+    let first = parse_exposition(&render_prometheus(&reg));
+
+    // Every metric has exactly one TYPE line, in descriptor order.
+    let descs = reg.descriptors();
+    assert_eq!(first.types.len(), descs.len());
+    for (d, (name, _)) in descs.iter().zip(&first.types) {
+        assert_eq!(d.name, name);
+    }
+
+    // Histogram internal consistency: buckets cumulative and monotone
+    // in le, +Inf bucket == _count, _sum present.
+    let text = render_prometheus(&reg);
+    let mut last_cum = -1.0;
+    let mut inf_cum = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("yu_serve_request_seconds_bucket{le=\"") {
+            let (le, cum) = rest.split_once("\"} ").expect("bucket line shape");
+            let cum: f64 = cum.parse().unwrap();
+            assert!(cum >= last_cum, "bucket counts must be cumulative");
+            last_cum = cum;
+            if le == "+Inf" {
+                inf_cum = Some(cum);
+            } else {
+                let le: f64 = le.parse().expect("le bound parses as f64");
+                assert!(le > 0.0);
+            }
+        }
+    }
+    assert_eq!(
+        inf_cum.expect("+Inf bucket present"),
+        value_of(&first, "yu_serve_request_seconds_count")
+    );
+    assert_eq!(value_of(&first, "yu_serve_request_seconds_count"), 2.0);
+    assert!(value_of(&first, "yu_serve_request_seconds_sum") > 0.0);
+
+    // Record more; every counter and bucket count is monotone across
+    // snapshots (counters never reset).
+    reg.serve_requests_total.add(3);
+    reg.serve_request_seconds.record(9_000_000);
+    reg.mtbdd_live_nodes.set_u64(1); // gauges may go down
+    let second = parse_exposition(&render_prometheus(&reg));
+    for (name, v1) in &first.values {
+        if name.contains("_total") || name.ends_with("_count") || name.contains("_bucket") {
+            let v2 = value_of(&second, name);
+            assert!(v2 >= *v1, "{name} went backwards: {v1} -> {v2}");
+        }
+    }
+    assert_eq!(value_of(&second, "yu_serve_requests_total"), 5.0);
+    assert_eq!(value_of(&second, "yu_mtbdd_live_nodes"), 1.0);
+}
+
+#[test]
+fn snapshot_json_matches_live_values() {
+    let reg = MetricsRegistry::default();
+    reg.incremental_reused_reqs_total.add(7);
+    reg.serve_group_reuse_ratio.set(0.75);
+    reg.stage_check_seconds.record(2_000); // 2 ms
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("yu_incremental_reused_reqs_total"), 7);
+    let h = snap
+        .histogram("yu_stage_check_seconds")
+        .expect("stage histogram present");
+    assert_eq!(h.count(), 1);
+    let json = snap.to_value().to_string();
+    assert!(json.contains("\"yu_incremental_reused_reqs_total\":7"));
+    assert!(json.contains("\"yu_serve_group_reuse_ratio\":0.75"));
+}

@@ -22,8 +22,13 @@
 //!                                                    delta between two specs, recomputing
 //!                                                    only what the change invalidated
 //! yu serve --spec base.json                          JSON-lines daemon: one change-set
-//!                                                    request per line, one verdict-delta
-//!                                                    response per line (see yu::serve)
+//!           [--prom-out m.prom]                      request per line, one verdict-delta
+//!           [--events-out e.jsonl] [--slow-ms N]     response per line (see yu::serve).
+//!                                                    --prom-out atomically rewrites a
+//!                                                    Prometheus text exposition after
+//!                                                    each request; --events-out appends
+//!                                                    structured JSON events; --slow-ms
+//!                                                    sets the slow-request threshold
 //! ```
 //!
 //! Specs are self-contained JSON (network + flows + TLP + k); see
@@ -57,7 +62,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Positional arguments: everything that is neither a flag nor the
     // value of a value-taking flag.
-    const VALUE_FLAGS: [&str; 10] = [
+    const VALUE_FLAGS: [&str; 13] = [
         "--fail",
         "--workers",
         "--check-workers",
@@ -68,6 +73,9 @@ fn main() -> ExitCode {
         "--max-violations",
         "--dot-out",
         "--spec",
+        "--prom-out",
+        "--events-out",
+        "--slow-ms",
     ];
     let mut pos = args.iter().enumerate().filter_map(|(i, a)| {
         let is_flag_value = i > 0 && VALUE_FLAGS.iter().any(|f| args[i - 1] == *f);
@@ -163,13 +171,30 @@ fn main() -> ExitCode {
             static_prune,
             &telemetry,
         ),
-        "serve" => serve(
-            flag_value("--spec").or(arg),
-            workers,
-            check_workers,
-            static_prune,
-            &telemetry,
-        ),
+        "serve" => {
+            let slow_ms = match args.iter().position(|a| a == "--slow-ms") {
+                Some(i) => match args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(ms) => ms,
+                    None => {
+                        eprintln!("error: --slow-ms takes a non-negative integer (milliseconds)");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => 1000,
+            };
+            serve(
+                flag_value("--spec").or(arg),
+                workers,
+                check_workers,
+                static_prune,
+                &telemetry,
+                ServeObsArgs {
+                    prom_out: flag_value("--prom-out"),
+                    events_out: flag_value("--events-out"),
+                    slow_ms,
+                },
+            )
+        }
         other => {
             if other != "help" {
                 eprintln!("unknown command '{other}'");
@@ -180,7 +205,8 @@ fn main() -> ExitCode {
                  [--json] [--deep] [--deny-warnings] [--workers N] [--check-workers N] \
                  [--no-static-prune] [--explain] [--max-violations N] \
                  [--dot-out FILE] [--fail A-B,C-D] [--router <name> --dst <ip>] \
-                 [--spec base.json] [-v] [--trace-out FILE] [--metrics-out FILE]"
+                 [--spec base.json] [-v] [--trace-out FILE] [--metrics-out FILE] \
+                 [--prom-out FILE] [--events-out FILE] [--slow-ms N]"
             );
             ExitCode::from(2)
         }
@@ -537,6 +563,25 @@ fn diff(
     }
 }
 
+/// Observability flags of `yu serve`: Prometheus exposition file,
+/// structured event log, and the slow-request threshold.
+struct ServeObsArgs {
+    prom_out: Option<String>,
+    events_out: Option<String>,
+    slow_ms: u64,
+}
+
+/// Atomically rewrites the Prometheus exposition file: write a sibling
+/// temp file, then rename over the target, so a scraper (or the node
+/// exporter's textfile collector) never reads a torn exposition.
+fn write_prometheus(path: &str) {
+    let text = yu::telemetry::snapshot_prometheus();
+    let tmp = format!("{path}.tmp");
+    if std::fs::write(&tmp, text).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
 /// The `yu serve` subcommand: read JSON-lines change-set requests from
 /// stdin, write one verdict-delta response line each, until EOF.
 fn serve(
@@ -545,10 +590,17 @@ fn serve(
     check_workers: usize,
     static_prune: bool,
     telemetry: &TelemetryArgs,
+    obs: ServeObsArgs,
 ) -> ExitCode {
     use std::io::{BufRead, Write};
     if telemetry.wants_recording() {
         yu::telemetry::set_enabled(true);
+    }
+    if let Some(path) = &obs.events_out {
+        if let Err(e) = yu::telemetry::set_event_sink_file(std::path::Path::new(path)) {
+            eprintln!("error: cannot open --events-out {path}: {e}");
+            return ExitCode::from(2);
+        }
     }
     let spec = load(&spec_path);
     let opts = YuOptions {
@@ -559,12 +611,18 @@ fn serve(
         static_prune,
         ..Default::default()
     };
-    let mut session = yu::serve::ServeSession::new(&spec, opts);
+    let config = yu::serve::ServeConfig {
+        slow_threshold: std::time::Duration::from_millis(obs.slow_ms),
+    };
+    let mut session = yu::serve::ServeSession::with_config(&spec, opts, config);
     let stdout = std::io::stdout();
     {
         let mut out = stdout.lock();
         let _ = writeln!(out, "{}", session.ready_line());
         let _ = out.flush();
+    }
+    if let Some(path) = &obs.prom_out {
+        write_prometheus(path);
     }
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
@@ -573,13 +631,22 @@ fn serve(
             continue;
         }
         let resp = session.handle_line(&line);
-        let mut out = stdout.lock();
-        if writeln!(out, "{resp}").is_err() {
-            break;
+        {
+            let mut out = stdout.lock();
+            if writeln!(out, "{resp}").is_err() {
+                break;
+            }
+            let _ = out.flush();
         }
-        let _ = out.flush();
+        if let Some(path) = &obs.prom_out {
+            write_prometheus(path);
+        }
+    }
+    if let Some(path) = &obs.prom_out {
+        write_prometheus(path);
     }
     export_telemetry(telemetry);
+    yu::telemetry::close_event_sink();
     ExitCode::SUCCESS
 }
 

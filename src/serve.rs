@@ -9,13 +9,20 @@
 //!
 //! — one response per line. A successful response carries the verdict,
 //! the **verdict delta** against the previous state (violations that
-//! appeared and violations that resolved), and reuse statistics:
+//! appeared and violations that resolved), per-request reuse statistics,
+//! and cumulative session totals:
 //!
 //! ```json
 //! {"id": 1, "ok": true, "verified": false, "violations": [...],
 //!  "new_violations": [...], "resolved_violations": [],
-//!  "stats": {"reused_groups": 5, "recomputed_groups": 1, ...}}
+//!  "stats": {"reused_groups": 5, "recomputed_groups": 1, ...},
+//!  "lifetime": {"requests": 12, "verdict_flips": 2, ...}}
 //! ```
+//!
+//! A line of the form `{"id": 9, "metrics": true}` is a **metrics
+//! request**: it does not touch verifier state and answers with a
+//! snapshot of the process-lifetime metrics registry plus the session's
+//! [`LifetimeStats`].
 //!
 //! Errors never crash the session and never mutate verifier state:
 //! malformed JSON yields `{"ok": false, "error": {"kind": "parse", ...}}`,
@@ -23,11 +30,23 @@
 //! "bad_request"`, and a change naming a nonexistent router/link/flow is
 //! rejected atomically by [`ChangeSet::apply`] before anything is
 //! touched.
+//!
+//! ## Observability
+//!
+//! The session is fully instrumented (see DESIGN.md §14): per-request
+//! end-to-end latency and stage histograms plus reuse-ratio gauges land
+//! in the [`yu_telemetry`] metrics registry, and — when an event sink is
+//! configured (`yu serve --events-out`) — the session emits structured
+//! `request_start` / `request_finish` / `slow_request` / `verdict_flip`
+//! / `serve_error` events. Both are observers only: instrumented and
+//! uninstrumented sessions produce bit-identical responses.
 
 use crate::spec::VerifySpec;
 use serde::{Deserialize, Map, Serialize, Value};
+use std::time::{Duration, Instant};
 use yu_core::{DeltaStats, IncrementalVerifier, VerificationOutcome, Violation, YuOptions};
 use yu_net::{Change, ChangeSet};
+use yu_telemetry::EventLevel;
 
 /// One `yu serve` request: a change-set plus an optional client-chosen
 /// correlation id (echoed back in the response).
@@ -38,11 +57,77 @@ struct Request {
     changes: Vec<Change>,
 }
 
+/// Tunables of a serve session that are about *observing* it, not about
+/// verification semantics.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Requests at least this slow emit a `slow_request` event and count
+    /// into `yu_serve_slow_requests_total` (CLI: `--slow-ms`, default 1s).
+    pub slow_threshold: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            slow_threshold: Duration::from_millis(1000),
+        }
+    }
+}
+
+/// Cumulative totals over the whole session — the **lifetime view**
+/// that complements the per-request [`DeltaStats`] deltas. PR 7's serve
+/// loop conflated the two (reuse counters were only meaningful
+/// per-request); now each response carries both, and the lifetime copy
+/// never resets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LifetimeStats {
+    /// Change-set requests answered successfully.
+    pub requests: u64,
+    /// Requests rejected (parse / bad-request / semantic errors).
+    pub errors: u64,
+    /// Sum of per-request reused flow groups.
+    pub reused_groups: u64,
+    /// Sum of per-request recomputed flow groups.
+    pub recomputed_groups: u64,
+    /// Sum of per-request cache-answered requirements.
+    pub reused_reqs: u64,
+    /// Sum of per-request re-checked requirements.
+    pub rechecked_reqs: u64,
+    /// Requests that forced a from-scratch rebuild.
+    pub full_rebuilds: u64,
+    /// Requests whose verdict delta was non-empty.
+    pub verdict_flips: u64,
+    /// Requests at or over the slow threshold.
+    pub slow_requests: u64,
+}
+
+impl LifetimeStats {
+    /// The JSON object embedded in responses.
+    pub fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("requests", Value::Int(self.requests as i128));
+        m.insert("errors", Value::Int(self.errors as i128));
+        m.insert("reused_groups", Value::Int(self.reused_groups as i128));
+        m.insert(
+            "recomputed_groups",
+            Value::Int(self.recomputed_groups as i128),
+        );
+        m.insert("reused_reqs", Value::Int(self.reused_reqs as i128));
+        m.insert("rechecked_reqs", Value::Int(self.rechecked_reqs as i128));
+        m.insert("full_rebuilds", Value::Int(self.full_rebuilds as i128));
+        m.insert("verdict_flips", Value::Int(self.verdict_flips as i128));
+        m.insert("slow_requests", Value::Int(self.slow_requests as i128));
+        Value::Map(m)
+    }
+}
+
 /// A long-running incremental verification session.
 pub struct ServeSession {
     inc: IncrementalVerifier,
     /// Violations of the current state (baseline of the next delta).
     violations: Vec<Violation>,
+    config: ServeConfig,
+    lifetime: LifetimeStats,
 }
 
 impl ServeSession {
@@ -50,6 +135,11 @@ impl ServeSession {
     /// route-dependency recording) and verifies once to establish the
     /// baseline verdict.
     pub fn new(spec: &VerifySpec, opts: YuOptions) -> ServeSession {
+        ServeSession::with_config(spec, opts, ServeConfig::default())
+    }
+
+    /// [`ServeSession::new`] with explicit observability tunables.
+    pub fn with_config(spec: &VerifySpec, opts: YuOptions, config: ServeConfig) -> ServeSession {
         let mut inc = IncrementalVerifier::new(
             spec.network.clone(),
             spec.flows.clone(),
@@ -60,12 +150,19 @@ impl ServeSession {
         ServeSession {
             inc,
             violations: out.violations,
+            config,
+            lifetime: LifetimeStats::default(),
         }
     }
 
     /// The incremental verifier (tests).
     pub fn verifier(&self) -> &IncrementalVerifier {
         &self.inc
+    }
+
+    /// Cumulative session totals so far.
+    pub fn lifetime(&self) -> LifetimeStats {
+        self.lifetime
     }
 
     /// The banner printed when the session starts: a single JSON line
@@ -86,37 +183,170 @@ impl ServeSession {
     /// Handles one request line and returns one response line. Never
     /// panics on bad input; errors leave the verifier state untouched.
     pub fn handle_line(&mut self, line: &str) -> String {
+        let t0 = Instant::now();
         let _req_span = yu_telemetry::span("serve.request");
         // Stage 1: is the line JSON at all?
         let value: Value = match serde_json::from_str(line) {
             Ok(v) => v,
-            Err(e) => return error_line(Value::Null, "parse", &e.to_string()),
+            Err(e) => return self.request_error(Value::Null, "parse", &e.to_string()),
         };
         let id = value
             .as_object()
             .and_then(|m| m.get("id"))
             .cloned()
             .unwrap_or(Value::Null);
+        // Metrics requests answer from the registry without touching
+        // verifier state (and without counting as change requests).
+        if value
+            .as_object()
+            .and_then(|m| m.get("metrics"))
+            .is_some_and(|v| !matches!(v, Value::Bool(false) | Value::Null))
+        {
+            return metrics_line(id, &self.lifetime);
+        }
         // Stage 2: does it have the request shape (known change kinds)?
         let req: Request = match serde_json::from_str(line) {
             Ok(r) => r,
-            Err(e) => return error_line(id, "bad_request", &e.to_string()),
+            Err(e) => return self.request_error(id, "bad_request", &e.to_string()),
         };
         let id = req.id.map(Value::Int).unwrap_or(id);
         let cs = ChangeSet {
             changes: req.changes,
         };
+        if yu_telemetry::events_enabled() {
+            yu_telemetry::emit_event(
+                EventLevel::Info,
+                "request_start",
+                vec![
+                    ("id", id.clone()),
+                    ("changes", Value::Int(cs.changes.len() as i128)),
+                ],
+            );
+        }
         // Stage 3: apply atomically; semantic errors (unknown router,
         // bad index) are rejected before any state is touched.
         match self.inc.apply(&cs) {
             Ok(out) => {
                 let delta = self.inc.delta_stats();
-                let line = success_line(id, &out, &self.violations, delta);
+                let (new_v, resolved) = violation_delta(&self.violations, &out.violations);
+                self.record_success(&id, &out, &new_v, &resolved, delta, t0.elapsed());
+                let line = success_line(id, &out, &new_v, &resolved, delta, &self.lifetime);
                 self.violations = out.violations;
                 line
             }
-            Err(e) => error_line(id, "bad_request", &e.to_string()),
+            Err(e) => self.request_error(id, "bad_request", &e.to_string()),
         }
+    }
+
+    /// Books a successful request into the lifetime totals, the metrics
+    /// registry, and the event log. Pure observation: called after the
+    /// outcome is computed, before the response is rendered.
+    fn record_success(
+        &mut self,
+        id: &Value,
+        out: &VerificationOutcome,
+        new_v: &[Violation],
+        resolved: &[Violation],
+        delta: DeltaStats,
+        elapsed: Duration,
+    ) {
+        let flipped = !new_v.is_empty() || !resolved.is_empty();
+        let slow = elapsed >= self.config.slow_threshold;
+        let lt = &mut self.lifetime;
+        lt.requests += 1;
+        lt.reused_groups += delta.reused_groups as u64;
+        lt.recomputed_groups += delta.recomputed_groups as u64;
+        lt.reused_reqs += delta.reused_reqs as u64;
+        lt.rechecked_reqs += delta.rechecked_reqs as u64;
+        lt.full_rebuilds += u64::from(delta.full_rebuild);
+        lt.verdict_flips += u64::from(flipped);
+        lt.slow_requests += u64::from(slow);
+        yu_telemetry::with_registry(|r| {
+            r.serve_requests_total.inc();
+            r.serve_request_seconds.record(elapsed.as_micros() as u64);
+            if slow {
+                r.serve_slow_requests_total.inc();
+            }
+            if flipped {
+                r.serve_verdict_flips_total.inc();
+            }
+            r.serve_violations.set_u64(out.violations.len() as u64);
+            let groups = delta.reused_groups + delta.recomputed_groups;
+            if groups > 0 {
+                r.serve_group_reuse_ratio
+                    .set(delta.reused_groups as f64 / groups as f64);
+            }
+            let reqs = delta.reused_reqs + delta.rechecked_reqs;
+            if reqs > 0 {
+                r.serve_req_reuse_ratio
+                    .set(delta.reused_reqs as f64 / reqs as f64);
+            }
+        });
+        if yu_telemetry::events_enabled() {
+            yu_telemetry::emit_event(
+                EventLevel::Info,
+                "request_finish",
+                vec![
+                    ("id", id.clone()),
+                    ("verified", Value::Bool(out.verified())),
+                    ("violations", Value::Int(out.violations.len() as i128)),
+                    ("new_violations", Value::Int(new_v.len() as i128)),
+                    ("resolved_violations", Value::Int(resolved.len() as i128)),
+                    ("elapsed_us", Value::Int(elapsed.as_micros() as i128)),
+                ],
+            );
+            if slow {
+                yu_telemetry::emit_event(
+                    EventLevel::Warn,
+                    "slow_request",
+                    vec![
+                        ("id", id.clone()),
+                        ("elapsed_us", Value::Int(elapsed.as_micros() as i128)),
+                        (
+                            "threshold_us",
+                            Value::Int(self.config.slow_threshold.as_micros() as i128),
+                        ),
+                    ],
+                );
+            }
+            if flipped {
+                let topo = &self.inc.network().topo;
+                let points = |vs: &[Violation]| {
+                    Value::Seq(
+                        vs.iter()
+                            .map(|v| Value::Str(v.point.describe(topo)))
+                            .collect(),
+                    )
+                };
+                yu_telemetry::emit_event(
+                    EventLevel::Warn,
+                    "verdict_flip",
+                    vec![
+                        ("id", id.clone()),
+                        ("new_points", points(new_v)),
+                        ("resolved_points", points(resolved)),
+                    ],
+                );
+            }
+        }
+    }
+
+    /// Books a rejected request and renders the error response.
+    fn request_error(&mut self, id: Value, kind: &'static str, message: &str) -> String {
+        self.lifetime.errors += 1;
+        yu_telemetry::with_registry(|r| r.serve_request_errors_total.inc());
+        if yu_telemetry::events_enabled() {
+            yu_telemetry::emit_event(
+                EventLevel::Warn,
+                "serve_error",
+                vec![
+                    ("id", id.clone()),
+                    ("error_kind", Value::Str(kind.to_string())),
+                    ("message", Value::Str(message.to_string())),
+                ],
+            );
+        }
+        error_line(id, kind, message)
     }
 }
 
@@ -132,15 +362,26 @@ fn error_line(id: Value, kind: &str, message: &str) -> String {
     Value::Map(root).to_string()
 }
 
-/// The success response (one line): verdict, verdict delta against
-/// `previous`, and reuse statistics.
+/// The metrics response: a registry snapshot plus session totals.
+fn metrics_line(id: Value, lifetime: &LifetimeStats) -> String {
+    let mut root = Map::new();
+    root.insert("id", id);
+    root.insert("ok", Value::Bool(true));
+    root.insert("metrics", yu_telemetry::registry().snapshot().to_value());
+    root.insert("lifetime", lifetime.to_value());
+    Value::Map(root).to_string()
+}
+
+/// The success response (one line): verdict, verdict delta against the
+/// previous state, per-request reuse statistics, and lifetime totals.
 fn success_line(
     id: Value,
     out: &VerificationOutcome,
-    previous: &[Violation],
+    new_v: &[Violation],
+    resolved: &[Violation],
     delta: DeltaStats,
+    lifetime: &LifetimeStats,
 ) -> String {
-    let (new_v, resolved) = violation_delta(previous, &out.violations);
     let mut root = Map::new();
     root.insert("id", id);
     root.insert("ok", Value::Bool(true));
@@ -149,6 +390,7 @@ fn success_line(
     root.insert("new_violations", new_v.to_value());
     root.insert("resolved_violations", resolved.to_value());
     root.insert("stats", stats_value(out, delta));
+    root.insert("lifetime", lifetime.to_value());
     Value::Map(root).to_string()
 }
 

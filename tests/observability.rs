@@ -1,0 +1,111 @@
+//! End-to-end observability of the `yu serve` loop: the structured
+//! event log (slow-request detection with correlation ids, the
+//! threshold tunable) and the in-band `metrics` request type.
+//!
+//! One test function owns the whole flow — the event sink is process
+//! global, and this file is its own test binary, so nothing else can
+//! race it.
+
+use std::time::Duration;
+use yu::core::YuOptions;
+use yu::net::FailureMode;
+use yu::serve::{ServeConfig, ServeSession};
+use yu::spec::VerifySpec;
+
+fn fig1_spec() -> VerifySpec {
+    let ex = yu::gen::motivating_example();
+    VerifySpec {
+        network: ex.net,
+        flows: ex.flows,
+        tlp: ex.p2,
+        k: 1,
+        mode: FailureMode::Links,
+    }
+}
+
+fn session(spec: &VerifySpec, slow_threshold: Duration) -> ServeSession {
+    let opts = YuOptions {
+        k: spec.k,
+        mode: spec.mode,
+        ..Default::default()
+    };
+    ServeSession::with_config(spec, opts, ServeConfig { slow_threshold })
+}
+
+fn events_of_kind(events: &[String], kind: &str) -> Vec<String> {
+    events
+        .iter()
+        .filter(|e| e.contains(&format!("\"kind\":\"{kind}\"")))
+        .cloned()
+        .collect()
+}
+
+#[test]
+fn serve_emits_slow_request_events_and_answers_metrics_requests() {
+    let spec = fig1_spec();
+
+    // A zero threshold marks every request slow: the event must fire and
+    // carry the request's own correlation id plus the configured bound.
+    yu::telemetry::set_event_sink_memory();
+    let mut s = session(&spec, Duration::ZERO);
+    let resp = s.handle_line("{\"id\":42,\"changes\":[]}");
+    assert!(resp.contains("\"ok\":true"), "request rejected: {resp}");
+    let events = yu::telemetry::take_memory_events();
+    let slow = events_of_kind(&events, "slow_request");
+    assert_eq!(slow.len(), 1, "exactly one slow event: {events:?}");
+    assert!(slow[0].contains("\"id\":42"), "wrong id: {}", slow[0]);
+    assert!(slow[0].contains("\"level\":\"warn\""));
+    assert!(slow[0].contains("\"threshold_us\":0"));
+    assert!(slow[0].contains("\"elapsed_us\":"));
+    // The request lifecycle events carry the same id.
+    assert!(events_of_kind(&events, "request_start")[0].contains("\"id\":42"));
+    assert!(events_of_kind(&events, "request_finish")[0].contains("\"id\":42"));
+    assert_eq!(s.lifetime().slow_requests, 1);
+
+    // An unreachable threshold: same request shape, no slow event.
+    let mut calm = session(&spec, Duration::from_secs(3600));
+    let resp = calm.handle_line("{\"id\":43,\"changes\":[]}");
+    assert!(resp.contains("\"ok\":true"));
+    let events = yu::telemetry::take_memory_events();
+    assert!(events_of_kind(&events, "slow_request").is_empty());
+    assert_eq!(events_of_kind(&events, "request_finish").len(), 1);
+    assert_eq!(calm.lifetime().slow_requests, 0);
+
+    // Raising the minimum level filters the info-level lifecycle events
+    // but keeps the warn-level slow event.
+    yu::telemetry::set_event_min_level(yu::telemetry::EventLevel::Warn);
+    s.handle_line("{\"id\":44,\"changes\":[]}");
+    let events = yu::telemetry::take_memory_events();
+    assert!(events_of_kind(&events, "request_start").is_empty());
+    assert!(events_of_kind(&events, "request_finish").is_empty());
+    assert!(events_of_kind(&events, "slow_request")[0].contains("\"id\":44"));
+    yu::telemetry::set_event_min_level(yu::telemetry::EventLevel::Info);
+    yu::telemetry::close_event_sink();
+
+    // The in-band metrics request: answered from the registry without
+    // touching verifier state or counting as a change request.
+    let requests_before = s.lifetime().requests;
+    let resp = s.handle_line("{\"id\":7,\"metrics\":true}");
+    assert_eq!(s.lifetime().requests, requests_before);
+    let v: serde::Value = serde_json::from_str(&resp).expect("metrics response is JSON");
+    let root = v.as_object().expect("metrics response is an object");
+    assert_eq!(root.get("id").and_then(|x| x.as_object()), None);
+    assert!(resp.contains("\"id\":7"));
+    assert!(resp.contains("\"ok\":true"));
+    let metrics = root
+        .get("metrics")
+        .and_then(|m| m.as_object())
+        .expect("metrics object");
+    for section in ["counters", "gauges", "histograms"] {
+        assert!(metrics.get(section).is_some(), "missing {section}");
+    }
+    let lifetime = root
+        .get("lifetime")
+        .and_then(|m| m.as_object())
+        .expect("lifetime object");
+    assert!(lifetime.get("requests").is_some());
+    assert!(lifetime.get("verdict_flips").is_some());
+    // The registry snapshot digests latency histograms to quantiles.
+    assert!(resp.contains("\"yu_serve_request_seconds\""));
+    assert!(resp.contains("\"p99\""));
+}

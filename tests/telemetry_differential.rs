@@ -2,13 +2,26 @@
 //! verification with recording on and off has to produce bit-identical
 //! verdicts, violations, flow grouping, and MTBDD statistics.
 //!
-//! One test function drives both configurations back-to-back so the
-//! process-global enable flag is never toggled concurrently with another
-//! test's run.
+//! Each test function drives both configurations back-to-back under a
+//! shared lock, so the process-global enable flags (span collector,
+//! metrics registry, event sink) are never toggled concurrently with
+//! another test's run.
 
-use yu::core::{RunStats, VerificationOutcome, YuOptions, YuVerifier};
+use std::sync::Mutex;
+use std::time::Duration;
+use yu::core::{IncrementalVerifier, RunStats, VerificationOutcome, YuOptions, YuVerifier};
 use yu::gen::{motivating_example, sr_anycast_incident};
-use yu::net::{Flow, Network, Tlp};
+use yu::net::{Change, FailureMode, Flow, Network, Tlp};
+use yu::serve::{ServeConfig, ServeSession};
+use yu::spec::VerifySpec;
+
+/// Serializes the tests in this binary against each other: they all
+/// flip process-global observability switches.
+static FLAG_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_flags() -> std::sync::MutexGuard<'static, ()> {
+    FLAG_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Verifies, then explains every violation; the forensic reports ride
 /// along so the on/off comparison also covers the explain pipeline.
@@ -60,6 +73,7 @@ fn assert_same_modulo_timing(on: &VerificationOutcome, off: &VerificationOutcome
 
 #[test]
 fn telemetry_on_off_runs_are_identical() {
+    let _guard = lock_flags();
     let fig1 = motivating_example();
     let sr = sr_anycast_incident();
     let cases: Vec<(&Network, &[Flow], &Tlp)> = vec![
@@ -131,4 +145,221 @@ fn telemetry_on_off_runs_are_identical() {
             }
         }
     }
+}
+
+/// The fig1 base spec the incremental runs start from.
+fn fig1_spec() -> VerifySpec {
+    let ex = motivating_example();
+    VerifySpec {
+        network: ex.net,
+        flows: ex.flows,
+        tlp: ex.p2,
+        k: 1,
+        mode: FailureMode::Links,
+    }
+}
+
+/// A serve request line with an explicit id.
+fn request_line(id: u64, changes: &[Change]) -> String {
+    format!(
+        "{{\"id\":{},\"changes\":{}}}",
+        id,
+        serde_json::to_string(changes).expect("changes serialize")
+    )
+}
+
+/// The scripted serve session: link-cost bump and restore, a flow-volume
+/// edit, an empty change-set, plus a semantic error and a parse error —
+/// every response path the protocol has (except `metrics`, whose payload
+/// intentionally differs between instrumented and plain runs).
+fn serve_script(spec: &VerifySpec) -> Vec<String> {
+    let topo = &spec.network.topo;
+    let u = topo.ulinks().next().expect("fig1 has links");
+    let (fwd, _) = topo.directions(u);
+    let lk = topo.link(fwd);
+    let (from, to) = (
+        topo.router(lk.from).name.clone(),
+        topo.router(lk.to).name.clone(),
+    );
+    let cost = |c: u64| Change::SetLinkCost {
+        from: from.clone(),
+        to: to.clone(),
+        index: 0,
+        cost: c,
+    };
+    vec![
+        request_line(1, &[cost(lk.igp_cost * 9 + 50)]),
+        request_line(
+            2,
+            &[Change::SetFlowVolume {
+                flow: 0,
+                volume: yu::mtbdd::Ratio::new(40, 1),
+            }],
+        ),
+        request_line(3, &[cost(lk.igp_cost)]),
+        request_line(4, &[]),
+        // Semantic error: unknown router, rejected atomically.
+        request_line(
+            5,
+            &[Change::SetLinkCost {
+                from: "no-such-router".into(),
+                to: to.clone(),
+                index: 0,
+                cost: 1,
+            }],
+        ),
+        // Parse error: not JSON at all.
+        "{definitely not json".to_string(),
+    ]
+}
+
+/// Strips the wall-clock fields from a response line so instrumented and
+/// plain runs can be compared for bit-identity on everything else.
+fn strip_timing(line: &str) -> String {
+    use serde::Value;
+    let mut v: Value = serde_json::from_str(line).expect("response line is JSON");
+    if let Some(root) = v.as_object_mut() {
+        if let Some(Value::Map(mut stats)) = root.remove("stats") {
+            for key in ["route_secs", "exec_secs", "check_secs"] {
+                stats.remove(key);
+            }
+            root.insert("stats", Value::Map(stats));
+        }
+    }
+    v.to_string()
+}
+
+/// One full serve pass over the script; `observed` turns on the span
+/// collector, the metrics registry, and an in-memory event sink.
+fn run_serve(spec: &VerifySpec, script: &[String], observed: bool) -> (Vec<String>, Vec<String>) {
+    yu::telemetry::set_enabled(observed);
+    yu::telemetry::set_registry_enabled(observed);
+    if observed {
+        yu::telemetry::reset();
+        yu::telemetry::set_event_sink_memory();
+    }
+    let opts = YuOptions {
+        k: spec.k,
+        mode: spec.mode,
+        ..Default::default()
+    };
+    // A zero slow threshold keeps the slow-request path deterministic:
+    // every successful request is "slow" in both configurations.
+    let mut session = ServeSession::with_config(
+        spec,
+        opts,
+        ServeConfig {
+            slow_threshold: Duration::ZERO,
+        },
+    );
+    let responses = script
+        .iter()
+        .map(|l| strip_timing(&session.handle_line(l)))
+        .collect();
+    let events = if observed {
+        yu::telemetry::take_memory_events()
+    } else {
+        Vec::new()
+    };
+    yu::telemetry::close_event_sink();
+    yu::telemetry::set_enabled(false);
+    yu::telemetry::set_registry_enabled(true);
+    (responses, events)
+}
+
+/// The `yu diff` code path: baseline verify, then [`IncrementalVerifier::
+/// set_state`] onto a changed spec. Returns a timing-free fingerprint.
+fn run_diff(old: &VerifySpec, new: &VerifySpec, observed: bool) -> String {
+    yu::telemetry::set_enabled(observed);
+    yu::telemetry::set_registry_enabled(observed);
+    if observed {
+        yu::telemetry::reset();
+    }
+    let opts = YuOptions {
+        k: old.k,
+        mode: old.mode,
+        ..Default::default()
+    };
+    let mut inc = IncrementalVerifier::new(
+        old.network.clone(),
+        old.flows.clone(),
+        old.tlp.clone(),
+        opts,
+    );
+    let base = inc.verify();
+    let out = inc.set_state(new.network.clone(), new.flows.clone(), new.tlp.clone());
+    let fingerprint = format!(
+        "base={} {:?} new={} {:?} delta={:?}",
+        base.verified(),
+        base.violations,
+        out.verified(),
+        out.violations,
+        inc.delta_stats()
+    );
+    yu::telemetry::set_enabled(false);
+    yu::telemetry::set_registry_enabled(true);
+    fingerprint
+}
+
+/// The incremental paths (`yu serve` request loop and `yu diff`
+/// re-verification) must also be bit-identical with the full
+/// observability stack on — span collector, metrics registry, and event
+/// log together. The only permitted difference is the stripped wall
+/// clock.
+#[test]
+fn incremental_paths_are_identical_under_full_observability() {
+    let _guard = lock_flags();
+    let spec = fig1_spec();
+    let script = serve_script(&spec);
+
+    let (plain, no_events) = run_serve(&spec, &script, false);
+    assert!(no_events.is_empty());
+
+    let before = yu::telemetry::registry().snapshot();
+    let (instrumented, events) = run_serve(&spec, &script, true);
+    let after = yu::telemetry::registry().snapshot();
+
+    assert_eq!(
+        plain, instrumented,
+        "serve responses must not depend on observability"
+    );
+
+    // The instrumented run actually observed: registry counters moved by
+    // exactly the scripted request mix (4 ok, 2 rejected)...
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+    assert_eq!(delta("yu_serve_requests_total"), 4);
+    assert_eq!(delta("yu_serve_request_errors_total"), 2);
+    assert_eq!(delta("yu_serve_slow_requests_total"), 4);
+    // ...and the event log carries the whole taxonomy with the right
+    // correlation ids.
+    let kinds_with_id = |kind: &str| -> Vec<String> {
+        events
+            .iter()
+            .filter(|e| e.contains(&format!("\"kind\":\"{kind}\"")))
+            .cloned()
+            .collect()
+    };
+    assert_eq!(kinds_with_id("request_start").len(), 5);
+    assert_eq!(kinds_with_id("request_finish").len(), 4);
+    assert_eq!(kinds_with_id("slow_request").len(), 4);
+    assert_eq!(kinds_with_id("serve_error").len(), 2);
+    assert!(kinds_with_id("slow_request")[0].contains("\"id\":1"));
+    for e in &events {
+        let v: serde::Value = serde_json::from_str(e).expect("event line is JSON");
+        let obj = v.as_object().expect("event is an object");
+        assert!(obj.get("ts_us").is_some());
+        assert!(obj.get("level").is_some());
+    }
+
+    // The `yu diff` path: same spec transition, with and without the
+    // stack.
+    let mut new_spec = fig1_spec();
+    new_spec.tlp = motivating_example().p1;
+    new_spec.flows.pop();
+    let plain_diff = run_diff(&spec, &new_spec, false);
+    let observed_diff = run_diff(&spec, &new_spec, true);
+    assert_eq!(
+        plain_diff, observed_diff,
+        "diff verdicts must not depend on observability"
+    );
 }
