@@ -13,6 +13,7 @@
 //! link-local flow-equivalence aggregation, and terminal-scan TLP checking
 //! with counterexample extraction.
 
+use crate::attribution::{flow_label, req_label, Attribution, EntityCost, PhaseAttribution};
 use crate::equivalence::{global_groups_classified, AggStats, FlowGroup};
 use crate::exec::{simulate_flow, simulate_flow_traced, ExecOptions, FlowStf};
 use crate::parallel::{check_sharded, execute_sharded, CheckCtx, CheckUnit};
@@ -78,6 +79,13 @@ pub struct YuOptions {
     /// traces after a routing change to decide which groups to
     /// re-execute. Off by default for batch runs.
     pub record_route_deps: bool,
+    /// Capture per-entity performance attribution (see
+    /// [`crate::attribution`]): wall time and arena node-growth deltas
+    /// per flow group and per requirement, plus arena level/cache
+    /// profiles, carried by [`RunStats::attribution`]. Observer-only —
+    /// verdicts are bit-identical with profiling on or off. Set by
+    /// `yu profile` and `yu verify --profile-out`; off by default.
+    pub profile: bool,
 }
 
 /// The default worker count: the `YU_WORKERS` environment variable when
@@ -123,6 +131,7 @@ impl Default for YuOptions {
             check_workers: default_check_workers(),
             static_prune: true,
             record_route_deps: false,
+            profile: false,
         }
     }
 }
@@ -155,6 +164,9 @@ pub struct RunStats {
     /// cache rates). `None` unless telemetry was enabled (`YU_TRACE`,
     /// `YU_METRICS`, or `yu_telemetry::set_enabled`).
     pub telemetry: Option<yu_telemetry::TelemetrySummary>,
+    /// Per-entity performance attribution (flows, requirements, arena
+    /// levels and caches). `None` unless [`YuOptions::profile`] was set.
+    pub attribution: Option<Attribution>,
 }
 
 /// Outcome of verifying one TLP.
@@ -198,6 +210,18 @@ pub struct YuVerifier {
     /// tracked separately because the registry is on even when span
     /// telemetry is off (and vice versa).
     registry_reported: MtbddStats,
+    /// Per-flow-group execution costs, accumulated across `add_flows`
+    /// calls. Empty unless `opts.profile`.
+    exec_attr: PhaseAttribution,
+    /// Per-flow-group import costs of parallel execution (main-arena
+    /// growth while copying worker results back). Empty unless
+    /// `opts.profile` and `workers > 1`.
+    import_attr: PhaseAttribution,
+    /// Per-requirement check costs of the verify call in flight; built
+    /// by the check loops, consumed (and cleared) by `finish_outcome`.
+    check_attr: PhaseAttribution,
+    /// Inner nodes the symbolic route simulation left in the arena.
+    route_nodes: u64,
 }
 
 impl YuVerifier {
@@ -213,6 +237,7 @@ impl YuVerifier {
             SymbolicRoutes::compute(&mut m, &net, &fv, k)
         };
         let route_time = t0.elapsed();
+        let route_nodes = m.stats().nodes_created as u64;
         let yu = YuVerifier {
             m,
             net,
@@ -230,6 +255,10 @@ impl YuVerifier {
             worker_stats: MtbddStats::default(),
             telemetry_reported: MtbddStats::default(),
             registry_reported: MtbddStats::default(),
+            exec_attr: PhaseAttribution::default(),
+            import_attr: PhaseAttribution::default(),
+            check_attr: PhaseAttribution::default(),
+            route_nodes,
         };
         yu.audit_checkpoint("after symbolic route simulation");
         yu
@@ -239,6 +268,14 @@ impl YuVerifier {
     /// holds (routing guards, flow STFs, cached per-point loads). Cheap
     /// enough for tests; see [`yu_mtbdd::AuditReport`].
     pub fn audit(&self) -> yu_mtbdd::AuditReport {
+        self.m.audit(&self.live_roots(true))
+    }
+
+    /// Every live root this verifier holds: routing guards, flow STFs,
+    /// route-dependency traces, and (when `include_load_cache`) the
+    /// cached per-point loads. The root set of GC, auditing, and the
+    /// arena level profile.
+    pub(crate) fn live_roots(&self, include_load_cache: bool) -> Vec<NodeRef> {
         let mut roots = Vec::new();
         self.routes.gc_roots(&mut roots);
         for stf in &self.results {
@@ -247,10 +284,12 @@ impl YuVerifier {
         for trace in self.traces.iter().flatten() {
             trace.gc_roots(&mut roots);
         }
-        for &(tau, _) in self.load_cache.values() {
-            roots.push(tau);
+        if include_load_cache {
+            for &(tau, _) in self.load_cache.values() {
+                roots.push(tau);
+            }
         }
-        self.m.audit(&roots)
+        roots
     }
 
     /// Runs [`Self::audit`] and panics on violations when auditing is
@@ -293,14 +332,7 @@ impl YuVerifier {
         if created < (self.live_after_gc * 2).max(self.live_after_gc + threshold) {
             return;
         }
-        let mut roots = Vec::new();
-        self.routes.gc_roots(&mut roots);
-        for stf in &self.results {
-            stf.gc_roots(&mut roots);
-        }
-        for trace in self.traces.iter().flatten() {
-            trace.gc_roots(&mut roots);
-        }
+        let mut roots = self.live_roots(false);
         roots.extend(extra.iter().copied());
         let t_gc = Instant::now();
         let remap = self.m.collect(&roots);
@@ -380,10 +412,14 @@ impl YuVerifier {
         let t0 = Instant::now();
         let exec_span = yu_telemetry::span("exec");
         yu_telemetry::with_registry(|r| r.flow_groups_executed_total.add(groups.len() as u64));
+        let profile = self.opts.profile;
         if self.opts.workers > 1 && groups.len() > 1 {
             self.add_groups_parallel(groups, exec_opts);
         } else {
+            let nodes_at_start = self.m.stats().nodes_created as i64;
             for g in groups {
+                let t_flow = Instant::now();
+                let nodes_before = self.m.stats().nodes_created as i64;
                 let (stf, trace) = if self.opts.record_route_deps {
                     let (stf, trace) = simulate_flow_traced(
                         &mut self.m,
@@ -405,13 +441,29 @@ impl YuVerifier {
                     );
                     (stf, None)
                 };
+                let wall_us = t_flow.elapsed().as_micros() as u64;
+                yu_telemetry::with_registry(|r| r.flow_exec_seconds.record(wall_us));
+                if profile {
+                    self.exec_attr.entities.push(EntityCost {
+                        label: flow_label(&self.net, &g.rep, g.members),
+                        wall_us,
+                        nodes_delta: self.m.stats().nodes_created as i64 - nodes_before,
+                    });
+                }
                 self.groups.push(g);
                 self.results.push(stf);
                 self.traces.push(trace);
             }
+            if profile {
+                self.exec_attr.nodes_delta += self.m.stats().nodes_created as i64 - nodes_at_start;
+            }
         }
         drop(exec_span);
-        self.exec_time += t0.elapsed();
+        let elapsed = t0.elapsed();
+        if profile {
+            self.exec_attr.wall_us += elapsed.as_micros() as u64;
+        }
+        self.exec_time += elapsed;
         self.load_cache.clear();
         self.audit_checkpoint("after symbolic traffic execution");
     }
@@ -423,6 +475,7 @@ impl YuVerifier {
     /// state is a pure function of the input — independent of worker
     /// count and thread scheduling.
     fn add_groups_parallel(&mut self, groups: Vec<FlowGroup>, exec_opts: ExecOptions) {
+        let profile = self.opts.profile;
         let shards = execute_sharded(
             &self.net,
             self.opts.mode,
@@ -431,6 +484,7 @@ impl YuVerifier {
             exec_opts,
             self.opts.workers,
             self.opts.record_route_deps,
+            profile,
         );
         // Group index -> (shard, position) ownership map.
         let mut owner: Vec<(usize, usize)> = vec![(usize::MAX, usize::MAX); groups.len()];
@@ -441,10 +495,14 @@ impl YuVerifier {
         }
         let mut memos: Vec<ImportMemo> = shards.iter().map(|_| ImportMemo::new()).collect();
         let import_span = yu_telemetry::span("import");
+        let import_t0 = Instant::now();
+        let nodes_at_start = self.m.stats().nodes_created as i64;
         for (ix, g) in groups.into_iter().enumerate() {
             let (si, pos) = owner[ix];
             let shard = &shards[si];
             let (_, stf, trace) = &shard.stfs[pos];
+            let t_import = Instant::now();
+            let nodes_before = self.m.stats().nodes_created as i64;
             let mut points: Vec<(LoadPoint, NodeRef)> =
                 stf.loads.iter().map(|(&p, &n)| (p, n)).collect();
             points.sort_by_key(|&(p, _)| p);
@@ -458,9 +516,27 @@ impl YuVerifier {
                 t.import_into(&mut self.m, &shard.arena, &mut memos[si]);
                 t
             });
+            if profile {
+                self.import_attr.entities.push(EntityCost {
+                    label: flow_label(&self.net, &g.rep, g.members),
+                    wall_us: t_import.elapsed().as_micros() as u64,
+                    nodes_delta: self.m.stats().nodes_created as i64 - nodes_before,
+                });
+            }
             self.groups.push(g);
             self.results.push(FlowStf { loads, truncated });
             self.traces.push(trace);
+        }
+        if profile {
+            self.import_attr.nodes_delta += self.m.stats().nodes_created as i64 - nodes_at_start;
+            self.import_attr.wall_us += import_t0.elapsed().as_micros() as u64;
+            // The exec phase of a parallel batch is the workers' private
+            // arenas: per-flow entities (plus each worker's local route
+            // recompute) telescoping to the summed worker-arena growth.
+            for shard in &shards {
+                self.exec_attr.entities.extend(shard.costs.iter().cloned());
+                self.exec_attr.nodes_delta += shard.arena.stats().nodes_created as i64;
+            }
         }
         drop(import_span);
         let (hits, misses) = memos
@@ -583,6 +659,8 @@ impl YuVerifier {
         self.route_time = Duration::ZERO;
         self.exec_time = Duration::ZERO;
         self.flows_in = 0;
+        self.exec_attr = PhaseAttribution::default();
+        self.import_attr = PhaseAttribution::default();
     }
 
     /// The semantic preflight pass: classifies every requirement with
@@ -688,9 +766,31 @@ impl YuVerifier {
         let mut units: Vec<CheckUnit> = Vec::with_capacity(reqs.len());
         for shard in shards {
             self.worker_stats.merge(&shard.stats);
+            if self.opts.profile {
+                // The check phase of a sharded run is the workers'
+                // private arenas; each one telescopes from empty, so the
+                // per-unit deltas sum exactly to the summed worker growth.
+                self.check_attr.nodes_delta += shard.stats.nodes_created as i64;
+            }
             units.extend(shard.units);
         }
         units.sort_by_key(|u| u.req_ix);
+        yu_telemetry::with_registry(|r| {
+            for u in &units {
+                r.req_check_seconds.record(u.wall_us);
+            }
+        });
+        if self.opts.profile {
+            // Attribute every unit the workers processed, including any
+            // past an early-stop cut — the work was done either way.
+            for u in &units {
+                self.check_attr.entities.push(EntityCost {
+                    label: req_label(&self.net, &reqs[u.req_ix]),
+                    wall_us: u.wall_us,
+                    nodes_delta: u.nodes_delta,
+                });
+            }
+        }
         let cut = if max_violations <= 1 && self.opts.early_stop {
             units.iter().position(|u| !u.violations.is_empty())
         } else {
@@ -717,15 +817,32 @@ impl YuVerifier {
         } else {
             let mut violations = Vec::new();
             let mut per_point = HashMap::new();
+            let profile = self.opts.profile;
+            let nodes_at_start = self.m.stats().nodes_created as i64;
             for req in &kept {
+                let t_req = Instant::now();
+                let nodes_before = self.m.stats().nodes_created as i64;
                 let (tau, stats) = self.load_with_stats(req.point);
                 per_point.insert(req.point, stats);
-                if let Some(v) = check_requirement(&mut self.m, &self.fv, tau, req, self.opts.k) {
+                let v = check_requirement(&mut self.m, &self.fv, tau, req, self.opts.k);
+                let wall_us = t_req.elapsed().as_micros() as u64;
+                yu_telemetry::with_registry(|r| r.req_check_seconds.record(wall_us));
+                if profile {
+                    self.check_attr.entities.push(EntityCost {
+                        label: req_label(&self.net, req),
+                        wall_us,
+                        nodes_delta: self.m.stats().nodes_created as i64 - nodes_before,
+                    });
+                }
+                if let Some(v) = v {
                     violations.push(v);
                     if self.opts.early_stop {
                         break;
                     }
                 }
+            }
+            if profile {
+                self.check_attr.nodes_delta += self.m.stats().nodes_created as i64 - nodes_at_start;
             }
             (violations, per_point)
         };
@@ -751,7 +868,11 @@ impl YuVerifier {
         } else {
             let mut violations: Vec<Violation> = Vec::new();
             let mut per_point = HashMap::new();
+            let profile = self.opts.profile;
+            let nodes_at_start = self.m.stats().nodes_created as i64;
             for req in &kept {
+                let t_req = Instant::now();
+                let nodes_before = self.m.stats().nodes_created as i64;
                 let (tau, stats) = self.load_with_stats(req.point);
                 per_point.insert(req.point, stats);
                 let vs = crate::verify::enumerate_violations(
@@ -762,7 +883,19 @@ impl YuVerifier {
                     self.opts.k,
                     max_violations,
                 );
+                let wall_us = t_req.elapsed().as_micros() as u64;
+                yu_telemetry::with_registry(|r| r.req_check_seconds.record(wall_us));
+                if profile {
+                    self.check_attr.entities.push(EntityCost {
+                        label: req_label(&self.net, req),
+                        wall_us,
+                        nodes_delta: self.m.stats().nodes_created as i64 - nodes_before,
+                    });
+                }
                 violations.extend(vs);
+            }
+            if profile {
+                self.check_attr.nodes_delta += self.m.stats().nodes_created as i64 - nodes_at_start;
             }
             (violations, per_point)
         };
@@ -791,6 +924,19 @@ impl YuVerifier {
         self.audit_checkpoint("after TLP check");
         self.registry_bridge(check_time, reqs_pruned, per_point.len());
         let telemetry = self.telemetry_summary();
+        let attribution = self.opts.profile.then(|| {
+            let mut check = std::mem::take(&mut self.check_attr);
+            check.wall_us = check_time.as_micros() as u64;
+            Attribution {
+                route_nodes: self.route_nodes,
+                exec: self.exec_attr.clone(),
+                import: self.import_attr.clone(),
+                check,
+                levels: self.m.level_profile(&self.live_roots(true)),
+                caches: self.m.cache_profiles(),
+                engine: self.m.engine_profile(),
+            }
+        });
         VerificationOutcome {
             violations,
             stats: RunStats {
@@ -804,6 +950,7 @@ impl YuVerifier {
                 mtbdd_workers: self.worker_stats,
                 per_point,
                 telemetry,
+                attribution,
             },
         }
     }
@@ -865,6 +1012,12 @@ impl YuVerifier {
                 .gc_reclaimed_nodes
                 .saturating_sub(prev.gc_reclaimed_nodes),
         );
+        if let Some(rate) = combined.apply_cache_hit_rate() {
+            r.mtbdd_apply_cache_hit_rate.set(rate);
+        }
+        if let Some(rate) = combined.fused_cache_hit_rate() {
+            r.mtbdd_fused_cache_hit_rate.set(rate);
+        }
         self.registry_reported = combined;
     }
 

@@ -1,0 +1,179 @@
+//! Per-entity performance attribution: which flow, which requirement,
+//! which variable level the nodes and the milliseconds actually go to.
+//!
+//! The stage timings in [`crate::RunStats`] say *that* execution took
+//! 4 s; the ROADMAP's engine-overhaul work needs to know *which flow*
+//! took them, and whether the arena growth came from execution, import,
+//! or aggregation. When [`crate::YuOptions::profile`] is set, the
+//! verifier captures an [`EntityCost`] around every unit of work — one
+//! per flow group at `exec.flow` / worker import, one per requirement
+//! at aggregate+check — and assembles them into an [`Attribution`]
+//! carried by [`crate::RunStats`].
+//!
+//! **Reconciliation invariant.** Within a phase, the per-entity node
+//! deltas are measured back-to-back in the same arena, so they
+//! telescope: their sum equals the phase-wide delta *exactly*, GC or
+//! not (a collection mid-entity makes that entity's delta negative, but
+//! the sum still matches). With GC disabled and sequential workers the
+//! phase deltas further reconcile with the final arena statistics:
+//! `route_nodes + exec.nodes_delta + check.nodes_delta =
+//! stats.mtbdd.nodes_created`. Both identities are asserted by
+//! `tests/attribution.rs` and the CI profile smoke step.
+//!
+//! Capture is observer-only — wall clocks and already-maintained node
+//! counters — so profiled runs are bit-identical to plain runs
+//! (`tests/telemetry_differential.rs`).
+
+use serde::Serialize;
+use yu_mtbdd::{CacheProfile, EngineProfile, LevelProfile};
+
+/// The cost attributed to one spec entity (a flow group, a
+/// requirement, or a worker's route recompute).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EntityCost {
+    /// Human-readable entity label (`flow A->10.0.0.1/dscp0`,
+    /// `req link A-B`, `worker-3 route_sim`).
+    pub label: String,
+    /// Wall-clock spent on this entity, in microseconds.
+    pub wall_us: u64,
+    /// Net inner-node growth of the arena that did the work while this
+    /// entity was processed. Negative when a GC ran mid-entity.
+    pub nodes_delta: i64,
+}
+
+/// Every [`EntityCost`] of one pipeline phase plus the phase-wide
+/// totals the entities must reconcile with.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct PhaseAttribution {
+    /// Per-entity costs, in processing order.
+    pub entities: Vec<EntityCost>,
+    /// Phase wall-clock, in microseconds.
+    pub wall_us: u64,
+    /// Phase-wide net arena growth (sum of per-entity deltas; for
+    /// parallel phases, summed across the worker arenas).
+    pub nodes_delta: i64,
+}
+
+impl PhaseAttribution {
+    /// Sum of the per-entity node deltas (must equal
+    /// [`PhaseAttribution::nodes_delta`]).
+    pub fn entity_nodes_sum(&self) -> i64 {
+        self.entities.iter().map(|e| e.nodes_delta).sum()
+    }
+
+    /// Sum of the per-entity wall clocks, in microseconds.
+    pub fn entity_wall_sum(&self) -> u64 {
+        self.entities.iter().map(|e| e.wall_us).sum()
+    }
+
+    /// The entities sorted by wall-clock, most expensive first,
+    /// truncated to `top` (0 = all).
+    pub fn top_by_wall(&self, top: usize) -> Vec<&EntityCost> {
+        let mut sorted: Vec<&EntityCost> = self.entities.iter().collect();
+        sorted.sort_by(|a, b| b.wall_us.cmp(&a.wall_us).then(a.label.cmp(&b.label)));
+        if top > 0 {
+            sorted.truncate(top);
+        }
+        sorted
+    }
+}
+
+/// The full attribution of one verification run, carried by
+/// [`crate::RunStats::attribution`] when profiling is on.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct Attribution {
+    /// Inner nodes the symbolic route simulation left in the main
+    /// arena (the pre-exec baseline of the reconciliation identity).
+    pub route_nodes: u64,
+    /// Per-flow-group symbolic execution costs. Sequential runs
+    /// measure the main arena; parallel runs measure each worker's
+    /// private arena and include one `worker-N route_sim` entity per
+    /// worker for its local route recompute.
+    pub exec: PhaseAttribution,
+    /// Per-flow-group import costs (main-arena growth while copying
+    /// worker results back). Empty for sequential runs.
+    pub import: PhaseAttribution,
+    /// Per-requirement aggregate+check costs. Sequential checking
+    /// measures the main arena; sharded checking measures the private
+    /// worker arenas.
+    pub check: PhaseAttribution,
+    /// Live-node histogram per variable level, over every root the
+    /// verifier holds after the run (routing state, flow STFs, cached
+    /// loads).
+    pub levels: LevelProfile,
+    /// Apply/fused operation-cache profiles of the main arena.
+    pub caches: Vec<CacheProfile>,
+    /// Kernel recursion-depth maxima (all-zero unless
+    /// `YU_ENGINE_PROFILE` was on when the arena was built).
+    pub engine: EngineProfile,
+}
+
+impl Attribution {
+    /// Whether every phase's entity deltas telescope to its phase
+    /// total — the invariant the capture sites guarantee.
+    pub fn reconciles(&self) -> bool {
+        [&self.exec, &self.import, &self.check]
+            .iter()
+            .all(|p| p.entity_nodes_sum() == p.nodes_delta)
+    }
+}
+
+/// Label helper: one flow group.
+pub(crate) fn flow_label(net: &yu_net::Network, f: &yu_net::Flow, members: usize) -> String {
+    let ingress = &net.topo.router(f.ingress).name;
+    if members > 1 {
+        format!("flow {}->{}/dscp{} (x{})", ingress, f.dst, f.dscp, members)
+    } else {
+        format!("flow {}->{}/dscp{}", ingress, f.dst, f.dscp)
+    }
+}
+
+/// Label helper: one requirement.
+pub(crate) fn req_label(net: &yu_net::Network, req: &yu_net::TlpReq) -> String {
+    format!("req {}", req.point.describe(&net.topo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(label: &str, wall_us: u64, nodes_delta: i64) -> EntityCost {
+        EntityCost {
+            label: label.into(),
+            wall_us,
+            nodes_delta,
+        }
+    }
+
+    #[test]
+    fn phase_sums_and_top() {
+        let phase = PhaseAttribution {
+            entities: vec![cost("a", 5, 10), cost("b", 9, -3), cost("c", 9, 4)],
+            wall_us: 30,
+            nodes_delta: 11,
+        };
+        assert_eq!(phase.entity_nodes_sum(), 11);
+        assert_eq!(phase.entity_wall_sum(), 23);
+        let top = phase.top_by_wall(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].label, "b", "ties break on label");
+        assert_eq!(top[1].label, "c");
+        assert_eq!(phase.top_by_wall(0).len(), 3);
+    }
+
+    #[test]
+    fn reconciliation_checks_every_phase() {
+        let good = Attribution {
+            exec: PhaseAttribution {
+                entities: vec![cost("a", 1, 7)],
+                nodes_delta: 7,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(good.reconciles());
+        let mut bad = good.clone();
+        bad.check.nodes_delta = 1; // no entities sum to 1
+        assert!(!bad.reconciles());
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod attribution;
 pub mod delta;
 pub mod equivalence;
 pub mod exec;
@@ -35,6 +36,7 @@ pub mod verify;
 pub use api::{
     default_check_workers, default_workers, RunStats, VerificationOutcome, YuOptions, YuVerifier,
 };
+pub use attribution::{Attribution, EntityCost, PhaseAttribution};
 pub use delta::{DeltaStats, IncrementalVerifier};
 pub use equivalence::{
     aggregate_load, global_groups, global_groups_classified, AggStats, FlowGroup,

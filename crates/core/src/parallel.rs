@@ -40,11 +40,13 @@
 //! canonicalizing for `≈ₖ`, so reducing early and reducing late yield the
 //! same final diagrams.
 
+use crate::attribution::{flow_label, EntityCost};
 use crate::equivalence::{AggStats, FlowGroup};
 use crate::exec::{simulate_flow, simulate_flow_traced, ExecOptions, FlowStf};
 use crate::trace::RouteTrace;
 use crate::verify::{check_requirement, enumerate_violations, Violation};
 use std::collections::HashMap;
+use std::time::Instant;
 use yu_mtbdd::{ImportMemo, Mtbdd, MtbddStats, NodeRef, Ratio, Term};
 use yu_net::{FailureMode, FailureVars, Network, TlpReq};
 use yu_routing::SymbolicRoutes;
@@ -100,6 +102,12 @@ pub struct Shard {
     /// is `Some` iff the shard ran with `record_traces` and holds handles
     /// of this shard's arena until imported.
     pub stfs: Vec<(usize, FlowStf, Option<RouteTrace>)>,
+    /// Per-entity costs of this worker (its local route recompute plus
+    /// one entry per flow group), measured against the private arena.
+    /// Empty unless the shard ran with `profile`. The entity node deltas
+    /// telescope from an empty arena, so they sum exactly to
+    /// `arena.stats().nodes_created`.
+    pub costs: Vec<EntityCost>,
 }
 
 /// Executes `groups` across `workers` threads, each with a private arena
@@ -112,6 +120,7 @@ pub struct Shard {
 /// # Panics
 /// Propagates panics from worker threads (including audit failures when
 /// `YU_AUDIT=1`).
+#[allow(clippy::too_many_arguments)]
 pub fn execute_sharded(
     net: &Network,
     mode: FailureMode,
@@ -120,6 +129,7 @@ pub fn execute_sharded(
     opts: ExecOptions,
     workers: usize,
     record_traces: bool,
+    profile: bool,
 ) -> Vec<Shard> {
     let workers = workers.clamp(1, groups.len().max(1));
     run_worker_pool(
@@ -127,11 +137,22 @@ pub fn execute_sharded(
         |w| format!("worker-{w}"),
         "exec.worker",
         move |w| {
+            let mut costs = Vec::new();
+            let t_routes = Instant::now();
             let mut m = Mtbdd::new();
             let fv = FailureVars::allocate(&mut m, &net.topo, mode);
             let mut routes = SymbolicRoutes::compute(&mut m, net, &fv, routes_k);
+            if profile {
+                costs.push(EntityCost {
+                    label: format!("worker-{w} route_sim"),
+                    wall_us: t_routes.elapsed().as_micros() as u64,
+                    nodes_delta: m.stats().nodes_created as i64,
+                });
+            }
             let mut stfs = Vec::new();
             for (ix, g) in groups.iter().enumerate().skip(w).step_by(workers) {
+                let t_flow = Instant::now();
+                let nodes_before = m.stats().nodes_created as i64;
                 if record_traces {
                     let (stf, trace) =
                         simulate_flow_traced(&mut m, net, &fv, &mut routes, &g.rep, opts);
@@ -140,8 +161,21 @@ pub fn execute_sharded(
                     let stf = simulate_flow(&mut m, net, &fv, &mut routes, &g.rep, opts);
                     stfs.push((ix, stf, None));
                 }
+                let wall_us = t_flow.elapsed().as_micros() as u64;
+                yu_telemetry::with_registry(|r| r.flow_exec_seconds.record(wall_us));
+                if profile {
+                    costs.push(EntityCost {
+                        label: flow_label(net, &g.rep, g.members),
+                        wall_us,
+                        nodes_delta: m.stats().nodes_created as i64 - nodes_before,
+                    });
+                }
             }
-            Shard { arena: m, stfs }
+            Shard {
+                arena: m,
+                stfs,
+                costs,
+            }
         },
     )
 }
@@ -173,6 +207,11 @@ pub struct CheckUnit {
     pub violations: Vec<Violation>,
     /// Aggregation statistics of its load point (Figs. 13/14 data).
     pub agg: AggStats,
+    /// Wall-clock the worker spent aggregating and scanning it, in
+    /// microseconds.
+    pub wall_us: u64,
+    /// Net growth of the worker's private arena while processing it.
+    pub nodes_delta: i64,
 }
 
 /// The result of one check worker: its verdicts and its private arena's
@@ -244,6 +283,8 @@ fn check_unit(
 ) -> CheckUnit {
     let point = req.point;
     let _stage = yu_telemetry::span_detail("aggregate", || format!("{point:?}"));
+    let t_unit = Instant::now();
+    let nodes_before = m.stats().nodes_created as i64;
     let zero = ctx.m.zero();
     let mut classes: Vec<(usize, Ratio)> = Vec::new();
     let mut flows = 0usize;
@@ -309,5 +350,7 @@ fn check_unit(
         req_ix: ix,
         violations,
         agg,
+        wall_us: t_unit.elapsed().as_micros() as u64,
+        nodes_delta: m.stats().nodes_created as i64 - nodes_before,
     }
 }

@@ -95,6 +95,7 @@ impl Mtbdd {
             return r;
         }
         self.fused_cache_misses += 1;
+        self.prof_fused_enter();
         let vf = self.top_var(f).unwrap_or(u32::MAX);
         let vg = self.top_var(g).unwrap_or(u32::MAX);
         let var = vf.min(vg);
@@ -109,6 +110,7 @@ impl Mtbdd {
             let hi_k = self.fused_rec(op, f1, g1, k);
             self.node(var, lo_km1, hi_k)
         };
+        self.prof_fused_exit();
         self.fused_cache().insert((op, f, g, k), r);
         r
     }

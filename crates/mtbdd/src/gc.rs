@@ -61,6 +61,14 @@ impl Mtbdd {
         fresh.fused_cache_misses = self.fused_cache_misses;
         fresh.unique_peak = before.unique_table_peak;
         fresh.gc_runs = self.gc_runs + 1;
+        // Profiling counters are cumulative too: the collection drops
+        // every resident cache entry (an eviction each), and the kernel
+        // depth maxima must not reset with the arena swap.
+        fresh.apply_cache_evicted = self.apply_cache_evicted + before.apply_cache_len as u64;
+        fresh.fused_cache_evicted = self.fused_cache_evicted + before.fused_cache_len as u64;
+        fresh.prof_apply_depth_max = self.prof_apply_depth_max;
+        fresh.prof_fused_depth_max = self.prof_fused_depth_max;
+        fresh.prof_kreduce_depth_max = self.prof_kreduce_depth_max;
         let live = fresh.stats().nodes_created;
         fresh.gc_reclaimed = self.gc_reclaimed + before.nodes_created.saturating_sub(live) as u64;
         let map = memo.into_map();

@@ -50,6 +50,7 @@ impl Mtbdd {
         if let Some(&r) = self.kreduce_cache().get(&(f, k)) {
             return r;
         }
+        self.prof_kreduce_enter();
         let n = self.node_at(f);
         let hi_km1 = self.kreduce_rec(n.hi, k - 1);
         let lo_km1 = self.kreduce_rec(n.lo, k - 1);
@@ -59,6 +60,7 @@ impl Mtbdd {
             let hi_k = self.kreduce_rec(n.hi, k);
             self.node(n.var, lo_km1, hi_k)
         };
+        self.prof_kreduce_exit();
         self.kreduce_cache().insert((f, k), r);
         r
     }

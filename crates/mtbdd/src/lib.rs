@@ -58,6 +58,7 @@ mod kreduce;
 mod manager;
 mod node;
 mod paths;
+pub mod profile;
 mod ratio;
 mod terminal;
 
@@ -67,5 +68,9 @@ pub use import::ImportMemo;
 pub use manager::{Mtbdd, MtbddStats, Op, Op1};
 pub use node::{NodeRef, Var};
 pub use paths::Path;
+pub use profile::{
+    engine_profile_enabled, set_engine_profile, CacheProfile, EngineProfile, LevelCount,
+    LevelProfile, ProbeStats,
+};
 pub use ratio::Ratio;
 pub use terminal::Term;

@@ -174,6 +174,13 @@ impl MtbddStats {
         let total = self.apply_cache_hits + self.apply_cache_misses;
         (total > 0).then(|| self.apply_cache_hits as f64 / total as f64)
     }
+
+    /// Fused-kernel cache hit rate in `[0, 1]`, or `None` before any
+    /// lookups (mirrors [`MtbddStats::apply_cache_hit_rate`]).
+    pub fn fused_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.fused_cache_hits + self.fused_cache_misses;
+        (total > 0).then(|| self.fused_cache_hits as f64 / total as f64)
+    }
 }
 
 /// A multi-terminal binary decision diagram manager.
@@ -210,6 +217,22 @@ pub struct Mtbdd {
     pub(crate) unique_peak: usize,
     pub(crate) gc_runs: u64,
     pub(crate) gc_reclaimed: u64,
+    /// Entries dropped wholesale from the apply/fused caches by
+    /// [`Mtbdd::clear_caches`] and GC (see `profile.rs`); cumulative.
+    pub(crate) apply_cache_evicted: u64,
+    pub(crate) fused_cache_evicted: u64,
+    /// Whether kernel recursion-depth tracking (see `profile.rs`) is
+    /// active for this manager; latched from `YU_ENGINE_PROFILE` (or
+    /// its programmatic override) at construction.
+    profile_enabled: bool,
+    /// Current and maximum recursion depth per memoized kernel, only
+    /// maintained when `profile_enabled` is set. The maxima survive GC.
+    prof_apply_depth: u32,
+    pub(crate) prof_apply_depth_max: u32,
+    prof_fused_depth: u32,
+    pub(crate) prof_fused_depth_max: u32,
+    prof_kreduce_depth: u32,
+    pub(crate) prof_kreduce_depth_max: u32,
 }
 
 impl Default for Mtbdd {
@@ -245,6 +268,15 @@ impl Mtbdd {
             unique_peak: 0,
             gc_runs: 0,
             gc_reclaimed: 0,
+            apply_cache_evicted: 0,
+            fused_cache_evicted: 0,
+            profile_enabled: crate::profile::engine_profile_enabled(),
+            prof_apply_depth: 0,
+            prof_apply_depth_max: 0,
+            prof_fused_depth: 0,
+            prof_fused_depth_max: 0,
+            prof_kreduce_depth: 0,
+            prof_kreduce_depth_max: 0,
         };
         m.zero = m.term(Term::ZERO);
         m.one = m.term(Term::ONE);
@@ -389,6 +421,10 @@ impl Mtbdd {
             return r;
         }
         self.apply_cache_misses += 1;
+        if self.profile_enabled {
+            self.prof_apply_depth += 1;
+            self.prof_apply_depth_max = self.prof_apply_depth_max.max(self.prof_apply_depth);
+        }
         let r = if f.is_terminal() && g.is_terminal() {
             let t = op.combine(self.terminal_value(f), self.terminal_value(g));
             self.term(t)
@@ -402,6 +438,9 @@ impl Mtbdd {
             let hi = self.apply(op, f1, g1);
             self.node(var, lo, hi)
         };
+        if self.profile_enabled {
+            self.prof_apply_depth -= 1;
+        }
         self.apply_cache.insert((op, f, g), r);
         if self.audit_enabled {
             self.audit_apply_tick(op, f, g, r);
@@ -728,7 +767,11 @@ impl Mtbdd {
 
     /// Drops all operation caches (the unique tables are kept, so handles
     /// stay valid). Useful between verification phases to bound memory.
+    /// Every resident apply/fused entry is booked as an eviction in the
+    /// cache profiles (see `profile.rs`).
     pub fn clear_caches(&mut self) {
+        self.apply_cache_evicted += self.apply_cache.len() as u64;
+        self.fused_cache_evicted += self.fused_cache.len() as u64;
         self.apply_cache.clear();
         self.apply1_cache.clear();
         self.ite_cache.clear();
@@ -771,8 +814,48 @@ impl Mtbdd {
         &self.apply1_cache
     }
 
+    pub(crate) fn fused_cache_ref(&self) -> &FxHashMap<(Op, NodeRef, NodeRef, u32), NodeRef> {
+        &self.fused_cache
+    }
+
     pub(crate) fn audit_on(&self) -> bool {
         self.audit_enabled
+    }
+
+    // ---- crate-internal access for the profiler (profile.rs) ----
+
+    pub(crate) fn profile_on(&self) -> bool {
+        self.profile_enabled
+    }
+
+    /// Depth bookkeeping for the fused kernel's memoized recursion
+    /// (called from `fused.rs` on the cache-miss path only).
+    pub(crate) fn prof_fused_enter(&mut self) {
+        if self.profile_enabled {
+            self.prof_fused_depth += 1;
+            self.prof_fused_depth_max = self.prof_fused_depth_max.max(self.prof_fused_depth);
+        }
+    }
+
+    pub(crate) fn prof_fused_exit(&mut self) {
+        if self.profile_enabled {
+            self.prof_fused_depth -= 1;
+        }
+    }
+
+    /// Depth bookkeeping for `KREDUCE` (called from `kreduce.rs` on the
+    /// cache-miss path only).
+    pub(crate) fn prof_kreduce_enter(&mut self) {
+        if self.profile_enabled {
+            self.prof_kreduce_depth += 1;
+            self.prof_kreduce_depth_max = self.prof_kreduce_depth_max.max(self.prof_kreduce_depth);
+        }
+    }
+
+    pub(crate) fn prof_kreduce_exit(&mut self) {
+        if self.profile_enabled {
+            self.prof_kreduce_depth -= 1;
+        }
     }
 
     pub(crate) fn audit_ops_bump(&mut self) -> u64 {

@@ -1,0 +1,460 @@
+//! Read-only engine introspection for performance attribution.
+//!
+//! The ROADMAP's MTBDD-overhaul work (variable reordering, sharding
+//! heuristics) needs to know *where* an arena's nodes and the apply
+//! kernels' time actually go. This module answers three questions
+//! without perturbing the engine:
+//!
+//! * **Where do the nodes live?** [`Mtbdd::level_profile`] walks the
+//!   sub-diagrams reachable from a root set and histograms live inner
+//!   nodes per variable level — the raw input to any variable-ordering
+//!   decision. The walk is a read-only DFS over existing handles; it
+//!   allocates nothing in the arena and therefore cannot change any
+//!   verdict.
+//! * **How do the operation caches behave?** [`Mtbdd::cache_profiles`]
+//!   reports, for the binary apply cache and the fused `op∘KREDUCE`
+//!   cache, the current size, load factor, cumulative hit/miss/eviction
+//!   counters, and an *estimated* probe-length distribution obtained by
+//!   re-hashing the resident keys into a simulated open-addressed table
+//!   of the same occupancy (see [`ProbeStats`]). The estimate is
+//!   deterministic and read-only; it models clustering under linear
+//!   probing, not the exact std `HashMap` layout.
+//! * **How deep do the kernels recurse?** Max-recursion-depth tracking
+//!   for `apply`, the fused kernel, and `KREDUCE`, gated by the
+//!   `YU_ENGINE_PROFILE` environment variable (or the programmatic
+//!   [`set_engine_profile`] override) and latched per-manager at
+//!   construction — when off, the hot paths pay a single predictable
+//!   branch on the cache-miss path and nothing at all on hits.
+//!
+//! Everything here is observer-only: profiling on or off, the same
+//! inputs produce bit-identical diagrams, verdicts, and statistics
+//! (asserted by `tests/telemetry_differential.rs`).
+
+use crate::hasher::FxHasher;
+use crate::manager::Mtbdd;
+use crate::node::{NodeRef, Var};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Programmatic override: 0 = follow the environment, 1 = forced off,
+/// 2 = forced on.
+static PROFILE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+static PROFILE_ENV: OnceLock<bool> = OnceLock::new();
+
+/// Whether engine profiling (recursion-depth tracking) is requested.
+///
+/// Reads `YU_ENGINE_PROFILE` once (any non-empty value other than `0`
+/// enables it) unless [`set_engine_profile`] has overridden it. Each
+/// [`Mtbdd`] latches this at construction, mirroring the audit gate.
+pub fn engine_profile_enabled() -> bool {
+    match PROFILE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => *PROFILE_ENV.get_or_init(|| {
+            std::env::var("YU_ENGINE_PROFILE").is_ok_and(|v| !v.is_empty() && v != "0")
+        }),
+    }
+}
+
+/// Forces engine profiling on or off for managers constructed after the
+/// call, overriding `YU_ENGINE_PROFILE`. Exists so in-process
+/// differential tests and `yu profile` can flip the gate without
+/// touching the environment.
+pub fn set_engine_profile(on: bool) {
+    PROFILE_OVERRIDE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Live inner nodes at one variable level (see [`Mtbdd::level_profile`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct LevelCount {
+    /// The variable tested at this level.
+    pub var: Var,
+    /// Inner nodes testing `var` reachable from the root set.
+    pub nodes: usize,
+}
+
+/// A live-node histogram per variable level, from [`Mtbdd::level_profile`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize)]
+pub struct LevelProfile {
+    /// Non-empty levels in variable order (top of the diagram first).
+    pub levels: Vec<LevelCount>,
+    /// Total inner nodes reachable from the roots (equals the sum of
+    /// `levels[..].nodes`; proptested against [`Mtbdd::node_count`]).
+    pub inner_nodes: usize,
+    /// Distinct terminals reachable from the roots.
+    pub terminals: usize,
+}
+
+impl LevelProfile {
+    /// The level with the most live nodes, if any.
+    pub fn widest(&self) -> Option<LevelCount> {
+        self.levels.iter().copied().max_by_key(|l| l.nodes)
+    }
+}
+
+/// Estimated probe-length distribution of an operation cache.
+///
+/// The std `HashMap` does not expose its bucket layout, so the resident
+/// keys are re-hashed into a simulated open-addressed table with linear
+/// probing at the same power-of-two capacity the real table would use.
+/// The probe length of a key is the number of occupied slots inspected
+/// before an empty one is found (0 = direct hit). This models the
+/// clustering behavior of the hash function on the *actual* resident
+/// keys — the quantity that predicts lookup cost — without touching the
+/// real table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+pub struct ProbeStats {
+    /// Mean probe length over all resident keys.
+    pub mean: f64,
+    /// Worst probe length observed.
+    pub max: usize,
+    /// Fraction of keys placed with zero displacement.
+    pub direct_fraction: f64,
+}
+
+/// A profile of one operation cache, from [`Mtbdd::cache_profiles`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct CacheProfile {
+    /// Which cache: `"apply"` or `"fused"`.
+    pub name: &'static str,
+    /// Entries resident right now.
+    pub len: usize,
+    /// Allocated capacity of the real table.
+    pub capacity: usize,
+    /// `len / capacity` (0 for an unallocated table).
+    pub load_factor: f64,
+    /// Cumulative lookup hits (survives GC).
+    pub hits: u64,
+    /// Cumulative lookup misses (survives GC).
+    pub misses: u64,
+    /// Cumulative entries dropped by [`Mtbdd::clear_caches`] and GC.
+    /// The caches never evict individually, so this counts wholesale
+    /// invalidations — the cost a future bounded cache would avoid.
+    pub evictions: u64,
+    /// Estimated probe-length distribution of the resident keys.
+    pub probe: ProbeStats,
+}
+
+/// Maximum recursion depths of the memoized kernels, tracked when
+/// engine profiling is enabled (see [`engine_profile_enabled`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct EngineProfile {
+    /// Whether this manager was constructed with depth tracking on.
+    /// When `false` the depth fields are all zero.
+    pub enabled: bool,
+    /// Deepest memoized `apply` recursion (cache-miss frames only).
+    pub apply_max_depth: u32,
+    /// Deepest fused `op∘KREDUCE` recursion.
+    pub fused_max_depth: u32,
+    /// Deepest `KREDUCE` recursion.
+    pub kreduce_max_depth: u32,
+}
+
+/// Simulates linear probing over the given key hashes at hashbrown-like
+/// occupancy (capacity = smallest power of two holding `len` at 7/8
+/// load) and returns the displacement distribution.
+fn probe_stats_of_hashes(hashes: &[u64]) -> ProbeStats {
+    if hashes.is_empty() {
+        return ProbeStats::default();
+    }
+    let cap = (hashes.len() * 8 / 7 + 1).next_power_of_two().max(8);
+    let mask = cap - 1;
+    let mut occupied = vec![false; cap];
+    let (mut total, mut max, mut direct) = (0usize, 0usize, 0usize);
+    for &h in hashes {
+        let mut slot = h as usize & mask;
+        let mut probes = 0usize;
+        while occupied[slot] {
+            probes += 1;
+            slot = (slot + 1) & mask;
+        }
+        occupied[slot] = true;
+        total += probes;
+        max = max.max(probes);
+        if probes == 0 {
+            direct += 1;
+        }
+    }
+    ProbeStats {
+        mean: total as f64 / hashes.len() as f64,
+        max,
+        direct_fraction: direct as f64 / hashes.len() as f64,
+    }
+}
+
+fn fx_hash_of<K: Hash>(key: &K) -> u64 {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+impl Mtbdd {
+    /// Histograms the live inner nodes reachable from `roots` per
+    /// variable level. Read-only: allocates nothing in the arena.
+    ///
+    /// The sum of the per-level counts equals the size of the union of
+    /// the root sub-diagrams (node-for-node what [`Mtbdd::node_count`]
+    /// reports for a single root), which the proptest suite asserts.
+    pub fn level_profile(&self, roots: &[NodeRef]) -> LevelProfile {
+        let mut seen = std::collections::HashSet::new();
+        let mut per_var: std::collections::BTreeMap<Var, usize> = std::collections::BTreeMap::new();
+        let mut terminals = std::collections::HashSet::new();
+        let mut stack: Vec<NodeRef> = roots.to_vec();
+        let mut inner_nodes = 0usize;
+        while let Some(r) = stack.pop() {
+            if r.is_terminal() {
+                terminals.insert(r);
+                continue;
+            }
+            if !seen.insert(r) {
+                continue;
+            }
+            inner_nodes += 1;
+            let n = self.node_at(r);
+            *per_var.entry(n.var).or_insert(0) += 1;
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        LevelProfile {
+            levels: per_var
+                .into_iter()
+                .map(|(var, nodes)| LevelCount { var, nodes })
+                .collect(),
+            inner_nodes,
+            terminals: terminals.len(),
+        }
+    }
+
+    /// Profiles the two hot operation caches (binary apply and fused
+    /// `op∘KREDUCE`): sizes, cumulative hit/miss/eviction counters, and
+    /// an estimated probe-length distribution (see [`ProbeStats`]).
+    /// Read-only and deterministic.
+    pub fn cache_profiles(&self) -> Vec<CacheProfile> {
+        let apply_hashes: Vec<u64> = self.apply_cache_ref().keys().map(fx_hash_of).collect();
+        let fused_hashes: Vec<u64> = self.fused_cache_ref().keys().map(fx_hash_of).collect();
+        let load = |len: usize, cap: usize| {
+            if cap == 0 {
+                0.0
+            } else {
+                len as f64 / cap as f64
+            }
+        };
+        vec![
+            CacheProfile {
+                name: "apply",
+                len: self.apply_cache_ref().len(),
+                capacity: self.apply_cache_ref().capacity(),
+                load_factor: load(
+                    self.apply_cache_ref().len(),
+                    self.apply_cache_ref().capacity(),
+                ),
+                hits: self.apply_cache_hits,
+                misses: self.apply_cache_misses,
+                evictions: self.apply_cache_evicted,
+                probe: probe_stats_of_hashes(&apply_hashes),
+            },
+            CacheProfile {
+                name: "fused",
+                len: self.fused_cache_ref().len(),
+                capacity: self.fused_cache_ref().capacity(),
+                load_factor: load(
+                    self.fused_cache_ref().len(),
+                    self.fused_cache_ref().capacity(),
+                ),
+                hits: self.fused_cache_hits,
+                misses: self.fused_cache_misses,
+                evictions: self.fused_cache_evicted,
+                probe: probe_stats_of_hashes(&fused_hashes),
+            },
+        ]
+    }
+
+    /// The kernel recursion-depth maxima recorded so far. All-zero
+    /// unless the manager was constructed with engine profiling on
+    /// (see [`engine_profile_enabled`]); the maxima survive GC.
+    pub fn engine_profile(&self) -> EngineProfile {
+        EngineProfile {
+            enabled: self.profile_on(),
+            apply_max_depth: self.prof_apply_depth_max,
+            fused_max_depth: self.prof_fused_depth_max,
+            kreduce_max_depth: self.prof_kreduce_depth_max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ratio, Term};
+    use std::sync::Mutex;
+
+    /// Serializes the tests that flip the process-global profile gate.
+    static GATE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn level_profile_counts_union_of_roots() {
+        let mut m = Mtbdd::new();
+        let (x1, x2, x3) = (m.fresh_var(), m.fresh_var(), m.fresh_var());
+        let g1 = m.var_guard(x1);
+        let g2 = m.var_guard(x2);
+        let g3 = m.var_guard(x3);
+        let a = m.add(g1, g2); // tests x1 and x2
+        let b = m.add(g2, g3); // tests x2 and x3
+        let p = m.level_profile(&[a, b]);
+        assert_eq!(p.inner_nodes, p.levels.iter().map(|l| l.nodes).sum());
+        let at = |v: Var| p.levels.iter().find(|l| l.var == v).map(|l| l.nodes);
+        assert_eq!(at(x1), Some(1));
+        assert!(
+            at(x2).unwrap() >= 2,
+            "both roots test x2 with distinct children"
+        );
+        // Levels come out in variable order.
+        let vars: Vec<Var> = p.levels.iter().map(|l| l.var).collect();
+        let mut sorted = vars.clone();
+        sorted.sort_unstable();
+        assert_eq!(vars, sorted);
+    }
+
+    #[test]
+    fn level_profile_single_root_matches_node_count() {
+        let mut m = Mtbdd::new();
+        let vars: Vec<_> = (0..5).map(|_| m.fresh_var()).collect();
+        let mut f = m.zero();
+        for (i, &v) in vars.iter().enumerate() {
+            let g = m.var_guard(v);
+            let s = m.scale(g, Term::Num(Ratio::new(1, i as i128 + 1)));
+            f = m.add(f, s);
+        }
+        let p = m.level_profile(&[f]);
+        assert_eq!(p.inner_nodes, m.node_count(f));
+        assert!(p.terminals > 0);
+        assert_eq!(
+            p.widest().unwrap().nodes,
+            p.levels.iter().map(|l| l.nodes).max().unwrap()
+        );
+    }
+
+    #[test]
+    fn level_profile_of_terminal_is_empty() {
+        let mut m = Mtbdd::new();
+        let c = m.constant(Ratio::int(7));
+        let p = m.level_profile(&[c]);
+        assert_eq!(p.inner_nodes, 0);
+        assert!(p.levels.is_empty());
+        assert_eq!(p.terminals, 1);
+        assert_eq!(m.level_profile(&[]), LevelProfile::default());
+    }
+
+    #[test]
+    fn cache_profiles_report_occupancy_and_evictions() {
+        let mut m = Mtbdd::new();
+        let (x1, x2) = (m.fresh_var(), m.fresh_var());
+        let g1 = m.var_guard(x1);
+        let g2 = m.var_guard(x2);
+        let s = m.add(g1, g2);
+        let _ = m.add_kreduce(s, g1, 1);
+        let profiles = m.cache_profiles();
+        assert_eq!(profiles.len(), 2);
+        let apply = &profiles[0];
+        assert_eq!(apply.name, "apply");
+        assert!(apply.len > 0 && apply.capacity >= apply.len);
+        assert!(apply.load_factor > 0.0 && apply.load_factor <= 1.0);
+        assert!(apply.misses > 0);
+        assert_eq!(apply.evictions, 0);
+        assert!(apply.probe.mean >= 0.0 && apply.probe.direct_fraction > 0.0);
+        let fused = &profiles[1];
+        assert_eq!(fused.name, "fused");
+        assert!(fused.len > 0);
+        // Dropping the caches books every resident entry as an eviction.
+        let (apply_len, fused_len) = (apply.len as u64, fused.len as u64);
+        m.clear_caches();
+        let after = m.cache_profiles();
+        assert_eq!(after[0].len, 0);
+        assert_eq!(after[0].evictions, apply_len);
+        assert_eq!(after[1].evictions, fused_len);
+        // Cumulative counters survive the clear.
+        assert!(after[0].misses > 0);
+    }
+
+    #[test]
+    fn probe_simulation_is_deterministic_and_bounded() {
+        let hashes: Vec<u64> = (0..1000u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+            .collect();
+        let a = probe_stats_of_hashes(&hashes);
+        let b = probe_stats_of_hashes(&hashes);
+        assert_eq!(a, b, "probe estimate must be deterministic");
+        assert!(a.direct_fraction > 0.5, "good hashes mostly place directly");
+        assert!(a.mean <= a.max as f64);
+        assert_eq!(probe_stats_of_hashes(&[]), ProbeStats::default());
+    }
+
+    #[test]
+    fn depth_tracking_follows_the_gate() {
+        let _guard = GATE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Forced off: depths stay zero. On: they move, and results are
+        // identical either way.
+        set_engine_profile(false);
+        let build = |m: &mut Mtbdd| {
+            let vars: Vec<_> = (0..6).map(|_| m.fresh_var()).collect();
+            let mut f = m.zero();
+            for (i, &v) in vars.iter().enumerate() {
+                let g = m.var_guard(v);
+                let s = m.scale(g, Term::int(i as i64 + 1));
+                f = m.add(f, s);
+            }
+            let r = m.kreduce(f, 2);
+            let fused = m.add_kreduce(f, r, 2);
+            (f, r, fused)
+        };
+        let mut off = Mtbdd::new();
+        let off_out = build(&mut off);
+        let p = off.engine_profile();
+        assert!(!p.enabled);
+        assert_eq!(
+            (p.apply_max_depth, p.fused_max_depth, p.kreduce_max_depth),
+            (0, 0, 0)
+        );
+
+        set_engine_profile(true);
+        let mut on = Mtbdd::new();
+        let on_out = build(&mut on);
+        let p = on.engine_profile();
+        assert!(p.enabled);
+        assert!(p.apply_max_depth > 0, "apply recursion must be observed");
+        assert!(
+            p.kreduce_max_depth > 0,
+            "kreduce recursion must be observed"
+        );
+        assert!(p.fused_max_depth > 0, "fused recursion must be observed");
+        set_engine_profile(false);
+
+        // Identical construction sequence => identical handles, so the
+        // profiled run is bit-identical to the plain one.
+        assert_eq!(off_out, on_out);
+        assert_eq!(off.stats(), on.stats());
+    }
+
+    #[test]
+    fn depth_maxima_survive_gc() {
+        let _guard = GATE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_engine_profile(true);
+        let mut m = Mtbdd::new();
+        let (x1, x2, x3) = (m.fresh_var(), m.fresh_var(), m.fresh_var());
+        let g1 = m.var_guard(x1);
+        let g2 = m.var_guard(x2);
+        let g3 = m.var_guard(x3);
+        let s0 = m.add(g1, g2);
+        let s = m.add(s0, g3);
+        let before = m.engine_profile();
+        assert!(before.apply_max_depth > 0);
+        let remap = m.collect(&[s]);
+        let _ = remap.get(s);
+        let after = m.engine_profile();
+        set_engine_profile(false);
+        assert_eq!(after.apply_max_depth, before.apply_max_depth);
+        // GC dropped the resident cache entries: booked as evictions.
+        assert!(m.cache_profiles()[0].evictions > 0);
+    }
+}

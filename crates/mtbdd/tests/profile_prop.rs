@@ -1,0 +1,137 @@
+//! Property-based tests for the read-only profiler (`profile.rs`):
+//! on random MTBDDs the per-level histogram must total exactly the
+//! reachable node count, the walk must be side-effect free, and the
+//! cache profiles must stay consistent with `MtbddStats`.
+
+use proptest::prelude::*;
+use yu_mtbdd::{Mtbdd, NodeRef, Op, Ratio, Var};
+
+const NVARS: u32 = 6;
+
+/// Random pseudo-boolean functions (same family as the import suite).
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(i64),
+    Var(u8),
+    NotVar(u8),
+    Add(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Min(Box<Expr>, Box<Expr>),
+    Max(Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..=20).prop_map(Expr::Const),
+        (0u8..NVARS as u8).prop_map(Expr::Var),
+        (0u8..NVARS as u8).prop_map(Expr::NotVar),
+    ];
+    leaf.prop_recursive(4, 40, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Max(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(m: &mut Mtbdd, e: &Expr) -> NodeRef {
+    match e {
+        Expr::Const(c) => m.constant(Ratio::int(*c)),
+        Expr::Var(v) => m.var_guard(*v as Var),
+        Expr::NotVar(v) => m.nvar_guard(*v as Var),
+        Expr::Add(a, b) => {
+            let (a, b) = (build(m, a), build(m, b));
+            m.apply(Op::Add, a, b)
+        }
+        Expr::Mul(a, b) => {
+            let (a, b) = (build(m, a), build(m, b));
+            m.apply(Op::Mul, a, b)
+        }
+        Expr::Min(a, b) => {
+            let (a, b) = (build(m, a), build(m, b));
+            m.apply(Op::Min, a, b)
+        }
+        Expr::Max(a, b) => {
+            let (a, b) = (build(m, a), build(m, b));
+            m.apply(Op::Max, a, b)
+        }
+    }
+}
+
+fn manager() -> Mtbdd {
+    let mut m = Mtbdd::new();
+    for _ in 0..NVARS {
+        m.fresh_var();
+    }
+    m
+}
+
+proptest! {
+    /// The level histogram of a single root totals exactly
+    /// `node_count(root)`, every level is within the allocated variable
+    /// range, and levels come out sorted top-of-diagram first.
+    #[test]
+    fn level_profile_totals_match_node_count(e in arb_expr()) {
+        let mut m = manager();
+        let f = build(&mut m, &e);
+        let p = m.level_profile(&[f]);
+        prop_assert_eq!(p.inner_nodes, m.node_count(f));
+        prop_assert_eq!(p.inner_nodes, p.levels.iter().map(|l| l.nodes).sum::<usize>());
+        for w in p.levels.windows(2) {
+            prop_assert!(w[0].var < w[1].var, "levels must be sorted and unique");
+        }
+        for l in &p.levels {
+            prop_assert!(l.var < NVARS);
+            prop_assert!(l.nodes > 0, "empty levels must be omitted");
+        }
+        // The support of f is exactly the set of non-empty levels.
+        let support = m.support(f);
+        let levels: std::collections::BTreeSet<Var> =
+            p.levels.iter().map(|l| l.var).collect();
+        prop_assert_eq!(support, levels);
+    }
+
+    /// Multi-root profiles count the *union* of the sub-diagrams: total
+    /// is bounded by the per-root sum (shared nodes counted once) and
+    /// at least the largest single root.
+    #[test]
+    fn level_profile_of_roots_is_a_union(a in arb_expr(), b in arb_expr()) {
+        let mut m = manager();
+        let f = build(&mut m, &a);
+        let g = build(&mut m, &b);
+        let pf = m.node_count(f);
+        let pg = m.node_count(g);
+        let both = m.level_profile(&[f, g]);
+        prop_assert!(both.inner_nodes <= pf + pg);
+        prop_assert!(both.inner_nodes >= pf.max(pg));
+        if f == g {
+            prop_assert_eq!(both.inner_nodes, pf);
+        }
+    }
+
+    /// Profiling is read-only: the walk and the cache profiles leave the
+    /// arena, its caches, and its statistics bit-identical.
+    #[test]
+    fn profiling_is_side_effect_free(e in arb_expr()) {
+        let mut m = manager();
+        let f = build(&mut m, &e);
+        let reduced = m.kreduce(f, 2);
+        let before = m.stats();
+        let _ = m.level_profile(&[f, reduced]);
+        let caches = m.cache_profiles();
+        let _ = m.engine_profile();
+        let after = m.stats();
+        prop_assert_eq!(before, after, "profiling must not perturb the manager");
+        // Cache profiles agree with the stats they summarize.
+        prop_assert_eq!(caches[0].len, after.apply_cache_len);
+        prop_assert_eq!(caches[0].hits, after.apply_cache_hits);
+        prop_assert_eq!(caches[0].misses, after.apply_cache_misses);
+        prop_assert_eq!(caches[1].len, after.fused_cache_len);
+        // Rebuilding the same expression is pure cache/unique-table hits:
+        // node-for-node the same handle.
+        let f2 = build(&mut m, &e);
+        prop_assert_eq!(f, f2);
+    }
+}

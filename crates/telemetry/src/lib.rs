@@ -61,6 +61,7 @@
 mod collector;
 mod events;
 mod histogram;
+mod profile;
 mod prometheus;
 mod registry;
 mod report;
@@ -75,6 +76,7 @@ pub use events::{
     set_event_sink_memory, take_memory_events, EventLevel,
 };
 pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot};
+pub use profile::FrameRow;
 pub use prometheus::{render_prometheus, snapshot_prometheus};
 pub use registry::{
     registry, registry_enabled, set_registry_enabled, with_registry, Counter, Gauge, MetricDesc,

@@ -120,6 +120,11 @@ pub struct MetricsRegistry {
     pub stage_exec_seconds: Histogram,
     /// Check stage wall-clock per run (recorded in µs).
     pub stage_check_seconds: Histogram,
+    // ---- per-entity attribution distributions ----
+    /// Wall-clock of one flow group's symbolic execution (recorded in µs).
+    pub flow_exec_seconds: Histogram,
+    /// Wall-clock of one requirement's aggregate+check (recorded in µs).
+    pub req_check_seconds: Histogram,
     // ---- MTBDD engine ----
     /// Live inner nodes in the main arena after the latest run.
     pub mtbdd_live_nodes: Gauge,
@@ -141,6 +146,10 @@ pub struct MetricsRegistry {
     pub mtbdd_gc_runs_total: Counter,
     /// Inner nodes reclaimed by garbage collections.
     pub mtbdd_gc_reclaimed_nodes_total: Counter,
+    /// Lifetime apply-cache hit rate (hits / lookups, in [0, 1]).
+    pub mtbdd_apply_cache_hit_rate: Gauge,
+    /// Lifetime fused-kernel cache hit rate (hits / lookups, in [0, 1]).
+    pub mtbdd_fused_cache_hit_rate: Gauge,
     // ---- incremental engine ----
     /// Flow groups whose symbolic results were reused across updates.
     pub incremental_reused_groups_total: Counter,
@@ -161,6 +170,9 @@ pub struct MetricsRegistry {
     pub serve_slow_requests_total: Counter,
     /// Requests whose verdict delta was non-empty.
     pub serve_verdict_flips_total: Counter,
+    /// Requests that exceeded the rolling EWMA latency baseline of
+    /// their request kind by the configured regression factor.
+    pub serve_perf_regressions_total: Counter,
     /// End-to-end request latency (recorded in µs).
     pub serve_request_seconds: Histogram,
     /// Violations in the current (post-request) state.
@@ -224,6 +236,16 @@ impl MetricsRegistry {
                 metric: H(&self.stage_check_seconds, 1e-6),
             },
             MetricDesc {
+                name: "yu_flow_exec_seconds",
+                help: "Wall-clock of one flow group's symbolic execution",
+                metric: H(&self.flow_exec_seconds, 1e-6),
+            },
+            MetricDesc {
+                name: "yu_req_check_seconds",
+                help: "Wall-clock of one requirement's aggregate+check",
+                metric: H(&self.req_check_seconds, 1e-6),
+            },
+            MetricDesc {
                 name: "yu_mtbdd_live_nodes",
                 help: "Live inner nodes in the main arena after the latest run",
                 metric: G(&self.mtbdd_live_nodes),
@@ -274,6 +296,16 @@ impl MetricsRegistry {
                 metric: C(&self.mtbdd_gc_reclaimed_nodes_total),
             },
             MetricDesc {
+                name: "yu_mtbdd_apply_cache_hit_rate",
+                help: "Lifetime apply-cache hit rate (hits/lookups)",
+                metric: G(&self.mtbdd_apply_cache_hit_rate),
+            },
+            MetricDesc {
+                name: "yu_mtbdd_fused_cache_hit_rate",
+                help: "Lifetime fused-kernel cache hit rate (hits/lookups)",
+                metric: G(&self.mtbdd_fused_cache_hit_rate),
+            },
+            MetricDesc {
                 name: "yu_incremental_reused_groups_total",
                 help: "Flow groups whose symbolic results were reused across updates",
                 metric: C(&self.incremental_reused_groups_total),
@@ -317,6 +349,11 @@ impl MetricsRegistry {
                 name: "yu_serve_verdict_flips_total",
                 help: "Requests whose verdict delta was non-empty",
                 metric: C(&self.serve_verdict_flips_total),
+            },
+            MetricDesc {
+                name: "yu_serve_perf_regressions_total",
+                help: "Requests exceeding their kind's EWMA latency baseline",
+                metric: C(&self.serve_perf_regressions_total),
             },
             MetricDesc {
                 name: "yu_serve_request_seconds",

@@ -3,17 +3,31 @@
 
 use serde::{Map, Value};
 
+use crate::registry::MetricKind;
 use crate::report::TelemetryReport;
 
 impl TelemetryReport {
     /// Renders the report as Chrome trace-event JSON (the `traceEvents`
-    /// object format): one complete (`"X"`) event per span and one
-    /// thread-name (`"M"`) metadata event per thread, so each flushed
-    /// thread appears as its own named track. Timestamps/durations are
+    /// object format): a process-name (`"M"`) metadata event, one
+    /// complete (`"X"`) event per span, one thread-name (`"M"`)
+    /// metadata event per thread (so each flushed thread appears as its
+    /// own named track), and — when the metrics registry is recording —
+    /// one counter (`"C"`) event per non-empty registry histogram, so
+    /// the latency distributions show up as self-described counter
+    /// tracks alongside the spans in Perfetto. Timestamps/durations are
     /// microseconds from the shared process epoch. Written by
     /// `yu verify --trace-out FILE`.
     pub fn chrome_trace_json(&self) -> String {
         let mut events: Vec<Value> = Vec::new();
+        let mut process = Map::new();
+        process.insert("ph", Value::Str("M".into()));
+        process.insert("name", Value::Str("process_name".into()));
+        process.insert("pid", Value::Int(1));
+        process.insert("tid", Value::Int(0));
+        let mut args = Map::new();
+        args.insert("name", Value::Str("yu".into()));
+        process.insert("args", Value::Map(args));
+        events.push(Value::Map(process));
         for (tid, t) in self.threads.iter().enumerate() {
             let tid = tid as i128 + 1;
             let mut meta = Map::new();
@@ -40,6 +54,38 @@ impl TelemetryReport {
                 if let Some(detail) = &s.detail {
                     args.insert("detail", Value::Str(detail.clone()));
                 }
+                ev.insert("args", Value::Map(args));
+                events.push(Value::Map(ev));
+            }
+        }
+        // Registry histograms as counter tracks, stamped at the end of
+        // the recorded timeline so they read as "state after the run".
+        if crate::registry_enabled() {
+            let end_ts = self
+                .threads
+                .iter()
+                .flat_map(|t| t.spans.iter())
+                .map(|s| s.start_us + s.dur_us)
+                .max()
+                .unwrap_or(0);
+            for d in crate::registry().descriptors() {
+                let MetricKind::Histogram(h, scale) = d.metric else {
+                    continue;
+                };
+                let snap = h.snapshot();
+                if snap.count() == 0 {
+                    continue;
+                }
+                let mut ev = Map::new();
+                ev.insert("ph", Value::Str("C".into()));
+                ev.insert("name", Value::Str(d.name.to_string()));
+                ev.insert("pid", Value::Int(1));
+                ev.insert("tid", Value::Int(0));
+                ev.insert("ts", Value::Int(end_ts as i128));
+                let mut args = Map::new();
+                args.insert("count", Value::Int(snap.count() as i128));
+                args.insert("sum", Value::Float(snap.sum as f64 * scale));
+                args.insert("p99", Value::Float(snap.quantile(0.99) as f64 * scale));
                 ev.insert("args", Value::Map(args));
                 events.push(Value::Map(ev));
             }

@@ -200,14 +200,25 @@ fn chrome_trace_schema_is_valid() {
         tracks.insert(tid);
         match ph {
             "M" => {
-                assert_eq!(ev.get("name").and_then(|n| n.as_str()), Some("thread_name"));
+                let kind = ev
+                    .get("name")
+                    .and_then(|n| n.as_str())
+                    .expect("metadata kind");
+                assert!(
+                    kind == "thread_name" || kind == "process_name",
+                    "unexpected metadata kind {kind:?}"
+                );
                 let label = ev
                     .get("args")
                     .and_then(|a| a.as_object())
                     .and_then(|a| a.get("name"))
                     .and_then(|n| n.as_str())
-                    .expect("thread_name metadata carries args.name");
-                metadata_names.insert(label.to_string());
+                    .expect("name metadata carries args.name");
+                if kind == "thread_name" {
+                    metadata_names.insert(label.to_string());
+                } else {
+                    assert_eq!(label, "yu");
+                }
             }
             "X" => {
                 complete_events += 1;
@@ -219,10 +230,22 @@ fn chrome_trace_schema_is_valid() {
                     }
                 }
             }
+            "C" => {
+                // Registry histogram counter tracks: self-described args.
+                let args = ev
+                    .get("args")
+                    .and_then(|a| a.as_object())
+                    .expect("counter events carry args");
+                assert!(args.get("count").is_some() && args.get("sum").is_some());
+            }
             other => panic!("unexpected event phase {other:?}"),
         }
     }
-    assert_eq!(tracks.len(), 3, "one track per worker thread");
+    // tid 0 is the process/counter pseudo-track; workers are 1..=3.
+    assert!(
+        tracks.len() == 3 || tracks.len() == 4,
+        "one track per worker thread (plus the process pseudo-track)"
+    );
     assert_eq!(complete_events, 6, "two spans per worker");
     for w in 0..3 {
         assert!(

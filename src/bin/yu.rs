@@ -12,6 +12,14 @@
 //!           [--check-workers N] [--no-static-prune]
 //!           [--explain] [--max-violations N]
 //!           [-v] [--trace-out t.json] [--metrics-out m.json]
+//!           [--profile-out p.json]
+//! yu profile spec.json [--json] [--top N]            verify with per-entity performance
+//!           [--folded-out stacks.folded]             attribution: which flows/requirements
+//!                                                    cost the time and the arena nodes,
+//!                                                    live nodes per variable level, cache
+//!                                                    and kernel profiles, call-path self
+//!                                                    times; --folded-out writes flamegraph
+//!                                                    folded stacks (flamegraph.pl/inferno)
 //! yu explain spec.json [--json] [--dot-out f.dot]    forensic report per violation:
 //!           [--max-violations N]                     per-flow blame, rerouted paths,
 //!                                                    concrete replay, load envelope
@@ -24,11 +32,13 @@
 //! yu serve --spec base.json                          JSON-lines daemon: one change-set
 //!           [--prom-out m.prom]                      request per line, one verdict-delta
 //!           [--events-out e.jsonl] [--slow-ms N]     response per line (see yu::serve).
-//!                                                    --prom-out atomically rewrites a
+//!           [--regress-factor X]                     --prom-out atomically rewrites a
 //!                                                    Prometheus text exposition after
 //!                                                    each request; --events-out appends
 //!                                                    structured JSON events; --slow-ms
-//!                                                    sets the slow-request threshold
+//!                                                    sets the slow-request threshold;
+//!                                                    --regress-factor sets the EWMA
+//!                                                    latency-regression multiple
 //! ```
 //!
 //! Specs are self-contained JSON (network + flows + TLP + k); see
@@ -42,6 +52,16 @@
 //! to `N` violating scenarios per requirement (fewest failures first)
 //! instead of the default single counterexample; `--dot-out FILE` writes a
 //! Graphviz overlay of the rerouted paths per explanation.
+//!
+//! Profiling: `yu profile` runs the same verification as `yu verify` with
+//! per-entity attribution capture on ([`yu::core::YuOptions::profile`])
+//! and reports where the wall time and the arena nodes went — per flow
+//! group, per requirement, per variable level, per operation cache, and
+//! per call path (self times reconstructed from the telemetry spans).
+//! Capture is observer-only: a profiled run is bit-identical to a plain
+//! one. Set `YU_ENGINE_PROFILE=1` to additionally track kernel recursion
+//! depth maxima. `yu verify --profile-out FILE` writes the same
+//! attribution object as JSON without changing the human output.
 //!
 //! Telemetry: `--trace-out FILE` writes Chrome trace-event JSON (load it
 //! in `chrome://tracing` or Perfetto), `--metrics-out FILE` writes the
@@ -62,7 +82,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Positional arguments: everything that is neither a flag nor the
     // value of a value-taking flag.
-    const VALUE_FLAGS: [&str; 13] = [
+    const VALUE_FLAGS: [&str; 17] = [
         "--fail",
         "--workers",
         "--check-workers",
@@ -76,6 +96,10 @@ fn main() -> ExitCode {
         "--prom-out",
         "--events-out",
         "--slow-ms",
+        "--profile-out",
+        "--folded-out",
+        "--top",
+        "--regress-factor",
     ];
     let mut pos = args.iter().enumerate().filter_map(|(i, a)| {
         let is_flag_value = i > 0 && VALUE_FLAGS.iter().any(|f| args[i - 1] == *f);
@@ -121,6 +145,16 @@ fn main() -> ExitCode {
         },
         None => 1,
     };
+    let top = match args.iter().position(|a| a == "--top") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) => n,
+            None => {
+                eprintln!("error: --top takes a non-negative integer (0 = all)");
+                return ExitCode::from(2);
+            }
+        },
+        None => 10,
+    };
     let dot_out = flag_value("--dot-out");
     let explain_flag = args.iter().any(|a| a == "--explain");
     let deep = args.iter().any(|a| a == "--deep");
@@ -147,6 +181,19 @@ fn main() -> ExitCode {
             VerifyFlags {
                 explain: explain_flag,
                 max_violations,
+                static_prune,
+                profile_out: flag_value("--profile-out"),
+            },
+        ),
+        "profile" => profile(
+            &load(&arg),
+            json_output,
+            workers,
+            check_workers,
+            &telemetry,
+            ProfileArgs {
+                top,
+                folded_out: flag_value("--folded-out"),
                 static_prune,
             },
         ),
@@ -182,6 +229,16 @@ fn main() -> ExitCode {
                 },
                 None => 1000,
             };
+            let regress_factor = match args.iter().position(|a| a == "--regress-factor") {
+                Some(i) => match args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(f) if f > 1.0 => f,
+                    _ => {
+                        eprintln!("error: --regress-factor takes a number > 1.0");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => yu::serve::ServeConfig::default().regress_factor,
+            };
             serve(
                 flag_value("--spec").or(arg),
                 workers,
@@ -192,6 +249,7 @@ fn main() -> ExitCode {
                     prom_out: flag_value("--prom-out"),
                     events_out: flag_value("--events-out"),
                     slow_ms,
+                    regress_factor,
                 },
             )
         }
@@ -200,13 +258,14 @@ fn main() -> ExitCode {
                 eprintln!("unknown command '{other}'");
             }
             eprintln!(
-                "usage: yu <export|lint|check|verify|explain|loads|scenarios|rib|diff|serve> \
-                 [spec.json] \
+                "usage: yu <export|lint|check|verify|profile|explain|loads|scenarios|rib|diff\
+                 |serve> [spec.json] \
                  [--json] [--deep] [--deny-warnings] [--workers N] [--check-workers N] \
                  [--no-static-prune] [--explain] [--max-violations N] \
                  [--dot-out FILE] [--fail A-B,C-D] [--router <name> --dst <ip>] \
                  [--spec base.json] [-v] [--trace-out FILE] [--metrics-out FILE] \
-                 [--prom-out FILE] [--events-out FILE] [--slow-ms N]"
+                 [--profile-out FILE] [--top N] [--folded-out FILE] \
+                 [--prom-out FILE] [--events-out FILE] [--slow-ms N] [--regress-factor X]"
             );
             ExitCode::from(2)
         }
@@ -385,6 +444,9 @@ struct VerifyFlags {
     explain: bool,
     max_violations: usize,
     static_prune: bool,
+    /// `--profile-out FILE`: capture per-entity attribution and write it
+    /// to FILE as JSON (the same object `yu profile --json` embeds).
+    profile_out: Option<String>,
 }
 
 fn verify(
@@ -406,6 +468,7 @@ fn verify(
             workers,
             check_workers,
             static_prune: flags.static_prune,
+            profile: flags.profile_out.is_some(),
             ..Default::default()
         },
     );
@@ -458,12 +521,292 @@ fn verify(
     } else {
         println!("{stats}");
     }
+    if let Some(path) = &flags.profile_out {
+        let attr = out
+            .stats
+            .attribution
+            .as_ref()
+            .expect("profile runs carry attribution");
+        let json = serde_json::to_string_pretty(attr).expect("serializable");
+        match std::fs::write(path, json + "\n") {
+            Ok(()) => eprintln!("attribution written to {path}"),
+            Err(e) => eprintln!("error: cannot write attribution to {path}: {e}"),
+        }
+    }
     export_telemetry(telemetry);
     if out.verified() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Presentation switches for `yu profile`.
+struct ProfileArgs {
+    /// Rows per table (`--top N`, 0 = all).
+    top: usize,
+    /// `--folded-out FILE`: write flamegraph folded stacks.
+    folded_out: Option<String>,
+    static_prune: bool,
+}
+
+/// Human-scale wall time: `987us`, `12.34ms`, `1.23s`.
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+/// The `yu profile` subcommand: run the same verification as
+/// `yu verify` with attribution capture on, then report where the wall
+/// time and the arena nodes went — per flow group, per requirement, per
+/// variable level, per operation cache, and per telemetry call path.
+fn profile(
+    spec: &VerifySpec,
+    json_output: bool,
+    workers: usize,
+    check_workers: usize,
+    telemetry: &TelemetryArgs,
+    args: ProfileArgs,
+) -> ExitCode {
+    // Spans feed the call-path table and the folded-stack export, so a
+    // profile run always records telemetry even without --trace-out.
+    yu::telemetry::set_enabled(true);
+    let mut v = YuVerifier::new(
+        spec.network.clone(),
+        YuOptions {
+            k: spec.k,
+            mode: spec.mode,
+            workers,
+            check_workers,
+            static_prune: args.static_prune,
+            profile: true,
+            ..Default::default()
+        },
+    );
+    v.add_flows(&spec.flows);
+    let out = v.verify(&spec.tlp);
+    let attr = out
+        .stats
+        .attribution
+        .clone()
+        .expect("profile runs carry attribution");
+    // Variable levels are failure variables; name them after the link or
+    // router they model.
+    let level_label = |var: u32| match v.failure_vars().element_of(var) {
+        Some(yu::net::FailureElement::Link(u)) => spec.network.topo.ulink_label(u),
+        Some(yu::net::FailureElement::Router(r)) => spec.network.topo.router(r).name.clone(),
+        None => format!("var{var}"),
+    };
+    let report = yu::telemetry::snapshot();
+    let paths = report.span_attribution();
+
+    if json_output {
+        use serde::{Map, Serialize, Value};
+        let mut stats = Map::new();
+        stats.insert(
+            "route_secs",
+            Value::Float(out.stats.route_time.as_secs_f64()),
+        );
+        stats.insert("exec_secs", Value::Float(out.stats.exec_time.as_secs_f64()));
+        stats.insert(
+            "check_secs",
+            Value::Float(out.stats.check_time.as_secs_f64()),
+        );
+        stats.insert("flows_in", Value::Int(out.stats.flows_in as i128));
+        stats.insert("flow_groups", Value::Int(out.stats.flow_groups as i128));
+        stats.insert("reqs_pruned", Value::Int(out.stats.reqs_pruned as i128));
+        stats.insert("mtbdd", out.stats.mtbdd.to_value());
+        let mut root = Map::new();
+        root.insert("verified", Value::Bool(out.verified()));
+        root.insert("reconciles", Value::Bool(attr.reconciles()));
+        root.insert("attribution", attr.to_value());
+        root.insert("span_attribution", paths.to_value());
+        root.insert("stats", Value::Map(stats));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&Value::Map(root)).expect("serializable")
+        );
+    } else {
+        print_profile_tables(spec, &out, &attr, &paths, args.top, level_label);
+    }
+
+    if let Some(path) = &args.folded_out {
+        match std::fs::write(path, report.folded_stacks()) {
+            Ok(()) => {
+                eprintln!("folded stacks written to {path} (render with flamegraph.pl or inferno)")
+            }
+            Err(e) => eprintln!("error: cannot write folded stacks to {path}: {e}"),
+        }
+    }
+    export_telemetry(telemetry);
+    if out.verified() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Renders the human-readable attribution report of `yu profile`.
+fn print_profile_tables(
+    spec: &VerifySpec,
+    out: &yu::core::VerificationOutcome,
+    attr: &yu::core::Attribution,
+    paths: &[yu::telemetry::FrameRow],
+    top: usize,
+    level_label: impl Fn(u32) -> String,
+) {
+    let verdict = if out.verified() {
+        "VERIFIED".to_string()
+    } else {
+        format!("VIOLATED ({} findings)", out.violations.len())
+    };
+    println!(
+        "{verdict} under <= {} {} failures; {} flows -> {} groups, {} requirement(s) \
+         ({} statically discharged)",
+        spec.k,
+        mode_noun(spec.mode),
+        out.stats.flows_in,
+        out.stats.flow_groups,
+        spec.tlp.reqs.len(),
+        out.stats.reqs_pruned,
+    );
+    println!();
+    println!("phase         wall        arena nodes");
+    println!(
+        "  route     {:>9}   {} created by route simulation",
+        fmt_us(out.stats.route_time.as_micros() as u64),
+        attr.route_nodes,
+    );
+    for (name, phase) in [
+        ("exec", &attr.exec),
+        ("import", &attr.import),
+        ("check", &attr.check),
+    ] {
+        println!(
+            "  {:<8}  {:>9}   {:+} over {} entit{}",
+            name,
+            fmt_us(phase.wall_us),
+            phase.nodes_delta,
+            phase.entities.len(),
+            if phase.entities.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+        );
+    }
+
+    let entity_table = |title: &str, phase: &yu::core::PhaseAttribution| {
+        if phase.entities.is_empty() {
+            return;
+        }
+        println!();
+        println!("{title}:");
+        println!("       wall      Δnodes   entity");
+        for e in phase.top_by_wall(top) {
+            println!(
+                "  {:>9}  {:>+9}   {}",
+                fmt_us(e.wall_us),
+                e.nodes_delta,
+                e.label
+            );
+        }
+        let shown = if top == 0 {
+            phase.entities.len()
+        } else {
+            top.min(phase.entities.len())
+        };
+        if shown < phase.entities.len() {
+            println!("  ... {} more (raise --top)", phase.entities.len() - shown);
+        }
+    };
+    entity_table("top flow groups by exec wall time", &attr.exec);
+    entity_table("top flow groups by import wall time", &attr.import);
+    entity_table("top requirements by check wall time", &attr.check);
+
+    println!();
+    println!(
+        "arena levels: {} live inner nodes over {} level(s), {} terminal(s)",
+        attr.levels.inner_nodes,
+        attr.levels.levels.len(),
+        attr.levels.terminals,
+    );
+    let mut widest: Vec<_> = attr.levels.levels.clone();
+    widest.sort_by(|a, b| b.nodes.cmp(&a.nodes).then(a.var.cmp(&b.var)));
+    if top > 0 {
+        widest.truncate(top);
+    }
+    for l in &widest {
+        println!(
+            "  {:>7} nodes   var {} ({})",
+            l.nodes,
+            l.var,
+            level_label(l.var)
+        );
+    }
+
+    println!();
+    println!("operation caches:");
+    for c in &attr.caches {
+        let lookups = c.hits + c.misses;
+        let rate = if lookups == 0 {
+            0.0
+        } else {
+            c.hits as f64 / lookups as f64
+        };
+        println!(
+            "  {:<6} {:>8} entries / {:>8} cap ({:>4.0}% load)  {} hits / {} misses \
+             ({:.1}% hit)  {} evicted  probe mean {:.2} max {}",
+            c.name,
+            c.len,
+            c.capacity,
+            c.load_factor * 100.0,
+            c.hits,
+            c.misses,
+            rate * 100.0,
+            c.evictions,
+            c.probe.mean,
+            c.probe.max,
+        );
+    }
+    if attr.engine.enabled {
+        println!(
+            "kernel recursion depth maxima: apply {}, fused {}, kreduce {}",
+            attr.engine.apply_max_depth, attr.engine.fused_max_depth, attr.engine.kreduce_max_depth,
+        );
+    } else {
+        println!("kernel recursion depths: not tracked (set YU_ENGINE_PROFILE=1)");
+    }
+
+    if !paths.is_empty() {
+        println!();
+        println!("call paths by self time:");
+        println!("       self      total   calls   path");
+        for p in paths.iter().take(if top == 0 { paths.len() } else { top }) {
+            println!(
+                "  {:>9}  {:>9}  {:>6}   {}",
+                fmt_us(p.self_us),
+                fmt_us(p.total_us),
+                p.count,
+                p.stack,
+            );
+        }
+    }
+
+    println!();
+    println!(
+        "attribution {}: per-entity node deltas telescope to the phase totals",
+        if attr.reconciles() {
+            "reconciles"
+        } else {
+            "DOES NOT RECONCILE"
+        },
+    );
 }
 
 /// The `yu diff` subcommand: verify `old`, switch the same incremental
@@ -569,6 +912,9 @@ struct ServeObsArgs {
     prom_out: Option<String>,
     events_out: Option<String>,
     slow_ms: u64,
+    /// `--regress-factor X`: a request slower than X times its kind's
+    /// EWMA baseline emits a `perf_regression` event.
+    regress_factor: f64,
 }
 
 /// Atomically rewrites the Prometheus exposition file: write a sibling
@@ -613,6 +959,8 @@ fn serve(
     };
     let config = yu::serve::ServeConfig {
         slow_threshold: std::time::Duration::from_millis(obs.slow_ms),
+        regress_factor: obs.regress_factor,
+        ..Default::default()
     };
     let mut session = yu::serve::ServeSession::with_config(&spec, opts, config);
     let stdout = std::io::stdout();
@@ -774,6 +1122,9 @@ fn verify_json(
     stats.insert("mtbdd", out.stats.mtbdd.to_value());
     stats.insert("mtbdd_workers", out.stats.mtbdd_workers.to_value());
     stats.insert("telemetry", out.stats.telemetry.to_value());
+    if let Some(attr) = &out.stats.attribution {
+        stats.insert("attribution", attr.to_value());
+    }
     let mut root = Map::new();
     root.insert("verified", Value::Bool(out.verified()));
     root.insert("violations", out.violations.to_value());

@@ -40,6 +40,14 @@
 //! `request_start` / `request_finish` / `slow_request` / `verdict_flip`
 //! / `serve_error` events. Both are observers only: instrumented and
 //! uninstrumented sessions produce bit-identical responses.
+//!
+//! The session also detects **performance regressions**: it trains an
+//! EWMA latency baseline per request kind ([`EwmaBaseline`], keyed by
+//! the change-set's change kind) and, once a kind's baseline is armed,
+//! a request slower than `--regress-factor` times it emits a
+//! `perf_regression` event and bumps `yu_serve_perf_regressions_total`.
+//! Because the signal depends on wall time, it never appears in
+//! response lines — those stay bit-identical run to run.
 
 use crate::spec::VerifySpec;
 use serde::{Deserialize, Map, Serialize, Value};
@@ -64,13 +72,86 @@ pub struct ServeConfig {
     /// Requests at least this slow emit a `slow_request` event and count
     /// into `yu_serve_slow_requests_total` (CLI: `--slow-ms`, default 1s).
     pub slow_threshold: Duration,
+    /// A request is a **performance regression** when its latency
+    /// exceeds this multiple of its request kind's EWMA baseline (CLI:
+    /// `--regress-factor`, default 3.0). Regressions emit a
+    /// `perf_regression` event and count into
+    /// `yu_serve_perf_regressions_total`; they never appear in response
+    /// lines, which stay wall-clock-independent.
+    pub regress_factor: f64,
+    /// EWMA smoothing weight of the newest latency sample.
+    pub regress_alpha: f64,
+    /// Samples of a kind observed before its baseline arms. The slow
+    /// first requests of a cold session train the baseline instead of
+    /// tripping it.
+    pub regress_min_samples: u64,
 }
 
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
         ServeConfig {
             slow_threshold: Duration::from_millis(1000),
+            regress_factor: 3.0,
+            regress_alpha: 0.2,
+            regress_min_samples: 5,
         }
+    }
+}
+
+/// An exponentially-weighted moving average of request latency for one
+/// request kind — the baseline of the serve regression detector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EwmaBaseline {
+    /// Current baseline, microseconds. Seeded by the first sample.
+    pub mean_us: f64,
+    /// Samples folded in so far.
+    pub samples: u64,
+}
+
+impl EwmaBaseline {
+    /// Whether a new sample would count as a regression against the
+    /// current (pre-update) baseline: armed and exceeded by `factor`.
+    pub fn regressed(&self, elapsed_us: f64, factor: f64, min_samples: u64) -> bool {
+        self.samples >= min_samples && self.mean_us > 0.0 && elapsed_us > factor * self.mean_us
+    }
+
+    /// Folds a sample into the baseline. The first sample seeds the
+    /// mean; later samples move it by `alpha`. Called *after*
+    /// [`EwmaBaseline::regressed`], so a spike is judged against the
+    /// baseline it has not yet polluted (it still trains the baseline —
+    /// a persistent slowdown alarms a bounded number of times, then
+    /// becomes the new normal).
+    pub fn observe(&mut self, elapsed_us: f64, alpha: f64) {
+        self.mean_us = if self.samples == 0 {
+            elapsed_us
+        } else {
+            alpha * elapsed_us + (1.0 - alpha) * self.mean_us
+        };
+        self.samples += 1;
+    }
+}
+
+/// The baseline key of a request: the change kind for homogeneous
+/// change-sets (`SetLinkCost`), `"mixed"` otherwise. Latency is
+/// strongly bimodal by kind (a cost change recomputes routes; a rate
+/// change reuses them), so one global baseline would either miss
+/// regressions of the cheap kind or false-alarm on the expensive one.
+fn request_kind(cs: &ChangeSet) -> String {
+    let kind_of = |c: &Change| {
+        let dbg = format!("{c:?}");
+        dbg.split([' ', '(', '{'])
+            .next()
+            .unwrap_or("change")
+            .to_string()
+    };
+    let mut kinds = cs.changes.iter().map(kind_of);
+    let Some(first) = kinds.next() else {
+        return "empty".to_string();
+    };
+    if kinds.all(|k| k == first) {
+        first
+    } else {
+        "mixed".to_string()
     }
 }
 
@@ -128,6 +209,8 @@ pub struct ServeSession {
     violations: Vec<Violation>,
     config: ServeConfig,
     lifetime: LifetimeStats,
+    /// Per-request-kind latency baselines of the regression detector.
+    baselines: std::collections::BTreeMap<String, EwmaBaseline>,
 }
 
 impl ServeSession {
@@ -152,6 +235,7 @@ impl ServeSession {
             violations: out.violations,
             config,
             lifetime: LifetimeStats::default(),
+            baselines: std::collections::BTreeMap::new(),
         }
     }
 
@@ -163,6 +247,12 @@ impl ServeSession {
     /// Cumulative session totals so far.
     pub fn lifetime(&self) -> LifetimeStats {
         self.lifetime
+    }
+
+    /// The latency baseline trained for one request kind, if any
+    /// request of that kind has been answered.
+    pub fn baseline(&self, kind: &str) -> Option<EwmaBaseline> {
+        self.baselines.get(kind).copied()
     }
 
     /// The banner printed when the session starts: a single JSON line
@@ -225,11 +315,12 @@ impl ServeSession {
         }
         // Stage 3: apply atomically; semantic errors (unknown router,
         // bad index) are rejected before any state is touched.
+        let kind = request_kind(&cs);
         match self.inc.apply(&cs) {
             Ok(out) => {
                 let delta = self.inc.delta_stats();
                 let (new_v, resolved) = violation_delta(&self.violations, &out.violations);
-                self.record_success(&id, &out, &new_v, &resolved, delta, t0.elapsed());
+                self.record_success(&id, &kind, &out, &new_v, &resolved, delta, t0.elapsed());
                 let line = success_line(id, &out, &new_v, &resolved, delta, &self.lifetime);
                 self.violations = out.violations;
                 line
@@ -241,9 +332,11 @@ impl ServeSession {
     /// Books a successful request into the lifetime totals, the metrics
     /// registry, and the event log. Pure observation: called after the
     /// outcome is computed, before the response is rendered.
+    #[allow(clippy::too_many_arguments)]
     fn record_success(
         &mut self,
         id: &Value,
+        kind: &str,
         out: &VerificationOutcome,
         new_v: &[Violation],
         resolved: &[Violation],
@@ -252,6 +345,35 @@ impl ServeSession {
     ) {
         let flipped = !new_v.is_empty() || !resolved.is_empty();
         let slow = elapsed >= self.config.slow_threshold;
+        // Regression detection: judge against the pre-update baseline,
+        // then train it. Wall-clock-dependent, so the signal goes only
+        // to the registry and the event log — response lines stay
+        // deterministic.
+        let elapsed_us = elapsed.as_micros() as f64;
+        let baseline = self.baselines.entry(kind.to_string()).or_default();
+        let regressed = baseline.regressed(
+            elapsed_us,
+            self.config.regress_factor,
+            self.config.regress_min_samples,
+        );
+        let baseline_us = baseline.mean_us;
+        baseline.observe(elapsed_us, self.config.regress_alpha);
+        if regressed {
+            yu_telemetry::with_registry(|r| r.serve_perf_regressions_total.inc());
+            if yu_telemetry::events_enabled() {
+                yu_telemetry::emit_event(
+                    EventLevel::Warn,
+                    "perf_regression",
+                    vec![
+                        ("id", id.clone()),
+                        ("kind", Value::Str(kind.to_string())),
+                        ("elapsed_us", Value::Int(elapsed.as_micros() as i128)),
+                        ("baseline_us", Value::Int(baseline_us as i128)),
+                        ("factor", Value::Float(self.config.regress_factor)),
+                    ],
+                );
+            }
+        }
         let lt = &mut self.lifetime;
         lt.requests += 1;
         lt.reused_groups += delta.reused_groups as u64;
@@ -446,4 +568,66 @@ pub fn stats_value(out: &VerificationOutcome, delta: DeltaStats) -> Value {
 /// JSON string (the line format of the serve protocol's `changes` field).
 pub fn parse_changes(json: &str) -> Result<Vec<Change>, serde_json::Error> {
     serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_baseline_arms_then_trips_then_retrains() {
+        let (factor, alpha, min) = (3.0, 0.2, 5);
+        let mut b = EwmaBaseline::default();
+        // Training: the first `min` samples never trip, even wild ones.
+        for us in [100.0, 5000.0, 120.0, 80.0, 110.0] {
+            assert!(!b.regressed(us, factor, min));
+            b.observe(us, alpha);
+        }
+        assert_eq!(b.samples, 5);
+        // Armed: a sample within factor x baseline passes...
+        assert!(!b.regressed(b.mean_us * 2.9, factor, min));
+        // ...one beyond it trips.
+        assert!(b.regressed(b.mean_us * 3.1, factor, min));
+        // A persistent slowdown becomes the new normal: keep observing
+        // the elevated latency and the alarm eventually clears.
+        let slow = b.mean_us * 4.0;
+        let mut alarms = 0;
+        for _ in 0..40 {
+            if b.regressed(slow, factor, min) {
+                alarms += 1;
+            }
+            b.observe(slow, alpha);
+        }
+        assert!(alarms > 0, "the slowdown must alarm at first");
+        assert!(
+            !b.regressed(slow, factor, min),
+            "after retraining the elevated latency is the baseline"
+        );
+        assert!(alarms < 40, "the alarm must not be permanent");
+    }
+
+    #[test]
+    fn ewma_first_sample_seeds_the_mean() {
+        let mut b = EwmaBaseline::default();
+        b.observe(250.0, 0.2);
+        assert_eq!(b.mean_us, 250.0);
+        b.observe(350.0, 0.5);
+        assert_eq!(b.mean_us, 300.0);
+    }
+
+    #[test]
+    fn request_kind_keys_homogeneous_sets_by_change_kind() {
+        let cost = |c: u64| Change::SetLinkCost {
+            from: "A".into(),
+            to: "B".into(),
+            index: 0,
+            cost: c,
+        };
+        let remove = Change::RemoveRouter { router: "A".into() };
+        let kind = |changes: Vec<Change>| request_kind(&ChangeSet { changes });
+        assert_eq!(kind(vec![]), "empty");
+        assert_eq!(kind(vec![cost(5)]), "SetLinkCost");
+        assert_eq!(kind(vec![cost(5), cost(7)]), "SetLinkCost");
+        assert_eq!(kind(vec![cost(5), remove]), "mixed");
+    }
 }

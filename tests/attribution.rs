@@ -1,0 +1,162 @@
+//! The attribution profiler's two contracts (DESIGN.md §15):
+//!
+//! 1. **Reconciliation** — per-entity node deltas telescope to the
+//!    phase totals, and with GC off and sequential workers the phase
+//!    totals telescope further to the arena's own lifetime counter:
+//!    `route_nodes + exec.nodes_delta + check.nodes_delta ==
+//!    stats.mtbdd.nodes_created`, exactly.
+//! 2. **Observation only** — a profiled run is bit-identical to a plain
+//!    run: same verdicts, same violations, same arena statistics.
+
+use yu::core::{YuOptions, YuVerifier};
+use yu::gen::{fattree_with_flows, motivating_example};
+use yu::mtbdd::Ratio;
+use yu::net::Tlp;
+
+/// One profiled verification of the fig1 example.
+fn run_fig1(opts: YuOptions) -> yu::core::VerificationOutcome {
+    let ex = motivating_example();
+    let mut v = YuVerifier::new(ex.net.clone(), opts);
+    v.add_flows(&ex.flows);
+    v.verify(&ex.p2)
+}
+
+#[test]
+fn sequential_attribution_reconciles_exactly_with_the_arena() {
+    // GC off + one worker: every node the run creates is measured by
+    // exactly one contiguous per-entity window, so the telescoping sum
+    // must land on the arena's lifetime counter to the node.
+    let out = run_fig1(YuOptions {
+        k: 1,
+        profile: true,
+        gc_node_threshold: 0,
+        workers: 1,
+        check_workers: 1,
+        static_prune: false,
+        ..Default::default()
+    });
+    let attr = out.stats.attribution.as_ref().expect("profile run");
+    assert!(attr.reconciles(), "entity deltas must telescope per phase");
+    assert_eq!(
+        attr.route_nodes as i64 + attr.exec.nodes_delta + attr.check.nodes_delta,
+        out.stats.mtbdd.nodes_created as i64,
+        "phase deltas must telescope to the arena lifetime counter"
+    );
+
+    // Entity coverage: one cost per flow group, one per checked
+    // requirement, no import phase in sequential mode.
+    assert_eq!(attr.exec.entities.len(), out.stats.flow_groups);
+    let ex = motivating_example();
+    assert_eq!(
+        attr.check.entities.len(),
+        ex.p2.reqs.len() - out.stats.reqs_pruned
+    );
+    assert!(attr.import.entities.is_empty());
+    assert!(attr
+        .exec
+        .entities
+        .iter()
+        .all(|e| e.label.starts_with("flow ")));
+    assert!(attr
+        .check
+        .entities
+        .iter()
+        .all(|e| e.label.starts_with("req ")));
+
+    // Wall clocks: entities are sub-intervals of their phase (true in
+    // sequential mode where nothing overlaps).
+    assert!(attr.exec.entity_wall_sum() <= attr.exec.wall_us);
+    assert!(attr.check.entity_wall_sum() <= attr.check.wall_us);
+
+    // The arena profiles rode along.
+    assert!(attr.levels.inner_nodes > 0);
+    assert_eq!(
+        attr.levels.inner_nodes,
+        attr.levels.levels.iter().map(|l| l.nodes).sum::<usize>()
+    );
+    assert_eq!(attr.caches.len(), 2);
+    assert!(attr
+        .caches
+        .iter()
+        .any(|c| c.name == "apply" && c.misses > 0));
+}
+
+#[test]
+fn parallel_attribution_reconciles_per_phase_on_fattree_m8() {
+    // The acceptance workload: an m=8 fat-tree, profiled through the
+    // sharded execution and checking engines.
+    let (ft, flows) = fattree_with_flows(8, 24);
+    let tlp = Tlp::no_overload(&ft.net.topo, Ratio::new(95, 100));
+    let mut v = YuVerifier::new(
+        ft.net.clone(),
+        YuOptions {
+            k: 1,
+            profile: true,
+            workers: 3,
+            check_workers: 2,
+            ..Default::default()
+        },
+    );
+    v.add_flows(&flows);
+    let out = v.verify(&tlp);
+    let attr = out.stats.attribution.as_ref().expect("profile run");
+    // Worker arenas telescope from empty, so the invariant holds shard
+    // by shard and therefore in the phase sums.
+    assert!(attr.reconciles());
+    // Parallel execution books each worker's local route recompute as
+    // its own entity, plus one per flow group.
+    assert!(attr
+        .exec
+        .entities
+        .iter()
+        .any(|e| e.label.starts_with("worker-") && e.label.ends_with("route_sim")));
+    assert_eq!(
+        attr.exec
+            .entities
+            .iter()
+            .filter(|e| e.label.starts_with("flow "))
+            .count(),
+        out.stats.flow_groups
+    );
+    // Importing worker results back is its own phase with one entity
+    // per flow group.
+    assert_eq!(attr.import.entities.len(), out.stats.flow_groups);
+    assert!(!attr.check.entities.is_empty());
+    // Per-level attribution rides along and self-reconciles.
+    assert!(!attr.levels.levels.is_empty());
+    assert_eq!(
+        attr.levels.inner_nodes,
+        attr.levels.levels.iter().map(|l| l.nodes).sum::<usize>()
+    );
+}
+
+#[test]
+fn profiling_is_an_observer() {
+    let run = |profile: bool| {
+        run_fig1(YuOptions {
+            k: 1,
+            profile,
+            workers: 2,
+            check_workers: 2,
+            ..Default::default()
+        })
+    };
+    let plain = run(false);
+    let profiled = run(true);
+    assert!(plain.stats.attribution.is_none());
+    assert!(profiled.stats.attribution.is_some());
+    assert_eq!(plain.verified(), profiled.verified());
+    assert_eq!(
+        format!("{:?}", plain.violations),
+        format!("{:?}", profiled.violations)
+    );
+    assert_eq!(
+        plain.stats.mtbdd.nodes_created,
+        profiled.stats.mtbdd.nodes_created
+    );
+    assert_eq!(
+        plain.stats.mtbdd_workers.nodes_created,
+        profiled.stats.mtbdd_workers.nodes_created
+    );
+    assert_eq!(plain.stats.flow_groups, profiled.stats.flow_groups);
+}

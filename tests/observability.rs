@@ -2,10 +2,11 @@
 //! event log (slow-request detection with correlation ids, the
 //! threshold tunable) and the in-band `metrics` request type.
 //!
-//! One test function owns the whole flow — the event sink is process
-//! global, and this file is its own test binary, so nothing else can
-//! race it.
+//! The event sink is process global, so the tests that use it
+//! serialize on [`SINK_LOCK`]; this file is its own test binary, so
+//! nothing outside it can race them.
 
+use std::sync::Mutex;
 use std::time::Duration;
 use yu::core::YuOptions;
 use yu::net::FailureMode;
@@ -29,8 +30,19 @@ fn session(spec: &VerifySpec, slow_threshold: Duration) -> ServeSession {
         mode: spec.mode,
         ..Default::default()
     };
-    ServeSession::with_config(spec, opts, ServeConfig { slow_threshold })
+    ServeSession::with_config(
+        spec,
+        opts,
+        ServeConfig {
+            slow_threshold,
+            ..Default::default()
+        },
+    )
 }
+
+/// Serializes the tests against each other: both configure the
+/// process-global in-memory event sink.
+static SINK_LOCK: Mutex<()> = Mutex::new(());
 
 fn events_of_kind(events: &[String], kind: &str) -> Vec<String> {
     events
@@ -42,6 +54,7 @@ fn events_of_kind(events: &[String], kind: &str) -> Vec<String> {
 
 #[test]
 fn serve_emits_slow_request_events_and_answers_metrics_requests() {
+    let _guard = SINK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let spec = fig1_spec();
 
     // A zero threshold marks every request slow: the event must fire and
@@ -108,4 +121,62 @@ fn serve_emits_slow_request_events_and_answers_metrics_requests() {
     // The registry snapshot digests latency histograms to quantiles.
     assert!(resp.contains("\"yu_serve_request_seconds\""));
     assert!(resp.contains("\"p99\""));
+}
+
+/// The regression detector's serve wiring: baselines train per request
+/// kind, an unarmed or unreachable baseline never alarms, and the
+/// wall-clock-dependent signal stays out of the response lines. (The
+/// trip/retrain behavior of the rule itself is unit-tested in
+/// `yu::serve` where it can run on synthetic latencies.)
+#[test]
+fn serve_trains_latency_baselines_per_request_kind() {
+    let _guard = SINK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = fig1_spec();
+    let opts = YuOptions {
+        k: spec.k,
+        mode: spec.mode,
+        ..Default::default()
+    };
+    // An unreachable factor makes "no alarm" deterministic even on a
+    // noisy machine: a request would have to be a billion times slower
+    // than its baseline.
+    let config = ServeConfig {
+        regress_factor: 1e9,
+        ..Default::default()
+    };
+    yu::telemetry::set_event_sink_memory();
+    let mut s = ServeSession::with_config(&spec, opts, config);
+    assert!(s.baseline("empty").is_none(), "no samples yet");
+    let mut names = spec
+        .network
+        .topo
+        .routers()
+        .map(|r| spec.network.topo.router(r).name.clone());
+    let (from, to) = (
+        names.next().expect("fig1 has routers"),
+        names.next().expect("fig1 has two routers"),
+    );
+    for id in 0..3 {
+        let resp = s.handle_line(&format!("{{\"id\":{id},\"changes\":[]}}"));
+        assert!(resp.contains("\"ok\":true"));
+        assert!(
+            !resp.contains("regress"),
+            "regression signals must stay out of response lines: {resp}"
+        );
+    }
+    // Kinds train independently: three empty requests, one rejected
+    // SetLinkCost (errors never train a baseline).
+    let bad = format!(
+        "{{\"id\":9,\"changes\":[{{\"SetLinkCost\":{{\"from\":\"{from}\",\"to\":\"{to}\",\
+         \"index\":99,\"cost\":1}}}}]}}"
+    );
+    assert!(s.handle_line(&bad).contains("\"ok\":false"));
+    let empty = s.baseline("empty").expect("empty-kind baseline trained");
+    assert_eq!(empty.samples, 3);
+    assert!(empty.mean_us >= 0.0);
+    assert!(s.baseline("SetLinkCost").is_none());
+    assert!(s.baseline("mixed").is_none());
+    let events = yu::telemetry::take_memory_events();
+    assert!(events_of_kind(&events, "perf_regression").is_empty());
+    yu::telemetry::close_event_sink();
 }
