@@ -1,9 +1,18 @@
 //! Benchmark harness for the check stage: the fused `ADD∘KREDUCE` kernel
 //! and sharded parallel property checking.
 //!
-//! Two experiments, reported as machine-readable JSON (the repo records a
-//! run as `BENCH_check.json`):
+//! Three experiments, reported as machine-readable JSON (the repo
+//! records a run as `BENCH_check.json`):
 //!
+//! 0. **Layout A/B** — the same fused aggregation workload built on two
+//!    engine layouts: a `HashMap`-based reference manager (layout A,
+//!    the pre-flat-arena design: tuple-keyed unique table and memo
+//!    caches) and the production flat arena (layout B: packed `Vec`
+//!    nodes, open-addressed `u32` slot table, direct-mapped caches).
+//!    Both hash-cons the identical canonical diagrams, so
+//!    `nodes_created` must match exactly — a deterministic gate — and
+//!    the comparison isolates data layout: wall-clock, measured
+//!    unique-table probe lengths, and estimated heap bytes.
 //! 1. **Fused kernel microbench** — a Fig. 18-style aggregation blow-up
 //!    (many overlapping primary/backup flow STFs summed pairwise under a
 //!    small failure budget), built twice in fresh arenas: classic
@@ -106,6 +115,7 @@ struct Report {
     check_worker_counts: Vec<usize>,
     /// VmHWM from /proc/self/status at the end of the run, if readable.
     peak_rss_bytes: Option<u64>,
+    layout: LayoutAb,
     fused: FusedMicro,
     instances: Vec<CheckInstance>,
 }
@@ -178,6 +188,378 @@ fn aggregate_blowup(nvars: u32, nflows: usize, k: u32, fused: bool) -> KernelSid
         nodes_created: stats.nodes_created - base,
         unique_peak: stats.unique_table_peak,
         secs,
+    }
+}
+
+/// Layout A: a minimal `HashMap`-based MTBDD manager — the pre-flat-arena
+/// design, with a tuple-keyed unique table and tuple-keyed memo caches —
+/// implementing exactly the operations the blow-up workload needs, with
+/// the same terminal shortcuts as the production engine. Both layouts
+/// therefore build the identical canonical diagrams node for node; only
+/// the data layout (and thus probes, locality, and wall-clock) differs.
+mod map_layout {
+    use std::collections::HashMap;
+    use yu_mtbdd::Term;
+
+    /// Handle into the map arena; terminals carry the high bit.
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+    pub struct MRef(u32);
+    const TERM_BIT: u32 = 1 << 31;
+
+    pub const OP_ADD: u8 = 0;
+    pub const OP_MUL: u8 = 1;
+
+    #[derive(Default)]
+    pub struct MapMtbdd {
+        nodes: Vec<(u32, MRef, MRef)>,
+        unique: HashMap<(u32, MRef, MRef), u32>,
+        terms: Vec<Term>,
+        term_ix: HashMap<Term, u32>,
+        apply: HashMap<(u8, MRef, MRef), MRef>,
+        kred: HashMap<(MRef, u32), MRef>,
+        fused: HashMap<(MRef, MRef, u32), MRef>,
+        pub nodes_created: usize,
+    }
+
+    impl MapMtbdd {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        fn is_term(r: MRef) -> bool {
+            r.0 & TERM_BIT != 0
+        }
+
+        pub fn term(&mut self, t: Term) -> MRef {
+            if let Some(&i) = self.term_ix.get(&t) {
+                return MRef(TERM_BIT | i);
+            }
+            let i = self.terms.len() as u32;
+            self.terms.push(t.clone());
+            self.term_ix.insert(t, i);
+            MRef(TERM_BIT | i)
+        }
+
+        fn term_val(&self, r: MRef) -> Term {
+            self.terms[(r.0 & !TERM_BIT) as usize].clone()
+        }
+
+        fn node(&mut self, var: u32, lo: MRef, hi: MRef) -> MRef {
+            if lo == hi {
+                return lo;
+            }
+            let key = (var, lo, hi);
+            if let Some(&i) = self.unique.get(&key) {
+                return MRef(i);
+            }
+            let i = self.nodes.len() as u32;
+            self.nodes.push(key);
+            self.unique.insert(key, i);
+            self.nodes_created += 1;
+            MRef(i)
+        }
+
+        pub fn var_guard(&mut self, v: u32) -> MRef {
+            let zero = self.term(Term::ZERO);
+            let one = self.term(Term::ONE);
+            self.node(v, zero, one)
+        }
+
+        pub fn nvar_guard(&mut self, v: u32) -> MRef {
+            let zero = self.term(Term::ZERO);
+            let one = self.term(Term::ONE);
+            self.node(v, one, zero)
+        }
+
+        fn top_var(&self, r: MRef) -> u32 {
+            if Self::is_term(r) {
+                u32::MAX
+            } else {
+                self.nodes[r.0 as usize].0
+            }
+        }
+
+        fn cof(&self, r: MRef, var: u32) -> (MRef, MRef) {
+            if Self::is_term(r) {
+                return (r, r);
+            }
+            let (v, lo, hi) = self.nodes[r.0 as usize];
+            if v == var {
+                (lo, hi)
+            } else {
+                (r, r)
+            }
+        }
+
+        fn all_alive(&self, mut r: MRef) -> Term {
+            while !Self::is_term(r) {
+                r = self.nodes[r.0 as usize].2;
+            }
+            self.term_val(r)
+        }
+
+        fn combine(op: u8, a: Term, b: Term) -> Term {
+            match op {
+                OP_ADD => a.add(b),
+                _ => a.mul(b),
+            }
+        }
+
+        /// Mirrors the production engine's Add/Mul terminal shortcuts so
+        /// both layouts take identical recursion shapes.
+        fn shortcut(&mut self, op: u8, f: MRef, g: MRef) -> Option<MRef> {
+            let zero = self.term(Term::ZERO);
+            let one = self.term(Term::ONE);
+            match op {
+                OP_ADD => {
+                    if f == zero {
+                        return Some(g);
+                    }
+                    if g == zero {
+                        return Some(f);
+                    }
+                }
+                _ => {
+                    if f == zero || g == zero {
+                        return Some(zero);
+                    }
+                    if f == one {
+                        return Some(g);
+                    }
+                    if g == one {
+                        return Some(f);
+                    }
+                }
+            }
+            None
+        }
+
+        pub fn apply(&mut self, op: u8, f: MRef, g: MRef) -> MRef {
+            if let Some(r) = self.shortcut(op, f, g) {
+                return r;
+            }
+            if Self::is_term(f) && Self::is_term(g) {
+                let t = Self::combine(op, self.term_val(f), self.term_val(g));
+                return self.term(t);
+            }
+            let (f, g) = if g < f { (g, f) } else { (f, g) };
+            if let Some(&r) = self.apply.get(&(op, f, g)) {
+                return r;
+            }
+            let var = self.top_var(f).min(self.top_var(g));
+            let (f0, f1) = self.cof(f, var);
+            let (g0, g1) = self.cof(g, var);
+            let lo = self.apply(op, f0, g0);
+            let hi = self.apply(op, f1, g1);
+            let r = self.node(var, lo, hi);
+            self.apply.insert((op, f, g), r);
+            r
+        }
+
+        pub fn scale(&mut self, f: MRef, c: Term) -> MRef {
+            let c = self.term(c);
+            self.apply(OP_MUL, f, c)
+        }
+
+        pub fn kreduce(&mut self, f: MRef, k: u32) -> MRef {
+            if Self::is_term(f) {
+                return f;
+            }
+            if k == 0 {
+                let t = self.all_alive(f);
+                return self.term(t);
+            }
+            if let Some(&r) = self.kred.get(&(f, k)) {
+                return r;
+            }
+            let (var, lo, hi) = self.nodes[f.0 as usize];
+            let hi_km1 = self.kreduce(hi, k - 1);
+            let lo_km1 = self.kreduce(lo, k - 1);
+            let r = if hi_km1 == lo_km1 {
+                self.kreduce(hi, k)
+            } else {
+                let hi_k = self.kreduce(hi, k);
+                self.node(var, lo_km1, hi_k)
+            };
+            self.kred.insert((f, k), r);
+            r
+        }
+
+        /// Fused `βₖ(f + g)`, mirroring the production recursion
+        /// (Definition 5.2 on the virtual sum node).
+        pub fn add_kreduce(&mut self, f: MRef, g: MRef, k: u32) -> MRef {
+            if let Some(r) = self.shortcut(OP_ADD, f, g) {
+                return self.kreduce(r, k);
+            }
+            if k == 0 || (Self::is_term(f) && Self::is_term(g)) {
+                let t = self.all_alive(f).add(self.all_alive(g));
+                return self.term(t);
+            }
+            let (f, g) = if g < f { (g, f) } else { (f, g) };
+            if let Some(&r) = self.fused.get(&(f, g, k)) {
+                return r;
+            }
+            let var = self.top_var(f).min(self.top_var(g));
+            let (f0, f1) = self.cof(f, var);
+            let (g0, g1) = self.cof(g, var);
+            let hi_km1 = self.add_kreduce(f1, g1, k - 1);
+            let lo_km1 = self.add_kreduce(f0, g0, k - 1);
+            let r = if hi_km1 == lo_km1 {
+                self.add_kreduce(f1, g1, k)
+            } else {
+                let hi_k = self.add_kreduce(f1, g1, k);
+                self.node(var, lo_km1, hi_k)
+            };
+            self.fused.insert((f, g, k), r);
+            r
+        }
+
+        /// Estimated heap bytes: Swiss-table capacity × (entry + 1
+        /// control byte) for each map, plus the node/terminal vectors.
+        pub fn heap_bytes(&self) -> usize {
+            fn map_bytes<K, V>(m: &HashMap<K, V>) -> usize {
+                m.capacity() * (std::mem::size_of::<(K, V)>() + 1)
+            }
+            self.nodes.capacity() * std::mem::size_of::<(u32, MRef, MRef)>()
+                + self.terms.capacity() * std::mem::size_of::<Term>()
+                + map_bytes(&self.unique)
+                + map_bytes(&self.term_ix)
+                + map_bytes(&self.apply)
+                + map_bytes(&self.kred)
+                + map_bytes(&self.fused)
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct LayoutSide {
+    /// Inner nodes hash-consed over the whole workload — must be equal
+    /// between layouts (both build the same canonical diagrams).
+    nodes_created: usize,
+    /// Measured unique-table probe lengths (flat layout only; `HashMap`
+    /// exposes no probe counters, reported as 0 for the map layout).
+    probe_mean: f64,
+    probe_max: u32,
+    /// Heap held by nodes + unique table + memo caches (measured for the
+    /// flat arena, Swiss-table-estimated for the map layout).
+    heap_bytes: usize,
+    /// VmHWM after this side finished. Monotone across the process — the
+    /// map side runs first, so a flat-side value equal to the map side's
+    /// means the flat arena fit inside the map layout's footprint.
+    peak_rss_after_bytes: Option<u64>,
+    secs: f64,
+}
+
+#[derive(Serialize)]
+struct LayoutAb {
+    nvars: u32,
+    nflows: usize,
+    k: u32,
+    map: LayoutSide,
+    flat: LayoutSide,
+    /// `map.secs / flat.secs` (> 1.0 means the flat arena is faster).
+    flat_speedup: f64,
+}
+
+/// The same blow-up flow family as [`blowup_stf`], built on the map
+/// layout.
+fn map_blowup_stf(m: &mut map_layout::MapMtbdd, i: usize, nvars: u32) -> map_layout::MRef {
+    use map_layout::OP_MUL;
+    let a = (3 * i) as u32 % nvars;
+    let b = (3 * i + 1) as u32 % nvars;
+    let c = (3 * i + 2) as u32 % nvars;
+    let d = (3 * i + 7) as u32 % nvars;
+    let e = (3 * i + 11) as u32 % nvars;
+    let ga = m.var_guard(a);
+    let gb = m.var_guard(b);
+    let gc = m.var_guard(c);
+    let p0 = m.apply(OP_MUL, ga, gb);
+    let primary = m.apply(OP_MUL, p0, gc);
+    let na = m.nvar_guard(a);
+    let gd = m.var_guard(d);
+    let ge = m.var_guard(e);
+    let b0 = m.apply(OP_MUL, na, gd);
+    let backup = m.apply(OP_MUL, b0, ge);
+    let path = m.apply(map_layout::OP_ADD, primary, backup);
+    m.scale(path, Term::Num(Ratio::new(1, i as i128 + 1)))
+}
+
+/// Runs the full fused-aggregation workload (STF construction + initial
+/// reduction + pairwise `add_kreduce` tree) on each layout and reports
+/// the per-layout counters.
+fn layout_ab(quick: bool) -> LayoutAb {
+    let (nvars, nflows, k) = if quick { (36, 48, 2) } else { (60, 96, 2) };
+    eprintln!("  layout A/B: {nflows} flows over {nvars} vars, k={k} ...");
+
+    // Layout A: map-based reference (runs first; VmHWM is monotone).
+    let t0 = Instant::now();
+    let mut mm = map_layout::MapMtbdd::new();
+    let mut level: Vec<map_layout::MRef> = (0..nflows)
+        .map(|i| {
+            let f = map_blowup_stf(&mut mm, i, nvars);
+            mm.kreduce(f, k)
+        })
+        .collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            next.push(if pair.len() == 2 {
+                mm.add_kreduce(pair[0], pair[1], k)
+            } else {
+                pair[0]
+            });
+        }
+        level = next;
+    }
+    let map_side = LayoutSide {
+        nodes_created: mm.nodes_created,
+        probe_mean: 0.0,
+        probe_max: 0,
+        heap_bytes: mm.heap_bytes(),
+        peak_rss_after_bytes: peak_rss_bytes(),
+        secs: t0.elapsed().as_secs_f64(),
+    };
+    drop(mm);
+
+    // Layout B: the production flat arena, identical workload.
+    let t0 = Instant::now();
+    let mut fm = Mtbdd::new();
+    fm.fresh_vars(nvars);
+    let mut level: Vec<NodeRef> = (0..nflows)
+        .map(|i| {
+            let f = blowup_stf(&mut fm, i, nvars);
+            fm.kreduce(f, k)
+        })
+        .collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            next.push(if pair.len() == 2 {
+                fm.add_kreduce(pair[0], pair[1], k)
+            } else {
+                pair[0]
+            });
+        }
+        level = next;
+    }
+    let probes = fm.unique_probe_stats();
+    let flat_side = LayoutSide {
+        nodes_created: fm.stats().nodes_created,
+        probe_mean: probes.mean(),
+        probe_max: probes.max_steps,
+        heap_bytes: fm.arena_bytes(),
+        peak_rss_after_bytes: peak_rss_bytes(),
+        secs: t0.elapsed().as_secs_f64(),
+    };
+
+    let flat_speedup = map_side.secs / flat_side.secs.max(1e-9);
+    LayoutAb {
+        nvars,
+        nflows,
+        k,
+        map: map_side,
+        flat: flat_side,
+        flat_speedup,
     }
 }
 
@@ -317,6 +699,53 @@ fn gate_against_baseline(
 ) -> Vec<String> {
     let mut failures = Vec::new();
     let empty = Vec::new();
+    // Deterministic probe/nodes gate on the layout A/B workload: probe
+    // lengths and node counts are pure functions of the input (no
+    // randomized hashing anywhere in the arena), so regressions here are
+    // always real. Compared only when the workload parameters match the
+    // baseline's (a --quick run against a full baseline skips it).
+    if let Some(base_layout) = jget(baseline, "layout") {
+        let same_workload = jget(base_layout, "nvars").and_then(ju64)
+            == Some(report.layout.nvars as u64)
+            && jget(base_layout, "nflows").and_then(ju64) == Some(report.layout.nflows as u64)
+            && jget(base_layout, "k").and_then(ju64) == Some(report.layout.k as u64);
+        if same_workload {
+            if let Some(flat) = jget(base_layout, "flat") {
+                if let Some(base_nodes) = jget(flat, "nodes_created").and_then(ju64) {
+                    if report.layout.flat.nodes_created as u64 > base_nodes {
+                        failures.push(format!(
+                            "layout A/B: flat arena created {} nodes vs baseline {} \
+                             (deterministic workload; any increase is real)",
+                            report.layout.flat.nodes_created, base_nodes
+                        ));
+                    }
+                }
+                if let Some(base_mean) = jget(flat, "probe_mean").and_then(jf64) {
+                    let limit = (base_mean * (1.0 + max_regress)).max(0.5);
+                    if report.layout.flat.probe_mean > limit {
+                        failures.push(format!(
+                            "layout A/B: unique-table mean probe length {:.3} vs \
+                             baseline {:.3} (> {:.0}% regression, deterministic)",
+                            report.layout.flat.probe_mean,
+                            base_mean,
+                            max_regress * 100.0
+                        ));
+                    }
+                }
+                if let Some(base_max) = jget(flat, "probe_max").and_then(ju64) {
+                    if u64::from(report.layout.flat.probe_max) > base_max.max(8) * 2 {
+                        failures.push(format!(
+                            "layout A/B: unique-table max probe length {} vs \
+                             baseline {} (deterministic)",
+                            report.layout.flat.probe_max, base_max
+                        ));
+                    }
+                }
+            }
+        } else {
+            eprintln!("PERF NOTE: layout A/B gate skipped (workload differs from baseline)");
+        }
+    }
     // Wall-clock numbers from a single-core machine (this run or the
     // baseline's recorder) are not comparable: every worker count
     // time-slices one CPU. Honest gate = node counts only.
@@ -412,6 +841,7 @@ fn main() {
         .unwrap_or(1);
 
     eprintln!("check bench: {cores} core(s) available");
+    let layout = layout_ab(quick);
     let fused = fused_micro(quick);
 
     let (ft_m, ft_frac, wan_flows) = if quick { (4, 16, 300) } else { (8, 8, 1000) };
@@ -429,6 +859,7 @@ fn main() {
         cores,
         check_worker_counts: worker_counts,
         peak_rss_bytes: peak_rss_bytes(),
+        layout,
         fused,
         instances,
     };
@@ -449,6 +880,16 @@ fn main() {
             "fused kernel materialized as many nodes as the classic pipeline \
              (ratio {:.3})",
             report.fused.nodes_ratio
+        ));
+    }
+    // Both layouts hash-cons the same canonical diagrams, so their node
+    // counts must agree exactly — a deterministic cross-check that the
+    // flat arena's unique table never misses a dedup.
+    if report.layout.map.nodes_created != report.layout.flat.nodes_created {
+        failures.push(format!(
+            "layout A/B node counts diverged: map={} flat={} (flat arena \
+             dropped or duplicated canonical nodes)",
+            report.layout.map.nodes_created, report.layout.flat.nodes_created
         ));
     }
     if let Some(path) = baseline_path {

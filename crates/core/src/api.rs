@@ -56,13 +56,22 @@ pub struct YuOptions {
     pub workers: usize,
     /// Worker threads for the property-checking stage. `1` aggregates and
     /// scans every load point sequentially on the shared arena; `> 1`
-    /// shards requirements across threads with private arenas (see
-    /// [`crate::parallel::check_sharded`]) — each worker imports only the
-    /// per-point equivalence-class representatives it needs and combines
-    /// them with the fused `ADD∘KREDUCE` kernel. Results are bit-identical
-    /// to a sequential check. Defaults to `YU_CHECK_WORKERS` when set,
-    /// else 1.
+    /// shards requirements across threads (see
+    /// [`crate::parallel::check_sharded`]) — the main arena is frozen
+    /// once and every worker opens a zero-copy overlay on it, combining
+    /// the per-point equivalence-class representatives with the fused
+    /// n-ary `Σ∘KREDUCE` kernel. Results are bit-identical to a
+    /// sequential check. Defaults to `YU_CHECK_WORKERS` when set, else 1.
     pub check_workers: usize,
+    /// Treat [`YuOptions::check_workers`] as a *cap* instead of a fixed
+    /// count: before the check stage, a cost model estimates the
+    /// symbolic work per requirement (node counts of the distinct
+    /// equivalence-class representatives at each load point) and
+    /// degrades to a sequential check when the sharded work cannot pay
+    /// for freezing the arena and spawning threads. Observer-only for
+    /// verdicts — only wall-clock changes. `yu verify` enables this by
+    /// default (`--check-workers auto`); off by default in the API.
+    pub check_workers_auto: bool,
     /// Run the semantic preflight analyzer before the check stage and
     /// skip requirements it proves safe (see [`yu_analysis::bounds`]).
     /// Pruning is sound — only requirements that hold in *every* ≤ k
@@ -116,6 +125,12 @@ pub fn default_check_workers() -> usize {
     })
 }
 
+/// Fixed-cost estimate (in arena nodes) charged per check worker by the
+/// `--check-workers auto` cost model: thread spawn plus the cold overlay
+/// caches a worker has to re-warm. Small networks fall below it and run
+/// sequentially; the acceptance workloads clear it comfortably.
+const AUTO_SETUP_NODES_PER_WORKER: usize = 25_000;
+
 impl Default for YuOptions {
     fn default() -> Self {
         YuOptions {
@@ -129,6 +144,7 @@ impl Default for YuOptions {
             gc_node_threshold: 4_000_000,
             workers: default_workers(),
             check_workers: default_check_workers(),
+            check_workers_auto: false,
             static_prune: true,
             record_route_deps: false,
             profile: false,
@@ -596,11 +612,6 @@ impl YuVerifier {
             flows,
             classes: classes.len(),
         };
-        // Balanced (pairwise) accumulation with GC checkpoints: balanced
-        // reduction keeps most additions between small diagrams (the
-        // transients of the paper's Fig. 18 blow-up stay bounded), and
-        // collecting between rounds with the current level as extra roots
-        // bounds the arena.
         let k = self.opts.use_kreduce.then_some(self.opts.k);
         let mut level: Vec<NodeRef> = Vec::with_capacity(classes.len());
         for (rep, vol) in classes {
@@ -614,23 +625,30 @@ impl YuVerifier {
             level.push(scaled);
             self.maybe_gc(&mut level);
         }
-        while level.len() > 1 {
-            let mut next = Vec::with_capacity(level.len().div_ceil(2));
-            for pair in level.chunks(2) {
-                let merged = if pair.len() == 2 {
-                    match k {
-                        Some(k) => self.m.add_kreduce(pair[0], pair[1], k),
-                        None => self.m.add(pair[0], pair[1]),
+        let tau = match k {
+            // The n-ary fused kernel materializes βₖ(Σ) directly: the
+            // pairwise partial sums (the transients of the paper's
+            // Fig. 18 blow-up) never hit the arena at all.
+            Some(k) => self.m.sum_kreduce(&level, k),
+            None => {
+                // Exact (un-reduced) aggregation: balanced pairwise
+                // accumulation with GC checkpoints keeps most additions
+                // between small diagrams and bounds the arena.
+                while level.len() > 1 {
+                    let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                    for pair in level.chunks(2) {
+                        next.push(if pair.len() == 2 {
+                            self.m.add(pair[0], pair[1])
+                        } else {
+                            pair[0]
+                        });
                     }
-                } else {
-                    pair[0]
-                };
-                next.push(merged);
+                    level = next;
+                    self.maybe_gc(&mut level);
+                }
+                level.pop().unwrap_or_else(|| self.m.zero())
             }
-            level = next;
-            self.maybe_gc(&mut level);
-        }
-        let tau = level.pop().unwrap_or_else(|| self.m.zero());
+        };
         self.load_cache.insert(point, (tau, stats));
         (tau, stats)
     }
@@ -645,10 +663,76 @@ impl YuVerifier {
         }
     }
 
-    /// Whether the parallel check stage should run for `n_reqs`
-    /// requirements (after pruning).
-    fn check_in_parallel(&self, n_reqs: usize) -> bool {
-        self.opts.check_workers > 1 && n_reqs > 1
+    /// The worker count the check stage will actually use for `reqs`
+    /// (after pruning): the configured `check_workers`, or — with
+    /// [`YuOptions::check_workers_auto`] — the output of the cost model
+    /// in [`Self::auto_check_workers`]. `1` means the sequential loop.
+    fn effective_check_workers(&mut self, reqs: &[yu_net::TlpReq]) -> usize {
+        if reqs.len() <= 1 || self.opts.check_workers <= 1 {
+            return 1;
+        }
+        if !self.opts.check_workers_auto {
+            return self.opts.check_workers;
+        }
+        self.auto_check_workers(reqs)
+    }
+
+    /// Estimated symbolic work of checking `reqs`, in nodes: for every
+    /// requirement, the summed diagram sizes of the *distinct*
+    /// equivalence-class representatives at its load point (each
+    /// distinct handle is counted once per requirement that aggregates
+    /// it — the unit of work the fused kernel walks). Node counts are
+    /// memoized per handle, so the estimate costs one DFS per distinct
+    /// live diagram, not per requirement.
+    fn estimate_check_work(&self, reqs: &[yu_net::TlpReq]) -> usize {
+        let zero = self.m.zero();
+        let mut sizes: HashMap<NodeRef, usize> = HashMap::new();
+        let mut work = 0usize;
+        for req in reqs {
+            let mut seen = std::collections::HashSet::new();
+            for (stf, g) in self.results.iter().zip(&self.groups) {
+                let handle = stf.at(&self.m, req.point);
+                if handle == zero || g.volume.is_zero() {
+                    continue;
+                }
+                if self.opts.use_link_local_equiv && !seen.insert(handle) {
+                    continue;
+                }
+                let size = *sizes
+                    .entry(handle)
+                    .or_insert_with(|| self.m.node_count(handle));
+                work += size;
+            }
+        }
+        work
+    }
+
+    /// The cost model behind `--check-workers auto`: shards the check
+    /// stage only when the estimated per-worker work can pay for the
+    /// fixed setup (freezing the arena — a copy of the live node and
+    /// slot tables — plus spawning the threads). Returns the worker
+    /// count to use, degrading to `1` (and booking the
+    /// `check.auto_degraded` telemetry counter) when sharding cannot
+    /// pay. Purely a wall-clock decision: verdicts are bit-identical
+    /// either way.
+    pub fn auto_check_workers(&mut self, reqs: &[yu_net::TlpReq]) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let cap = self.opts.check_workers.min(hw).min(reqs.len());
+        if cap <= 1 {
+            yu_telemetry::counter("check.auto_degraded", 1);
+            return 1;
+        }
+        let work = self.estimate_check_work(reqs);
+        // Freezing clones the live arena once; each worker costs a
+        // thread spawn plus cold overlay caches, charged as if it were
+        // re-deriving a slice of the arena.
+        let setup = self.m.live_nodes() + AUTO_SETUP_NODES_PER_WORKER * cap;
+        let workers = if work / cap >= setup { cap } else { 1 };
+        yu_telemetry::counter("check.auto_workers", workers as u64);
+        if workers == 1 {
+            yu_telemetry::counter("check.auto_degraded", 1);
+        }
+        workers
     }
 
     /// Zeroes the per-run wall-clock and input counters (`route_time`,
@@ -750,6 +834,7 @@ impl YuVerifier {
         &mut self,
         reqs: &[yu_net::TlpReq],
         max_violations: usize,
+        workers: usize,
     ) -> (Vec<Violation>, HashMap<LoadPoint, AggStats>) {
         let shards = {
             let ctx = CheckCtx {
@@ -761,7 +846,7 @@ impl YuVerifier {
                 use_kreduce: self.opts.use_kreduce,
                 k: self.opts.k,
             };
-            check_sharded(&ctx, reqs, max_violations, self.opts.check_workers)
+            check_sharded(&ctx, reqs, max_violations, workers)
         };
         let mut units: Vec<CheckUnit> = Vec::with_capacity(reqs.len());
         for shard in shards {
@@ -812,8 +897,9 @@ impl YuVerifier {
         let t0 = Instant::now();
         let verify_span = yu_telemetry::span("verify");
         let (kept, pruned) = self.preflight_kept(tlp);
-        let (violations, per_point) = if self.check_in_parallel(kept.len()) {
-            self.check_parallel(&kept, 1)
+        let check_workers = self.effective_check_workers(&kept);
+        let (violations, per_point) = if check_workers > 1 {
+            self.check_parallel(&kept, 1, check_workers)
         } else {
             let mut violations = Vec::new();
             let mut per_point = HashMap::new();
@@ -863,8 +949,9 @@ impl YuVerifier {
         let t0 = Instant::now();
         let verify_span = yu_telemetry::span("verify");
         let (kept, pruned) = self.preflight_kept(tlp);
-        let (mut violations, per_point) = if self.check_in_parallel(kept.len()) {
-            self.check_parallel(&kept, max_violations)
+        let check_workers = self.effective_check_workers(&kept);
+        let (mut violations, per_point) = if check_workers > 1 {
+            self.check_parallel(&kept, max_violations, check_workers)
         } else {
             let mut violations: Vec<Violation> = Vec::new();
             let mut per_point = HashMap::new();

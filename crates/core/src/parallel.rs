@@ -22,17 +22,18 @@
 //! [`yu_mtbdd::Mtbdd::import`] in *flow order*, so the merged state is
 //! independent of thread scheduling.
 //!
-//! A check worker goes the other way: it reads the *main* arena (shared
-//! immutably across the pool — [`Mtbdd`] has no interior mutability),
-//! computes the link-local equivalence classes of its requirement's point
-//! against main-arena handles exactly as the sequential path does, imports
-//! only the class representatives into its private arena, aggregates them
-//! there with the fused `ADD∘KREDUCE` kernel, and scans terminals locally.
-//! Because hash-consed MTBDDs with a fixed variable order are canonical
-//! and `import` preserves variable indices, the reduced diagram a worker
-//! scans is structurally identical to the one the sequential checker
-//! builds, so the returned [`Violation`]s are **bit-identical** to a
-//! sequential run — independent of worker count and scheduling.
+//! A check worker goes the other way: the main arena is **frozen** once
+//! ([`yu_mtbdd::Mtbdd::freeze`]) and every worker opens a zero-copy
+//! overlay on it ([`Mtbdd::with_base`]). Main-arena handles stay valid
+//! inside the overlay, so workers use the class representatives
+//! *directly* — no per-worker import, no memo tables, no duplicated
+//! diagrams — and allocate only their private result nodes while
+//! aggregating with the fused n-ary `Σ∘KREDUCE` kernel and scanning
+//! terminals locally. Because hash-consed MTBDDs with a fixed variable
+//! order are canonical and `KREDUCE` is canonicalizing, the reduced
+//! diagram a worker scans denotes exactly the function the sequential
+//! checker builds, so the returned [`Violation`]s are **bit-identical**
+//! to a sequential run — independent of worker count and scheduling.
 //!
 //! Per-worker `KREDUCE` before any merge is sound in both stages:
 //! k-failure equivalence is a congruence under pointwise `+`, `min`, and
@@ -47,7 +48,7 @@ use crate::trace::RouteTrace;
 use crate::verify::{check_requirement, enumerate_violations, Violation};
 use std::collections::HashMap;
 use std::time::Instant;
-use yu_mtbdd::{ImportMemo, Mtbdd, MtbddStats, NodeRef, Ratio, Term};
+use yu_mtbdd::{Mtbdd, MtbddStats, NodeRef, Ratio, Term};
 use yu_net::{FailureMode, FailureVars, Network, TlpReq};
 use yu_routing::SymbolicRoutes;
 
@@ -226,8 +227,9 @@ pub struct CheckShard {
 }
 
 /// Checks `reqs` across `workers` threads (round-robin by requirement
-/// index), each worker aggregating and scanning its load points in a
-/// private arena. With `max_violations <= 1` each unit carries at most
+/// index). The main arena is frozen once; each worker opens a zero-copy
+/// overlay on the shared frozen base and allocates only its private
+/// result nodes. With `max_violations <= 1` each unit carries at most
 /// the first (fewest-failure) violation, exactly like
 /// [`check_requirement`]; larger values enumerate per requirement like
 /// [`enumerate_violations`].
@@ -245,19 +247,20 @@ pub fn check_sharded(
     workers: usize,
 ) -> Vec<CheckShard> {
     let workers = workers.clamp(1, reqs.len().max(1));
+    let t_freeze = Instant::now();
+    let frozen = ctx.m.freeze();
+    yu_telemetry::counter("check.freeze_us", t_freeze.elapsed().as_micros() as u64);
+    let frozen = &frozen;
     run_worker_pool(
         workers,
         |w| format!("check-worker-{w}"),
         "check.worker",
         move |w| {
-            let mut m = Mtbdd::new();
-            let mut memo = ImportMemo::new();
+            let mut m = Mtbdd::with_base(frozen);
             let mut units = Vec::new();
             for (ix, req) in reqs.iter().enumerate().skip(w).step_by(workers) {
-                units.push(check_unit(ctx, &mut m, &mut memo, ix, req, max_violations));
+                units.push(check_unit(ctx, &mut m, ix, req, max_violations));
             }
-            yu_telemetry::counter("check.import_memo_hits", memo.hits());
-            yu_telemetry::counter("check.import_memo_misses", memo.misses());
             CheckShard {
                 units,
                 stats: m.stats(),
@@ -266,17 +269,16 @@ pub fn check_sharded(
     )
 }
 
-/// Aggregates and checks one requirement in the worker arena `m`.
+/// Aggregates and checks one requirement in the worker overlay `m`.
 ///
 /// The link-local classing walks `(results, groups)` in group order
 /// against main-arena handles — the same first-seen class order and the
-/// same volume sums as the sequential `load_with_stats` — then only the
-/// class representatives are imported and combined with the fused
-/// `ADD∘KREDUCE` kernel.
+/// same volume sums as the sequential `load_with_stats`. The class
+/// representatives are then used directly (the overlay resolves base
+/// handles) and combined with the fused n-ary `Σ∘KREDUCE` kernel.
 fn check_unit(
     ctx: &CheckCtx<'_>,
     m: &mut Mtbdd,
-    memo: &mut ImportMemo,
     ix: usize,
     req: &TlpReq,
     max_violations: usize,
@@ -316,29 +318,33 @@ fn check_unit(
     let k = ctx.use_kreduce.then_some(ctx.k);
     let mut level: Vec<NodeRef> = Vec::with_capacity(classes.len());
     for (rep, vol) in classes {
+        // Base handles are valid in the overlay: no import, no copy.
         let src = ctx.results[rep].at(ctx.m, point);
-        let local = m.import(ctx.m, src, memo);
         let scaled = match k {
-            Some(k) => m.scale_kreduce(local, Term::Num(vol), k),
-            None => m.scale(local, Term::Num(vol)),
+            Some(k) => m.scale_kreduce(src, Term::Num(vol), k),
+            None => m.scale(src, Term::Num(vol)),
         };
         level.push(scaled);
     }
-    while level.len() > 1 {
-        let mut next = Vec::with_capacity(level.len().div_ceil(2));
-        for pair in level.chunks(2) {
-            next.push(if pair.len() == 2 {
-                match k {
-                    Some(k) => m.add_kreduce(pair[0], pair[1], k),
-                    None => m.add(pair[0], pair[1]),
+    let tau = match k {
+        // The n-ary fused kernel materializes βₖ(Σ) directly — no
+        // pairwise partial sums ever hit the arena.
+        Some(k) => m.sum_kreduce(&level, k),
+        None => {
+            while level.len() > 1 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                for pair in level.chunks(2) {
+                    next.push(if pair.len() == 2 {
+                        m.add(pair[0], pair[1])
+                    } else {
+                        pair[0]
+                    });
                 }
-            } else {
-                pair[0]
-            });
+                level = next;
+            }
+            level.pop().unwrap_or_else(|| m.zero())
         }
-        level = next;
-    }
-    let tau = level.pop().unwrap_or_else(|| m.zero());
+    };
     let violations = if max_violations <= 1 {
         check_requirement(m, ctx.fv, tau, req, ctx.k)
             .into_iter()

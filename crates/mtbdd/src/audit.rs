@@ -215,32 +215,37 @@ impl Mtbdd {
     }
 
     fn audit_node_index_ok(&self, r: NodeRef) -> bool {
-        !r.is_terminal() && r.index() < self.raw_nodes().len()
+        !r.is_terminal() && r.index() < self.total_nodes()
     }
 
     fn audit_terminal_index_ok(&self, r: NodeRef) -> bool {
-        r.is_terminal() && r.index() < self.raw_terms().len()
+        r.is_terminal() && r.index() < self.total_terms()
     }
 
+    /// Table-consistency audit over the *private* arena (for an overlay
+    /// manager the frozen base is immutable and was audited before it was
+    /// frozen, so re-scanning it per worker would be pure overhead).
+    /// A private node that duplicates a base node is still caught: the
+    /// unique lookup resolves to the base handle, which differs from the
+    /// private one.
     fn audit_tables(&self, report: &mut AuditReport) {
         let nodes = self.raw_nodes();
-        let unique = self.unique_table();
-        if unique.len() != nodes.len() {
+        if self.unique_table_len() != nodes.len() {
             report.push(
                 AuditCheck::UniqueTable,
                 None,
                 format!(
                     "unique table has {} entries but arena has {} nodes",
-                    unique.len(),
+                    self.unique_table_len(),
                     nodes.len()
                 ),
             );
         }
         for (ix, node) in nodes.iter().enumerate() {
-            let r = NodeRef::inner(ix);
-            match unique.get(node) {
-                Some(&mapped) if mapped == r => {}
-                Some(&mapped) => report.push(
+            let r = NodeRef::inner(self.base_nodes + ix);
+            match self.unique_lookup_for_audit(node) {
+                Some(mapped) if mapped == r => {}
+                Some(mapped) => report.push(
                     AuditCheck::UniqueTable,
                     Some(r),
                     format!(
@@ -272,7 +277,7 @@ impl Mtbdd {
             );
         }
         for (ix, term) in terms.iter().enumerate() {
-            let r = NodeRef::terminal(ix);
+            let r = NodeRef::terminal(self.base_terms + ix);
             match term_ids.get(term) {
                 Some(&mapped) if mapped == r => {}
                 Some(&mapped) => report.push(
@@ -304,7 +309,7 @@ impl Mtbdd {
                         format!(
                             "dangling terminal reference (index {} of {})",
                             r.index(),
-                            self.raw_terms().len()
+                            self.total_terms()
                         ),
                     );
                 }
@@ -317,7 +322,7 @@ impl Mtbdd {
                     format!(
                         "dangling node reference (index {} of {})",
                         r.index(),
-                        self.raw_nodes().len()
+                        self.total_nodes()
                     ),
                 );
                 continue;
@@ -365,23 +370,24 @@ impl Mtbdd {
     /// under a handful of assignments, comparing the cached diagram
     /// against pointwise recombination of the operands.
     fn audit_cache_sample(&self, report: &mut AuditReport) {
-        let cache = self.apply_cache_ref();
-        let step = (cache.len() / FULL_AUDIT_CACHE_SAMPLES).max(1);
-        for (i, (&(op, f, g), &r)) in cache.iter().enumerate() {
+        let step = (self.apply_cache.len() / FULL_AUDIT_CACHE_SAMPLES).max(1);
+        for (i, (w0, w1, raw)) in self.apply_cache.iter().enumerate() {
             if i % step != 0 || report.cache_entries_checked >= FULL_AUDIT_CACHE_SAMPLES {
                 break;
             }
             report.cache_entries_checked += 1;
-            self.audit_check_apply_entry(op, f, g, r, i as u64, report);
+            let (op, f, g) = crate::manager::unpack_apply_key(w0, w1);
+            self.audit_check_apply_entry(op, f, g, NodeRef(raw), i as u64, report);
         }
-        let cache1 = self.apply1_cache_ref();
-        let step1 = (cache1.len() / FULL_AUDIT_CACHE_SAMPLES).max(1);
+        let step1 = (self.apply1_cache.len() / FULL_AUDIT_CACHE_SAMPLES).max(1);
         let mut checked1 = 0usize;
-        for (i, (&(op, f), &r)) in cache1.iter().enumerate() {
+        for (i, (w0, w1, raw)) in self.apply1_cache.iter().enumerate() {
             if i % step1 != 0 || checked1 >= FULL_AUDIT_CACHE_SAMPLES {
                 break;
             }
             checked1 += 1;
+            let (op, f) = crate::manager::unpack_apply1_key(w0, w1);
+            let r = NodeRef(raw);
             for assign in sample_assignments(i as u64, self.num_vars()) {
                 let fa = self.eval(f, &assign);
                 let ra = self.eval(r, &assign);

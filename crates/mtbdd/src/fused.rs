@@ -33,6 +33,60 @@ use crate::manager::{Mtbdd, Op};
 use crate::node::NodeRef;
 use crate::terminal::Term;
 
+/// Operand-list cap for the n-ary fused recursion: beyond this the list
+/// splits in half (see [`Mtbdd::sum_kreduce`]). Bounds the per-level
+/// cofactor arrays and keeps memo keys fixed-width; the split is
+/// invisible in the result because `KREDUCE` is canonicalizing.
+const MAX_SUM_ARITY: usize = 16;
+
+/// Padding element for [`SumKey`] operand arrays: an impossible raw
+/// handle (a terminal index of 2³¹ − 1 would require an arena of two
+/// billion distinct terminals), so padded tails can never collide with
+/// real operands.
+pub(crate) const SUM_PAD: NodeRef = NodeRef(u32::MAX);
+
+/// Memo key for [`Mtbdd::sum_kreduce`]: the sorted, zero-free operand
+/// list padded to fixed width, plus the failure budget. `Copy`, so cache
+/// probes allocate nothing.
+pub(crate) type SumKey = ([NodeRef; MAX_SUM_ARITY], u32);
+
+/// A stack-allocated operand list for the n-ary recursion: sorted,
+/// zero-free, at most [`MAX_SUM_ARITY`] entries. `Copy` — passing one
+/// down the recursion costs a memcpy of 64 bytes, not a heap clone.
+#[derive(Clone, Copy)]
+struct SumOps {
+    arr: [NodeRef; MAX_SUM_ARITY],
+    len: usize,
+}
+
+impl SumOps {
+    fn new() -> Self {
+        Self {
+            arr: [SUM_PAD; MAX_SUM_ARITY],
+            len: 0,
+        }
+    }
+
+    /// Appends a non-zero operand (zeros are the additive identity and
+    /// must be filtered by the caller).
+    fn push(&mut self, r: NodeRef) {
+        self.arr[self.len] = r;
+        self.len += 1;
+    }
+
+    fn ops(&self) -> &[NodeRef] {
+        &self.arr[..self.len]
+    }
+
+    fn sort(&mut self) {
+        self.arr[..self.len].sort_unstable();
+    }
+
+    fn key(&self, k: u32) -> SumKey {
+        (self.arr, k)
+    }
+}
+
 impl Mtbdd {
     /// Fused `βₖ(f + g)`: k-failure-reduced pointwise addition that never
     /// materializes the un-reduced sum. Node-for-node identical to
@@ -57,6 +111,142 @@ impl Mtbdd {
         r
     }
 
+    /// Fused `βₖ(min(f, g))`: k-failure-reduced pointwise minimum.
+    /// Node-for-node identical to `self.kreduce(self.apply(Op::Min, f, g), k)`
+    /// (≈ₖ is a congruence under pointwise `min`, and `KREDUCE` is
+    /// canonicalizing, so the same induction as `add_kreduce` applies).
+    pub fn min_kreduce(&mut self, f: NodeRef, g: NodeRef, k: u32) -> NodeRef {
+        let r = self.fused_rec(Op::Min, f, g, k);
+        if self.audit_on() {
+            self.audit_fused(r, k, "min_kreduce");
+        }
+        r
+    }
+
+    /// Fused `βₖ(max(f, g))`: k-failure-reduced pointwise maximum (see
+    /// [`Mtbdd::min_kreduce`]).
+    pub fn max_kreduce(&mut self, f: NodeRef, g: NodeRef, k: u32) -> NodeRef {
+        let r = self.fused_rec(Op::Max, f, g, k);
+        if self.audit_on() {
+            self.audit_fused(r, k, "max_kreduce");
+        }
+        r
+    }
+
+    /// N-ary fused `βₖ(Σ items)`: applies the failure budget once across
+    /// the whole aggregation, never materializing any reduced *partial*
+    /// sum — the next win beyond [`Mtbdd::add_kreduce`], whose left fold
+    /// still hash-conses `βₖ(f₁+f₂)`, `βₖ(f₁+f₂+f₃)`, … as real nodes.
+    ///
+    /// Node-for-node identical to folding `add_kreduce` over `items`
+    /// (asserted by proptest): every partial fold equals `βₖ` of the
+    /// partial exact sum because ≈ₖ is a congruence under pointwise `+`
+    /// and `KREDUCE` is canonicalizing, so both pipelines end at
+    /// `βₖ(Σ items)` — the unique canonical diagram in this arena.
+    ///
+    /// Memoized on the sorted operand list in a dedicated map cache (a
+    /// variable-length key cannot be packed into the direct-mapped
+    /// caches without risking false hits). Operand lists longer than
+    /// [`MAX_SUM_ARITY`] split in half; `βₖ(βₖ(ΣA) + βₖ(ΣB)) = βₖ(Σ)`
+    /// by the same congruence argument, so the split is invisible in the
+    /// result.
+    pub fn sum_kreduce(&mut self, items: &[NodeRef], k: u32) -> NodeRef {
+        // Zeros are additive identity: dropping them leaves the exact
+        // sum — and therefore its reduction — unchanged.
+        let zero = self.zero();
+        let mut ops: Vec<NodeRef> = items.iter().copied().filter(|&f| f != zero).collect();
+        ops.sort_unstable();
+        let r = self.sum_kreduce_split(&ops, k);
+        if self.audit_on() {
+            self.audit_fused(r, k, "sum_kreduce");
+        }
+        r
+    }
+
+    /// Halving splitter over a sorted, zero-free operand slice: lists at
+    /// or below [`MAX_SUM_ARITY`] drop into the stack-array recursion;
+    /// longer ones split in half (`βₖ(βₖ(ΣA) + βₖ(ΣB)) = βₖ(Σ)`).
+    fn sum_kreduce_split(&mut self, ops: &[NodeRef], k: u32) -> NodeRef {
+        if ops.len() > MAX_SUM_ARITY {
+            let (left, right) = ops.split_at(ops.len() / 2);
+            let a = self.sum_kreduce_split(left, k);
+            let b = self.sum_kreduce_split(right, k);
+            return self.fused_rec(Op::Add, a, b, k);
+        }
+        let mut so = SumOps::new();
+        for &f in ops {
+            so.push(f);
+        }
+        self.sum_kreduce_rec(so, k)
+    }
+
+    /// Recursion over a pre-sorted, zero-free, stack-allocated operand
+    /// list. Every structure this builds lives on the stack — a cache
+    /// probe or a recursive call allocates nothing.
+    fn sum_kreduce_rec(&mut self, ops: SumOps, k: u32) -> NodeRef {
+        match ops.len {
+            0 => return self.zero(),
+            1 => return self.kreduce_rec(ops.arr[0], k),
+            2 => return self.fused_rec(Op::Add, ops.arr[0], ops.arr[1], k),
+            _ => {}
+        }
+        // β₀ and the all-terminal case collapse to one terminal without
+        // building any structure.
+        if k == 0 || ops.ops().iter().all(|f| f.is_terminal()) {
+            let mut acc = Term::ZERO;
+            for i in 0..ops.len {
+                let t = self.all_alive_ref(ops.arr[i]);
+                acc = acc.add(self.terminal_value(t));
+            }
+            return self.term(acc);
+        }
+        let key = ops.key(k);
+        if let Some(&r) = self.sum_cache.get(&key) {
+            return r;
+        }
+        self.prof_fused_enter();
+        let var = ops
+            .ops()
+            .iter()
+            .filter_map(|&f| self.top_var(f))
+            .min()
+            .expect("non-terminal operand exists");
+        // Cofactor lists, dropping zero cofactors as they appear (the
+        // additive identity contributes nothing to either branch, and
+        // zero-free lists canonicalize the memo key and shrink the
+        // sub-recursions).
+        let zero = self.zero();
+        let mut los = SumOps::new();
+        let mut his = SumOps::new();
+        for &f in ops.ops() {
+            let (lo, hi) = if self.top_var(f) == Some(var) {
+                self.cofactors(f)
+            } else {
+                (f, f)
+            };
+            if lo != zero {
+                los.push(lo);
+            }
+            if hi != zero {
+                his.push(hi);
+            }
+        }
+        los.sort();
+        his.sort();
+        // Definition 5.2 on the virtual node (var, Σ los, Σ his).
+        let hi_km1 = self.sum_kreduce_rec(his, k - 1);
+        let lo_km1 = self.sum_kreduce_rec(los, k - 1);
+        let r = if hi_km1 == lo_km1 {
+            self.sum_kreduce_rec(his, k)
+        } else {
+            let hi_k = self.sum_kreduce_rec(his, k);
+            self.node(var, lo_km1, hi_k)
+        };
+        self.prof_fused_exit();
+        self.sum_cache.insert(key, r);
+        r
+    }
+
     /// Lemma 2 postcondition of every fused public entry point, active
     /// under `YU_AUDIT=1` / debug builds (mirrors `kreduce`'s hook).
     fn audit_fused(&self, r: NodeRef, k: u32, what: &str) {
@@ -70,8 +260,8 @@ impl Mtbdd {
 
     fn fused_rec(&mut self, op: Op, f: NodeRef, g: NodeRef, k: u32) -> NodeRef {
         debug_assert!(
-            matches!(op, Op::Add | Op::Mul),
-            "fused kernel supports Add/Mul, not {op:?}"
+            matches!(op, Op::Add | Op::Mul | Op::Min | Op::Max),
+            "fused kernel supports Add/Mul/Min/Max, not {op:?}"
         );
         // Apply's terminal shortcuts return a node equal to the exact
         // (un-reduced) result, so reducing it finishes the job without
@@ -82,7 +272,9 @@ impl Mtbdd {
         // Budget exhausted: the whole (virtual) result collapses to its
         // all-alive terminal (`β₀`), covering the both-terminal case too.
         if k == 0 || (f.is_terminal() && g.is_terminal()) {
-            let t = op.combine(self.eval_all_alive(f), self.eval_all_alive(g));
+            let fa = self.all_alive_ref(f);
+            let ga = self.all_alive_ref(g);
+            let t = op.combine(self.terminal_value(fa), self.terminal_value(ga));
             return self.term(t);
         }
         let (f, g) = if op.commutative() && g < f {
@@ -90,11 +282,10 @@ impl Mtbdd {
         } else {
             (f, g)
         };
-        if let Some(&r) = self.fused_cache().get(&(op, f, g, k)) {
-            self.fused_cache_hits += 1;
-            return r;
+        let (w0, w1) = crate::manager::pack_fused_key(op, f, g, k);
+        if let Some(raw) = self.fused_cache.get(w0, w1) {
+            return NodeRef(raw);
         }
-        self.fused_cache_misses += 1;
         self.prof_fused_enter();
         let vf = self.top_var(f).unwrap_or(u32::MAX);
         let vg = self.top_var(g).unwrap_or(u32::MAX);
@@ -111,7 +302,7 @@ impl Mtbdd {
             self.node(var, lo_km1, hi_k)
         };
         self.prof_fused_exit();
-        self.fused_cache().insert((op, f, g, k), r);
+        self.fused_cache.insert(w0, w1, r.0);
         r
     }
 }
@@ -260,6 +451,95 @@ mod tests {
         let a = dst.import(&m_unfused, r_unfused, &mut ma);
         let b = dst.import(&m_fused, r_fused, &mut mb);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn min_max_variants_equal_unfused() {
+        let mut m = setup(10);
+        for k in 0..=2u32 {
+            for i in 0..5 {
+                let f = flow_stf(&mut m, i, 10);
+                let g = flow_stf(&mut m, i + 2, 10);
+                let fused_min = m.min_kreduce(f, g, k);
+                let plain_min = m.apply(Op::Min, f, g);
+                assert_eq!(fused_min, m.kreduce(plain_min, k), "min i={i} k={k}");
+                let fused_max = m.max_kreduce(f, g, k);
+                let plain_max = m.apply(Op::Max, f, g);
+                assert_eq!(fused_max, m.kreduce(plain_max, k), "max i={i} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_kreduce_equals_folded_add_kreduce() {
+        let mut m = setup(12);
+        for k in 0..=3u32 {
+            for n in 0..=7usize {
+                let items: Vec<NodeRef> = (0..n).map(|i| flow_stf(&mut m, i, 12)).collect();
+                let nary = m.sum_kreduce(&items, k);
+                let folded = items
+                    .iter()
+                    .fold(m.zero(), |acc, &f| m.add_kreduce(acc, f, k));
+                assert_eq!(nary, folded, "n={n} k={k}");
+                // And both equal the reduction of the exact sum.
+                let exact = m.sum(&items);
+                assert_eq!(nary, m.kreduce(exact, k), "vs exact, n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_kreduce_handles_zeros_terminals_and_large_arity() {
+        let mut m = setup(16);
+        let z = m.zero();
+        let c3 = m.constant(Ratio::int(3));
+        let c5 = m.constant(Ratio::new(5, 2));
+        // All-terminal list collapses without structure.
+        let r = m.sum_kreduce(&[c3, z, c5, c3], 4);
+        assert!(r.is_terminal());
+        assert_eq!(m.terminal_value(r), Term::ratio(17, 2));
+        // Empty and singleton lists.
+        assert_eq!(m.sum_kreduce(&[], 2), z);
+        let f = flow_stf(&mut m, 0, 16);
+        let kf = m.kreduce(f, 1);
+        assert_eq!(m.sum_kreduce(&[f], 1), kf);
+        assert_eq!(m.sum_kreduce(&[f, z, z], 1), kf);
+        // Arity above MAX_SUM_ARITY splits, with an identical result.
+        let k = 2;
+        let items: Vec<NodeRef> = (0..(MAX_SUM_ARITY + 7))
+            .map(|i| flow_stf(&mut m, i, 16))
+            .collect();
+        let nary = m.sum_kreduce(&items, k);
+        let exact = m.sum(&items);
+        assert_eq!(nary, m.kreduce(exact, k));
+    }
+
+    #[test]
+    fn sum_kreduce_materializes_fewer_nodes_than_folding() {
+        // The n-ary kernel's whole point: the left fold hash-conses every
+        // reduced partial sum; the n-ary recursion skips them.
+        let nvars = 20;
+        let nflows = 14;
+        let k = 2;
+        let build = |nary: bool| -> usize {
+            let mut m = setup(nvars);
+            let items: Vec<NodeRef> = (0..nflows).map(|i| flow_stf(&mut m, i, nvars)).collect();
+            let base = m.stats().nodes_created;
+            let _ = if nary {
+                m.sum_kreduce(&items, k)
+            } else {
+                items
+                    .iter()
+                    .fold(m.zero(), |acc, &f| m.add_kreduce(acc, f, k))
+            };
+            m.stats().nodes_created - base
+        };
+        let folded = build(false);
+        let nary = build(true);
+        assert!(
+            nary <= folded,
+            "n-ary must not materialize more nodes than folding ({nary} vs {folded})"
+        );
     }
 
     #[test]

@@ -1,25 +1,34 @@
-//! Garbage collection: semispace copying of live sub-diagrams.
+//! Garbage collection: mark-compact over the flat node arena.
 //!
 //! Verifying a TLP aggregates per-link symbolic loads whose intermediate
 //! diagrams are dead the moment the link's terminals have been scanned —
-//! but a hash-consing arena never frees nodes. [`Mtbdd::collect`] copies
-//! the sub-diagrams reachable from a set of roots into a fresh arena and
+//! but a hash-consing arena never frees nodes. [`Mtbdd::collect`] marks
+//! the sub-diagrams reachable from a set of roots, slides the survivors
+//! down in place, rebuilds the unique table from the compacted arena, and
 //! drops everything else (including all operation caches), returning the
 //! old-to-new handle mapping so long-lived holders (guarded RIBs, flow
 //! STFs) can remap. On production-sized runs this is the difference
 //! between a bounded working set and memory exhaustion.
+//!
+//! The compaction slides ascending in one pass: the bump-allocated arena
+//! guarantees every node's children have strictly lower indices, so by
+//! the time a node is moved its children's new indices are already known.
 
-use crate::hasher::FxHashMap;
-use crate::manager::Mtbdd;
+use crate::manager::{hash_node, Mtbdd};
 use crate::node::NodeRef;
+use crate::table::SlotTable;
 
 /// The old-to-new handle mapping returned by [`Mtbdd::collect`].
 ///
-/// Handles not in the map referred to garbage and are invalid after the
-/// collection.
+/// Backed by two dense index tables (one for inner nodes, one for
+/// terminals); handles that were not reachable from the collection roots
+/// are not mapped and are invalid after the collection.
 pub struct Remap {
-    map: FxHashMap<NodeRef, NodeRef>,
+    nodes: Vec<u32>,
+    terms: Vec<u32>,
 }
+
+const DEAD: u32 = u32::MAX;
 
 impl Remap {
     /// Translates an old handle.
@@ -27,57 +36,147 @@ impl Remap {
     /// # Panics
     /// Panics if `old` was not reachable from the collection roots.
     pub fn get(&self, old: NodeRef) -> NodeRef {
-        *self
-            .map
-            .get(&old)
+        self.try_get(old)
             .expect("NodeRef was not registered as a GC root")
     }
 
     /// Translates an old handle if it was live.
     pub fn try_get(&self, old: NodeRef) -> Option<NodeRef> {
-        self.map.get(&old).copied()
+        let table = if old.is_terminal() {
+            &self.terms
+        } else {
+            &self.nodes
+        };
+        match table.get(old.index()) {
+            Some(&raw) if raw != DEAD => Some(NodeRef(raw)),
+            _ => None,
+        }
     }
 }
 
 impl Mtbdd {
-    /// Copies every sub-diagram reachable from `roots` into a fresh
-    /// arena, freeing all other nodes and every operation cache. Returns
-    /// the handle remapping; all previously held [`NodeRef`]s must be
-    /// translated through it (or dropped).
+    /// Compacts the arena down to the sub-diagrams reachable from
+    /// `roots`, freeing all other nodes and every operation cache.
+    /// Returns the handle remapping; all previously held [`NodeRef`]s
+    /// must be translated through it (or dropped). The singleton
+    /// constants (`0`, `1`, `+∞`) always survive in place, but are only
+    /// present in the remapping when reachable from a root.
+    ///
+    /// # Panics
+    /// Panics on an overlay manager (see [`Mtbdd::with_base`]): overlays
+    /// are short-lived scratch arenas, and compacting one would have to
+    /// rewrite handles into the shared immutable base.
     pub fn collect(&mut self, roots: &[NodeRef]) -> Remap {
-        let before = self.stats();
-        let mut fresh = Mtbdd::new();
-        fresh.fresh_vars(self.num_vars());
-        let mut memo = crate::ImportMemo::new();
-        for &root in roots {
-            fresh.import_rec(self, root, &mut memo);
+        assert!(
+            self.base.is_none(),
+            "collect() on an overlay manager is not supported"
+        );
+        let before_nodes = self.nodes.len();
+
+        // Mark phase: flag every node and terminal reachable from roots.
+        let mut node_mark = vec![false; self.nodes.len()];
+        let mut term_mark = vec![false; self.terms.len()];
+        let mut stack: Vec<NodeRef> = roots.to_vec();
+        while let Some(r) = stack.pop() {
+            if r.is_terminal() {
+                term_mark[r.index()] = true;
+                continue;
+            }
+            if node_mark[r.index()] {
+                continue;
+            }
+            node_mark[r.index()] = true;
+            let n = self.nodes[r.index()];
+            stack.push(n.lo);
+            stack.push(n.hi);
         }
-        // Cumulative counters survive the collection: carry them into the
-        // fresh arena, fold in this collection's reclaim, and keep the
-        // unique-table high-water mark across the swap.
-        fresh.apply_cache_hits = self.apply_cache_hits;
-        fresh.apply_cache_misses = self.apply_cache_misses;
-        fresh.fused_cache_hits = self.fused_cache_hits;
-        fresh.fused_cache_misses = self.fused_cache_misses;
-        fresh.unique_peak = before.unique_table_peak;
-        fresh.gc_runs = self.gc_runs + 1;
-        // Profiling counters are cumulative too: the collection drops
-        // every resident cache entry (an eviction each), and the kernel
-        // depth maxima must not reset with the arena swap.
-        fresh.apply_cache_evicted = self.apply_cache_evicted + before.apply_cache_len as u64;
-        fresh.fused_cache_evicted = self.fused_cache_evicted + before.fused_cache_len as u64;
-        fresh.prof_apply_depth_max = self.prof_apply_depth_max;
-        fresh.prof_fused_depth_max = self.prof_fused_depth_max;
-        fresh.prof_kreduce_depth_max = self.prof_kreduce_depth_max;
-        let live = fresh.stats().nodes_created;
-        fresh.gc_reclaimed = self.gc_reclaimed + before.nodes_created.saturating_sub(live) as u64;
-        let map = memo.into_map();
-        if fresh.audit_on() {
-            let live: Vec<NodeRef> = map.values().copied().collect();
-            fresh.audit(&live).assert_ok("post-GC arena");
+
+        // Compact terminals. The singleton constants are kept alive even
+        // when unmarked — the manager hands out their handles without
+        // going through the remap — but only marked terminals enter it.
+        let mut keep_term = term_mark.clone();
+        for c in [self.zero(), self.one(), self.pos_inf()] {
+            keep_term[c.index()] = true;
         }
-        *self = fresh;
-        Remap { map }
+        let mut term_new = vec![DEAD; self.terms.len()];
+        let mut new_terms = Vec::new();
+        for (ix, keep) in keep_term.iter().enumerate() {
+            if *keep {
+                term_new[ix] = NodeRef::terminal(new_terms.len()).0;
+                new_terms.push(self.terms[ix].clone());
+            }
+        }
+        debug_assert_eq!(NodeRef(term_new[self.zero().index()]), self.zero());
+        debug_assert_eq!(NodeRef(term_new[self.one().index()]), self.one());
+        debug_assert_eq!(NodeRef(term_new[self.pos_inf().index()]), self.pos_inf());
+        self.terms = new_terms;
+        self.term_ids = self
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), NodeRef::terminal(i)))
+            .collect();
+
+        // Compact nodes, sliding survivors down in ascending order. Bump
+        // allocation guarantees children precede parents, so child
+        // remappings are always resolved before they are read.
+        let mut node_new = vec![DEAD; self.nodes.len()];
+        let mut write = 0usize;
+        for ix in 0..self.nodes.len() {
+            if !node_mark[ix] {
+                continue;
+            }
+            let n = self.nodes[ix];
+            let remap_child = |r: NodeRef| {
+                if r.is_terminal() {
+                    NodeRef(term_new[r.index()])
+                } else {
+                    NodeRef(node_new[r.index()])
+                }
+            };
+            let (lo, hi) = (remap_child(n.lo), remap_child(n.hi));
+            debug_assert!(lo.0 != DEAD && hi.0 != DEAD, "live node with dead child");
+            self.nodes[write] = crate::node::Node { var: n.var, lo, hi };
+            node_new[ix] = NodeRef::inner(write).0;
+            write += 1;
+        }
+        self.nodes.truncate(write);
+
+        // Rebuild the unique table from the compacted arena.
+        let mut unique = SlotTable::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            unique.insert_new(hash_node(n), i as u32, |ix| {
+                hash_node(&self.nodes[ix as usize])
+            });
+        }
+        self.unique = unique;
+
+        // Every resident cache entry refers to pre-compaction handles:
+        // drop them all (each is booked as an eviction by its cache).
+        self.clear_caches();
+
+        // Cumulative counters survive in place; fold in this collection.
+        self.unique_peak = self.unique_peak.max(before_nodes);
+        self.gc_runs += 1;
+        self.gc_reclaimed += (before_nodes - write) as u64;
+
+        // Only root-reachable terminals enter the remapping (constants
+        // kept alive above are addressable via the manager, not the map).
+        let mut terms = vec![DEAD; term_mark.len()];
+        for (ix, marked) in term_mark.iter().enumerate() {
+            if *marked {
+                terms[ix] = term_new[ix];
+            }
+        }
+        let remap = Remap {
+            nodes: node_new,
+            terms,
+        };
+        if self.audit_on() {
+            let live: Vec<NodeRef> = roots.iter().map(|&r| remap.get(r)).collect();
+            self.audit(&live).assert_ok("post-GC arena");
+        }
+        remap
     }
 }
 
@@ -191,5 +290,30 @@ mod tests {
         assert_eq!(m.eval_all_alive(sum), Term::int(3));
         let r = m.kreduce(sum, 1);
         assert_eq!(m.eval_all_alive(r), Term::int(3));
+    }
+
+    #[test]
+    fn collect_compacts_in_place_and_reuses_low_indices() {
+        let mut m = Mtbdd::new();
+        let (x1, x2) = (m.fresh_var(), m.fresh_var());
+        // Garbage first, so live nodes start at high indices.
+        for i in 0..30 {
+            let g = m.var_guard(x2);
+            let _ = m.scale(g, Term::int(i + 5));
+        }
+        let g1 = m.var_guard(x1);
+        let g2 = m.var_guard(x2);
+        let live = m.add(g1, g2);
+        let old_index = live.index();
+        let remap = m.collect(&[live]);
+        let live2 = remap.get(live);
+        assert!(
+            live2.index() < old_index,
+            "survivors must slide down ({} -> {})",
+            old_index,
+            live2.index()
+        );
+        assert!(live2.index() < m.live_nodes());
+        assert_eq!(m.eval_all_alive(live2), Term::int(2));
     }
 }

@@ -26,6 +26,25 @@ impl FxHasher {
     }
 }
 
+/// Hashes one pre-packed 64-bit key word with the Fx mixing step.
+///
+/// Used by the flat-arena unique table and the direct-mapped operation
+/// caches (`table.rs`), whose keys are packed into machine words up
+/// front — hashing is then two multiplies instead of a `Hash`-trait
+/// walk over a boxed tuple.
+#[inline]
+pub fn fx_hash_word(w0: u64) -> u64 {
+    (w0.rotate_left(5)).wrapping_mul(SEED)
+}
+
+/// Hashes two pre-packed 64-bit key words with the Fx mixing sequence
+/// (identical to feeding both words through [`FxHasher`]).
+#[inline]
+pub fn fx_hash_words(w0: u64, w1: u64) -> u64 {
+    let h = (w0.rotate_left(5)).wrapping_mul(SEED);
+    (h.rotate_left(5) ^ w1).wrapping_mul(SEED)
+}
+
 impl Hasher for FxHasher {
     #[inline]
     fn write(&mut self, bytes: &[u8]) {

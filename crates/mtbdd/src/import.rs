@@ -18,8 +18,10 @@
 //! load point of every flow a worker executed) cost O(new nodes), not
 //! O(diagram) each: shared sub-diagrams are translated once.
 //!
-//! Garbage collection ([`Mtbdd::collect`]) reuses the same walk — a
-//! collection is just an import of the live roots into a fresh arena.
+//! With the frozen-arena overlay path ([`Mtbdd::with_base`]) workers
+//! share the main arena's handles directly and no import is needed;
+//! this walk remains for moving diagrams between genuinely independent
+//! arenas (cross-instance serving, tests, tooling).
 
 use crate::hasher::FxHashMap;
 use crate::manager::Mtbdd;
@@ -70,10 +72,6 @@ impl ImportMemo {
     pub fn misses(&self) -> u64 {
         self.misses
     }
-
-    pub(crate) fn into_map(self) -> FxHashMap<NodeRef, NodeRef> {
-        self.map
-    }
 }
 
 impl Mtbdd {
@@ -101,9 +99,9 @@ impl Mtbdd {
         r
     }
 
-    /// The memoized copy walk shared by [`Mtbdd::import`] and
-    /// [`Mtbdd::collect`]: copies `root` (a handle of `src`) into `self`,
-    /// re-canonicalizing through `self`'s unique table.
+    /// The memoized copy walk behind [`Mtbdd::import`]: copies `root`
+    /// (a handle of `src`) into `self`, re-canonicalizing through
+    /// `self`'s unique table.
     pub(crate) fn import_rec(
         &mut self,
         src: &Mtbdd,

@@ -44,11 +44,11 @@ impl Mtbdd {
             return f;
         }
         if k == 0 {
-            let t = self.eval_all_alive(f);
-            return self.term(t);
+            return self.all_alive_ref(f);
         }
-        if let Some(&r) = self.kreduce_cache().get(&(f, k)) {
-            return r;
+        let (w0, w1) = crate::manager::pack_kreduce_key(f, k);
+        if let Some(raw) = self.kreduce_cache.get(w0, w1) {
+            return NodeRef(raw);
         }
         self.prof_kreduce_enter();
         let n = self.node_at(f);
@@ -61,7 +61,7 @@ impl Mtbdd {
             self.node(n.var, lo_km1, hi_k)
         };
         self.prof_kreduce_exit();
-        self.kreduce_cache().insert((f, k), r);
+        self.kreduce_cache.insert(w0, w1, r.0);
         r
     }
 

@@ -60,12 +60,14 @@ mod node;
 mod paths;
 pub mod profile;
 mod ratio;
+#[doc(hidden)]
+pub mod table;
 mod terminal;
 
 pub use audit::{audit_enabled, AuditCheck, AuditReport, AuditViolation};
 pub use gc::Remap;
 pub use import::ImportMemo;
-pub use manager::{Mtbdd, MtbddStats, Op, Op1};
+pub use manager::{FrozenMtbdd, Mtbdd, MtbddStats, Op, Op1, UniqueProbeStats};
 pub use node::{NodeRef, Var};
 pub use paths::Path;
 pub use profile::{

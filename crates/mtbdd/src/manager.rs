@@ -6,8 +6,9 @@
 //! handles — the property that makes both `KREDUCE`'s sub-graph merging
 //! (§5.2 of the paper) and link-local flow equivalence (§5.3) O(1) checks.
 
-use crate::hasher::FxHashMap;
+use crate::hasher::{fx_hash_words, FxHashMap};
 use crate::node::{Node, NodeRef, Var};
+use crate::table::{DirectCache, SlotTable};
 use crate::terminal::Term;
 use crate::Ratio;
 
@@ -15,31 +16,53 @@ use crate::Ratio;
 ///
 /// The comparison variants produce 0/1 guard MTBDDs; `Or`/`And` expect 0/1
 /// operands (checked in debug builds).
+///
+/// Discriminants are explicit because the direct-mapped operation caches
+/// pack `Op` into their key words; [`Op::from_index`] must invert `as u8`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
 pub enum Op {
     /// Pointwise addition.
-    Add,
+    Add = 0,
     /// Pointwise subtraction.
-    Sub,
+    Sub = 1,
     /// Pointwise multiplication (`0 * inf = 0`).
-    Mul,
+    Mul = 2,
     /// Division with the `0/0 = 0` convention of the ECMP encoding.
-    Div,
+    Div = 3,
     /// Pointwise minimum.
-    Min,
+    Min = 4,
     /// Pointwise maximum.
-    Max,
+    Max = 5,
     /// Boolean disjunction of 0/1 guards.
-    Or,
+    Or = 6,
     /// Boolean conjunction of 0/1 guards (same as `Mul` on 0/1 operands).
-    And,
+    And = 7,
     /// `1` where the operands are equal, else `0`.
-    EqGuard,
+    EqGuard = 8,
     /// `1` where the left operand is strictly smaller, else `0`.
-    LtGuard,
+    LtGuard = 9,
 }
 
 impl Op {
+    /// Inverse of `as u8`, used to decode packed cache keys (audit
+    /// sampling). Panics on an index no variant carries.
+    pub(crate) fn from_index(i: u8) -> Op {
+        match i {
+            0 => Op::Add,
+            1 => Op::Sub,
+            2 => Op::Mul,
+            3 => Op::Div,
+            4 => Op::Min,
+            5 => Op::Max,
+            6 => Op::Or,
+            7 => Op::And,
+            8 => Op::EqGuard,
+            9 => Op::LtGuard,
+            _ => panic!("invalid Op index {i}"),
+        }
+    }
+
     pub(crate) fn commutative(self) -> bool {
         matches!(
             self,
@@ -80,17 +103,28 @@ impl Op {
 
 /// Unary operations supported by [`Mtbdd::apply1`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
 pub enum Op1 {
     /// `1` on finite terminals, `0` on `+∞` — the reachability guard of a
     /// symbolic IGP distance.
-    IsFiniteGuard,
+    IsFiniteGuard = 0,
     /// Boolean negation of a 0/1 guard.
-    Not,
+    Not = 1,
     /// Negation of finite terminals.
-    Neg,
+    Neg = 2,
 }
 
 impl Op1 {
+    /// Inverse of `as u8` (see [`Op::from_index`]).
+    pub(crate) fn from_index(i: u8) -> Op1 {
+        match i {
+            0 => Op1::IsFiniteGuard,
+            1 => Op1::Not,
+            2 => Op1::Neg,
+            _ => panic!("invalid Op1 index {i}"),
+        }
+    }
+
     pub(crate) fn combine(self, a: Term) -> Term {
         match self {
             Op1::IsFiniteGuard => {
@@ -133,12 +167,47 @@ pub struct MtbddStats {
     pub apply_cache_hits: u64,
     /// Cumulative binary apply cache misses (memoized recursions).
     pub apply_cache_misses: u64,
+    /// Cumulative binary apply cache evictions (direct-mapped collision
+    /// overwrites plus entries dropped by [`Mtbdd::clear_caches`]/GC).
+    pub apply_cache_evictions: u64,
     /// Fused `op∘KREDUCE` cache entries right now (a size, not a counter).
     pub fused_cache_len: usize,
     /// Cumulative fused-kernel cache hits (see [`Mtbdd::add_kreduce`]).
     pub fused_cache_hits: u64,
     /// Cumulative fused-kernel cache misses (memoized recursions).
     pub fused_cache_misses: u64,
+    /// Cumulative fused-kernel cache evictions.
+    pub fused_cache_evictions: u64,
+    /// Cumulative unary apply cache hits.
+    pub apply1_cache_hits: u64,
+    /// Cumulative unary apply cache misses.
+    pub apply1_cache_misses: u64,
+    /// Cumulative unary apply cache evictions.
+    pub apply1_cache_evictions: u64,
+    /// Cumulative ITE cache hits.
+    pub ite_cache_hits: u64,
+    /// Cumulative ITE cache misses.
+    pub ite_cache_misses: u64,
+    /// Cumulative ITE cache evictions.
+    pub ite_cache_evictions: u64,
+    /// Cumulative restrict cache hits.
+    pub restrict_cache_hits: u64,
+    /// Cumulative restrict cache misses.
+    pub restrict_cache_misses: u64,
+    /// Cumulative restrict cache evictions.
+    pub restrict_cache_evictions: u64,
+    /// Cumulative `KREDUCE` cache hits.
+    pub kreduce_cache_hits: u64,
+    /// Cumulative `KREDUCE` cache misses.
+    pub kreduce_cache_misses: u64,
+    /// Cumulative `KREDUCE` cache evictions.
+    pub kreduce_cache_evictions: u64,
+    /// Cumulative all-alive (`β₀` terminal) cache hits.
+    pub alive_cache_hits: u64,
+    /// Cumulative all-alive cache misses (hi-chain walks performed).
+    pub alive_cache_misses: u64,
+    /// Cumulative all-alive cache evictions.
+    pub alive_cache_evictions: u64,
     /// High-water mark of the unique (inner-node) table, across
     /// collections.
     pub unique_table_peak: usize,
@@ -161,9 +230,26 @@ impl MtbddStats {
         self.apply_cache_len = self.apply_cache_len.max(other.apply_cache_len);
         self.apply_cache_hits += other.apply_cache_hits;
         self.apply_cache_misses += other.apply_cache_misses;
+        self.apply_cache_evictions += other.apply_cache_evictions;
         self.fused_cache_len = self.fused_cache_len.max(other.fused_cache_len);
         self.fused_cache_hits += other.fused_cache_hits;
         self.fused_cache_misses += other.fused_cache_misses;
+        self.fused_cache_evictions += other.fused_cache_evictions;
+        self.apply1_cache_hits += other.apply1_cache_hits;
+        self.apply1_cache_misses += other.apply1_cache_misses;
+        self.apply1_cache_evictions += other.apply1_cache_evictions;
+        self.ite_cache_hits += other.ite_cache_hits;
+        self.ite_cache_misses += other.ite_cache_misses;
+        self.ite_cache_evictions += other.ite_cache_evictions;
+        self.restrict_cache_hits += other.restrict_cache_hits;
+        self.restrict_cache_misses += other.restrict_cache_misses;
+        self.restrict_cache_evictions += other.restrict_cache_evictions;
+        self.kreduce_cache_hits += other.kreduce_cache_hits;
+        self.kreduce_cache_misses += other.kreduce_cache_misses;
+        self.kreduce_cache_evictions += other.kreduce_cache_evictions;
+        self.alive_cache_hits += other.alive_cache_hits;
+        self.alive_cache_misses += other.alive_cache_misses;
+        self.alive_cache_evictions += other.alive_cache_evictions;
         self.unique_table_peak = self.unique_table_peak.max(other.unique_table_peak);
         self.gc_runs += other.gc_runs;
         self.gc_reclaimed_nodes += other.gc_reclaimed_nodes;
@@ -183,22 +269,174 @@ impl MtbddStats {
     }
 }
 
+/// Probe-length statistics of the open-addressed unique table,
+/// accumulated over every node lookup since the arena was created (GC
+/// preserves them). Deterministic for a fixed operation sequence: the
+/// table uses a fixed hash, linear probing, and deterministic growth, so
+/// these numbers are machine-independent and CI can gate on them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct UniqueProbeStats {
+    /// Unique-table lookups (node constructor calls that reached the
+    /// table, i.e. not elided by `lo == hi`).
+    pub lookups: u64,
+    /// Total occupied slots stepped over across all lookups.
+    pub total_steps: u64,
+    /// Worst single-lookup probe length.
+    pub max_steps: u32,
+    /// Lookups resolved at the home slot (zero steps).
+    pub direct: u64,
+    /// Lookups that found an existing node (hash-consing hits).
+    pub hits: u64,
+}
+
+impl UniqueProbeStats {
+    /// Mean probe length per lookup (0 before any lookups).
+    pub fn mean(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.total_steps as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Packs an inner node into the two key words hashed by the unique table.
+#[inline]
+pub(crate) fn hash_node(n: &Node) -> u64 {
+    fx_hash_words((n.lo.0 as u64) | ((n.hi.0 as u64) << 32), n.var as u64)
+}
+
+// Key packings for the direct-mapped operation caches. Each key fits two
+// `u64` words; the audit sampler inverts `pack_apply_key`/`pack_apply1_key`
+// to re-validate resident entries, so keep pack/unpack in sync.
+
+#[inline]
+pub(crate) fn pack_apply_key(op: Op, f: NodeRef, g: NodeRef) -> (u64, u64) {
+    ((f.0 as u64) | ((g.0 as u64) << 32), op as u64)
+}
+
+pub(crate) fn unpack_apply_key(w0: u64, w1: u64) -> (Op, NodeRef, NodeRef) {
+    (
+        Op::from_index(w1 as u8),
+        NodeRef(w0 as u32),
+        NodeRef((w0 >> 32) as u32),
+    )
+}
+
+#[inline]
+pub(crate) fn pack_apply1_key(op: Op1, f: NodeRef) -> (u64, u64) {
+    (f.0 as u64, op as u64)
+}
+
+pub(crate) fn unpack_apply1_key(w0: u64, w1: u64) -> (Op1, NodeRef) {
+    (Op1::from_index(w1 as u8), NodeRef(w0 as u32))
+}
+
+#[inline]
+pub(crate) fn pack_ite_key(c: NodeRef, t: NodeRef, e: NodeRef) -> (u64, u64) {
+    ((c.0 as u64) | ((t.0 as u64) << 32), e.0 as u64)
+}
+
+#[inline]
+pub(crate) fn pack_restrict_key(f: NodeRef, var: Var, val: bool) -> (u64, u64) {
+    ((f.0 as u64) | ((var as u64) << 32), val as u64)
+}
+
+#[inline]
+pub(crate) fn pack_kreduce_key(f: NodeRef, k: u32) -> (u64, u64) {
+    ((f.0 as u64) | ((k as u64) << 32), 0)
+}
+
+#[inline]
+pub(crate) fn pack_fused_key(op: Op, f: NodeRef, g: NodeRef, k: u32) -> (u64, u64) {
+    (
+        (f.0 as u64) | ((g.0 as u64) << 32),
+        (op as u64) | ((k as u64) << 8),
+    )
+}
+
+/// The immutable payload behind a [`FrozenMtbdd`]: the flat node arena,
+/// its unique table, and the terminal pool, all read-only. Overlay
+/// managers hold an `Arc` to this and resolve indices below the partition
+/// point against it.
+pub(crate) struct FrozenInner {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) unique: SlotTable,
+    pub(crate) terms: Vec<Term>,
+    pub(crate) term_ids: FxHashMap<Term, NodeRef>,
+    pub(crate) num_vars: u32,
+    pub(crate) zero: NodeRef,
+    pub(crate) one: NodeRef,
+    pub(crate) pos_inf: NodeRef,
+}
+
+/// An immutable, shareable snapshot of a manager's arena.
+///
+/// Produced by [`Mtbdd::freeze`]; check workers call
+/// [`Mtbdd::with_base`] to get a private overlay manager whose reads of
+/// frozen nodes are zero-copy (every `NodeRef` issued by the frozen
+/// manager stays valid, same bits) and whose writes land in a small
+/// private arena. `FrozenMtbdd` is `Send + Sync` by construction: it is
+/// plain owned data behind an `Arc` with no interior mutability
+/// (guaranteed by the crate-wide `#![forbid(unsafe_code)]`).
+#[derive(Clone)]
+pub struct FrozenMtbdd {
+    inner: std::sync::Arc<FrozenInner>,
+}
+
+impl FrozenMtbdd {
+    /// Inner nodes in the frozen arena.
+    pub fn live_nodes(&self) -> usize {
+        self.inner.nodes.len()
+    }
+
+    /// Number of variables allocated when the arena was frozen.
+    pub fn num_vars(&self) -> u32 {
+        self.inner.num_vars
+    }
+}
+
 /// A multi-terminal binary decision diagram manager.
 ///
 /// Variables are `u32` levels with variable 0 on top; by the failure
 /// convention `1` means "alive" and `0` means "failed", so the number of
 /// failures along a path is the number of `lo` edges taken.
+///
+/// Storage is a flat arena: inner nodes live in a bump-allocated
+/// `Vec<Node>` addressed by `u32` index, the unique table is an
+/// open-addressed [`SlotTable`] of indices, and the operation caches are
+/// direct-mapped [`DirectCache`]s keyed by packed words. A manager may
+/// additionally sit on top of a frozen base arena (see
+/// [`Mtbdd::with_base`]); the global index space is then partitioned at
+/// `base_nodes`/`base_terms` — indices below resolve in the shared
+/// read-only base, indices at or above in the private vectors.
 pub struct Mtbdd {
-    nodes: Vec<Node>,
-    unique: FxHashMap<Node, NodeRef>,
-    terms: Vec<Term>,
-    term_ids: FxHashMap<Term, NodeRef>,
-    apply_cache: FxHashMap<(Op, NodeRef, NodeRef), NodeRef>,
-    apply1_cache: FxHashMap<(Op1, NodeRef), NodeRef>,
-    ite_cache: FxHashMap<(NodeRef, NodeRef, NodeRef), NodeRef>,
-    restrict_cache: FxHashMap<(NodeRef, Var, bool), NodeRef>,
-    kreduce_cache: FxHashMap<(NodeRef, u32), NodeRef>,
-    fused_cache: FxHashMap<(Op, NodeRef, NodeRef, u32), NodeRef>,
+    pub(crate) base: Option<std::sync::Arc<FrozenInner>>,
+    pub(crate) base_nodes: usize,
+    pub(crate) base_terms: usize,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) unique: SlotTable,
+    pub(crate) terms: Vec<Term>,
+    pub(crate) term_ids: FxHashMap<Term, NodeRef>,
+    pub(crate) apply_cache: DirectCache,
+    pub(crate) apply1_cache: DirectCache,
+    pub(crate) ite_cache: DirectCache,
+    pub(crate) restrict_cache: DirectCache,
+    pub(crate) kreduce_cache: DirectCache,
+    pub(crate) fused_cache: DirectCache,
+    /// Memo for the n-ary fused aggregate ([`Mtbdd::sum_kreduce`]). Keys
+    /// are fixed-width operand arrays (sorted, zero-free, padded with
+    /// [`crate::fused::SUM_PAD`]) plus the budget — `Copy`, so lookups
+    /// never allocate. It stays a map rather than a direct-mapped cache:
+    /// packing a 16-operand list into two words would force hash-only
+    /// keys and risk false hits.
+    pub(crate) sum_cache: FxHashMap<crate::fused::SumKey, NodeRef>,
+    /// Memo for [`Mtbdd::all_alive_ref`]: node index → terminal handle of
+    /// the all-alive (`β₀`) evaluation. Path-compressed — one walk caches
+    /// the answer for every node on the hi-chain — so the `k == 0`
+    /// collapses in the `KREDUCE`/fused kernels amortize to one probe
+    /// instead of re-walking a hi-chain at every recursion leaf.
+    pub(crate) alive_cache: DirectCache,
     num_vars: u32,
     zero: NodeRef,
     one: NodeRef,
@@ -208,19 +446,21 @@ pub struct Mtbdd {
     audit_enabled: bool,
     /// Operation counter driving sampled apply-cache re-validation.
     audit_ops: u64,
-    /// Cumulative counters surfaced via [`MtbddStats`]; `gc.rs` carries
-    /// them into the fresh arena across collections.
-    pub(crate) apply_cache_hits: u64,
-    pub(crate) apply_cache_misses: u64,
-    pub(crate) fused_cache_hits: u64,
-    pub(crate) fused_cache_misses: u64,
+    /// Cumulative counters surfaced via [`MtbddStats`]; `gc.rs` preserves
+    /// them across collections. (Per-cache hit/miss/eviction counters
+    /// live inside each [`DirectCache`].)
     pub(crate) unique_peak: usize,
     pub(crate) gc_runs: u64,
     pub(crate) gc_reclaimed: u64,
-    /// Entries dropped wholesale from the apply/fused caches by
-    /// [`Mtbdd::clear_caches`] and GC (see `profile.rs`); cumulative.
-    pub(crate) apply_cache_evicted: u64,
-    pub(crate) fused_cache_evicted: u64,
+    /// Unique-table probe instrumentation: lookups, total probe steps,
+    /// worst probe, zero-step (home-slot) resolutions, and lookups that
+    /// found an existing node (hash-consing hits). For overlay managers a
+    /// lookup's steps sum the base probe and the private probe.
+    pub(crate) unique_lookups: u64,
+    pub(crate) unique_probe_steps: u64,
+    pub(crate) unique_probe_max: u32,
+    pub(crate) unique_direct: u64,
+    pub(crate) unique_hits: u64,
     /// Whether kernel recursion-depth tracking (see `profile.rs`) is
     /// active for this manager; latched from `YU_ENGINE_PROFILE` (or
     /// its programmatic override) at construction.
@@ -242,34 +482,37 @@ impl Default for Mtbdd {
 }
 
 impl Mtbdd {
-    /// Creates an empty manager with no variables allocated.
-    pub fn new() -> Mtbdd {
-        let mut m = Mtbdd {
+    fn empty() -> Mtbdd {
+        Mtbdd {
+            base: None,
+            base_nodes: 0,
+            base_terms: 0,
             nodes: Vec::new(),
-            unique: FxHashMap::default(),
+            unique: SlotTable::new(),
             terms: Vec::new(),
             term_ids: FxHashMap::default(),
-            apply_cache: FxHashMap::default(),
-            apply1_cache: FxHashMap::default(),
-            ite_cache: FxHashMap::default(),
-            restrict_cache: FxHashMap::default(),
-            kreduce_cache: FxHashMap::default(),
-            fused_cache: FxHashMap::default(),
+            apply_cache: DirectCache::new(),
+            apply1_cache: DirectCache::new(),
+            ite_cache: DirectCache::new(),
+            restrict_cache: DirectCache::new(),
+            kreduce_cache: DirectCache::new(),
+            fused_cache: DirectCache::new(),
+            sum_cache: FxHashMap::default(),
+            alive_cache: DirectCache::new(),
             num_vars: 0,
             zero: NodeRef(0),
             one: NodeRef(0),
             pos_inf: NodeRef(0),
             audit_enabled: crate::audit::audit_enabled(),
             audit_ops: 0,
-            apply_cache_hits: 0,
-            apply_cache_misses: 0,
-            fused_cache_hits: 0,
-            fused_cache_misses: 0,
             unique_peak: 0,
             gc_runs: 0,
             gc_reclaimed: 0,
-            apply_cache_evicted: 0,
-            fused_cache_evicted: 0,
+            unique_lookups: 0,
+            unique_probe_steps: 0,
+            unique_probe_max: 0,
+            unique_direct: 0,
+            unique_hits: 0,
             profile_enabled: crate::profile::engine_profile_enabled(),
             prof_apply_depth: 0,
             prof_apply_depth_max: 0,
@@ -277,10 +520,63 @@ impl Mtbdd {
             prof_fused_depth_max: 0,
             prof_kreduce_depth: 0,
             prof_kreduce_depth_max: 0,
-        };
+        }
+    }
+
+    /// Creates an empty manager with no variables allocated.
+    pub fn new() -> Mtbdd {
+        let mut m = Mtbdd::empty();
         m.zero = m.term(Term::ZERO);
         m.one = m.term(Term::ONE);
         m.pos_inf = m.term(Term::PosInf);
+        m
+    }
+
+    /// Snapshots this arena into an immutable, `Sync` view that overlay
+    /// managers (see [`Mtbdd::with_base`]) share zero-copy. Node and
+    /// terminal handles issued by `self` remain valid — same bits — in
+    /// every overlay.
+    ///
+    /// # Panics
+    /// Panics if `self` is itself an overlay (freezing an overlay would
+    /// alias two base generations and is never needed).
+    pub fn freeze(&self) -> FrozenMtbdd {
+        assert!(
+            self.base.is_none(),
+            "freeze() on an overlay manager is not supported"
+        );
+        FrozenMtbdd {
+            inner: std::sync::Arc::new(FrozenInner {
+                nodes: self.nodes.clone(),
+                unique: self.unique.clone(),
+                terms: self.terms.clone(),
+                term_ids: self.term_ids.clone(),
+                num_vars: self.num_vars,
+                zero: self.zero,
+                one: self.one,
+                pos_inf: self.pos_inf,
+            }),
+        }
+    }
+
+    /// Creates a private overlay manager on top of a frozen base arena.
+    ///
+    /// Reads of base nodes cost one `Arc` indirection and no copies;
+    /// nodes and terminals created through the overlay land in private
+    /// vectors whose global indices start at the base sizes, so base and
+    /// private handles share one index space. [`Mtbdd::stats`] of an
+    /// overlay reports only privately created nodes — exactly the
+    /// allocation attributable to the overlay's work.
+    pub fn with_base(frozen: &FrozenMtbdd) -> Mtbdd {
+        let inner = std::sync::Arc::clone(&frozen.inner);
+        let mut m = Mtbdd::empty();
+        m.base_nodes = inner.nodes.len();
+        m.base_terms = inner.terms.len();
+        m.num_vars = inner.num_vars;
+        m.zero = inner.zero;
+        m.one = inner.one;
+        m.pos_inf = inner.pos_inf;
+        m.base = Some(inner);
         m
     }
 
@@ -321,10 +617,15 @@ impl Mtbdd {
 
     /// The constant MTBDD with terminal `t`.
     pub fn term(&mut self, t: Term) -> NodeRef {
+        if let Some(base) = &self.base {
+            if let Some(&r) = base.term_ids.get(&t) {
+                return r;
+            }
+        }
         if let Some(&r) = self.term_ids.get(&t) {
             return r;
         }
-        let r = NodeRef::terminal(self.terms.len());
+        let r = NodeRef::terminal(self.base_terms + self.terms.len());
         self.terms.push(t.clone());
         self.term_ids.insert(t, r);
         r
@@ -341,12 +642,40 @@ impl Mtbdd {
     /// Panics if `f` is not a terminal.
     pub fn terminal_value(&self, f: NodeRef) -> Term {
         assert!(f.is_terminal(), "terminal_value on inner node");
-        self.terms[f.index()].clone()
+        let ix = f.index();
+        if ix < self.base_terms {
+            self.base
+                .as_ref()
+                .expect("base_terms > 0 without base")
+                .terms[ix]
+                .clone()
+        } else {
+            self.terms[ix - self.base_terms].clone()
+        }
     }
 
     pub(crate) fn node_at(&self, f: NodeRef) -> Node {
         debug_assert!(!f.is_terminal());
-        self.nodes[f.index()]
+        let ix = f.index();
+        if ix < self.base_nodes {
+            self.base
+                .as_ref()
+                .expect("base_nodes > 0 without base")
+                .nodes[ix]
+        } else {
+            self.nodes[ix - self.base_nodes]
+        }
+    }
+
+    /// Total inner nodes addressable through this manager (base plus
+    /// private for overlays).
+    pub(crate) fn total_nodes(&self) -> usize {
+        self.base_nodes + self.nodes.len()
+    }
+
+    /// Total terminals addressable through this manager.
+    pub(crate) fn total_terms(&self) -> usize {
+        self.base_terms + self.terms.len()
     }
 
     /// Top variable of `f`, if it is an inner node.
@@ -380,13 +709,50 @@ impl Mtbdd {
             "variable order violation at var {var}"
         );
         let n = Node { var, lo, hi };
-        if let Some(&r) = self.unique.get(&n) {
-            return r;
+        let hash = hash_node(&n);
+        let mut steps = 0u32;
+        if let Some(base) = &self.base {
+            let p = base.unique.probe(hash, |ix| base.nodes[ix as usize] == n);
+            steps = p.steps;
+            if let Some(ix) = p.found {
+                self.book_unique_probe(steps, true);
+                return NodeRef::inner(ix as usize);
+            }
         }
-        let r = NodeRef::inner(self.nodes.len());
+        if self.unique.needs_grow() {
+            let base_nodes = self.base_nodes;
+            let nodes = &self.nodes;
+            self.unique
+                .grow(|ix| hash_node(&nodes[ix as usize - base_nodes]));
+        }
+        let base_nodes = self.base_nodes;
+        let nodes = &self.nodes;
+        let p = self
+            .unique
+            .probe(hash, |ix| nodes[ix as usize - base_nodes] == n);
+        steps += p.steps;
+        if let Some(ix) = p.found {
+            self.book_unique_probe(steps, true);
+            return NodeRef::inner(ix as usize);
+        }
+        self.book_unique_probe(steps, false);
+        let r = NodeRef::inner(self.base_nodes + self.nodes.len());
         self.nodes.push(n);
-        self.unique.insert(n, r);
+        self.unique.insert_at(p.slot, r.0);
         r
+    }
+
+    #[inline]
+    fn book_unique_probe(&mut self, steps: u32, hit: bool) {
+        self.unique_lookups += 1;
+        self.unique_probe_steps += steps as u64;
+        self.unique_probe_max = self.unique_probe_max.max(steps);
+        if steps == 0 {
+            self.unique_direct += 1;
+        }
+        if hit {
+            self.unique_hits += 1;
+        }
     }
 
     /// The guard MTBDD of a single variable: `1` where `var = 1` (alive),
@@ -413,14 +779,14 @@ impl Mtbdd {
         } else {
             (f, g)
         };
-        if let Some(&r) = self.apply_cache.get(&(op, f, g)) {
-            self.apply_cache_hits += 1;
+        let (w0, w1) = pack_apply_key(op, f, g);
+        if let Some(raw) = self.apply_cache.get(w0, w1) {
+            let r = NodeRef(raw);
             if self.audit_enabled {
                 self.audit_apply_tick(op, f, g, r);
             }
             return r;
         }
-        self.apply_cache_misses += 1;
         if self.profile_enabled {
             self.prof_apply_depth += 1;
             self.prof_apply_depth_max = self.prof_apply_depth_max.max(self.prof_apply_depth);
@@ -441,7 +807,7 @@ impl Mtbdd {
         if self.profile_enabled {
             self.prof_apply_depth -= 1;
         }
-        self.apply_cache.insert((op, f, g), r);
+        self.apply_cache.insert(w0, w1, r.0);
         if self.audit_enabled {
             self.audit_apply_tick(op, f, g, r);
         }
@@ -527,8 +893,9 @@ impl Mtbdd {
 
     /// Generic unary apply with memoization.
     pub fn apply1(&mut self, op: Op1, f: NodeRef) -> NodeRef {
-        if let Some(&r) = self.apply1_cache.get(&(op, f)) {
-            return r;
+        let (w0, w1) = pack_apply1_key(op, f);
+        if let Some(raw) = self.apply1_cache.get(w0, w1) {
+            return NodeRef(raw);
         }
         let r = if f.is_terminal() {
             let t = op.combine(self.terminal_value(f));
@@ -539,7 +906,7 @@ impl Mtbdd {
             let hi = self.apply1(op, n.hi);
             self.node(n.var, lo, hi)
         };
-        self.apply1_cache.insert((op, f), r);
+        self.apply1_cache.insert(w0, w1, r.0);
         r
     }
 
@@ -554,8 +921,9 @@ impl Mtbdd {
         if t == e {
             return t;
         }
-        if let Some(&r) = self.ite_cache.get(&(c, t, e)) {
-            return r;
+        let (w0, w1) = pack_ite_key(c, t, e);
+        if let Some(raw) = self.ite_cache.get(w0, w1) {
+            return NodeRef(raw);
         }
         let vc = self.node_at(c).var;
         let vt = self.top_var(t).unwrap_or(u32::MAX);
@@ -567,7 +935,7 @@ impl Mtbdd {
         let lo = self.ite(c0, t0, e0);
         let hi = self.ite(c1, t1, e1);
         let r = self.node(var, lo, hi);
-        self.ite_cache.insert((c, t, e), r);
+        self.ite_cache.insert(w0, w1, r.0);
         r
     }
 
@@ -635,8 +1003,9 @@ impl Mtbdd {
         if f.is_terminal() || self.node_at(f).var > var {
             return f;
         }
-        if let Some(&r) = self.restrict_cache.get(&(f, var, val)) {
-            return r;
+        let (w0, w1) = pack_restrict_key(f, var, val);
+        if let Some(raw) = self.restrict_cache.get(w0, w1) {
+            return NodeRef(raw);
         }
         let n = self.node_at(f);
         let r = if n.var == var {
@@ -650,7 +1019,7 @@ impl Mtbdd {
             let hi = self.restrict(n.hi, var, val);
             self.node(n.var, lo, hi)
         };
-        self.restrict_cache.insert((f, var, val), r);
+        self.restrict_cache.insert(w0, w1, r.0);
         r
     }
 
@@ -668,6 +1037,35 @@ impl Mtbdd {
     /// Evaluates `f` with every variable alive (the no-failure scenario).
     pub fn eval_all_alive(&self, f: NodeRef) -> Term {
         self.eval(f, |_| true)
+    }
+
+    /// Memoized all-alive evaluation returning the terminal *handle*
+    /// (terminals are hash-consed, so this is interchangeable with
+    /// `term(eval_all_alive(f))`). The walk is path-compressed: every
+    /// inner node on the traversed hi-chain gets the answer cached, so
+    /// the `β₀` collapses that terminate the `KREDUCE`/fused/n-ary
+    /// recursions cost one cache probe amortized instead of an O(vars)
+    /// chain walk per recursion leaf.
+    pub(crate) fn all_alive_ref(&mut self, f: NodeRef) -> NodeRef {
+        if f.is_terminal() {
+            return f;
+        }
+        let mut cur = f;
+        let (stop, t) = loop {
+            if cur.is_terminal() {
+                break (cur, cur);
+            }
+            if let Some(raw) = self.alive_cache.get(cur.0 as u64, 0) {
+                break (cur, NodeRef(raw));
+            }
+            cur = self.node_at(cur).hi;
+        };
+        let mut p = f;
+        while p != stop {
+            self.alive_cache.insert(p.0 as u64, 0, t.0);
+            p = self.node_at(p).hi;
+        }
+        t
     }
 
     /// Number of inner nodes reachable from `f`.
@@ -706,32 +1104,63 @@ impl Mtbdd {
 
     /// Current sizes plus cumulative hit/miss and GC counters (the
     /// counters survive [`Mtbdd::collect`]; the sizes reset with it).
+    /// For overlay managers the node/terminal counts cover only the
+    /// private arena — the allocation attributable to this manager.
     pub fn stats(&self) -> MtbddStats {
         MtbddStats {
             nodes_created: self.nodes.len(),
             terminals_created: self.terms.len(),
             apply_cache_len: self.apply_cache.len(),
-            apply_cache_hits: self.apply_cache_hits,
-            apply_cache_misses: self.apply_cache_misses,
+            apply_cache_hits: self.apply_cache.hits(),
+            apply_cache_misses: self.apply_cache.misses(),
+            apply_cache_evictions: self.apply_cache.evictions(),
             fused_cache_len: self.fused_cache.len(),
-            fused_cache_hits: self.fused_cache_hits,
-            fused_cache_misses: self.fused_cache_misses,
+            fused_cache_hits: self.fused_cache.hits(),
+            fused_cache_misses: self.fused_cache.misses(),
+            fused_cache_evictions: self.fused_cache.evictions(),
+            apply1_cache_hits: self.apply1_cache.hits(),
+            apply1_cache_misses: self.apply1_cache.misses(),
+            apply1_cache_evictions: self.apply1_cache.evictions(),
+            ite_cache_hits: self.ite_cache.hits(),
+            ite_cache_misses: self.ite_cache.misses(),
+            ite_cache_evictions: self.ite_cache.evictions(),
+            restrict_cache_hits: self.restrict_cache.hits(),
+            restrict_cache_misses: self.restrict_cache.misses(),
+            restrict_cache_evictions: self.restrict_cache.evictions(),
+            kreduce_cache_hits: self.kreduce_cache.hits(),
+            kreduce_cache_misses: self.kreduce_cache.misses(),
+            kreduce_cache_evictions: self.kreduce_cache.evictions(),
+            alive_cache_hits: self.alive_cache.hits(),
+            alive_cache_misses: self.alive_cache.misses(),
+            alive_cache_evictions: self.alive_cache.evictions(),
             unique_table_peak: self.unique_peak.max(self.nodes.len()),
             gc_runs: self.gc_runs,
             gc_reclaimed_nodes: self.gc_reclaimed,
         }
     }
 
-    /// Inner nodes currently in the arena. Unlike the cumulative
-    /// counters in [`MtbddStats`], this is a point-in-time gauge: it
-    /// drops after [`Mtbdd::collect`].
+    /// Inner nodes currently addressable (base plus private for
+    /// overlays). Unlike the cumulative counters in [`MtbddStats`], this
+    /// is a point-in-time gauge: it drops after [`Mtbdd::collect`].
     pub fn live_nodes(&self) -> usize {
-        self.nodes.len()
+        self.total_nodes()
+    }
+
+    /// Probe-length statistics of the open-addressed unique table.
+    pub fn unique_probe_stats(&self) -> UniqueProbeStats {
+        UniqueProbeStats {
+            lookups: self.unique_lookups,
+            total_steps: self.unique_probe_steps,
+            max_steps: self.unique_probe_max,
+            direct: self.unique_direct,
+            hits: self.unique_hits,
+        }
     }
 
     /// Load factor of the inner-node unique table (`len / capacity`, 0
     /// for an empty arena). An observability gauge: values near the
-    /// hash map's resize threshold predict an imminent rehash pause.
+    /// open-addressed table's growth threshold (7/8) predict an imminent
+    /// rebuild pause.
     pub fn unique_table_load_factor(&self) -> f64 {
         let cap = self.unique.capacity();
         if cap == 0 {
@@ -745,8 +1174,10 @@ impl Mtbdd {
     /// storage plus the unique tables and operation caches, computed
     /// from *capacities* (what the allocator actually holds, not what
     /// is in use). Terminal payloads are counted shallowly — `Term`
-    /// heap allocations (rational bignums) are not chased — so this is
-    /// a lower bound suitable for trend monitoring, not an exact RSS.
+    /// heap allocations (rational bignums) are not chased — and a
+    /// shared frozen base is not counted (it belongs to the arena that
+    /// was frozen), so this is a lower bound suitable for trend
+    /// monitoring, not an exact RSS.
     pub fn arena_bytes(&self) -> usize {
         use std::mem::size_of;
         fn map_bytes<K, V>(m: &FxHashMap<K, V>) -> usize {
@@ -755,47 +1186,57 @@ impl Mtbdd {
         }
         self.nodes.capacity() * size_of::<Node>()
             + self.terms.capacity() * size_of::<Term>()
-            + map_bytes(&self.unique)
+            + self.unique.capacity() * size_of::<u32>()
             + map_bytes(&self.term_ids)
-            + map_bytes(&self.apply_cache)
-            + map_bytes(&self.apply1_cache)
-            + map_bytes(&self.ite_cache)
-            + map_bytes(&self.restrict_cache)
-            + map_bytes(&self.kreduce_cache)
-            + map_bytes(&self.fused_cache)
+            + map_bytes(&self.sum_cache)
+            + self.apply_cache.heap_bytes()
+            + self.apply1_cache.heap_bytes()
+            + self.ite_cache.heap_bytes()
+            + self.restrict_cache.heap_bytes()
+            + self.kreduce_cache.heap_bytes()
+            + self.fused_cache.heap_bytes()
+            + self.alive_cache.heap_bytes()
     }
 
     /// Drops all operation caches (the unique tables are kept, so handles
     /// stay valid). Useful between verification phases to bound memory.
-    /// Every resident apply/fused entry is booked as an eviction in the
-    /// cache profiles (see `profile.rs`).
+    /// Every resident entry is booked as an eviction in its cache's
+    /// profile (see `profile.rs`).
     pub fn clear_caches(&mut self) {
-        self.apply_cache_evicted += self.apply_cache.len() as u64;
-        self.fused_cache_evicted += self.fused_cache.len() as u64;
         self.apply_cache.clear();
         self.apply1_cache.clear();
         self.ite_cache.clear();
         self.restrict_cache.clear();
         self.kreduce_cache.clear();
         self.fused_cache.clear();
-    }
-
-    pub(crate) fn kreduce_cache(&mut self) -> &mut FxHashMap<(NodeRef, u32), NodeRef> {
-        &mut self.kreduce_cache
-    }
-
-    pub(crate) fn fused_cache(&mut self) -> &mut FxHashMap<(Op, NodeRef, NodeRef, u32), NodeRef> {
-        &mut self.fused_cache
+        self.sum_cache.clear();
+        self.alive_cache.clear();
     }
 
     // ---- crate-internal access for the invariant auditor (audit.rs) ----
 
-    pub(crate) fn raw_nodes(&self) -> &[Node] {
-        &self.nodes
+    /// Probes the unique tables for `n` without booking stats (audit
+    /// re-validation of the table invariant).
+    pub(crate) fn unique_lookup_for_audit(&self, n: &Node) -> Option<NodeRef> {
+        let hash = hash_node(n);
+        if let Some(base) = &self.base {
+            let p = base.unique.probe(hash, |ix| base.nodes[ix as usize] == *n);
+            if let Some(ix) = p.found {
+                return Some(NodeRef::inner(ix as usize));
+            }
+        }
+        let p = self
+            .unique
+            .probe(hash, |ix| self.nodes[ix as usize - self.base_nodes] == *n);
+        p.found.map(|ix| NodeRef::inner(ix as usize))
     }
 
-    pub(crate) fn unique_table(&self) -> &FxHashMap<Node, NodeRef> {
-        &self.unique
+    pub(crate) fn unique_table_len(&self) -> usize {
+        self.unique.len()
+    }
+
+    pub(crate) fn raw_nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     pub(crate) fn raw_terms(&self) -> &[Term] {
@@ -804,18 +1245,6 @@ impl Mtbdd {
 
     pub(crate) fn term_table(&self) -> &FxHashMap<Term, NodeRef> {
         &self.term_ids
-    }
-
-    pub(crate) fn apply_cache_ref(&self) -> &FxHashMap<(Op, NodeRef, NodeRef), NodeRef> {
-        &self.apply_cache
-    }
-
-    pub(crate) fn apply1_cache_ref(&self) -> &FxHashMap<(Op1, NodeRef), NodeRef> {
-        &self.apply1_cache
-    }
-
-    pub(crate) fn fused_cache_ref(&self) -> &FxHashMap<(Op, NodeRef, NodeRef, u32), NodeRef> {
-        &self.fused_cache
     }
 
     pub(crate) fn audit_on(&self) -> bool {
@@ -1009,12 +1438,19 @@ mod tests {
             apply_cache_len: 100,
             apply_cache_hits: 5,
             apply_cache_misses: 7,
+            apply_cache_evictions: 11,
             fused_cache_len: 50,
             fused_cache_hits: 4,
             fused_cache_misses: 6,
+            fused_cache_evictions: 1,
+            apply1_cache_hits: 9,
+            ite_cache_misses: 8,
+            restrict_cache_evictions: 2,
+            kreduce_cache_hits: 13,
             unique_table_peak: 40,
             gc_runs: 1,
             gc_reclaimed_nodes: 30,
+            ..Default::default()
         };
         let b = MtbddStats {
             nodes_created: 3,
@@ -1022,12 +1458,19 @@ mod tests {
             apply_cache_len: 60,
             apply_cache_hits: 2,
             apply_cache_misses: 3,
+            apply_cache_evictions: 1,
             fused_cache_len: 80,
             fused_cache_hits: 1,
             fused_cache_misses: 2,
+            fused_cache_evictions: 3,
+            apply1_cache_hits: 1,
+            ite_cache_misses: 2,
+            restrict_cache_evictions: 3,
+            kreduce_cache_hits: 4,
             unique_table_peak: 90,
             gc_runs: 2,
             gc_reclaimed_nodes: 4,
+            ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.nodes_created, 13);
@@ -1035,12 +1478,107 @@ mod tests {
         assert_eq!(a.apply_cache_len, 100, "cache len is a size: take max");
         assert_eq!(a.apply_cache_hits, 7);
         assert_eq!(a.apply_cache_misses, 10);
+        assert_eq!(a.apply_cache_evictions, 12);
         assert_eq!(a.fused_cache_len, 80, "cache len is a size: take max");
         assert_eq!(a.fused_cache_hits, 5);
         assert_eq!(a.fused_cache_misses, 8);
+        assert_eq!(a.fused_cache_evictions, 4);
+        assert_eq!(a.apply1_cache_hits, 10);
+        assert_eq!(a.ite_cache_misses, 10);
+        assert_eq!(a.restrict_cache_evictions, 5);
+        assert_eq!(a.kreduce_cache_hits, 17);
         assert_eq!(a.unique_table_peak, 90, "peak is a size: take max");
         assert_eq!(a.gc_runs, 3);
         assert_eq!(a.gc_reclaimed_nodes, 34);
+    }
+
+    #[test]
+    fn op_indices_roundtrip() {
+        for op in [
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::Div,
+            Op::Min,
+            Op::Max,
+            Op::Or,
+            Op::And,
+            Op::EqGuard,
+            Op::LtGuard,
+        ] {
+            assert_eq!(Op::from_index(op as u8), op);
+        }
+        for op in [Op1::IsFiniteGuard, Op1::Not, Op1::Neg] {
+            assert_eq!(Op1::from_index(op as u8), op);
+        }
+    }
+
+    #[test]
+    fn unique_probe_stats_track_lookups() {
+        let (mut m, x1, x2, _) = setup();
+        let g1 = m.var_guard(x1);
+        let g2 = m.var_guard(x2);
+        let _ = m.add(g1, g2);
+        assert_eq!(m.var_guard(x1), g1, "re-created guard must hash-cons");
+        let s = m.unique_probe_stats();
+        assert!(s.lookups > 0);
+        assert!(s.hits > 0, "re-creating var guards must hash-cons");
+        assert!(s.direct <= s.lookups);
+        assert!(s.mean() >= 0.0);
+        // Deterministic: an identical build sequence books identical stats.
+        let (mut n, y1, y2, _) = setup();
+        let h1 = n.var_guard(y1);
+        let h2 = n.var_guard(y2);
+        let _ = n.add(h1, h2);
+        let _ = n.var_guard(y1);
+        assert_eq!(n.unique_probe_stats(), s);
+    }
+
+    #[test]
+    fn frozen_overlay_shares_base_nodes() {
+        let (mut m, x1, x2, _) = setup();
+        let g1 = m.var_guard(x1);
+        let g2 = m.var_guard(x2);
+        let s = m.add(g1, g2);
+        let base_nodes = m.live_nodes();
+        let frozen = m.freeze();
+        assert_eq!(frozen.live_nodes(), base_nodes);
+
+        let mut w = Mtbdd::with_base(&frozen);
+        // Base handles are valid, same bits, in the overlay.
+        assert_eq!(w.eval_all_alive(s), Term::int(2));
+        assert_eq!(w.zero(), m.zero());
+        // Re-creating a base node returns the base handle, allocating
+        // nothing privately.
+        let g1w = w.var_guard(x1);
+        assert_eq!(g1w, g1);
+        let sw = w.add(g1, g2);
+        assert_eq!(sw, s, "base-resident results hash-cons into the base");
+        assert_eq!(w.stats().nodes_created, 0, "no private allocation yet");
+        // New structure lands in the private overlay, above the partition.
+        let third = w.constant(Ratio::new(1, 3));
+        let t = w.mul(g1, third);
+        let priv_sum = w.add(t, g2);
+        assert!(!priv_sum.is_terminal());
+        assert!(priv_sum.index() >= base_nodes);
+        assert!(w.stats().nodes_created > 0);
+        assert_eq!(w.eval(priv_sum, |v| v == x1), Term::Num(Ratio::new(1, 3)));
+        // Two overlays over one base agree bit-for-bit.
+        let mut w2 = Mtbdd::with_base(&frozen);
+        let t2 = {
+            let third = w2.constant(Ratio::new(1, 3));
+            let t2 = w2.mul(g1, third);
+            w2.add(t2, g2)
+        };
+        assert_eq!(t2, priv_sum);
+        // The base manager is untouched.
+        assert_eq!(m.live_nodes(), base_nodes);
+    }
+
+    #[test]
+    fn frozen_mtbdd_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrozenMtbdd>();
     }
 
     #[test]

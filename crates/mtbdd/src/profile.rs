@@ -12,13 +12,13 @@
 //!   allocates nothing in the arena and therefore cannot change any
 //!   verdict.
 //! * **How do the operation caches behave?** [`Mtbdd::cache_profiles`]
-//!   reports, for the binary apply cache and the fused `op∘KREDUCE`
-//!   cache, the current size, load factor, cumulative hit/miss/eviction
-//!   counters, and an *estimated* probe-length distribution obtained by
-//!   re-hashing the resident keys into a simulated open-addressed table
-//!   of the same occupancy (see [`ProbeStats`]). The estimate is
-//!   deterministic and read-only; it models clustering under linear
-//!   probing, not the exact std `HashMap` layout.
+//!   reports, for each direct-mapped operation cache (`apply`, `fused`,
+//!   `apply1`, `ite`, `restrict`, `kreduce`) and for the open-addressed
+//!   unique table, the current size, load factor, and cumulative
+//!   hit/miss/eviction counters. The unique table additionally exposes
+//!   its *measured* linear-probe distribution (see [`ProbeStats`]) —
+//!   real counters from the hot path, not a simulation; direct-mapped
+//!   caches probe exactly one slot by construction.
 //! * **How deep do the kernels recurse?** Max-recursion-depth tracking
 //!   for `apply`, the fused kernel, and `KREDUCE`, gated by the
 //!   `YU_ENGINE_PROFILE` environment variable (or the programmatic
@@ -30,10 +30,9 @@
 //! inputs produce bit-identical diagrams, verdicts, and statistics
 //! (asserted by `tests/telemetry_differential.rs`).
 
-use crate::hasher::FxHasher;
 use crate::manager::Mtbdd;
 use crate::node::{NodeRef, Var};
-use std::hash::{Hash, Hasher};
+use crate::table::DirectCache;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
@@ -93,30 +92,29 @@ impl LevelProfile {
     }
 }
 
-/// Estimated probe-length distribution of an operation cache.
+/// Probe-length distribution of a table.
 ///
-/// The std `HashMap` does not expose its bucket layout, so the resident
-/// keys are re-hashed into a simulated open-addressed table with linear
-/// probing at the same power-of-two capacity the real table would use.
-/// The probe length of a key is the number of occupied slots inspected
-/// before an empty one is found (0 = direct hit). This models the
-/// clustering behavior of the hash function on the *actual* resident
-/// keys — the quantity that predicts lookup cost — without touching the
-/// real table.
+/// For the open-addressed unique table these are *measured* counters
+/// from the hot path: the probe length of a lookup is the number of
+/// occupied slots inspected beyond the home slot (0 = direct hit).
+/// Direct-mapped operation caches inspect exactly one slot by
+/// construction, so they report a mean of 0 and a `direct_fraction`
+/// of 1 whenever any entries are resident.
 #[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
 pub struct ProbeStats {
-    /// Mean probe length over all resident keys.
+    /// Mean probe length over all lookups (keys for direct caches).
     pub mean: f64,
     /// Worst probe length observed.
     pub max: usize,
-    /// Fraction of keys placed with zero displacement.
+    /// Fraction of lookups resolved with zero displacement.
     pub direct_fraction: f64,
 }
 
 /// A profile of one operation cache, from [`Mtbdd::cache_profiles`].
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct CacheProfile {
-    /// Which cache: `"apply"` or `"fused"`.
+    /// Which table: `"apply"`, `"fused"`, `"apply1"`, `"ite"`,
+    /// `"restrict"`, `"kreduce"`, or `"unique"`.
     pub name: &'static str,
     /// Entries resident right now.
     pub len: usize,
@@ -128,11 +126,13 @@ pub struct CacheProfile {
     pub hits: u64,
     /// Cumulative lookup misses (survives GC).
     pub misses: u64,
-    /// Cumulative entries dropped by [`Mtbdd::clear_caches`] and GC.
-    /// The caches never evict individually, so this counts wholesale
-    /// invalidations — the cost a future bounded cache would avoid.
+    /// Cumulative entries dropped: per-slot overwrites in the
+    /// direct-mapped caches plus wholesale invalidations by
+    /// [`Mtbdd::clear_caches`] and GC. For the unique table this is the
+    /// cumulative node count reclaimed by GC.
     pub evictions: u64,
-    /// Estimated probe-length distribution of the resident keys.
+    /// Probe-length distribution (measured for the unique table;
+    /// trivially direct for the direct-mapped caches).
     pub probe: ProbeStats,
 }
 
@@ -151,42 +151,28 @@ pub struct EngineProfile {
     pub kreduce_max_depth: u32,
 }
 
-/// Simulates linear probing over the given key hashes at hashbrown-like
-/// occupancy (capacity = smallest power of two holding `len` at 7/8
-/// load) and returns the displacement distribution.
-fn probe_stats_of_hashes(hashes: &[u64]) -> ProbeStats {
-    if hashes.is_empty() {
-        return ProbeStats::default();
+/// Profile of a direct-mapped cache: one slot per key, so the probe
+/// distribution is degenerate (mean 0, everything direct).
+fn direct_profile(name: &'static str, c: &DirectCache) -> CacheProfile {
+    let (len, cap) = (c.len(), c.capacity());
+    CacheProfile {
+        name,
+        len,
+        capacity: cap,
+        load_factor: if cap == 0 {
+            0.0
+        } else {
+            len as f64 / cap as f64
+        },
+        hits: c.hits(),
+        misses: c.misses(),
+        evictions: c.evictions(),
+        probe: ProbeStats {
+            mean: 0.0,
+            max: 0,
+            direct_fraction: if len > 0 { 1.0 } else { 0.0 },
+        },
     }
-    let cap = (hashes.len() * 8 / 7 + 1).next_power_of_two().max(8);
-    let mask = cap - 1;
-    let mut occupied = vec![false; cap];
-    let (mut total, mut max, mut direct) = (0usize, 0usize, 0usize);
-    for &h in hashes {
-        let mut slot = h as usize & mask;
-        let mut probes = 0usize;
-        while occupied[slot] {
-            probes += 1;
-            slot = (slot + 1) & mask;
-        }
-        occupied[slot] = true;
-        total += probes;
-        max = max.max(probes);
-        if probes == 0 {
-            direct += 1;
-        }
-    }
-    ProbeStats {
-        mean: total as f64 / hashes.len() as f64,
-        max,
-        direct_fraction: direct as f64 / hashes.len() as f64,
-    }
-}
-
-fn fx_hash_of<K: Hash>(key: &K) -> u64 {
-    let mut h = FxHasher::default();
-    key.hash(&mut h);
-    h.finish()
 }
 
 impl Mtbdd {
@@ -226,46 +212,39 @@ impl Mtbdd {
         }
     }
 
-    /// Profiles the two hot operation caches (binary apply and fused
-    /// `op∘KREDUCE`): sizes, cumulative hit/miss/eviction counters, and
-    /// an estimated probe-length distribution (see [`ProbeStats`]).
-    /// Read-only and deterministic.
+    /// Profiles the seven direct-mapped operation caches and the
+    /// open-addressed unique table: sizes, cumulative
+    /// hit/miss/eviction counters, and the probe-length distribution
+    /// (measured on the hot path for the unique table, degenerate for
+    /// the direct-mapped caches). Read-only and deterministic. The
+    /// first two entries are always `"apply"` and `"fused"`.
     pub fn cache_profiles(&self) -> Vec<CacheProfile> {
-        let apply_hashes: Vec<u64> = self.apply_cache_ref().keys().map(fx_hash_of).collect();
-        let fused_hashes: Vec<u64> = self.fused_cache_ref().keys().map(fx_hash_of).collect();
-        let load = |len: usize, cap: usize| {
-            if cap == 0 {
-                0.0
-            } else {
-                len as f64 / cap as f64
-            }
-        };
+        let ups = self.unique_probe_stats();
         vec![
+            direct_profile("apply", &self.apply_cache),
+            direct_profile("fused", &self.fused_cache),
+            direct_profile("apply1", &self.apply1_cache),
+            direct_profile("ite", &self.ite_cache),
+            direct_profile("restrict", &self.restrict_cache),
+            direct_profile("kreduce", &self.kreduce_cache),
+            direct_profile("alive", &self.alive_cache),
             CacheProfile {
-                name: "apply",
-                len: self.apply_cache_ref().len(),
-                capacity: self.apply_cache_ref().capacity(),
-                load_factor: load(
-                    self.apply_cache_ref().len(),
-                    self.apply_cache_ref().capacity(),
-                ),
-                hits: self.apply_cache_hits,
-                misses: self.apply_cache_misses,
-                evictions: self.apply_cache_evicted,
-                probe: probe_stats_of_hashes(&apply_hashes),
-            },
-            CacheProfile {
-                name: "fused",
-                len: self.fused_cache_ref().len(),
-                capacity: self.fused_cache_ref().capacity(),
-                load_factor: load(
-                    self.fused_cache_ref().len(),
-                    self.fused_cache_ref().capacity(),
-                ),
-                hits: self.fused_cache_hits,
-                misses: self.fused_cache_misses,
-                evictions: self.fused_cache_evicted,
-                probe: probe_stats_of_hashes(&fused_hashes),
+                name: "unique",
+                len: self.unique_table_len(),
+                capacity: self.unique.capacity(),
+                load_factor: self.unique_table_load_factor(),
+                hits: ups.hits,
+                misses: ups.lookups - ups.hits,
+                evictions: self.gc_reclaimed,
+                probe: ProbeStats {
+                    mean: ups.mean(),
+                    max: ups.max_steps as usize,
+                    direct_fraction: if ups.lookups == 0 {
+                        0.0
+                    } else {
+                        ups.direct as f64 / ups.lookups as f64
+                    },
+                },
             },
         ]
     }
@@ -355,39 +334,53 @@ mod tests {
         let s = m.add(g1, g2);
         let _ = m.add_kreduce(s, g1, 1);
         let profiles = m.cache_profiles();
-        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles.len(), 8);
+        let names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            ["apply", "fused", "apply1", "ite", "restrict", "kreduce", "alive", "unique"]
+        );
         let apply = &profiles[0];
         assert_eq!(apply.name, "apply");
         assert!(apply.len > 0 && apply.capacity >= apply.len);
         assert!(apply.load_factor > 0.0 && apply.load_factor <= 1.0);
         assert!(apply.misses > 0);
-        assert_eq!(apply.evictions, 0);
         assert!(apply.probe.mean >= 0.0 && apply.probe.direct_fraction > 0.0);
         let fused = &profiles[1];
         assert_eq!(fused.name, "fused");
         assert!(fused.len > 0);
+        let _ = m.var_guard(x1); // re-create an existing node: a unique-table hit
+        let profiles = m.cache_profiles();
+        let unique = &profiles[7];
+        assert!(unique.len > 0, "arena nodes live in the unique table");
+        assert!(unique.hits > 0, "hash-consing must have deduped something");
+        assert!(unique.probe.direct_fraction > 0.0);
         // Dropping the caches books every resident entry as an eviction.
+        let (apply_before, fused_before) = (apply.evictions, fused.evictions);
         let (apply_len, fused_len) = (apply.len as u64, fused.len as u64);
         m.clear_caches();
         let after = m.cache_profiles();
         assert_eq!(after[0].len, 0);
-        assert_eq!(after[0].evictions, apply_len);
-        assert_eq!(after[1].evictions, fused_len);
+        assert_eq!(after[0].evictions, apply_before + apply_len);
+        assert_eq!(after[1].evictions, fused_before + fused_len);
         // Cumulative counters survive the clear.
         assert!(after[0].misses > 0);
     }
 
     #[test]
-    fn probe_simulation_is_deterministic_and_bounded() {
-        let hashes: Vec<u64> = (0..1000u64)
-            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
-            .collect();
-        let a = probe_stats_of_hashes(&hashes);
-        let b = probe_stats_of_hashes(&hashes);
-        assert_eq!(a, b, "probe estimate must be deterministic");
-        assert!(a.direct_fraction > 0.5, "good hashes mostly place directly");
-        assert!(a.mean <= a.max as f64);
-        assert_eq!(probe_stats_of_hashes(&[]), ProbeStats::default());
+    fn direct_caches_probe_exactly_one_slot() {
+        let mut m = Mtbdd::new();
+        let (x1, x2) = (m.fresh_var(), m.fresh_var());
+        let g1 = m.var_guard(x1);
+        let g2 = m.var_guard(x2);
+        let _ = m.add(g1, g2);
+        for p in &m.cache_profiles()[..7] {
+            assert_eq!(p.probe.mean, 0.0, "{} is direct-mapped", p.name);
+            assert_eq!(p.probe.max, 0);
+            if p.len > 0 {
+                assert_eq!(p.probe.direct_fraction, 1.0);
+            }
+        }
     }
 
     #[test]

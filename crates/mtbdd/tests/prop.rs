@@ -237,6 +237,41 @@ proptest! {
         prop_assert_eq!(fused, unfused);
     }
 
+    /// The n-ary fused aggregate is handle-identical to the left-folded
+    /// binary pipeline: sum_kreduce([f1..fn], k) ==
+    /// fold(add_kreduce)(f1..fn, k) == kreduce(f1 + .. + fn, k). This is
+    /// what lets the sharded checker and the sequential checker produce
+    /// bit-identical violating loads regardless of how operands are
+    /// grouped.
+    #[test]
+    fn sum_kreduce_matches_folded_pipeline(
+        es in proptest::collection::vec(arb_expr(), 0..6),
+        k in 0u32..=NVARS,
+    ) {
+        let mut m = manager();
+        let items: Vec<NodeRef> = es.iter().map(|e| build(&mut m, e)).collect();
+        let nary = m.sum_kreduce(&items, k);
+        // Left fold with the binary fused kernel.
+        let folded = match items.split_first() {
+            None => {
+                let z = m.zero();
+                m.kreduce(z, k)
+            }
+            Some((&first, rest)) => {
+                let head = m.kreduce(first, k);
+                rest.iter().fold(head, |acc, &f| m.add_kreduce(acc, f, k))
+            }
+        };
+        prop_assert_eq!(nary, folded);
+        // And against the classic unfused pipeline.
+        let sum = items
+            .iter()
+            .fold(m.zero(), |acc, &f| m.apply(Op::Add, acc, f));
+        let unfused = m.kreduce(sum, k);
+        prop_assert_eq!(nary, unfused);
+        prop_assert!(m.max_path_failures(nary) <= k);
+    }
+
     /// Restriction fixes a variable: restrict(f, v, b) equals f evaluated
     /// with v := b.
     #[test]

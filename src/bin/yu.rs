@@ -9,8 +9,9 @@
 //!                                                    bound-analysis verdicts)
 //! yu check spec.json                                 lint + summarize the spec
 //! yu verify spec.json [--json] [--workers N]         verify the TLP under <= k failures
-//!           [--check-workers N] [--no-static-prune]
-//!           [--explain] [--max-violations N]
+//!           [--check-workers N|auto]                 (check sharding defaults to 'auto':
+//!           [--no-static-prune]                      a cost model degrades to sequential
+//!           [--explain] [--max-violations N]         when sharding cannot pay for setup)
 //!           [-v] [--trace-out t.json] [--metrics-out m.json]
 //!           [--profile-out p.json]
 //! yu profile spec.json [--json] [--top N]            verify with per-entity performance
@@ -78,6 +79,20 @@ use yu::mtbdd::Ratio;
 use yu::net::{scenario_count, FailureMode, LoadPoint, Scenario, Tlp};
 use yu::spec::VerifySpec;
 
+/// The resolved `--check-workers` argument: a worker count, fixed
+/// (`auto = false`) or treated as a cap by the check stage's cost model
+/// (`auto = true`, see `YuOptions::check_workers_auto`).
+#[derive(Clone, Copy)]
+struct CheckWorkersArg {
+    workers: usize,
+    auto: bool,
+}
+
+/// Hardware threads available to this process (1 when unknown).
+fn hw_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Positional arguments: everything that is neither a flag nor the
@@ -125,16 +140,45 @@ fn main() -> ExitCode {
         },
         None => yu::core::default_workers(),
     };
-    let check_workers = match args.iter().position(|a| a == "--check-workers") {
-        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
-            Some(w) if w >= 1 => w,
-            _ => {
-                eprintln!("error: --check-workers takes a positive integer");
+    let check_workers_flag = match args.iter().position(|a| a == "--check-workers") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("auto") => Some(CheckWorkersArg {
+                workers: hw_parallelism(),
+                auto: true,
+            }),
+            Some(v) => match v.parse::<usize>() {
+                Ok(w) if w >= 1 => Some(CheckWorkersArg {
+                    workers: w,
+                    auto: false,
+                }),
+                _ => {
+                    eprintln!("error: --check-workers takes a positive integer or 'auto'");
+                    return ExitCode::from(2);
+                }
+            },
+            None => {
+                eprintln!("error: --check-workers takes a positive integer or 'auto'");
                 return ExitCode::from(2);
             }
         },
-        None => yu::core::default_check_workers(),
+        None => None,
     };
+    // `yu verify` defaults to the auto cost model (degrading to a
+    // sequential check when sharding cannot pay for its setup); an
+    // explicit flag or a YU_CHECK_WORKERS override always wins.
+    let check_workers = check_workers_flag.unwrap_or_else(|| {
+        if cmd == "verify" && std::env::var_os("YU_CHECK_WORKERS").is_none() {
+            CheckWorkersArg {
+                workers: hw_parallelism(),
+                auto: true,
+            }
+        } else {
+            CheckWorkersArg {
+                workers: yu::core::default_check_workers(),
+                auto: false,
+            }
+        }
+    });
     let max_violations = match args.iter().position(|a| a == "--max-violations") {
         Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
             Some(n) if n >= 1 => n,
@@ -260,7 +304,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: yu <export|lint|check|verify|profile|explain|loads|scenarios|rib|diff\
                  |serve> [spec.json] \
-                 [--json] [--deep] [--deny-warnings] [--workers N] [--check-workers N] \
+                 [--json] [--deep] [--deny-warnings] [--workers N] [--check-workers N|auto] \
                  [--no-static-prune] [--explain] [--max-violations N] \
                  [--dot-out FILE] [--fail A-B,C-D] [--router <name> --dst <ip>] \
                  [--spec base.json] [-v] [--trace-out FILE] [--metrics-out FILE] \
@@ -453,7 +497,7 @@ fn verify(
     spec: &VerifySpec,
     json_output: bool,
     workers: usize,
-    check_workers: usize,
+    check_workers: CheckWorkersArg,
     telemetry: &TelemetryArgs,
     flags: VerifyFlags,
 ) -> ExitCode {
@@ -466,7 +510,8 @@ fn verify(
             k: spec.k,
             mode: spec.mode,
             workers,
-            check_workers,
+            check_workers: check_workers.workers,
+            check_workers_auto: check_workers.auto,
             static_prune: flags.static_prune,
             profile: flags.profile_out.is_some(),
             ..Default::default()
@@ -569,7 +614,7 @@ fn profile(
     spec: &VerifySpec,
     json_output: bool,
     workers: usize,
-    check_workers: usize,
+    check_workers: CheckWorkersArg,
     telemetry: &TelemetryArgs,
     args: ProfileArgs,
 ) -> ExitCode {
@@ -582,7 +627,8 @@ fn profile(
             k: spec.k,
             mode: spec.mode,
             workers,
-            check_workers,
+            check_workers: check_workers.workers,
+            check_workers_auto: check_workers.auto,
             static_prune: args.static_prune,
             profile: true,
             ..Default::default()
@@ -816,7 +862,7 @@ fn diff(
     new: &VerifySpec,
     json_output: bool,
     workers: usize,
-    check_workers: usize,
+    check_workers: CheckWorkersArg,
     static_prune: bool,
     telemetry: &TelemetryArgs,
 ) -> ExitCode {
@@ -827,7 +873,8 @@ fn diff(
         k: old.k,
         mode: old.mode,
         workers,
-        check_workers,
+        check_workers: check_workers.workers,
+        check_workers_auto: check_workers.auto,
         static_prune,
         ..Default::default()
     };
@@ -933,7 +980,7 @@ fn write_prometheus(path: &str) {
 fn serve(
     spec_path: Option<String>,
     workers: usize,
-    check_workers: usize,
+    check_workers: CheckWorkersArg,
     static_prune: bool,
     telemetry: &TelemetryArgs,
     obs: ServeObsArgs,
@@ -953,7 +1000,8 @@ fn serve(
         k: spec.k,
         mode: spec.mode,
         workers,
-        check_workers,
+        check_workers: check_workers.workers,
+        check_workers_auto: check_workers.auto,
         static_prune,
         ..Default::default()
     };
@@ -1015,7 +1063,7 @@ fn explain(
     spec: &VerifySpec,
     json_output: bool,
     workers: usize,
-    check_workers: usize,
+    check_workers: CheckWorkersArg,
     telemetry: &TelemetryArgs,
     max_violations: usize,
     dot_out: Option<&str>,
@@ -1029,7 +1077,8 @@ fn explain(
             k: spec.k,
             mode: spec.mode,
             workers,
-            check_workers,
+            check_workers: check_workers.workers,
+            check_workers_auto: check_workers.auto,
             ..Default::default()
         },
     );

@@ -1,0 +1,251 @@
+//! Differential suite for the flat-arena MTBDD engine: the index-based
+//! arena, open-addressed unique table, direct-mapped memo caches, n-ary
+//! fused aggregation, and the frozen-arena overlay sharing used by check
+//! sharding are all *representation* changes — every observable of a
+//! verification run must be identical to the sequential single-arena
+//! pipeline:
+//!
+//! * verdicts and bit-identical violation lists (counterexample
+//!   scenarios and exact rational violating loads included),
+//! * concrete terminal values at every sampled load point and scenario,
+//! * determinism: re-running the same instance reproduces the exact
+//!   `nodes_created` count and unique-table probe statistics (the
+//!   property CI's deterministic gates rely on).
+//!
+//! Covered across the built-in examples × both failure modes ×
+//! `check_workers ∈ {1, 4}` × the `auto` cost model.
+
+use yu::core::{YuOptions, YuVerifier};
+use yu::gen::{
+    fattree_with_flows, motivating_example, sr_anycast_incident, static_blackhole_incident, wan,
+    WanParams,
+};
+use yu::mtbdd::Ratio;
+use yu::net::{scenarios_up_to_k, FailureMode, Flow, LoadPoint, Network, Scenario, Tlp};
+
+struct Instance {
+    name: &'static str,
+    net: Network,
+    flows: Vec<Flow>,
+    tlp: Tlp,
+    k: u32,
+}
+
+fn instances() -> Vec<Instance> {
+    let fig1 = motivating_example();
+    let fig9 = sr_anycast_incident();
+    let fig10 = static_blackhole_incident();
+    let (ft, ft_flows) = fattree_with_flows(4, 16);
+    let ft_tlp = Tlp::no_overload(&ft.net.topo, Ratio::new(95, 100));
+    let w = wan(WanParams {
+        core_routers: 5,
+        stub_routers: 2,
+        extra_core_links: 3,
+        prefixes: 8,
+        sr_policies: 1,
+        seed: 11,
+    });
+    let w_flows = w.flows(25, 70);
+    let w_tlp = Tlp::no_overload(&w.net.topo, Ratio::new(95, 100));
+    vec![
+        Instance {
+            name: "fig1",
+            net: fig1.net,
+            flows: fig1.flows,
+            tlp: fig1.p2,
+            k: 1,
+        },
+        Instance {
+            name: "fig9",
+            net: fig9.net,
+            flows: fig9.flows,
+            tlp: fig9.tlp,
+            k: 1,
+        },
+        Instance {
+            name: "fig10",
+            net: fig10.net,
+            flows: fig10.flows,
+            tlp: fig10.tlp,
+            k: 1,
+        },
+        Instance {
+            name: "ft4",
+            net: ft.net,
+            flows: ft_flows,
+            tlp: ft_tlp,
+            k: 2,
+        },
+        Instance {
+            name: "wan",
+            net: w.net,
+            flows: w_flows,
+            tlp: w_tlp,
+            k: 1,
+        },
+    ]
+}
+
+fn run(inst: &Instance, mode: FailureMode, opts: YuOptions) -> YuVerifier {
+    let mut v = YuVerifier::new(
+        inst.net.clone(),
+        YuOptions {
+            k: inst.k,
+            mode,
+            ..opts
+        },
+    );
+    v.add_flows(&inst.flows);
+    v
+}
+
+fn all_points(net: &Network) -> Vec<LoadPoint> {
+    let mut pts: Vec<LoadPoint> = net.topo.links().map(LoadPoint::Link).collect();
+    for r in net.topo.routers() {
+        pts.push(LoadPoint::Delivered(r));
+        pts.push(LoadPoint::Dropped(r));
+    }
+    pts
+}
+
+fn sampled_scenarios(net: &Network, mode: FailureMode, k: u32) -> Vec<Scenario> {
+    let all: Vec<Scenario> = scenarios_up_to_k(&net.topo, mode, k as usize).collect();
+    let step = if all.len() > 150 { 5 } else { 1 };
+    all.into_iter().step_by(step).collect()
+}
+
+/// Flat-arena verdicts and terminal values are worker-count invariant:
+/// `check_workers = 4` (frozen-arena overlay sharding, n-ary fused
+/// aggregation in private overlays) matches `check_workers = 1` (n-ary
+/// fused aggregation in the main arena) on every observable.
+#[test]
+fn sharded_overlays_match_sequential_on_all_examples() {
+    for inst in &instances() {
+        for mode in [FailureMode::Links, FailureMode::Routers] {
+            let ctx = format!("{} mode={mode:?}", inst.name);
+            let mut seq = run(inst, mode, YuOptions::default());
+            let mut par = run(
+                inst,
+                mode,
+                YuOptions {
+                    check_workers: 4,
+                    ..Default::default()
+                },
+            );
+            let so = seq.verify(&inst.tlp);
+            let po = par.verify(&inst.tlp);
+            assert_eq!(so.verified(), po.verified(), "{ctx}: verdict differs");
+            assert_eq!(
+                so.violations, po.violations,
+                "{ctx}: violations must be bit-identical"
+            );
+            // Terminal values: the exact rational load at every sampled
+            // (point, scenario) pair must agree after either pipeline.
+            for &p in &all_points(&inst.net) {
+                for s in &sampled_scenarios(&inst.net, mode, inst.k) {
+                    assert_eq!(
+                        seq.load_at(p, s),
+                        par.load_at(p, s),
+                        "{ctx}: terminal value differs at {p:?} under {s:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The `--check-workers auto` cost model only picks a worker count — it
+/// must never change a verdict, a violation, or a terminal value,
+/// whichever way it decides.
+#[test]
+fn auto_worker_selection_is_observation_invariant() {
+    for inst in &instances() {
+        let mode = FailureMode::Links;
+        let ctx = format!("{} auto", inst.name);
+        let mut plain = run(inst, mode, YuOptions::default());
+        let mut auto = run(
+            inst,
+            mode,
+            YuOptions {
+                check_workers: 4,
+                check_workers_auto: true,
+                ..Default::default()
+            },
+        );
+        let po = plain.verify(&inst.tlp);
+        let ao = auto.verify(&inst.tlp);
+        assert_eq!(po.verified(), ao.verified(), "{ctx}: verdict differs");
+        assert_eq!(po.violations, ao.violations, "{ctx}: violations differ");
+        for &p in &all_points(&inst.net) {
+            for s in &sampled_scenarios(&inst.net, mode, inst.k)
+                .into_iter()
+                .take(40)
+                .collect::<Vec<_>>()
+            {
+                assert_eq!(
+                    plain.load_at(p, s),
+                    auto.load_at(p, s),
+                    "{ctx}: load differs"
+                );
+            }
+        }
+    }
+}
+
+/// The flat arena is a deterministic function of the operation sequence:
+/// re-running an instance reproduces `nodes_created` exactly (no
+/// randomized hashing, no address-dependent iteration anywhere in the
+/// hot path). This is the invariant that lets CI gate on exact node
+/// counts.
+#[test]
+fn node_counts_are_bit_deterministic_across_runs() {
+    for inst in &instances() {
+        for mode in [FailureMode::Links, FailureMode::Routers] {
+            let trace = || {
+                let mut v = run(inst, mode, YuOptions::default());
+                let out = v.verify(&inst.tlp);
+                // Node counts and the unique-table peak are exact
+                // replay invariants (hash-consing makes them functions
+                // of the set of functions built, not of operation
+                // order); cache miss counters can legitimately wobble
+                // with iteration order upstream, so they are not gated.
+                (
+                    out.stats.mtbdd.nodes_created,
+                    out.stats.mtbdd.unique_table_peak,
+                    format!("{:?}", out.violations),
+                )
+            };
+            assert_eq!(
+                trace(),
+                trace(),
+                "{} mode={mode:?}: runs must be bit-deterministic",
+                inst.name
+            );
+        }
+    }
+}
+
+/// Enumerated verification through frozen overlays: full per-requirement
+/// violation sets agree with the sequential checker.
+#[test]
+fn enumerated_verification_matches_through_overlays() {
+    let insts = instances();
+    for inst in &insts[..3] {
+        let mut seq = run(inst, FailureMode::Links, YuOptions::default());
+        let mut par = run(
+            inst,
+            FailureMode::Links,
+            YuOptions {
+                check_workers: 4,
+                ..Default::default()
+            },
+        );
+        let se = seq.verify_enumerated(&inst.tlp, 6);
+        let pe = par.verify_enumerated(&inst.tlp, 6);
+        assert_eq!(
+            se.violations, pe.violations,
+            "{}: enumerated violations differ",
+            inst.name
+        );
+    }
+}

@@ -74,11 +74,12 @@ fn sequential_attribution_reconciles_exactly_with_the_arena() {
         attr.levels.inner_nodes,
         attr.levels.levels.iter().map(|l| l.nodes).sum::<usize>()
     );
-    assert_eq!(attr.caches.len(), 2);
+    assert_eq!(attr.caches.len(), 8);
     assert!(attr
         .caches
         .iter()
         .any(|c| c.name == "apply" && c.misses > 0));
+    assert!(attr.caches.iter().any(|c| c.name == "unique"));
 }
 
 #[test]
